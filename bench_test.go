@@ -1,0 +1,302 @@
+// Package repro's root-level benchmarks: one testing.B benchmark per
+// experiment family of DESIGN.md. The benchrunner binary prints the
+// paper-style tables (rows/series); these benchmarks measure the same code
+// paths under the Go benchmark harness and report logical node I/O per
+// operation alongside wall time.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blades/grtblade"
+	"repro/internal/chronon"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/grtree"
+	"repro/internal/nodestore"
+	"repro/internal/rstar"
+	"repro/internal/temporal"
+)
+
+// benchWorkload builds (once per configuration) a replayed workload.
+func benchWorkload(b *testing.B, nowFrac float64) *experiments.Workload {
+	b.Helper()
+	cfg := experiments.DefaultWorkload()
+	cfg.Tuples = 2000
+	cfg.Days = 200
+	cfg.NowFrac = nowFrac
+	return experiments.Generate(cfg)
+}
+
+// BenchmarkP1Search measures search I/O and latency per timeslice query for
+// the GR-tree and the two R*-tree substitutes on half-now-relative data
+// (experiment P1; benchrunner sweeps the now-relative fraction).
+func BenchmarkP1Search(b *testing.B) {
+	wl := benchWorkload(b, 0.5)
+	mk := map[string]func() (experiments.Index, error){
+		"GR-tree": func() (experiments.Index, error) {
+			return experiments.NewGRTIndex(grtree.DefaultConfig())
+		},
+		"RStar-MX": func() (experiments.Index, error) {
+			return experiments.NewRSTIndex(rstar.DefaultConfig(), experiments.SubMax, chronon.FromDate(9999, 12, 31))
+		},
+		"RStar-CT": func() (experiments.Index, error) {
+			return experiments.NewRSTIndex(rstar.DefaultConfig(), experiments.SubAsOf, chronon.FromDate(9999, 12, 31))
+		},
+	}
+	for name, factory := range mk {
+		b.Run(name, func(b *testing.B) {
+			idx, err := factory()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.Replay(wl, idx); err != nil {
+				b.Fatal(err)
+			}
+			idx.ResetReads()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := wl.Queries[i%len(wl.Queries)]
+				if _, err := idx.SearchCount(q, wl.EndCT); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(idx.NodeReads())/float64(b.N), "nodeReads/op")
+		})
+	}
+}
+
+// BenchmarkP2Insert measures insertion cost into the two structures
+// (the build side of experiment P2's structural comparison).
+func BenchmarkP2Insert(b *testing.B) {
+	wl := benchWorkload(b, 0.5)
+	b.Run("GR-tree", func(b *testing.B) {
+		idx, err := experiments.NewGRTIndex(grtree.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := wl.Events
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := events[i%len(events)]
+			if !ev.Insert {
+				continue
+			}
+			// Payload uniqueness across laps keeps deletes out of play.
+			if err := idx.Insert(ev.Extent, uint64(i)<<20|ev.Payload, ev.Day); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RStar-MX", func(b *testing.B) {
+		idx, err := experiments.NewRSTIndex(rstar.DefaultConfig(), experiments.SubMax, chronon.FromDate(9999, 12, 31))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := wl.Events
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := events[i%len(events)]
+			if !ev.Insert {
+				continue
+			}
+			if err := idx.Insert(ev.Extent, uint64(i)<<20|ev.Payload, ev.Day); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP3Placement measures a search under the three sbspace placements
+// of Section 5.3 (experiment P3); the LO open counts appear in benchrunner.
+func BenchmarkP3Placement(b *testing.B) {
+	wl := benchWorkload(b, 0.5)
+	for _, pl := range []struct {
+		name string
+		p    nodestore.Placement
+	}{
+		{"single", nodestore.SingleLO},
+		{"subtree16", nodestore.PerSubtreeLO(16)},
+		{"pernode", nodestore.PerNodeLO},
+	} {
+		b.Run(pl.name, func(b *testing.B) {
+			idx, store, err := experiments.NewPlacedGRTIndex(pl.p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			for _, ev := range wl.Events {
+				if !ev.Insert {
+					continue
+				}
+				if err := idx.Insert(ev.Extent, grtree.Payload(ev.Payload), ev.Day); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := wl.Queries[i%len(wl.Queries)]
+				if _, err := idx.SearchAll(grtree.Predicate{Op: grtree.OpOverlaps, Query: q}, wl.EndCT); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP4Delete measures predicate deletion under the Section 5.5
+// policies (experiment P4).
+func BenchmarkP4Delete(b *testing.B) {
+	for _, pol := range []grtree.DeletePolicy{grtree.RestartOnCondense, grtree.RestartAlways, grtree.NoCondense} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := experiments.DefaultWorkload()
+			cfg.Tuples = 1000
+			cfg.Days = 100
+			wl := experiments.Generate(cfg)
+			tcfg := grtree.DefaultConfig()
+			tcfg.DeletePolicy = pol
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				idx, err := experiments.NewGRTIndex(tcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := experiments.Replay(wl, idx); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				everything := temporal.Extent{
+					TTBegin: cfg.Start - 400, TTEnd: chronon.UC,
+					VTBegin: cfg.Start - 400, VTEnd: chronon.NOW,
+				}
+				if _, _, err := idx.Tree.DeleteWhere(grtree.Predicate{Op: grtree.OpOverlaps, Query: everything}, wl.EndCT); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP5Dispatch measures a full SQL query under hard-coded vs dynamic
+// strategy-function dispatch (experiment P5, Section 5.2).
+func BenchmarkP5Dispatch(b *testing.B) {
+	for _, mode := range []string{"hardcoded", "dynamic"} {
+		b.Run(mode, func(b *testing.B) {
+			clock := chronon.NewVirtualClock(chronon.MustParse("1/97"))
+			e, err := engine.Open(engine.Options{Clock: clock, NoWAL: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			if err := grtblade.Register(e); err != nil {
+				b.Fatal(err)
+			}
+			s := e.NewSession()
+			defer s.Close()
+			if _, err := s.ExecScript(`CREATE SBSPACE spc; CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Exec(fmt.Sprintf(`CREATE INDEX ix ON T(X) USING grtree_am (dispatch='%s') IN spc`, mode)); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 800; i++ {
+				clock.Advance(1)
+				day := clock.Now()
+				if _, err := s.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%s, UC, %s, NOW')`,
+					i, day.String(), (day - 30).String())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q := fmt.Sprintf(`SELECT COUNT(*) FROM T WHERE Overlaps(X, '%s, UC, %s, NOW')`,
+				clock.Now().String(), (clock.Now() - 10).String())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBulkLoad compares sort-tile-recursive packing against one-at-a-
+// time insertion (Section 5.5's vacuuming rebuild).
+func BenchmarkBulkLoad(b *testing.B) {
+	cfg := experiments.DefaultWorkload()
+	cfg.Tuples = 2000
+	cfg.Days = 200
+	wl := experiments.Generate(cfg)
+	var items []grtree.BulkItem
+	for p, e := range wl.Final {
+		items = append(items, grtree.BulkItem{Extent: e, Payload: grtree.Payload(p)})
+	}
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := grtree.Create(nodestore.NewMem(), grtree.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tr.BulkLoad(items, wl.EndCT); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := grtree.Create(nodestore.NewMem(), grtree.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, it := range items {
+				if err := tr.Insert(it.Extent, it.Payload, wl.EndCT); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkEngineSQL measures end-to-end SQL statement throughput through
+// the whole stack (parser, planner, purpose functions, heap, WAL).
+func BenchmarkEngineSQL(b *testing.B) {
+	clock := chronon.NewVirtualClock(chronon.MustParse("1/97"))
+	e, err := engine.Open(engine.Options{Clock: clock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if err := grtblade.Register(e); err != nil {
+		b.Fatal(err)
+	}
+	s := e.NewSession()
+	defer s.Close()
+	if _, err := s.ExecScript(`CREATE SBSPACE spc;
+		CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t);
+		CREATE INDEX ix ON T(X) USING grtree_am IN spc`); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clock.Advance(1)
+			day := clock.Now()
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%s, UC, %s, NOW')`,
+				i, day.String(), (day - 10).String())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("select", func(b *testing.B) {
+		day := clock.Now()
+		q := fmt.Sprintf(`SELECT COUNT(*) FROM T WHERE Overlaps(X, '%s, %s, %s, %s')`,
+			day-5, day-1, day-5, day-1)
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

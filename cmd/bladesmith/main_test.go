@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSpec = `
+# a demo opaque type
+type Interval_t
+library usr/functions/interval.bld
+field Begin int64
+field End   int64
+strategy IOverlaps IEqual
+support  ISize
+`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TypeName != "Interval_t" || spec.Library != "usr/functions/interval.bld" {
+		t.Fatalf("%+v", spec)
+	}
+	if len(spec.Fields) != 2 || spec.Fields[0] != [2]string{"Begin", "int64"} {
+		t.Fatalf("fields: %v", spec.Fields)
+	}
+	if len(spec.Strategies) != 2 || len(spec.Support) != 1 {
+		t.Fatalf("%+v", spec)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		``,                                     // no type
+		`type X`,                               // no fields
+		`type X` + "\n" + `field a`,            // malformed field
+		`type X` + "\n" + `field a complex128`, // bad field type
+		`nonsense directive`,
+		`type`, // missing name
+	} {
+		if _, err := ParseSpec(strings.NewReader(bad)); err == nil {
+			t.Errorf("spec %q must fail", bad)
+		}
+	}
+}
+
+func TestGenerateGo(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := GenerateGo(spec)
+	for _, want := range []string{
+		"type Interval_t struct",
+		"Begin int64",
+		"const Interval_tSize = 16",
+		"func EncodeInterval_t",
+		"types.SupportFuncs",
+		"TODO",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated Go missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateSQL(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := GenerateSQL(spec)
+	for _, want := range []string{
+		"CREATE FUNCTION IOverlaps(Interval_t, Interval_t) RETURNING boolean",
+		"EXTERNAL NAME 'usr/functions/interval.bld(IOverlaps)'",
+		"CREATE FUNCTION ISize(Interval_t) RETURNING float",
+		"CREATE OPCLASS interval_t_opclass FOR your_am STRATEGIES(IOverlaps, IEqual) SUPPORT(ISize);",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("generated SQL missing %q:\n%s", want, sql)
+		}
+	}
+}

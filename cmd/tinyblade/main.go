@@ -1,0 +1,146 @@
+// Command tinyblade is the interactive SQL shell of the engine, with the
+// GR-tree and R*-tree DataBlades registered — the environment in which the
+// paper's examples run verbatim:
+//
+//	CREATE SBSPACE spc;
+//	CREATE TABLE Employees (Name VARCHAR(32), Time_Extent GRT_TimeExtent_t);
+//	CREATE INDEX grt_index ON Employees(Time_Extent grt_opclass) USING grtree_am IN spc;
+//	SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '12/10/95, UC, 12/10/95, NOW');
+//
+// Because now-relative data grows with the current time, the shell exposes
+// the virtual clock through meta commands:
+//
+//	.clock            print the current time
+//	.clock 3/98       set the current time
+//	.advance 30       advance the clock by 30 days
+//	.quit             exit
+//
+// Flags: -dir <path> opens a persistent database (default: in-memory);
+// -clock <date> sets the starting current time.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/blades/grtblade"
+	"repro/internal/blades/rstblade"
+	"repro/internal/chronon"
+	"repro/internal/engine"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "", "database directory (empty = in-memory)")
+		start = flag.String("clock", "", "starting current time (default: today)")
+	)
+	flag.Parse()
+
+	now := chronon.SystemClock{}.Now()
+	if *start != "" {
+		t, err := chronon.Parse(*start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tinyblade:", err)
+			os.Exit(1)
+		}
+		now = t
+	}
+	clock := chronon.NewVirtualClock(now)
+	e, err := engine.Open(engine.Options{Dir: *dir, Clock: clock, Types: grtblade.RegisterTypes})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tinyblade:", err)
+		os.Exit(1)
+	}
+	defer e.Close()
+	if err := grtblade.Register(e); err != nil {
+		fmt.Fprintln(os.Stderr, "tinyblade:", err)
+		os.Exit(1)
+	}
+	if err := rstblade.Register(e); err != nil {
+		fmt.Fprintln(os.Stderr, "tinyblade:", err)
+		os.Exit(1)
+	}
+	s := e.NewSession()
+	defer s.Close()
+
+	fmt.Printf("tinyblade — GR-tree DataBlade shell (current time %v)\n", clock.Now())
+	fmt.Println(`type SQL terminated by ';', or ".help" for meta commands`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if meta(trimmed, clock) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			src := pending.String()
+			pending.Reset()
+			res, err := s.ExecScript(src)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(e.FormatResult(res))
+			}
+		}
+		prompt()
+	}
+}
+
+// meta handles dot-commands; it reports whether the shell should exit.
+func meta(cmd string, clock *chronon.VirtualClock) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".q", ".exit":
+		return true
+	case ".help":
+		fmt.Println(".clock [date] | .advance <days> | .quit")
+	case ".clock":
+		if len(fields) == 1 {
+			fmt.Println("current time:", clock.Now())
+			break
+		}
+		t, err := chronon.Parse(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		clock.Set(t)
+		fmt.Println("current time:", clock.Now())
+	case ".advance":
+		if len(fields) != 2 {
+			fmt.Println("usage: .advance <days>")
+			break
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		clock.Advance(n)
+		fmt.Println("current time:", clock.Now())
+	default:
+		fmt.Println("unknown meta command; .help lists them")
+	}
+	return false
+}

@@ -1,0 +1,335 @@
+// Package am is this engine's Virtual-Index Interface: the framework
+// through which developer-defined secondary access methods plug into the
+// server, mirroring the paper's Section 4 step by step.
+//
+//   - Purpose functions (Table 2) are Go functions with fixed signatures,
+//     registered by name in a "shared library" (the grtree.bld analogue),
+//     bound to SQL names with CREATE FUNCTION, and assembled into an access
+//     method with CREATE SECONDARY ACCESS_METHOD. Only am_getnext is
+//     mandatory.
+//   - Descriptors (index, scan, qualification) carry the information the
+//     purpose functions need; the server fills in most fields and passes
+//     them down (Section 4, Step 2).
+//   - Operator classes group the strategy functions (usable in WHERE
+//     clauses, making the optimizer consider the index) and support
+//     functions (internal maintenance) of an access method (Step 4).
+//   - Qualification descriptors are restricted to single-column predicates
+//     f(column, constant) / f(constant, column) / f(column) — the
+//     restriction that forced the one-column time-extent type (Section 5.1).
+package am
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chronon"
+	"repro/internal/heap"
+	"repro/internal/lock"
+	"repro/internal/mi"
+	"repro/internal/sbspace"
+	"repro/internal/types"
+)
+
+// Library is a loaded shared object: symbol name → Go function. A blade
+// package exports one; the engine loads it under the EXTERNAL NAME path
+// used in CREATE FUNCTION statements.
+type Library map[string]any
+
+// UDRFunc is the uniform signature of a user-defined routine callable from
+// SQL (strategy and support functions, casts, helpers).
+type UDRFunc func(ctx *mi.Context, args []types.Datum) (types.Datum, error)
+
+// Services is the server-side interface handed to purpose functions through
+// the index descriptor: sbspaces, the transaction, the clock, and the
+// "table associated with the access method" in which grt_create records the
+// index's large-object handle (Appendix A, steps 6/3).
+type Services interface {
+	// Space resolves an sbspace by name.
+	Space(name string) (*sbspace.Space, error)
+	// TxID returns the current transaction's lock owner id.
+	TxID() lock.TxID
+	// Isolation returns the transaction's isolation level.
+	Isolation() lock.IsolationLevel
+	// Clock returns the server clock (purpose functions resolve UC/NOW
+	// through it, per the Section 5.4 policy the blade implements).
+	Clock() chronon.Clock
+	// AMRecordPut stores a record in the access method's bookkeeping table.
+	AMRecordPut(amName, indexName string, data []byte) error
+	// AMRecordGet fetches a bookkeeping record.
+	AMRecordGet(amName, indexName string) ([]byte, bool, error)
+	// AMRecordDelete removes a bookkeeping record.
+	AMRecordDelete(amName, indexName string) error
+	// InvokeUDR dynamically resolves and calls a registered UDR by SQL name
+	// (how non-hard-coded strategy/support functions are executed).
+	InvokeUDR(name string, args []types.Datum) (types.Datum, error)
+}
+
+// IndexDesc is the index descriptor: per-open-index state passed to every
+// purpose function.
+type IndexDesc struct {
+	Name      string
+	TableName string
+	AmName    string
+	Columns   []string
+	ColTypes  []types.Type
+	ColIdxs   []int // positions of the indexed columns in the table row
+	OpClass   string
+	SpaceName string
+	Params    map[string]string
+	// ReadOnly tells the access method the statement will not mutate the
+	// index, so it may open its storage with a shared lock (Section 5.3).
+	ReadOnly bool
+
+	Ctx      *mi.Context
+	Services Services
+
+	// UserData is the blade's state for the open index (the Tree object of
+	// Appendix A lives here).
+	UserData any
+}
+
+// ScanDesc is the scan descriptor passed to the scan purpose functions.
+type ScanDesc struct {
+	Index *IndexDesc
+	Qual  *Qual
+	// UserData is the blade's cursor state (the Cursor object).
+	UserData any
+}
+
+// QualOp discriminates qualification nodes.
+type QualOp int
+
+const (
+	// QFunc is a single strategy-function predicate.
+	QFunc QualOp = iota
+	// QAnd is a conjunction.
+	QAnd
+	// QOr is a disjunction.
+	QOr
+)
+
+// Qual is a qualification descriptor: the relevant part of the WHERE clause
+// the server passes to the index interface. Leaves are single-column
+// predicates only (Section 5.1).
+type Qual struct {
+	Op       QualOp
+	Children []*Qual
+
+	// Leaf fields (QFunc):
+	Func     string      // strategy function SQL name (lower-cased)
+	ColIdx   int         // indexed-column ordinal within the index (0-based)
+	Const    types.Datum // the constant argument
+	ColFirst bool        // true for f(column, constant)
+}
+
+// NewFuncQual builds a leaf predicate.
+func NewFuncQual(fn string, colIdx int, c types.Datum, colFirst bool) *Qual {
+	return &Qual{Op: QFunc, Func: strings.ToLower(fn), ColIdx: colIdx, Const: c, ColFirst: colFirst}
+}
+
+// NewBoolQual builds an AND/OR node.
+func NewBoolQual(op QualOp, children ...*Qual) *Qual {
+	return &Qual{Op: op, Children: children}
+}
+
+// Leaves returns the function predicates in evaluation order (the "break a
+// complex qualification into simple ones" logic of Section 6.3).
+func (q *Qual) Leaves() []*Qual {
+	if q == nil {
+		return nil
+	}
+	if q.Op == QFunc {
+		return []*Qual{q}
+	}
+	var out []*Qual
+	for _, c := range q.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Evaluate computes the qualification over per-leaf truth values supplied
+// by eval.
+func (q *Qual) Evaluate(eval func(*Qual) (bool, error)) (bool, error) {
+	if q == nil {
+		return true, nil
+	}
+	switch q.Op {
+	case QFunc:
+		return eval(q)
+	case QAnd:
+		for _, c := range q.Children {
+			ok, err := c.Evaluate(eval)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case QOr:
+		for _, c := range q.Children {
+			ok, err := c.Evaluate(eval)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("am: bad qual op %d", q.Op)
+}
+
+func (q *Qual) String() string {
+	if q == nil {
+		return "<none>"
+	}
+	switch q.Op {
+	case QFunc:
+		if q.ColFirst {
+			return fmt.Sprintf("%s(col%d, const)", q.Func, q.ColIdx)
+		}
+		return fmt.Sprintf("%s(const, col%d)", q.Func, q.ColIdx)
+	case QAnd, QOr:
+		sep := " AND "
+		if q.Op == QOr {
+			sep = " OR "
+		}
+		parts := make([]string, len(q.Children))
+		for i, c := range q.Children {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, sep) + ")"
+	}
+	return "?"
+}
+
+// Purpose-function signatures (Table 2). RowID is the heap rowid; Row is
+// the indexed columns' values.
+type (
+	// AmIndexFunc is the signature of am_create/drop/open/close.
+	AmIndexFunc func(ctx *mi.Context, id *IndexDesc) error
+	// AmScanFunc is the signature of am_beginscan/endscan/rescan.
+	AmScanFunc func(ctx *mi.Context, sd *ScanDesc) error
+	// AmGetNextFunc returns the next qualifying rowid plus the indexed
+	// column values; ok=false ends the scan.
+	AmGetNextFunc func(ctx *mi.Context, sd *ScanDesc) (rid heap.RowID, row []types.Datum, ok bool, err error)
+	// AmMutateFunc is the signature of am_insert/am_delete.
+	AmMutateFunc func(ctx *mi.Context, id *IndexDesc, row []types.Datum, rid heap.RowID) error
+	// AmUpdateFunc is the signature of am_update.
+	AmUpdateFunc func(ctx *mi.Context, id *IndexDesc, oldRow []types.Datum, oldRid heap.RowID, newRow []types.Datum, newRid heap.RowID) error
+	// AmScanCostFunc estimates the I/O cost of an index scan.
+	AmScanCostFunc func(ctx *mi.Context, id *IndexDesc, q *Qual) (float64, error)
+	// AmStatsFunc refreshes/reports index statistics.
+	AmStatsFunc func(ctx *mi.Context, id *IndexDesc) (string, error)
+	// AmCheckFunc verifies index consistency.
+	AmCheckFunc func(ctx *mi.Context, id *IndexDesc) error
+)
+
+// PurposeSet is a resolved access method: each slot holds the purpose
+// function registered for it (nil when the access method omitted it). Only
+// GetNext is mandatory (Section 4, Step 2).
+type PurposeSet struct {
+	Create    AmIndexFunc
+	Drop      AmIndexFunc
+	Open      AmIndexFunc
+	Close     AmIndexFunc
+	BeginScan AmScanFunc
+	EndScan   AmScanFunc
+	Rescan    AmScanFunc
+	GetNext   AmGetNextFunc
+	Insert    AmMutateFunc
+	Delete    AmMutateFunc
+	Update    AmUpdateFunc
+	ScanCost  AmScanCostFunc
+	Stats     AmStatsFunc
+	Check     AmCheckFunc
+}
+
+// PurposeSlots are the am_* parameter names accepted by CREATE SECONDARY
+// ACCESS_METHOD, in Table 2 order.
+var PurposeSlots = []string{
+	"am_create", "am_drop", "am_open", "am_close",
+	"am_beginscan", "am_endscan", "am_rescan", "am_getnext",
+	"am_insert", "am_delete", "am_update",
+	"am_scancost", "am_stats", "am_check",
+}
+
+// Bind assembles a PurposeSet from slot-name → symbol assignments, looking
+// symbols up in resolve (which maps a registered function name to the Go
+// function behind it). It enforces that am_getnext is present and that each
+// symbol has the slot's signature.
+func Bind(slots map[string]string, resolve func(fname string) (any, error)) (*PurposeSet, error) {
+	ps := &PurposeSet{}
+	for slot, fname := range slots {
+		if strings.EqualFold(slot, "am_sptype") {
+			continue // storage-kind declaration ("S" = sbspace), not a function
+		}
+		sym, err := resolve(fname)
+		if err != nil {
+			return nil, fmt.Errorf("am: %s = %s: %w", slot, fname, err)
+		}
+		ok := true
+		switch strings.ToLower(slot) {
+		case "am_create":
+			ps.Create, ok = sym.(AmIndexFunc)
+		case "am_drop":
+			ps.Drop, ok = sym.(AmIndexFunc)
+		case "am_open":
+			ps.Open, ok = sym.(AmIndexFunc)
+		case "am_close":
+			ps.Close, ok = sym.(AmIndexFunc)
+		case "am_beginscan":
+			ps.BeginScan, ok = sym.(AmScanFunc)
+		case "am_endscan":
+			ps.EndScan, ok = sym.(AmScanFunc)
+		case "am_rescan":
+			ps.Rescan, ok = sym.(AmScanFunc)
+		case "am_getnext":
+			ps.GetNext, ok = sym.(AmGetNextFunc)
+		case "am_insert":
+			ps.Insert, ok = sym.(AmMutateFunc)
+		case "am_delete":
+			ps.Delete, ok = sym.(AmMutateFunc)
+		case "am_update":
+			ps.Update, ok = sym.(AmUpdateFunc)
+		case "am_scancost":
+			ps.ScanCost, ok = sym.(AmScanCostFunc)
+		case "am_stats":
+			ps.Stats, ok = sym.(AmStatsFunc)
+		case "am_check":
+			ps.Check, ok = sym.(AmCheckFunc)
+		default:
+			return nil, fmt.Errorf("am: unknown purpose slot %q", slot)
+		}
+		if !ok {
+			return nil, fmt.Errorf("am: %s = %s has the wrong signature (%T)", slot, fname, sym)
+		}
+	}
+	if ps.GetNext == nil {
+		return nil, fmt.Errorf("am: am_getnext is mandatory")
+	}
+	return ps, nil
+}
+
+// OpClass is an operator class (Step 4): the strategy functions that make
+// the optimizer consider the access method, and the support functions the
+// access method resolves internally.
+type OpClass struct {
+	Name       string
+	AmName     string
+	Strategies []string
+	Support    []string
+	Default    bool
+}
+
+// HasStrategy reports whether fn (SQL name) is a strategy function of the
+// class.
+func (oc *OpClass) HasStrategy(fn string) bool {
+	for _, s := range oc.Strategies {
+		if strings.EqualFold(s, fn) {
+			return true
+		}
+	}
+	return false
+}

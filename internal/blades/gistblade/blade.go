@@ -1,0 +1,514 @@
+// Package gistblade completes the paper's Section 7 proposal: "It is also
+// possible to implement such a generic access method as a DataBlade and use
+// specially designed operator classes to extend it." It registers one
+// access method, gist_am, whose behaviour is selected entirely by the
+// operator class named in CREATE INDEX: the opclass name resolves to a
+// registered gist.KeyClass, so adding a new tree-based index to the server
+// means writing a key class (four primitive operations) and an opclass —
+// no new purpose functions.
+//
+// Two operator classes ship: gist_interval_ops (one-dimensional intervals,
+// queried through IntvOverlaps/IntvContains UDRs on a small opaque
+// Interval_t type) and gist_grt_ops (the GR-tree's bitemporal regions,
+// queried through the Overlaps/Equal/Contains/ContainedIn strategy
+// functions grtblade registers — the same SQL surface, different engine
+// underneath).
+package gistblade
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/am"
+	"repro/internal/blades/grtblade"
+	"repro/internal/engine"
+	"repro/internal/gist"
+	"repro/internal/heap"
+	"repro/internal/mi"
+	"repro/internal/nodestore"
+	"repro/internal/sbspace"
+	"repro/internal/types"
+)
+
+// LibraryPath is the blade's shared-object path.
+const LibraryPath = "usr/functions/gist.bld"
+
+// AmName is the generic access method.
+const AmName = "gist_am"
+
+// IntervalTypeName is the demo opaque interval type.
+const IntervalTypeName = "Interval_t"
+
+// KeyBinding adapts one operator class to the generic method: it supplies
+// the key class and the translations between SQL values/qualifications and
+// GiST keys/queries.
+type KeyBinding struct {
+	// Class is the GiST key class.
+	Class gist.KeyClass
+	// KeyOf converts an indexed column value to a leaf key.
+	KeyOf func(d types.Datum) ([]byte, error)
+	// QueryOf converts one qualification leaf to a GiST query.
+	QueryOf func(fn string, colFirst bool, constant types.Datum) (gist.Query, error)
+}
+
+// bindings maps opclass name -> binding factory (per engine, so key classes
+// can capture the engine clock).
+var (
+	bindingsMu sync.Mutex
+	bindings   = map[string]func(e *engine.Engine) (*KeyBinding, error){}
+)
+
+// RegisterOpClassBinding makes an operator class available to gist_am.
+// Third parties extend the generic method by calling this plus CREATE
+// OPCLASS — the Section 7 extension story.
+func RegisterOpClassBinding(opclass string, mk func(e *engine.Engine) (*KeyBinding, error)) {
+	bindingsMu.Lock()
+	defer bindingsMu.Unlock()
+	bindings[strings.ToLower(opclass)] = mk
+}
+
+func bindingFor(e *engine.Engine, opclass string) (*KeyBinding, error) {
+	bindingsMu.Lock()
+	mk, ok := bindings[strings.ToLower(opclass)]
+	bindingsMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("gistblade: no key-class binding for operator class %q", opclass)
+	}
+	return mk(e)
+}
+
+// RegistrationSQL registers the blade's SQL objects.
+const RegistrationSQL = `
+CREATE FUNCTION gist_create(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_create)' LANGUAGE c;
+CREATE FUNCTION gist_drop(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_drop)' LANGUAGE c;
+CREATE FUNCTION gist_open(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_open)' LANGUAGE c;
+CREATE FUNCTION gist_close(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_close)' LANGUAGE c;
+CREATE FUNCTION gist_beginscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_beginscan)' LANGUAGE c;
+CREATE FUNCTION gist_endscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_endscan)' LANGUAGE c;
+CREATE FUNCTION gist_rescan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_rescan)' LANGUAGE c;
+CREATE FUNCTION gist_getnext(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_getnext)' LANGUAGE c;
+CREATE FUNCTION gist_insert(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_insert)' LANGUAGE c;
+CREATE FUNCTION gist_delete(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_delete)' LANGUAGE c;
+CREATE FUNCTION gist_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_update)' LANGUAGE c;
+CREATE FUNCTION gist_check(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_check)' LANGUAGE c;
+
+CREATE FUNCTION IntvOverlaps(Interval_t, Interval_t) RETURNING boolean EXTERNAL NAME 'usr/functions/gist.bld(IntvOverlaps)' LANGUAGE c;
+CREATE FUNCTION IntvContains(Interval_t, Interval_t) RETURNING boolean EXTERNAL NAME 'usr/functions/gist.bld(IntvContains)' LANGUAGE c;
+
+CREATE SECONDARY ACCESS_METHOD gist_am (
+	am_create = gist_create,
+	am_drop = gist_drop,
+	am_open = gist_open,
+	am_close = gist_close,
+	am_beginscan = gist_beginscan,
+	am_endscan = gist_endscan,
+	am_rescan = gist_rescan,
+	am_getnext = gist_getnext,
+	am_insert = gist_insert,
+	am_delete = gist_delete,
+	am_update = gist_update,
+	am_check = gist_check,
+	am_sptype = 'S'
+);
+
+CREATE OPCLASS gist_interval_ops FOR gist_am STRATEGIES(IntvOverlaps, IntvContains);
+CREATE OPCLASS gist_grt_ops FOR gist_am STRATEGIES(Overlaps, Equal, Contains, ContainedIn);
+`
+
+// Register installs the blade. grtblade must already be registered (the
+// gist_grt_ops opclass reuses its strategy UDRs and opaque type).
+func Register(e *engine.Engine) error {
+	if _, ok := e.Types().Lookup(grtblade.TypeName); !ok {
+		return fmt.Errorf("gistblade: register grtblade first")
+	}
+	if err := RegisterTypes(e.Types()); err != nil {
+		return err
+	}
+	e.LoadLibrary(LibraryPath, Library(e))
+	registerBuiltinBindings()
+	if _, err := e.Catalog().AmByName(AmName); err == nil {
+		return nil
+	}
+	s := e.NewSession()
+	defer s.Close()
+	if _, err := s.ExecScript(RegistrationSQL); err != nil {
+		return fmt.Errorf("gistblade: registration: %w", err)
+	}
+	return nil
+}
+
+// RegisterTypes registers the demo Interval_t opaque type ("lo..hi").
+func RegisterTypes(reg *types.Registry) error {
+	if _, ok := reg.Lookup(IntervalTypeName); ok {
+		return nil
+	}
+	_, err := reg.RegisterOpaque(IntervalTypeName, types.SupportFuncs{
+		Input: func(text string) ([]byte, error) {
+			var lo, hi int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(text), "%d..%d", &lo, &hi); err != nil {
+				return nil, fmt.Errorf("gistblade: interval literal is 'lo..hi', got %q", text)
+			}
+			if lo > hi {
+				return nil, fmt.Errorf("gistblade: reversed interval %q", text)
+			}
+			return gist.IntervalKey(lo, hi), nil
+		},
+		Output: func(data []byte) (string, error) {
+			if len(data) != 16 {
+				return "", fmt.Errorf("gistblade: bad interval value")
+			}
+			lo := int64(binary.BigEndian.Uint64(data[0:8]))
+			hi := int64(binary.BigEndian.Uint64(data[8:16]))
+			return fmt.Sprintf("%d..%d", lo, hi), nil
+		},
+	})
+	return err
+}
+
+func registerBuiltinBindings() {
+	RegisterOpClassBinding("gist_interval_ops", func(e *engine.Engine) (*KeyBinding, error) {
+		return &KeyBinding{
+			Class: gist.IntervalClass{},
+			KeyOf: func(d types.Datum) ([]byte, error) {
+				op, ok := d.(types.Opaque)
+				if !ok || len(op.Data) != 16 {
+					return nil, fmt.Errorf("gistblade: expected %s, got %T", IntervalTypeName, d)
+				}
+				return append([]byte(nil), op.Data...), nil
+			},
+			QueryOf: func(fn string, colFirst bool, c types.Datum) (gist.Query, error) {
+				op, ok := c.(types.Opaque)
+				if !ok || len(op.Data) != 16 {
+					return nil, fmt.Errorf("gistblade: interval query constant is %T", c)
+				}
+				lo := int64(binary.BigEndian.Uint64(op.Data[0:8]))
+				hi := int64(binary.BigEndian.Uint64(op.Data[8:16]))
+				switch strings.ToLower(fn) {
+				case "intvoverlaps":
+					return gist.IntervalOverlaps{Lo: lo, Hi: hi}, nil
+				case "intvcontains":
+					if colFirst {
+						return gist.IntervalContains{Lo: lo, Hi: hi}, nil
+					}
+					// Contains(const, col): columns inside the constant —
+					// a range query by containment: use overlap pruning
+					// with exact re-filter by the engine.
+					return gist.IntervalOverlaps{Lo: lo, Hi: hi}, nil
+				}
+				return nil, fmt.Errorf("gistblade: %q is not a gist_interval_ops strategy", fn)
+			},
+		}, nil
+	})
+	RegisterOpClassBinding("gist_grt_ops", func(e *engine.Engine) (*KeyBinding, error) {
+		kc := gist.NewGRKeyClass(e.Clock())
+		return &KeyBinding{
+			Class: kc,
+			KeyOf: func(d types.Datum) ([]byte, error) {
+				op, ok := d.(types.Opaque)
+				if !ok {
+					return nil, fmt.Errorf("gistblade: expected %s, got %T", grtblade.TypeName, d)
+				}
+				ext, err := grtblade.DecodeExtent(op.Data)
+				if err != nil {
+					return nil, err
+				}
+				if !ext.ValidAt(e.Clock().Now()) {
+					return nil, fmt.Errorf("gistblade: extent %v violates the transaction-time constraints", ext)
+				}
+				return gist.GRExtentKey(ext), nil
+			},
+			QueryOf: func(fn string, colFirst bool, c types.Datum) (gist.Query, error) {
+				op, ok := c.(types.Opaque)
+				if !ok {
+					return nil, fmt.Errorf("gistblade: extent query constant is %T", c)
+				}
+				ext, err := grtblade.DecodeExtent(op.Data)
+				if err != nil {
+					return nil, err
+				}
+				var gop gist.GROp
+				switch strings.ToLower(fn) {
+				case "overlaps":
+					gop = gist.GROverlaps
+				case "equal":
+					gop = gist.GREqual
+				case "contains":
+					gop = gist.GRContains
+					if !colFirst {
+						gop = gist.GRContainedIn
+					}
+				case "containedin":
+					gop = gist.GRContainedIn
+					if !colFirst {
+						gop = gist.GRContains
+					}
+				default:
+					return nil, fmt.Errorf("gistblade: %q is not a gist_grt_ops strategy", fn)
+				}
+				return gist.GRQuery{Op: gop, Q: ext}, nil
+			},
+		}, nil
+	})
+}
+
+// openState is the per-open-index blade state.
+type openState struct {
+	store      *nodestore.LOStore
+	tree       *gist.Tree
+	binding    *KeyBinding
+	rightAfter bool
+}
+
+func state(id *am.IndexDesc) (*openState, error) {
+	st, ok := id.UserData.(*openState)
+	if !ok || st == nil {
+		return nil, fmt.Errorf("gistblade: index %s is not open", id.Name)
+	}
+	return st, nil
+}
+
+// Library returns the blade's symbol table.
+func Library(e *engine.Engine) am.Library {
+	binding := func(id *am.IndexDesc) (*KeyBinding, error) { return bindingFor(e, id.OpClass) }
+	return am.Library{
+		"gist_create": am.AmIndexFunc(func(ctx *mi.Context, id *am.IndexDesc) error {
+			b, err := binding(id)
+			if err != nil {
+				return err
+			}
+			if len(id.ColTypes) != 1 {
+				return fmt.Errorf("gistblade: gist_am indexes exactly one column")
+			}
+			if id.SpaceName == "" {
+				return fmt.Errorf("gistblade: gist_am stores indexes in sbspaces; use IN <sbspace>")
+			}
+			space, err := id.Services.Space(id.SpaceName)
+			if err != nil {
+				return err
+			}
+			store, handle, err := nodestore.CreateLO(space, id.Services.TxID(), id.Services.Isolation(), nodestore.SingleLO)
+			if err != nil {
+				return err
+			}
+			tree, err := gist.Create(store, b.Class)
+			if err != nil {
+				return err
+			}
+			rec := make([]byte, sbspace.HandleSize)
+			handle.Encode(rec)
+			if err := id.Services.AMRecordPut(AmName, id.Name, rec); err != nil {
+				return err
+			}
+			id.UserData = &openState{store: store, tree: tree, binding: b, rightAfter: true}
+			return nil
+		}),
+		"gist_open": am.AmIndexFunc(func(ctx *mi.Context, id *am.IndexDesc) error {
+			if st, ok := id.UserData.(*openState); ok && st != nil && st.rightAfter {
+				st.rightAfter = false
+				return nil
+			}
+			b, err := binding(id)
+			if err != nil {
+				return err
+			}
+			rec, ok, err := id.Services.AMRecordGet(AmName, id.Name)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("gistblade: index %s has no access-method record", id.Name)
+			}
+			space, err := id.Services.Space(id.SpaceName)
+			if err != nil {
+				return err
+			}
+			mode := sbspace.ReadWrite
+			if id.ReadOnly {
+				mode = sbspace.ReadOnly
+			}
+			store, err := nodestore.OpenLO(space, id.Services.TxID(), id.Services.Isolation(), sbspace.DecodeHandle(rec), mode)
+			if err != nil {
+				return err
+			}
+			tree, err := gist.Open(store, b.Class)
+			if err != nil {
+				store.Close()
+				return err
+			}
+			id.UserData = &openState{store: store, tree: tree, binding: b}
+			return nil
+		}),
+		"gist_close": am.AmIndexFunc(func(ctx *mi.Context, id *am.IndexDesc) error {
+			st, err := state(id)
+			if err != nil {
+				return err
+			}
+			if err := st.store.Close(); err != nil {
+				return err
+			}
+			id.UserData = nil
+			return nil
+		}),
+		"gist_drop": am.AmIndexFunc(func(ctx *mi.Context, id *am.IndexDesc) error {
+			st, err := state(id)
+			if err != nil {
+				return err
+			}
+			if err := st.store.Drop(); err != nil {
+				return err
+			}
+			id.UserData = nil
+			return id.Services.AMRecordDelete(AmName, id.Name)
+		}),
+		"gist_beginscan": am.AmScanFunc(gistBeginScan),
+		"gist_endscan": am.AmScanFunc(func(ctx *mi.Context, sd *am.ScanDesc) error {
+			sd.UserData = nil
+			return nil
+		}),
+		"gist_rescan": am.AmScanFunc(func(ctx *mi.Context, sd *am.ScanDesc) error {
+			sc, ok := sd.UserData.(*scanState)
+			if !ok {
+				return fmt.Errorf("gistblade: rescan without a scan")
+			}
+			sc.pos = 0
+			return nil
+		}),
+		"gist_getnext": am.AmGetNextFunc(func(ctx *mi.Context, sd *am.ScanDesc) (heap.RowID, []types.Datum, bool, error) {
+			sc, ok := sd.UserData.(*scanState)
+			if !ok {
+				return 0, nil, false, fmt.Errorf("gistblade: getnext without beginscan")
+			}
+			if sc.pos >= len(sc.rows) {
+				return 0, nil, false, nil
+			}
+			rid := sc.rows[sc.pos]
+			sc.pos++
+			return rid, nil, true, nil
+		}),
+		"gist_insert": am.AmMutateFunc(func(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
+			st, err := state(id)
+			if err != nil {
+				return err
+			}
+			key, err := st.binding.KeyOf(row[0])
+			if err != nil {
+				return err
+			}
+			return st.tree.Insert(key, gist.Payload(rid))
+		}),
+		"gist_delete": am.AmMutateFunc(func(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
+			st, err := state(id)
+			if err != nil {
+				return err
+			}
+			key, err := st.binding.KeyOf(row[0])
+			if err != nil {
+				return err
+			}
+			removed, err := st.tree.Delete(key, gist.Payload(rid))
+			if err != nil {
+				return err
+			}
+			if !removed {
+				return fmt.Errorf("gistblade: index %s has no entry for row %v", id.Name, rid)
+			}
+			return nil
+		}),
+		"gist_update": am.AmUpdateFunc(func(ctx *mi.Context, id *am.IndexDesc, oldRow []types.Datum, oldRid heap.RowID, newRow []types.Datum, newRid heap.RowID) error {
+			st, err := state(id)
+			if err != nil {
+				return err
+			}
+			okey, err := st.binding.KeyOf(oldRow[0])
+			if err != nil {
+				return err
+			}
+			removed, err := st.tree.Delete(okey, gist.Payload(oldRid))
+			if err != nil {
+				return err
+			}
+			if !removed {
+				return fmt.Errorf("gistblade: update of missing entry %v", oldRid)
+			}
+			nkey, err := st.binding.KeyOf(newRow[0])
+			if err != nil {
+				return err
+			}
+			return st.tree.Insert(nkey, gist.Payload(newRid))
+		}),
+		"gist_check": am.AmCheckFunc(func(ctx *mi.Context, id *am.IndexDesc) error {
+			st, err := state(id)
+			if err != nil {
+				return err
+			}
+			return st.tree.Check()
+		}),
+
+		"IntvOverlaps": intervalUDR(func(a0, a1, b0, b1 int64) bool { return a0 <= b1 && b0 <= a1 }),
+		"IntvContains": intervalUDR(func(a0, a1, b0, b1 int64) bool { return a0 <= b0 && b1 <= a1 }),
+	}
+}
+
+type scanState struct {
+	rows []heap.RowID
+	pos  int
+}
+
+// gistBeginScan translates the qualification into GiST queries. Only
+// conjunctions and single leaves are pushed down (the candidate set is the
+// intersection-superset via the first leaf; the engine's WHERE re-filter
+// restores exactness); disjunctions run each branch and union.
+func gistBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
+	st, err := state(sd.Index)
+	if err != nil {
+		return err
+	}
+	if sd.Qual == nil {
+		return fmt.Errorf("gistblade: scan without qualification")
+	}
+	seen := map[heap.RowID]bool{}
+	var rows []heap.RowID
+	for _, leaf := range sd.Qual.Leaves() {
+		q, err := st.binding.QueryOf(leaf.Func, leaf.ColFirst, leaf.Const)
+		if err != nil {
+			return err
+		}
+		ps, err := st.tree.Search(q)
+		if err != nil {
+			return err
+		}
+		for _, p := range ps {
+			rid := heap.RowID(p)
+			if !seen[rid] {
+				seen[rid] = true
+				rows = append(rows, rid)
+			}
+		}
+		// For a pure conjunction the first leaf's candidates suffice.
+		if sd.Qual.Op == am.QAnd || sd.Qual.Op == am.QFunc {
+			break
+		}
+	}
+	sd.UserData = &scanState{rows: rows}
+	return nil
+}
+
+func intervalUDR(pred func(a0, a1, b0, b1 int64) bool) am.UDRFunc {
+	return func(ctx *mi.Context, args []types.Datum) (types.Datum, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("gistblade: interval strategy needs 2 arguments")
+		}
+		a, ok1 := args[0].(types.Opaque)
+		b, ok2 := args[1].(types.Opaque)
+		if !ok1 || !ok2 || len(a.Data) != 16 || len(b.Data) != 16 {
+			return nil, fmt.Errorf("gistblade: interval strategy arguments must be %s", IntervalTypeName)
+		}
+		a0 := int64(binary.BigEndian.Uint64(a.Data[0:8]))
+		a1 := int64(binary.BigEndian.Uint64(a.Data[8:16]))
+		b0 := int64(binary.BigEndian.Uint64(b.Data[0:8]))
+		b1 := int64(binary.BigEndian.Uint64(b.Data[8:16]))
+		return pred(a0, a1, b0, b1), nil
+	}
+}

@@ -1,0 +1,548 @@
+package grtblade
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/engine"
+	"repro/internal/temporal"
+	"repro/internal/types"
+)
+
+// newDB opens a memory engine with the blade registered and the paper's
+// current time (9/97).
+func newDB(t *testing.T) (*engine.Engine, *chronon.VirtualClock) {
+	t.Helper()
+	clock := chronon.NewVirtualClock(chronon.MustParse("9/97"))
+	e, err := engine.Open(engine.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	if err := Register(e); err != nil {
+		t.Fatal(err)
+	}
+	return e, clock
+}
+
+func exec(t *testing.T, s *engine.Session, sql string) *engine.Result {
+	t.Helper()
+	res, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", sql, err)
+	}
+	return res
+}
+
+// setupEmpDep creates the paper's EmpDep scenario: sbspace, table, GR-tree
+// index (per the Step 6 example), and the Table 1 tuples.
+func setupEmpDep(t *testing.T, s *engine.Session) {
+	t.Helper()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE Employees (Name VARCHAR(32), Department VARCHAR(32), Time_Extent GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX grt_index ON Employees(Time_Extent grt_opclass) USING grtree_am IN spc`)
+	for _, row := range [][3]string{
+		{"John", "Advertising", "4/97, UC, 3/97, 5/97"},
+		{"Tom", "Management", "3/97, 7/97, 6/97, 8/97"},
+		{"Jane", "Sales", "5/97, UC, 5/97, NOW"},
+		{"Julie", "Sales", "3/97, 7/97, 3/97, NOW"},
+		{"Julie2", "Sales", "8/97, UC, 3/97, 7/97"},
+		{"Michelle", "Management", "5/97, UC, 3/97, NOW"},
+	} {
+		exec(t, s, fmt.Sprintf(`INSERT INTO Employees VALUES ('%s', '%s', '%s')`, row[0], row[1], row[2]))
+	}
+}
+
+func names(res *engine.Result) []string {
+	var out []string
+	for _, row := range res.Rows {
+		out = append(out, row[0].(string))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPaperWorkflowEndToEnd(t *testing.T) {
+	_, _ = newDB(t)
+}
+
+func TestSampleQuerySection52(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	// The paper's sample query: everything overlapping the current-state
+	// stair from 12/10/95.
+	res := exec(t, s, `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '12/10/95, UC, 12/10/95, NOW')`)
+	got := names(res)
+	// All six regions lie in tt >= 3/97, vt >= 3/97 space; the query stair
+	// covers everything below v<=t from 1995 on — everything except ...
+	// Verify against the temporal algebra directly.
+	ct := chronon.MustParse("9/97")
+	q := temporal.MustParseExtent("12/10/95, UC, 12/10/95, NOW")
+	want := []string{}
+	for n, ext := range map[string]string{
+		"John":     "4/97, UC, 3/97, 5/97",
+		"Tom":      "3/97, 7/97, 6/97, 8/97",
+		"Jane":     "5/97, UC, 5/97, NOW",
+		"Julie":    "3/97, 7/97, 3/97, NOW",
+		"Julie2":   "8/97, UC, 3/97, 7/97",
+		"Michelle": "5/97, UC, 3/97, NOW",
+	} {
+		if temporal.MustParseExtent(ext).Region().Overlaps(q.Region(), ct) {
+			want = append(want, n)
+		}
+	}
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// The broad current-state stair overlaps every EmpDep region; a narrow
+	// query must discriminate.
+	narrow := names(exec(t, s, `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '6/97, 7/97, 6/97, 7/97')`))
+	if len(narrow) == 0 || len(narrow) == 6 {
+		t.Fatalf("narrow query should discriminate: %v", narrow)
+	}
+}
+
+// TestIndexAndSeqscanAgree: with and without the index the answers match
+// (the strategy UDR path vs the hard-coded purpose-function path).
+func TestIndexAndSeqscanAgree(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	queries := []string{
+		`SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '6/97, 7/97, 6/97, 7/97')`,
+		`SELECT Name FROM Employees WHERE Contains(Time_Extent, '6/97, 6/97, 4/97, 4/97')`,
+		`SELECT Name FROM Employees WHERE ContainedIn(Time_Extent, '1/97, UC, 1/97, NOW')`,
+		`SELECT Name FROM Employees WHERE Equal(Time_Extent, '3/97, 7/97, 6/97, 8/97')`,
+		`SELECT Name FROM Employees WHERE Overlaps('6/97, 7/97, 6/97, 7/97', Time_Extent)`,
+		`SELECT Name FROM Employees WHERE Contains('1/97, UC, 1/97, NOW', Time_Extent)`,
+		`SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '6/97, 7/97, 6/97, 7/97') AND Department = 'Sales'`,
+		`SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '4/97, 4/97, 4/97, 4/97') OR Equal(Time_Extent, '3/97, 7/97, 6/97, 8/97')`,
+	}
+	withIndex := make([][]string, len(queries))
+	for i, q := range queries {
+		withIndex[i] = names(exec(t, s, q))
+	}
+	exec(t, s, `DROP INDEX grt_index`)
+	for i, q := range queries {
+		noIndex := names(exec(t, s, q))
+		if strings.Join(noIndex, ",") != strings.Join(withIndex[i], ",") {
+			t.Fatalf("query %d: index %v vs seqscan %v", i, withIndex[i], noIndex)
+		}
+	}
+}
+
+// TestFigure6CallSequences verifies the purpose-function call protocol of
+// Figure 6 for INSERT and SELECT.
+func TestFigure6CallSequences(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	e.EnableCallTrace(true)
+	exec(t, s, `INSERT INTO Employees VALUES ('Ann', 'Sales', '9/97, UC, 9/97, NOW')`)
+	trace := e.TakeCallTrace()
+	wantInsert := []string{"am_open(grt_index)", "am_insert(grt_index)", "am_close(grt_index)"}
+	if strings.Join(trace, " ") != strings.Join(wantInsert, " ") {
+		t.Fatalf("INSERT trace: %v", trace)
+	}
+
+	exec(t, s, `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '9/97, UC, 9/97, NOW')`)
+	trace = e.TakeCallTrace()
+	joined := strings.Join(trace, " ")
+	if !strings.HasPrefix(joined, "am_open(grt_index) am_scancost(grt_index) am_beginscan(grt_index) am_getnext(grt_index)") {
+		t.Fatalf("SELECT trace prefix: %v", trace)
+	}
+	if !strings.HasSuffix(joined, "am_endscan(grt_index) am_close(grt_index)") {
+		t.Fatalf("SELECT trace suffix: %v", trace)
+	}
+	e.EnableCallTrace(false)
+}
+
+// TestLogicalDeletionAndUpdate follows Section 2's EmpDep narrative: an
+// update is a logical deletion plus an insertion.
+func TestLogicalDeletionAndUpdate(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	// Logical deletion of Tom: TTEnd UC -> 9/97 - 1... Tom is already
+	// closed; logically delete Jane instead (current tuple).
+	exec(t, s, `UPDATE Employees SET Time_Extent = '5/97, 8/31/97, 5/97, NOW' WHERE Name = 'Jane'`)
+	res := exec(t, s, `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '9/97, UC, 9/97, NOW')`)
+	for _, n := range names(res) {
+		if n == "Jane" {
+			t.Fatal("logically deleted Jane must not be current")
+		}
+	}
+	// Index stays consistent.
+	exec(t, s, `CHECK INDEX grt_index`)
+
+	// DELETE removes rows and index entries together.
+	res = exec(t, s, `DELETE FROM Employees WHERE Equal(Time_Extent, '3/97, 7/97, 6/97, 8/97')`)
+	if res.Affected != 1 {
+		t.Fatalf("deleted %d", res.Affected)
+	}
+	exec(t, s, `CHECK INDEX grt_index`)
+	res = exec(t, s, `SELECT COUNT(*) FROM Employees`)
+	if res.Rows[0][0].(int64) != 5 {
+		t.Fatalf("count %v", res.Rows[0][0])
+	}
+}
+
+// TestTimeTravelGrowth: now-relative tuples grow as the clock advances; a
+// future query region matches only later (through SQL).
+func TestTimeTravelGrowth(t *testing.T) {
+	e, clock := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	q := `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '1/98, 2/98, 1/98, 2/98')`
+	if got := names(exec(t, s, q)); len(got) != 0 {
+		t.Fatalf("future query matched now: %v", got)
+	}
+	clock.Set(chronon.MustParse("3/98"))
+	got := names(exec(t, s, q))
+	// Growing stairs (Jane, Michelle) and John's growing rectangle? John's
+	// VT tops at 5/97 < 1/98: no. Jane (5/97..) and Michelle stairs reach
+	// (1/98,1/98). Expect exactly Jane and Michelle.
+	if strings.Join(got, ",") != "Jane,Michelle" {
+		t.Fatalf("after clock advance: %v", got)
+	}
+	exec(t, s, `CHECK INDEX grt_index`)
+}
+
+// TestTransactionTimeStability (Section 5.4, P6): inside one transaction
+// the current time is fixed at first index use, so the same query returns
+// the same answer even after the clock advances mid-transaction.
+func TestTransactionTimeStability(t *testing.T) {
+	e, clock := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	q := `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '1/98, 2/98, 1/98, 2/98')`
+	exec(t, s, `BEGIN WORK`)
+	first := names(exec(t, s, q))
+	clock.Set(chronon.MustParse("6/98")) // time passes mid-transaction
+	second := names(exec(t, s, q))
+	exec(t, s, `COMMIT`)
+	if strings.Join(first, ",") != strings.Join(second, ",") {
+		t.Fatalf("per-transaction time must be stable: %v vs %v", first, second)
+	}
+	if len(first) != 0 {
+		t.Fatalf("at 9/97 the future query matches nothing: %v", first)
+	}
+	// A new transaction sees the new time.
+	third := names(exec(t, s, q))
+	if strings.Join(third, ",") != "Jane,Michelle" {
+		t.Fatalf("new transaction: %v", third)
+	}
+}
+
+// TestPerStatementTimePolicy: with timepolicy=statement each statement reads
+// the clock (the simpler Section 5.4 alternative).
+func TestPerStatementTimePolicy(t *testing.T) {
+	e, clock := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX ix ON T(X) USING grtree_am (timepolicy='statement') IN spc`)
+	exec(t, s, `INSERT INTO T VALUES ('5/97, UC, 5/97, NOW')`)
+
+	q := `SELECT COUNT(*) FROM T WHERE Overlaps(X, '1/98, 2/98, 1/98, 2/98')`
+	exec(t, s, `BEGIN WORK`)
+	r1 := exec(t, s, q).Rows[0][0].(int64)
+	clock.Set(chronon.MustParse("3/98"))
+	r2 := exec(t, s, q).Rows[0][0].(int64)
+	exec(t, s, `COMMIT`)
+	if r1 != 0 {
+		t.Fatalf("first statement at 9/97: %d", r1)
+	}
+	// NOTE: the UDR fallback consults named memory; under per-statement
+	// policy the index never pins it, so the second statement sees growth.
+	if r2 != 1 {
+		t.Fatalf("second statement at 3/98 must see the grown stair: %d", r2)
+	}
+}
+
+func TestRollbackRestoresHeapAndIndex(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	exec(t, s, `BEGIN WORK`)
+	exec(t, s, `INSERT INTO Employees VALUES ('Temp', 'Sales', '9/97, UC, 9/97, NOW')`)
+	res := exec(t, s, `SELECT COUNT(*) FROM Employees`)
+	if res.Rows[0][0].(int64) != 7 {
+		t.Fatalf("count in tx: %v", res.Rows[0][0])
+	}
+	exec(t, s, `ROLLBACK`)
+
+	res = exec(t, s, `SELECT COUNT(*) FROM Employees`)
+	if res.Rows[0][0].(int64) != 6 {
+		t.Fatalf("count after rollback: %v", res.Rows[0][0])
+	}
+	// The index was restored page-for-page: queries and am_check agree.
+	exec(t, s, `CHECK INDEX grt_index`)
+	res = exec(t, s, `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '9/97, UC, 9/97, NOW')`)
+	for _, n := range names(res) {
+		if n == "Temp" {
+			t.Fatal("rolled-back row visible through index")
+		}
+	}
+}
+
+func TestCreateIndexOnPopulatedTable(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`)
+	for i := 0; i < 50; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES (%d, '%d/97, UC, %d/97, NOW')`, i, i%9+1, i%9+1))
+	}
+	exec(t, s, `CREATE INDEX ix ON T(X) USING grtree_am IN spc`)
+	exec(t, s, `CHECK INDEX ix`)
+	res := exec(t, s, `SELECT COUNT(*) FROM T WHERE Overlaps(X, '1/97, UC, 1/97, NOW')`)
+	if res.Rows[0][0].(int64) != 50 {
+		t.Fatalf("count %v", res.Rows[0][0])
+	}
+	res = exec(t, s, `UPDATE STATISTICS FOR INDEX ix`)
+	if !strings.Contains(res.Message, "50 entries") {
+		t.Fatalf("stats message: %q", res.Message)
+	}
+}
+
+// TestCreateErrors exercises grt_create's validation steps (Table 5).
+func TestCreateErrors(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`)
+
+	// Step 2: wrong column type.
+	if _, err := s.Exec(`CREATE INDEX bad1 ON T(N) USING grtree_am IN spc`); err == nil {
+		t.Fatal("index on INTEGER must fail")
+	}
+	// Missing sbspace.
+	if _, err := s.Exec(`CREATE INDEX bad2 ON T(X) USING grtree_am`); err == nil {
+		t.Fatal("index without sbspace must fail")
+	}
+	// Step 4: duplicate index on the same column with the same parameters.
+	exec(t, s, `CREATE INDEX good ON T(X) USING grtree_am IN spc`)
+	if _, err := s.Exec(`CREATE INDEX dup ON T(X) USING grtree_am IN spc`); err == nil {
+		t.Fatal("duplicate index must fail")
+	}
+	// Different parameters are a different index.
+	exec(t, s, `CREATE INDEX other ON T(X) USING grtree_am (placement='pernode') IN spc`)
+	// Bad parameters.
+	for _, bad := range []string{
+		`CREATE INDEX b3 ON T(X) USING grtree_am (placement='weird') IN spc`,
+		`CREATE INDEX b4 ON T(X) USING grtree_am (timeparam='x') IN spc`,
+		`CREATE INDEX b5 ON T(X) USING grtree_am (deletepolicy='nope') IN spc`,
+		`CREATE INDEX b6 ON T(X) USING grtree_am (nonsense='1') IN spc`,
+	} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Fatalf("%s must fail", bad)
+		}
+	}
+	// Invalid extent literals are rejected by the Input support function.
+	if _, err := s.Exec(`INSERT INTO T VALUES (1, '7/97, 3/97, 1/97, 2/97')`); err == nil {
+		t.Fatal("reversed TT interval must fail")
+	}
+	if _, err := s.Exec(`INSERT INTO T VALUES (1, 'garbage')`); err == nil {
+		t.Fatal("garbage extent must fail")
+	}
+}
+
+// TestPlacements: all three Section 5.3 placements behave identically.
+func TestPlacements(t *testing.T) {
+	for _, placement := range []string{"single", "pernode", "subtree:8"} {
+		t.Run(placement, func(t *testing.T) {
+			e, _ := newDB(t)
+			s := e.NewSession()
+			defer s.Close()
+			exec(t, s, `CREATE SBSPACE spc`)
+			exec(t, s, `CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`)
+			exec(t, s, fmt.Sprintf(`CREATE INDEX ix ON T(X) USING grtree_am (placement='%s', maxentries=8) IN spc`, placement))
+			for i := 0; i < 60; i++ {
+				exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES (%d, '%d/97, UC, %d/97, NOW')`, i, i%9+1, i%9+1))
+			}
+			exec(t, s, `CHECK INDEX ix`)
+			res := exec(t, s, `SELECT COUNT(*) FROM T WHERE Overlaps(X, '5/97, 5/97, 5/97, 5/97')`)
+			want := exec(t, s, `SELECT COUNT(*) FROM T WHERE N >= 0 AND Overlaps(X, '5/97, 5/97, 5/97, 5/97')`)
+			if res.Rows[0][0] != want.Rows[0][0] {
+				t.Fatalf("placement answers diverge")
+			}
+			res = exec(t, s, `DELETE FROM T WHERE Overlaps(X, '1/97, UC, 1/97, NOW')`)
+			if res.Affected != 60 {
+				t.Fatalf("deleted %d", res.Affected)
+			}
+			exec(t, s, `CHECK INDEX ix`)
+		})
+	}
+}
+
+func TestSupportFunctionsFromSQL(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE T (X GRT_TimeExtent_t)`)
+	exec(t, s, `INSERT INTO T VALUES ('3/97, 7/97, 3/97, NOW')`)
+	// Support functions are registered UDRs, so they are visible from SQL
+	// even though the index hard-codes them (Section 5.2).
+	res := exec(t, s, `SELECT X FROM T WHERE GRT_Size(X) > 0`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("GRT_Size rows: %d", len(res.Rows))
+	}
+	res = exec(t, s, `SELECT X FROM T WHERE GRT_Inter(X, '4/97, 5/97, 4/97, 5/97') > 0`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("GRT_Inter rows: %d", len(res.Rows))
+	}
+}
+
+func TestTypeSupportRoundTrips(t *testing.T) {
+	sf := SupportFuncs()
+	text := "3/97, UC, 3/97, NOW"
+	internal, err := sf.Input(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sf.Output(internal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := temporal.MustParseExtent(text)
+	e2 := temporal.MustParseExtent(out)
+	if e1 != e2 {
+		t.Fatalf("text round trip: %q -> %q", text, out)
+	}
+	// Binary send/receive.
+	wire, err := sf.Send(internal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sf.Receive(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(internal) {
+		t.Fatal("wire round trip")
+	}
+	if _, err := sf.Receive([]byte("junk")); err == nil {
+		t.Fatal("bad wire must fail")
+	}
+	if _, err := sf.Input("6/97, UC, 9/97, NOW"); err == nil {
+		t.Fatal("invalid case must be rejected by Input")
+	}
+	// Import/export mirror the text forms.
+	if _, err := sf.Import(text); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := sf.Export(internal); err != nil || s != out {
+		t.Fatal("export must match output")
+	}
+	// Decode errors.
+	if _, err := DecodeExtent([]byte{1, 2}); err == nil {
+		t.Fatal("short extent must fail")
+	}
+}
+
+func TestPersistentDatabaseReopen(t *testing.T) {
+	dir := t.TempDir()
+	clock := chronon.NewVirtualClock(chronon.MustParse("9/97"))
+
+	e, err := engine.Open(engine.Options{Dir: dir, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(e); err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	setupEmpDep(t, s)
+	s.Close()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: catalog, heap, and the GR-tree index all come back. The type
+	// must be registered before the catalogued tables load; Register then
+	// re-installs only the Go artefacts (the SQL objects are catalogued).
+	e2, err := engine.Open(engine.Options{Dir: dir, Clock: clock, Types: RegisterTypes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if err := Register(e2); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e2.NewSession()
+	defer s2.Close()
+	res, err := s2.Exec(`SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '12/10/95, UC, 12/10/95, NOW')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("reopened database lost data")
+	}
+	if _, err := s2.Exec(`CHECK INDEX grt_index`); err != nil {
+		t.Fatalf("reopened index check: %v", err)
+	}
+}
+
+func TestDropIndexRemovesState(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+	exec(t, s, `DROP INDEX grt_index`)
+	// Recreating under the same definition works (the dup record is gone).
+	exec(t, s, `CREATE INDEX grt_index ON Employees(Time_Extent grt_opclass) USING grtree_am IN spc`)
+	exec(t, s, `CHECK INDEX grt_index`)
+}
+
+func TestQueryWithOpaqueLiteralComparisons(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+	// Mixed predicates: indexable extent predicate AND plain column filter.
+	res := exec(t, s, `SELECT Name, Department FROM Employees WHERE Overlaps(Time_Extent, '1/97, UC, 1/97, NOW') AND Department = 'Sales'`)
+	for _, row := range res.Rows {
+		if row[1].(string) != "Sales" {
+			t.Fatalf("residual filter failed: %v", row)
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no sales rows")
+	}
+	// SELECT * projection includes the opaque column, formatted.
+	res = exec(t, s, `SELECT * FROM Employees WHERE Equal(Time_Extent, '5/97, UC, 5/97, NOW')`)
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 3 {
+		t.Fatalf("star projection: %v", res.Rows)
+	}
+	op, ok := res.Rows[0][2].(types.Opaque)
+	if !ok {
+		t.Fatalf("opaque column type: %T", res.Rows[0][2])
+	}
+	ext, err := DecodeExtent(op.Data)
+	if err != nil || ext.VTEnd != chronon.NOW {
+		t.Fatalf("extent content: %v %v", ext, err)
+	}
+}

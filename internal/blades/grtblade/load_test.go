@@ -1,0 +1,73 @@
+package grtblade
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadCommand: the Informix LOAD command imports delimited text files,
+// routing opaque fields through the text-file import support function
+// (Section 6.3 item 3: "making it possible to use the command LOAD for
+// loading values of a new type from a text file to a table").
+func TestLoadCommand(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE Employees (Name VARCHAR(16), Department VARCHAR(16), Time_Extent GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX ix ON Employees(Time_Extent) USING grtree_am IN spc`)
+
+	file := filepath.Join(t.TempDir(), "empdep.unl")
+	data := "John|Advertising|4/97, UC, 3/97, 5/97\n" +
+		"Tom|Management|3/97, 7/97, 6/97, 8/97\n" +
+		"Jane|Sales|5/97, UC, 5/97, NOW\n" +
+		"\n" + // blank lines are skipped
+		"Ann||9/97, UC, 9/97, NOW\n" // empty field = NULL
+	if err := os.WriteFile(file, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := exec(t, s, `LOAD FROM '`+file+`' INSERT INTO Employees`)
+	if res.Affected != 4 {
+		t.Fatalf("loaded %d rows", res.Affected)
+	}
+	// Loaded rows are indexed.
+	exec(t, s, `CHECK INDEX ix`)
+	q := exec(t, s, `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '9/97, UC, 9/97, NOW')`)
+	found := map[string]bool{}
+	for _, row := range q.Rows {
+		found[row[0].(string)] = true
+	}
+	if !found["Jane"] || !found["Ann"] || found["Tom"] {
+		t.Fatalf("loaded query: %v", q.Rows)
+	}
+	// NULL department survived.
+	q = exec(t, s, `SELECT Department FROM Employees WHERE Name = 'Ann'`)
+	if q.Rows[0][0] != nil {
+		t.Fatalf("Ann's department: %v", q.Rows[0][0])
+	}
+
+	// A custom delimiter.
+	file2 := filepath.Join(t.TempDir(), "tab.unl")
+	if err := os.WriteFile(file2, []byte("Kim;Sales;8/97, UC, 8/97, NOW\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res = exec(t, s, `LOAD FROM '`+file2+`' DELIMITER ';' INSERT INTO Employees`)
+	if res.Affected != 1 {
+		t.Fatalf("delimiter load: %d", res.Affected)
+	}
+
+	// Errors: missing file, arity mismatch, bad opaque literal.
+	if _, err := s.Exec(`LOAD FROM '/no/such/file' INSERT INTO Employees`); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.unl")
+	os.WriteFile(bad, []byte("only|two\n"), 0o644)
+	if _, err := s.Exec(`LOAD FROM '` + bad + `' INSERT INTO Employees`); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	os.WriteFile(bad, []byte("X|Y|not an extent\n"), 0o644)
+	if _, err := s.Exec(`LOAD FROM '` + bad + `' INSERT INTO Employees`); err == nil {
+		t.Fatal("bad extent literal must fail")
+	}
+}

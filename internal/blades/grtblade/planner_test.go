@@ -1,0 +1,63 @@
+package grtblade
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlannerPicksMatchingIndex: with two GR-tree indexes on different
+// columns, the optimizer drives the scan through the index whose column the
+// strategy function names (Section 4's SYSAMS/opclass check), and maintains
+// both on mutation.
+func TestPlannerPicksMatchingIndex(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (N INTEGER, A GRT_TimeExtent_t, B GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX ix_a ON T(A) USING grtree_am IN spc`)
+	exec(t, s, `CREATE INDEX ix_b ON T(B) USING grtree_am IN spc`)
+	for i := 0; i < 20; i++ {
+		m := i%9 + 1
+		exec(t, s, `INSERT INTO T VALUES (`+itoa(i)+`, '`+mdy(m)+`/97, UC, `+mdy(m)+`/97, NOW', '`+mdy(m)+`/96, UC, `+mdy(m)+`/96, NOW')`)
+	}
+	e.EnableCallTrace(true)
+	exec(t, s, `SELECT N FROM T WHERE Overlaps(B, '1/96, 2/96, 1/96, 2/96')`)
+	trace := strings.Join(e.TakeCallTrace(), " ")
+	e.EnableCallTrace(false)
+	if !strings.Contains(trace, "am_beginscan(ix_b)") {
+		t.Fatalf("query on B must scan ix_b: %s", trace)
+	}
+	if strings.Contains(trace, "am_beginscan(ix_a)") {
+		t.Fatalf("query on B must not scan ix_a: %s", trace)
+	}
+	// Both indexes open (Figure 6 opens all table indexes per statement)
+	// but only ix_b scans.
+	if !strings.Contains(trace, "am_open(ix_a)") {
+		t.Fatalf("ix_a must still be opened for the statement: %s", trace)
+	}
+	// Mutations maintain both.
+	e.EnableCallTrace(true)
+	exec(t, s, `DELETE FROM T WHERE Overlaps(A, '1/97, UC, 1/97, NOW')`)
+	trace = strings.Join(e.TakeCallTrace(), " ")
+	e.EnableCallTrace(false)
+	if !strings.Contains(trace, "am_delete(ix_a)") || !strings.Contains(trace, "am_delete(ix_b)") {
+		t.Fatalf("delete must maintain both indexes: %s", trace)
+	}
+	exec(t, s, `CHECK INDEX ix_a`)
+	exec(t, s, `CHECK INDEX ix_b`)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func mdy(m int) string { return itoa(m) }

@@ -1,0 +1,534 @@
+package grtblade
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/am"
+	"repro/internal/chronon"
+	"repro/internal/engine"
+	"repro/internal/grtree"
+	"repro/internal/heap"
+	"repro/internal/mi"
+	"repro/internal/nodestore"
+	"repro/internal/sbspace"
+	"repro/internal/temporal"
+	"repro/internal/types"
+)
+
+// Library returns the blade's shared-library symbol table. The engine loads
+// it under LibraryPath; the registration SQL binds the symbols to SQL names.
+func Library(e *engine.Engine) am.Library {
+	return am.Library{
+		"grt_create":    am.AmIndexFunc(grtCreate),
+		"grt_drop":      am.AmIndexFunc(grtDrop),
+		"grt_open":      am.AmIndexFunc(grtOpen),
+		"grt_close":     am.AmIndexFunc(grtClose),
+		"grt_beginscan": am.AmScanFunc(grtBeginScan),
+		"grt_endscan":   am.AmScanFunc(grtEndScan),
+		"grt_rescan":    am.AmScanFunc(grtRescan),
+		"grt_getnext":   am.AmGetNextFunc(grtGetNext),
+		"grt_insert":    am.AmMutateFunc(grtInsert),
+		"grt_delete":    am.AmMutateFunc(grtDelete),
+		"grt_update":    am.AmUpdateFunc(grtUpdate),
+		"grt_scancost":  am.AmScanCostFunc(grtScanCost),
+		"grt_stats":     am.AmStatsFunc(grtStats),
+		"grt_check":     am.AmCheckFunc(grtCheck),
+
+		"Overlaps":    strategyUDR(e, grtree.OpOverlaps),
+		"Equal":       strategyUDR(e, grtree.OpEqual),
+		"Contains":    strategyUDR(e, grtree.OpContains),
+		"ContainedIn": strategyUDR(e, grtree.OpContainedIn),
+
+		"GRT_Union": unionUDR(e),
+		"GRT_Size":  sizeUDR(e),
+		"GRT_Inter": interUDR(e),
+	}
+}
+
+// dupKey builds the duplicate-index detection key of grt_create step 4.
+func dupKey(id *am.IndexDesc) string {
+	parts := []string{"dup", strings.ToLower(id.TableName), strings.ToLower(strings.Join(id.Columns, ","))}
+	for k, v := range id.Params {
+		parts = append(parts, strings.ToLower(k)+"="+strings.ToLower(v))
+	}
+	return strings.Join(parts, "|")
+}
+
+// grtCreate implements am_create (Table 5, grt_create).
+func grtCreate(ctx *mi.Context, id *am.IndexDesc) error {
+	// Steps 2–3: column types and operator class must suit grtree_am.
+	if err := validateColumns(id); err != nil {
+		return err
+	}
+	cfg, err := parseConfig(id.Params)
+	if err != nil {
+		return err
+	}
+	// Step 4: reject a duplicate index on the same columns with the same
+	// user-defined parameters.
+	if _, dup, err := id.Services.AMRecordGet(AmName, dupKey(id)); err != nil {
+		return err
+	} else if dup {
+		return fmt.Errorf("grtblade: an index using %s on %s(%s) with these parameters already exists",
+			AmName, id.TableName, strings.Join(id.Columns, ","))
+	}
+	// Step 5: create the BLOB the index is stored in.
+	if id.SpaceName == "" {
+		return fmt.Errorf("grtblade: grtree_am stores indexes in sbspaces; use CREATE INDEX ... IN <sbspace>")
+	}
+	space, err := id.Services.Space(id.SpaceName)
+	if err != nil {
+		return err
+	}
+	store, handle, err := nodestore.CreateLO(space, id.Services.TxID(), id.Services.Isolation(), cfg.placement)
+	if err != nil {
+		return err
+	}
+	// Step 1/7: create the Tree object over the open BLOB and keep it in td.
+	tree, err := grtree.Create(store, cfg.treeCfg)
+	if err != nil {
+		return err
+	}
+	// Step 6: record the index id and BLOB handle in the table associated
+	// with the access method.
+	if err := id.Services.AMRecordPut(AmName, id.Name, encodeAMRecord(handle)); err != nil {
+		return err
+	}
+	if err := id.Services.AMRecordPut(AmName, dupKey(id), []byte{1}); err != nil {
+		return err
+	}
+	ct := currentTime(ctx, id.Services, cfg.perStmtCT)
+	id.UserData = &openState{store: store, tree: tree, cfg: cfg, ct: ct, rightAfter: true}
+	ctx.Tracer().Tracef("grt", 1, "grt_create %s in %s (%v)", id.Name, id.SpaceName, handle)
+	return nil
+}
+
+// grtDrop implements am_drop (Table 5, grt_drop).
+func grtDrop(ctx *mi.Context, id *am.IndexDesc) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	// Step 2: drop the BLOB(s).
+	if err := st.store.Drop(); err != nil {
+		return err
+	}
+	// Step 3: delete the Tree object.
+	id.UserData = nil
+	// Step 4: delete the record from the access method's table.
+	if err := id.Services.AMRecordDelete(AmName, id.Name); err != nil {
+		return err
+	}
+	if err := id.Services.AMRecordDelete(AmName, dupKey(id)); err != nil {
+		return err
+	}
+	ctx.Tracer().Tracef("grt", 1, "grt_drop %s", id.Name)
+	return nil
+}
+
+// grtOpen implements am_open (Table 5, grt_open).
+func grtOpen(ctx *mi.Context, id *am.IndexDesc) error {
+	// Step 1: if invoked right after grt_create, the tree is already open.
+	if st, ok := id.UserData.(*openState); ok && st != nil && st.rightAfter {
+		st.rightAfter = false
+		return nil
+	}
+	cfg, err := parseConfig(id.Params)
+	if err != nil {
+		return err
+	}
+	// Step 3: get the BLOB handle from the access method's table.
+	rec, ok, err := id.Services.AMRecordGet(AmName, id.Name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("grtblade: index %s has no access-method record", id.Name)
+	}
+	handle, err := decodeAMRecord(rec)
+	if err != nil {
+		return err
+	}
+	space, err := id.Services.Space(id.SpaceName)
+	if err != nil {
+		return err
+	}
+	// Step 4: open the BLOB (shared lock for read-only statements,
+	// exclusive otherwise; Section 5.3's automatic LO-level locking).
+	mode := sbspace.ReadWrite
+	if id.ReadOnly {
+		mode = sbspace.ReadOnly
+	}
+	store, err := nodestore.OpenLO(space, id.Services.TxID(), id.Services.Isolation(), handle, mode)
+	if err != nil {
+		return err
+	}
+	// Step 2: create the Tree object and save its pointer in td.
+	tree, err := grtree.Open(store, cfg.treeCfg)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	ct := currentTime(ctx, id.Services, cfg.perStmtCT)
+	id.UserData = &openState{store: store, tree: tree, cfg: cfg, ct: ct}
+	return nil
+}
+
+// grtClose implements am_close (Table 5, grt_close).
+func grtClose(ctx *mi.Context, id *am.IndexDesc) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	st.cursor = nil
+	if err := st.store.Close(); err != nil {
+		return err
+	}
+	id.UserData = nil
+	return nil
+}
+
+// compileQual hard-codes the strategy-function resolution (Section 5.2's
+// chosen alternative): qualification leaves are mapped directly to tree
+// operators instead of dynamically invoking registered UDRs. Argument order
+// matters for the asymmetric predicates: Contains(const, column) is the
+// commutator ContainedIn(column, const).
+func compileQual(q *am.Qual) (*grtree.Compound, error) {
+	if q == nil {
+		return nil, fmt.Errorf("grtblade: scan without qualification (full scans go through the table)")
+	}
+	switch q.Op {
+	case am.QAnd, am.QOr:
+		kids := make([]*grtree.Compound, len(q.Children))
+		for i, c := range q.Children {
+			k, err := compileQual(c)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = k
+		}
+		if q.Op == am.QAnd {
+			return grtree.AndOf(kids...), nil
+		}
+		return grtree.OrOf(kids...), nil
+	case am.QFunc:
+		var op grtree.Op
+		switch strings.ToLower(q.Func) {
+		case "overlaps":
+			op = grtree.OpOverlaps
+		case "equal":
+			op = grtree.OpEqual
+		case "contains":
+			op = grtree.OpContains
+			if !q.ColFirst {
+				op = grtree.OpContainedIn
+			}
+		case "containedin":
+			op = grtree.OpContainedIn
+			if !q.ColFirst {
+				op = grtree.OpContains
+			}
+		default:
+			return nil, fmt.Errorf("grtblade: %q is not a grt_opclass strategy function", q.Func)
+		}
+		ext, err := extentArg(q.Const)
+		if err != nil {
+			return nil, err
+		}
+		return grtree.Leaf(grtree.Predicate{Op: op, Query: ext}), nil
+	}
+	return nil, fmt.Errorf("grtblade: bad qualification node")
+}
+
+// grtBeginScan implements am_beginscan (Table 5, grt_beginscan): it creates
+// the Cursor object storing the query predicate and tree-traversal
+// information.
+func grtBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
+	st, err := state(sd.Index)
+	if err != nil {
+		return err
+	}
+	compound, err := compileQual(sd.Qual)
+	if err != nil {
+		return err
+	}
+	if err := compound.Validate(); err != nil {
+		return err
+	}
+	var matcher grtree.Matcher = compound
+	if st.cfg.dynamic {
+		// Section 5.2's extensible alternative: leaf strategy functions are
+		// dynamically resolved and invoked as registered UDRs; only the
+		// internal-region functions stay hard-coded. Experiment P5 measures
+		// the overhead against the default.
+		matcher = &dynamicMatcher{
+			compound: compound, qual: sd.Qual, ctx: ctx,
+			svc: sd.Index.Services, typeID: sd.Index.ColTypes[0].OpaqueID,
+		}
+	}
+	cur := st.tree.SearchMatcher(matcher, st.ct)
+	st.cursor = cur
+	sd.UserData = cur
+	return nil
+}
+
+// dynamicMatcher evaluates leaf qualifications by invoking the registered
+// strategy UDRs (Overlaps, Equal, ...) per candidate entry.
+type dynamicMatcher struct {
+	compound *grtree.Compound
+	qual     *am.Qual
+	ctx      *mi.Context
+	svc      am.Services
+	typeID   uint32
+}
+
+// InternalMatch implements grtree.Matcher (hard-coded internal functions).
+func (m *dynamicMatcher) InternalMatch(bound temporal.Region, ct chronon.Instant) bool {
+	return m.compound.InternalMatch(bound, ct)
+}
+
+// LeafMatch implements grtree.Matcher through dynamic UDR invocation.
+func (m *dynamicMatcher) LeafMatch(r temporal.Region, ct chronon.Instant) bool {
+	ext := temporal.Extent{TTBegin: r.TTBegin, TTEnd: r.TTEnd, VTBegin: r.VTBegin, VTEnd: r.VTEnd}
+	colVal := types.Opaque{TypeID: m.typeID, Data: EncodeExtent(ext)}
+	ok, err := m.qual.Evaluate(func(l *am.Qual) (bool, error) {
+		args := []types.Datum{colVal, l.Const}
+		if !l.ColFirst {
+			args = []types.Datum{l.Const, colVal}
+		}
+		out, err := m.svc.InvokeUDR(l.Func, args)
+		if err != nil {
+			return false, err
+		}
+		b, okb := out.(bool)
+		if !okb {
+			return false, fmt.Errorf("grtblade: strategy %s returned %T", l.Func, out)
+		}
+		return b, nil
+	})
+	if err != nil {
+		m.ctx.Tracer().Tracef("grt", 1, "dynamic strategy dispatch failed: %v", err)
+		return false
+	}
+	return ok
+}
+
+// grtRescan implements am_rescan: reset the cursor.
+func grtRescan(ctx *mi.Context, sd *am.ScanDesc) error {
+	cur, ok := sd.UserData.(*grtree.Cursor)
+	if !ok {
+		return fmt.Errorf("grtblade: rescan without a cursor")
+	}
+	cur.Reset()
+	return nil
+}
+
+// grtGetNext implements am_getnext (Table 5, grt_getnext): fetch the next
+// qualifying entry, form the rowid and the indexed-column values.
+func grtGetNext(ctx *mi.Context, sd *am.ScanDesc) (heap.RowID, []types.Datum, bool, error) {
+	cur, ok := sd.UserData.(*grtree.Cursor)
+	if !ok {
+		return 0, nil, false, fmt.Errorf("grtblade: getnext without beginscan")
+	}
+	entry, ok2, err := cur.Next()
+	if err != nil || !ok2 {
+		return 0, nil, false, err
+	}
+	ext := temporal.Extent{
+		TTBegin: entry.Region.TTBegin, TTEnd: entry.Region.TTEnd,
+		VTBegin: entry.Region.VTBegin, VTEnd: entry.Region.VTEnd,
+	}
+	row := []types.Datum{types.Opaque{
+		TypeID: sd.Index.ColTypes[0].OpaqueID,
+		Data:   EncodeExtent(ext),
+	}}
+	return heap.RowID(entry.Payload()), row, true, nil
+}
+
+// grtEndScan implements am_endscan: delete the cursor.
+func grtEndScan(ctx *mi.Context, sd *am.ScanDesc) error {
+	if st, err := state(sd.Index); err == nil {
+		st.cursor = nil
+	}
+	sd.UserData = nil
+	return nil
+}
+
+// grtInsert implements am_insert (Table 5, grt_insert).
+func grtInsert(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	ext, err := extentArg(row[0])
+	if err != nil {
+		return err
+	}
+	if !ext.ValidAt(st.ct) {
+		return fmt.Errorf("grtblade: extent %v violates the transaction-time constraints at current time %v", ext, st.ct)
+	}
+	return st.tree.Insert(ext, grtree.Payload(rid), st.ct)
+}
+
+// grtDelete implements am_delete (Table 5, grt_delete): the entry is located
+// and removed; when the tree condenses, the live Cursor restarts (step 5 —
+// the Section 5.5 compromise is inside the tree's delete policy).
+func grtDelete(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	ext, err := extentArg(row[0])
+	if err != nil {
+		return err
+	}
+	removed, condensed, err := st.tree.Delete(ext, grtree.Payload(rid), st.ct)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return fmt.Errorf("grtblade: index %s has no entry for %v at %v", id.Name, ext, rid)
+	}
+	if condensed {
+		ctx.Tracer().Tracef("grt", 2, "grt_delete condensed the tree; cursor will restart")
+	}
+	return nil
+}
+
+// grtUpdate implements am_update (Table 5, grt_update): delete the old
+// entry, insert the new one.
+func grtUpdate(ctx *mi.Context, id *am.IndexDesc, oldRow []types.Datum, oldRid heap.RowID, newRow []types.Datum, newRid heap.RowID) error {
+	if err := grtDelete(ctx, id, oldRow, oldRid); err != nil {
+		return err
+	}
+	return grtInsert(ctx, id, newRow, newRid)
+}
+
+// grtScanCost implements am_scancost: a height-plus-leaf-fraction estimate
+// the optimizer compares with the heap page count.
+func grtScanCost(ctx *mi.Context, id *am.IndexDesc, q *am.Qual) (float64, error) {
+	st, err := state(id)
+	if err != nil {
+		return 0, err
+	}
+	leafNodes := float64(st.tree.Size())/float64(st.tree.Config().MaxEntries) + 1
+	return float64(st.tree.Height()) + 0.2*leafNodes, nil
+}
+
+// grtStats implements am_stats.
+func grtStats(ctx *mi.Context, id *am.IndexDesc) (string, error) {
+	st, err := state(id)
+	if err != nil {
+		return "", err
+	}
+	ts, err := st.tree.Stats(st.ct, 0, 0)
+	if err != nil {
+		return "", err
+	}
+	var overlap float64
+	for _, l := range ts.PerLevel {
+		overlap += l.Overlap
+	}
+	return fmt.Sprintf("index %s: %d entries, height %d, %d nodes, sibling overlap %.0f",
+		id.Name, ts.LeafEntries, ts.Height, ts.Nodes, overlap), nil
+}
+
+// grtCheck implements am_check.
+func grtCheck(ctx *mi.Context, id *am.IndexDesc) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	return st.tree.Check(st.ct)
+}
+
+// udrCurrentTime resolves UC/NOW for SQL-level strategy functions: inside a
+// transaction that already fixed its current time (Section 5.4) that value
+// is used; otherwise the clock is read.
+func udrCurrentTime(ctx *mi.Context, e *engine.Engine) chronon.Instant {
+	if v, ok := ctx.Named("grt_current_time"); ok {
+		return v.(chronon.Instant)
+	}
+	return e.Clock().Now()
+}
+
+// strategyUDR builds the SQL-callable strategy functions (Overlaps, Equal,
+// Contains, ContainedIn) used when a statement is processed without the
+// index.
+func strategyUDR(e *engine.Engine, op grtree.Op) am.UDRFunc {
+	return func(ctx *mi.Context, args []types.Datum) (types.Datum, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("grtblade: strategy function needs 2 arguments")
+		}
+		a, err := extentArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := extentArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		ct := udrCurrentTime(ctx, e)
+		pred := grtree.Predicate{Op: op, Query: b}
+		return pred.Match(a, ct), nil
+	}
+}
+
+// unionUDR is the support function GRT_Union: the minimum bounding region
+// of two extents, rendered as an extent (the Rectangle flag of a
+// growing-both bound is not expressible in the four timestamps; such a
+// bound reads back as its stair-shaped under-approximation, which is why
+// the index hard-codes its internal-region functions, Section 5.2).
+func unionUDR(e *engine.Engine) am.UDRFunc {
+	return func(ctx *mi.Context, args []types.Datum) (types.Datum, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("grtblade: GRT_Union needs 2 arguments")
+		}
+		a, err := extentArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := extentArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		ct := udrCurrentTime(ctx, e)
+		u := a.Region().Union(b.Region(), ct, temporal.DefaultBoundPolicy)
+		out := temporal.Extent{TTBegin: u.TTBegin, TTEnd: u.TTEnd, VTBegin: u.VTBegin, VTEnd: u.VTEnd}
+		ot, _ := e.Types().Lookup(TypeName)
+		return types.Opaque{TypeID: ot.ID, Data: EncodeExtent(out)}, nil
+	}
+}
+
+// sizeUDR is the support function GRT_Size: the extent's area now.
+func sizeUDR(e *engine.Engine) am.UDRFunc {
+	return func(ctx *mi.Context, args []types.Datum) (types.Datum, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("grtblade: GRT_Size needs 1 argument")
+		}
+		a, err := extentArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return a.Region().Area(udrCurrentTime(ctx, e)), nil
+	}
+}
+
+// interUDR is the support function GRT_Inter: intersection area now.
+func interUDR(e *engine.Engine) am.UDRFunc {
+	return func(ctx *mi.Context, args []types.Datum) (types.Datum, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("grtblade: GRT_Inter needs 2 arguments")
+		}
+		a, err := extentArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := extentArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return a.Region().IntersectionArea(b.Region(), udrCurrentTime(ctx, e)), nil
+	}
+}

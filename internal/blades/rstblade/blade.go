@@ -1,0 +1,531 @@
+// Package rstblade is the baseline access-method DataBlade: an R*-tree
+// (the index the GR-tree is derived from, and Informix's built-in spatial
+// access method) indexing bitemporal time extents through ground-value
+// substitution for the variables UC and NOW:
+//
+//   - nowsub='max' (the "maximum-timestamp" approach): UC and NOW map to a
+//     timestamp larger than any real one, so growing regions are bounded by
+//     enormous rectangles — correct answers, but heavy overlap and dead
+//     space (experiments P1/P2 measure the cost against the GR-tree);
+//   - nowsub='asof': UC and NOW resolve to the insertion-time current time,
+//     freezing the region — small rectangles, but queries issued later miss
+//     grown tuples (the recall loss P1 quantifies), unless the index is
+//     periodically rebuilt.
+//
+// Unlike the GR-tree blade, this blade resolves its strategy functions
+// dynamically through the UDR registry (the extensible alternative of
+// Section 5.2); it reuses the Overlaps/Equal/Contains/ContainedIn UDRs that
+// grtblade registers, so grtblade must be registered first.
+package rstblade
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/am"
+	"repro/internal/blades/grtblade"
+	"repro/internal/chronon"
+	"repro/internal/engine"
+	"repro/internal/heap"
+	"repro/internal/mi"
+	"repro/internal/nodestore"
+	"repro/internal/rstar"
+	"repro/internal/sbspace"
+	"repro/internal/temporal"
+	"repro/internal/types"
+)
+
+// LibraryPath is the "shared object" path of this blade.
+const LibraryPath = "usr/functions/rstree.bld"
+
+// AmName is the registered access method.
+const AmName = "rstree_am"
+
+// DefaultMaxTimestamp is the "maximum timestamp" ground substitute for UC
+// and NOW: 9999-12-31 at day granularity.
+var DefaultMaxTimestamp = chronon.FromDate(9999, 12, 31)
+
+// RegistrationSQL registers the blade's SQL objects. The strategy functions
+// are the ones grtblade registered — adding support for an existing data
+// type to a new access method reuses the same function names (Section 4).
+const RegistrationSQL = `
+CREATE FUNCTION rst_create(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_create)' LANGUAGE c;
+CREATE FUNCTION rst_drop(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_drop)' LANGUAGE c;
+CREATE FUNCTION rst_open(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_open)' LANGUAGE c;
+CREATE FUNCTION rst_close(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_close)' LANGUAGE c;
+CREATE FUNCTION rst_beginscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_beginscan)' LANGUAGE c;
+CREATE FUNCTION rst_endscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_endscan)' LANGUAGE c;
+CREATE FUNCTION rst_rescan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_rescan)' LANGUAGE c;
+CREATE FUNCTION rst_getnext(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_getnext)' LANGUAGE c;
+CREATE FUNCTION rst_insert(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_insert)' LANGUAGE c;
+CREATE FUNCTION rst_delete(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_delete)' LANGUAGE c;
+CREATE FUNCTION rst_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_update)' LANGUAGE c;
+CREATE FUNCTION rst_scancost(pointer) RETURNING float EXTERNAL NAME 'usr/functions/rstree.bld(rst_scancost)' LANGUAGE c;
+CREATE FUNCTION rst_stats(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_stats)' LANGUAGE c;
+CREATE FUNCTION rst_check(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_check)' LANGUAGE c;
+
+CREATE SECONDARY ACCESS_METHOD rstree_am (
+	am_create = rst_create,
+	am_drop = rst_drop,
+	am_open = rst_open,
+	am_close = rst_close,
+	am_beginscan = rst_beginscan,
+	am_endscan = rst_endscan,
+	am_rescan = rst_rescan,
+	am_getnext = rst_getnext,
+	am_insert = rst_insert,
+	am_delete = rst_delete,
+	am_update = rst_update,
+	am_scancost = rst_scancost,
+	am_stats = rst_stats,
+	am_check = rst_check,
+	am_sptype = 'S'
+);
+
+CREATE OPCLASS rst_opclass FOR rstree_am
+	STRATEGIES(Overlaps, Equal, Contains, ContainedIn)
+	SUPPORT(GRT_Union, GRT_Size, GRT_Inter);
+`
+
+// Register installs the blade. grtblade must already be registered (it owns
+// the opaque type and the strategy UDRs).
+func Register(e *engine.Engine) error {
+	if _, ok := e.Types().Lookup(grtblade.TypeName); !ok {
+		return fmt.Errorf("rstblade: register grtblade first (%s missing)", grtblade.TypeName)
+	}
+	e.LoadLibrary(LibraryPath, Library())
+	if _, err := e.Catalog().AmByName(AmName); err == nil {
+		return nil
+	}
+	s := e.NewSession()
+	defer s.Close()
+	if _, err := s.ExecScript(RegistrationSQL); err != nil {
+		return fmt.Errorf("rstblade: registration: %w", err)
+	}
+	return nil
+}
+
+// NowSub is the UC/NOW substitution policy.
+type NowSub int
+
+const (
+	// SubMax maps UC and NOW to the maximum timestamp.
+	SubMax NowSub = iota
+	// SubAsOf resolves UC and NOW at the insertion-time current time.
+	SubAsOf
+)
+
+type config struct {
+	placement nodestore.Placement
+	treeCfg   rstar.Config
+	sub       NowSub
+	maxTS     chronon.Instant
+}
+
+func parseConfig(params map[string]string) (config, error) {
+	cfg := config{placement: nodestore.SingleLO, treeCfg: rstar.DefaultConfig(), maxTS: DefaultMaxTimestamp}
+	for k, v := range params {
+		switch strings.ToLower(k) {
+		case "nowsub":
+			switch strings.ToLower(v) {
+			case "max":
+				cfg.sub = SubMax
+			case "asof":
+				cfg.sub = SubAsOf
+			default:
+				return cfg, fmt.Errorf("rstblade: bad nowsub %q", v)
+			}
+		case "maxts":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("rstblade: bad maxts %q", v)
+			}
+			cfg.maxTS = chronon.Instant(n)
+		case "maxentries":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 4 {
+				return cfg, fmt.Errorf("rstblade: bad maxentries %q", v)
+			}
+			cfg.treeCfg.MaxEntries = n
+		case "placement":
+			switch {
+			case strings.EqualFold(v, "single"):
+				cfg.placement = nodestore.SingleLO
+			case strings.EqualFold(v, "pernode"):
+				cfg.placement = nodestore.PerNodeLO
+			default:
+				return cfg, fmt.Errorf("rstblade: bad placement %q", v)
+			}
+		default:
+			return cfg, fmt.Errorf("rstblade: unknown index parameter %q", k)
+		}
+	}
+	return cfg, nil
+}
+
+// MapExtent converts a time extent to the indexed rectangle under the
+// policy, as of ct.
+func MapExtent(e temporal.Extent, sub NowSub, maxTS, ct chronon.Instant) rstar.Rect {
+	tte := e.TTEnd
+	vte := e.VTEnd
+	switch sub {
+	case SubMax:
+		if tte == chronon.UC {
+			tte = maxTS
+		}
+		if vte == chronon.NOW {
+			vte = maxTS
+		}
+	case SubAsOf:
+		sh := e.Region().Resolve(ct).BoundingBox()
+		return rstar.Rect{XMin: sh.TTBegin, XMax: sh.TTEnd, YMin: sh.VTBegin, YMax: sh.VTEnd}
+	}
+	return rstar.Rect{XMin: int64(e.TTBegin), XMax: int64(tte), YMin: int64(e.VTBegin), YMax: int64(vte)}
+}
+
+type openState struct {
+	store *nodestore.LOStore
+	tree  *rstar.Tree
+	cfg   config
+	ct    chronon.Instant
+	// scan state
+	cursor *rstar.Cursor
+	// dynamic strategy dispatch (Section 5.2's extensible alternative):
+	// exact filtering happens through registered UDRs invoked per candidate.
+	qual   *am.Qual
+	typeID uint32
+
+	rightAfter bool
+}
+
+func state(id *am.IndexDesc) (*openState, error) {
+	st, ok := id.UserData.(*openState)
+	if !ok || st == nil {
+		return nil, fmt.Errorf("rstblade: index %s is not open", id.Name)
+	}
+	return st, nil
+}
+
+// Library returns the blade's symbol table.
+func Library() am.Library {
+	return am.Library{
+		"rst_create":    am.AmIndexFunc(rstCreate),
+		"rst_drop":      am.AmIndexFunc(rstDrop),
+		"rst_open":      am.AmIndexFunc(rstOpen),
+		"rst_close":     am.AmIndexFunc(rstClose),
+		"rst_beginscan": am.AmScanFunc(rstBeginScan),
+		"rst_endscan":   am.AmScanFunc(rstEndScan),
+		"rst_rescan":    am.AmScanFunc(rstRescan),
+		"rst_getnext":   am.AmGetNextFunc(rstGetNext),
+		"rst_insert":    am.AmMutateFunc(rstInsert),
+		"rst_delete":    am.AmMutateFunc(rstDelete),
+		"rst_update":    am.AmUpdateFunc(rstUpdate),
+		"rst_scancost":  am.AmScanCostFunc(rstScanCost),
+		"rst_stats":     am.AmStatsFunc(rstStats),
+		"rst_check":     am.AmCheckFunc(rstCheck),
+	}
+}
+
+func validateColumns(id *am.IndexDesc) error {
+	if len(id.ColTypes) != 1 {
+		return fmt.Errorf("rstblade: rstree_am indexes exactly one column")
+	}
+	if id.ColTypes[0].Kind != types.KOpaque || !strings.EqualFold(id.ColTypes[0].Name, grtblade.TypeName) {
+		return fmt.Errorf("rstblade: rstree_am cannot handle column type %v", id.ColTypes[0])
+	}
+	return nil
+}
+
+func rstCreate(ctx *mi.Context, id *am.IndexDesc) error {
+	if err := validateColumns(id); err != nil {
+		return err
+	}
+	cfg, err := parseConfig(id.Params)
+	if err != nil {
+		return err
+	}
+	if id.SpaceName == "" {
+		return fmt.Errorf("rstblade: rstree_am stores indexes in sbspaces; use CREATE INDEX ... IN <sbspace>")
+	}
+	space, err := id.Services.Space(id.SpaceName)
+	if err != nil {
+		return err
+	}
+	store, handle, err := nodestore.CreateLO(space, id.Services.TxID(), id.Services.Isolation(), cfg.placement)
+	if err != nil {
+		return err
+	}
+	tree, err := rstar.Create(store, cfg.treeCfg)
+	if err != nil {
+		return err
+	}
+	rec := make([]byte, sbspace.HandleSize)
+	handle.Encode(rec)
+	if err := id.Services.AMRecordPut(AmName, id.Name, rec); err != nil {
+		return err
+	}
+	id.UserData = &openState{
+		store: store, tree: tree, cfg: cfg,
+		ct: id.Services.Clock().Now(), typeID: id.ColTypes[0].OpaqueID, rightAfter: true,
+	}
+	return nil
+}
+
+func rstDrop(ctx *mi.Context, id *am.IndexDesc) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	if err := st.store.Drop(); err != nil {
+		return err
+	}
+	id.UserData = nil
+	return id.Services.AMRecordDelete(AmName, id.Name)
+}
+
+func rstOpen(ctx *mi.Context, id *am.IndexDesc) error {
+	if st, ok := id.UserData.(*openState); ok && st != nil && st.rightAfter {
+		st.rightAfter = false
+		return nil
+	}
+	cfg, err := parseConfig(id.Params)
+	if err != nil {
+		return err
+	}
+	rec, ok, err := id.Services.AMRecordGet(AmName, id.Name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("rstblade: index %s has no access-method record", id.Name)
+	}
+	space, err := id.Services.Space(id.SpaceName)
+	if err != nil {
+		return err
+	}
+	mode := sbspace.ReadWrite
+	if id.ReadOnly {
+		mode = sbspace.ReadOnly
+	}
+	store, err := nodestore.OpenLO(space, id.Services.TxID(), id.Services.Isolation(), sbspace.DecodeHandle(rec), mode)
+	if err != nil {
+		return err
+	}
+	tree, err := rstar.Open(store, cfg.treeCfg)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	id.UserData = &openState{
+		store: store, tree: tree, cfg: cfg,
+		ct: id.Services.Clock().Now(), typeID: id.ColTypes[0].OpaqueID,
+	}
+	return nil
+}
+
+func rstClose(ctx *mi.Context, id *am.IndexDesc) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	st.cursor = nil
+	if err := st.store.Close(); err != nil {
+		return err
+	}
+	id.UserData = nil
+	return nil
+}
+
+// queryRect maps a qualification's query extents to one conservative
+// rectangle: any strategy match implies region overlap, so rectangle
+// overlap with the union of the query rectangles is a sound index test.
+func (st *openState) queryRect(q *am.Qual) (rstar.Rect, error) {
+	leaves := q.Leaves()
+	if len(leaves) == 0 {
+		return rstar.Rect{}, fmt.Errorf("rstblade: empty qualification")
+	}
+	var out rstar.Rect
+	first := true
+	for _, l := range leaves {
+		ext, err := extentOf(l.Const)
+		if err != nil {
+			return rstar.Rect{}, err
+		}
+		r := MapExtent(ext, st.cfg.sub, st.cfg.maxTS, st.ct)
+		if st.cfg.sub == SubMax {
+			// Also cover the query's current resolution (ground queries over
+			// growing data and vice versa).
+			sh := ext.Region().Resolve(st.ct).BoundingBox()
+			r = r.Union(rstar.Rect{XMin: sh.TTBegin, XMax: sh.TTEnd, YMin: sh.VTBegin, YMax: sh.VTEnd})
+		}
+		if first {
+			out = r
+			first = false
+		} else {
+			out = out.Union(r)
+		}
+	}
+	return out, nil
+}
+
+func extentOf(d types.Datum) (temporal.Extent, error) {
+	op, ok := d.(types.Opaque)
+	if !ok {
+		return temporal.Extent{}, fmt.Errorf("rstblade: expected %s, got %T", grtblade.TypeName, d)
+	}
+	return grtblade.DecodeExtent(op.Data)
+}
+
+func rstBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
+	st, err := state(sd.Index)
+	if err != nil {
+		return err
+	}
+	if sd.Qual == nil {
+		return fmt.Errorf("rstblade: scan without qualification")
+	}
+	qr, err := st.queryRect(sd.Qual)
+	if err != nil {
+		return err
+	}
+	cur, err := st.tree.Search(rstar.OpOverlaps, qr)
+	if err != nil {
+		return err
+	}
+	st.cursor = cur
+	st.qual = sd.Qual
+	sd.UserData = cur
+	return nil
+}
+
+func rstRescan(ctx *mi.Context, sd *am.ScanDesc) error {
+	cur, ok := sd.UserData.(*rstar.Cursor)
+	if !ok {
+		return fmt.Errorf("rstblade: rescan without a cursor")
+	}
+	cur.Reset()
+	return nil
+}
+
+func rstEndScan(ctx *mi.Context, sd *am.ScanDesc) error {
+	if st, err := state(sd.Index); err == nil {
+		st.cursor = nil
+		st.qual = nil
+	}
+	sd.UserData = nil
+	return nil
+}
+
+// rstGetNext returns candidate rowids. Exactness: the engine re-evaluates
+// the full WHERE clause on the fetched row, invoking the registered
+// strategy UDRs — the dynamic-resolution path of Section 5.2, whose
+// overhead experiment P5 measures. The candidate set may include false
+// positives (SubMax) or miss grown tuples (SubAsOf); the latter is the
+// recall loss experiment P1 reports.
+func rstGetNext(ctx *mi.Context, sd *am.ScanDesc) (heap.RowID, []types.Datum, bool, error) {
+	cur, ok := sd.UserData.(*rstar.Cursor)
+	if !ok {
+		return 0, nil, false, fmt.Errorf("rstblade: getnext without beginscan")
+	}
+	entry, ok2, err := cur.Next()
+	if err != nil || !ok2 {
+		return 0, nil, false, err
+	}
+	return heap.RowID(entry.Payload()), nil, true, nil
+}
+
+func rstInsert(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	ext, err := extentOf(row[0])
+	if err != nil {
+		return err
+	}
+	if !ext.ValidAt(st.ct) {
+		return fmt.Errorf("rstblade: extent %v violates the transaction-time constraints at current time %v", ext, st.ct)
+	}
+	return st.tree.Insert(MapExtent(ext, st.cfg.sub, st.cfg.maxTS, st.ct), rstar.Payload(rid))
+}
+
+// rstDelete locates the entry by payload (the rectangle stored at insertion
+// time is not reconstructible under SubAsOf, so the blade scans the
+// conservative region for the payload).
+func rstDelete(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	ext, err := extentOf(row[0])
+	if err != nil {
+		return err
+	}
+	// Conservative search region: the max-substituted rectangle covers any
+	// historical resolution of the extent.
+	qr := MapExtent(ext, SubMax, st.cfg.maxTS, st.ct)
+	cur, err := st.tree.Search(rstar.OpOverlaps, qr)
+	if err != nil {
+		return err
+	}
+	for {
+		entry, ok, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("rstblade: index %s has no entry for row %v", id.Name, rid)
+		}
+		if entry.Payload() == rstar.Payload(rid) {
+			removed, _, err := st.tree.Delete(entry.Rect, entry.Payload())
+			if err != nil {
+				return err
+			}
+			if !removed {
+				return fmt.Errorf("rstblade: delete raced on row %v", rid)
+			}
+			return nil
+		}
+	}
+}
+
+func rstUpdate(ctx *mi.Context, id *am.IndexDesc, oldRow []types.Datum, oldRid heap.RowID, newRow []types.Datum, newRid heap.RowID) error {
+	if err := rstDelete(ctx, id, oldRow, oldRid); err != nil {
+		return err
+	}
+	return rstInsert(ctx, id, newRow, newRid)
+}
+
+func rstScanCost(ctx *mi.Context, id *am.IndexDesc, q *am.Qual) (float64, error) {
+	st, err := state(id)
+	if err != nil {
+		return 0, err
+	}
+	return float64(st.tree.Height()) + 0.2*(float64(st.tree.Size())/float64(rstar.Capacity)+1), nil
+}
+
+func rstStats(ctx *mi.Context, id *am.IndexDesc) (string, error) {
+	st, err := state(id)
+	if err != nil {
+		return "", err
+	}
+	levels, err := st.tree.Stats()
+	if err != nil {
+		return "", err
+	}
+	var overlap float64
+	for _, l := range levels {
+		overlap += l.Overlap
+	}
+	return fmt.Sprintf("index %s: %d entries, height %d, sibling overlap %.0f",
+		id.Name, st.tree.Size(), st.tree.Height(), overlap), nil
+}
+
+func rstCheck(ctx *mi.Context, id *am.IndexDesc) error {
+	st, err := state(id)
+	if err != nil {
+		return err
+	}
+	return st.tree.Check()
+}

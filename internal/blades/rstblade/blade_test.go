@@ -1,0 +1,200 @@
+package rstblade
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/blades/grtblade"
+	"repro/internal/chronon"
+	"repro/internal/engine"
+	"repro/internal/rstar"
+	"repro/internal/temporal"
+)
+
+func newDB(t *testing.T) (*engine.Engine, *chronon.VirtualClock) {
+	t.Helper()
+	clock := chronon.NewVirtualClock(chronon.MustParse("9/97"))
+	e, err := engine.Open(engine.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	if err := grtblade.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(e); err != nil {
+		t.Fatal(err)
+	}
+	return e, clock
+}
+
+func exec(t *testing.T, s *engine.Session, sql string) *engine.Result {
+	t.Helper()
+	res, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", sql, err)
+	}
+	return res
+}
+
+func names(res *engine.Result) string {
+	var out []string
+	for _, row := range res.Rows {
+		out = append(out, row[0].(string))
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+func TestRegisterRequiresGrtblade(t *testing.T) {
+	e, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := Register(e); err == nil {
+		t.Fatal("registration without grtblade must fail")
+	}
+}
+
+// TestMaxSubstitutionCorrectness: under nowsub='max' the answers match the
+// GR-tree's on every query (the index may overfetch; the residual filter
+// fixes exactness).
+func TestMaxSubstitutionCorrectness(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX rst_ix ON T(X rst_opclass) USING rstree_am (nowsub='max') IN spc`)
+	rows := [][2]string{
+		{"John", "4/97, UC, 3/97, 5/97"},
+		{"Tom", "3/97, 7/97, 6/97, 8/97"},
+		{"Jane", "5/97, UC, 5/97, NOW"},
+		{"Julie", "3/97, 7/97, 3/97, NOW"},
+		{"Michelle", "5/97, UC, 3/97, NOW"},
+	}
+	for _, r := range rows {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES ('%s', '%s')`, r[0], r[1]))
+	}
+	exec(t, s, `CHECK INDEX rst_ix`)
+
+	queries := []string{
+		`SELECT Name FROM T WHERE Overlaps(X, '6/97, 7/97, 6/97, 7/97')`,
+		`SELECT Name FROM T WHERE Overlaps(X, '12/10/95, UC, 12/10/95, NOW')`,
+		`SELECT Name FROM T WHERE Contains(X, '6/97, 6/97, 4/97, 4/97')`,
+		`SELECT Name FROM T WHERE ContainedIn(X, '1/97, UC, 1/97, NOW')`,
+		`SELECT Name FROM T WHERE Equal(X, '3/97, 7/97, 6/97, 8/97')`,
+	}
+	indexed := make([]string, len(queries))
+	for i, q := range queries {
+		indexed[i] = names(exec(t, s, q))
+	}
+	exec(t, s, `DROP INDEX rst_ix`)
+	for i, q := range queries {
+		if got := names(exec(t, s, q)); got != indexed[i] {
+			t.Fatalf("query %d: indexed %q vs seqscan %q", i, indexed[i], got)
+		}
+	}
+}
+
+// TestAsOfSubstitutionLosesGrowth demonstrates the recall loss of the
+// insertion-time substitution: after the clock advances, the frozen
+// rectangles miss queries the grown regions would satisfy.
+func TestAsOfSubstitutionLosesGrowth(t *testing.T) {
+	e, clock := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX ix ON T(X rst_opclass) USING rstree_am (nowsub='asof') IN spc`)
+	exec(t, s, `INSERT INTO T VALUES ('Jane', '5/97, UC, 5/97, NOW')`)
+
+	clock.Set(chronon.MustParse("6/98"))
+	q := `SELECT Name FROM T WHERE Overlaps(X, '1/98, 2/98, 1/98, 2/98')`
+	got := names(exec(t, s, q))
+	if got != "" {
+		t.Fatalf("asof index unexpectedly found the grown tuple: %q", got)
+	}
+	// The true answer (via sequential scan) includes Jane.
+	exec(t, s, `DROP INDEX ix`)
+	if got := names(exec(t, s, q)); got != "Jane" {
+		t.Fatalf("seqscan truth: %q", got)
+	}
+	// Rebuilding the index at the new time restores recall — the periodic
+	// rebuild the substitution baselines need.
+	exec(t, s, `CREATE INDEX ix ON T(X rst_opclass) USING rstree_am (nowsub='asof') IN spc`)
+	if got := names(exec(t, s, q)); got != "Jane" {
+		t.Fatalf("rebuilt asof index: %q", got)
+	}
+}
+
+func TestDeleteAndUpdateThroughBaseline(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX ix ON T(X rst_opclass) USING rstree_am (nowsub='asof') IN spc`)
+	for i := 0; i < 40; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES (%d, '%d/97, UC, %d/97, NOW')`, i, i%9+1, i%9+1))
+	}
+	exec(t, s, `CHECK INDEX ix`)
+	res := exec(t, s, `UPDATE T SET X = '1/97, 8/31/97, 1/97, NOW' WHERE Equal(X, '1/97, UC, 1/97, NOW')`)
+	if res.Affected == 0 {
+		t.Fatal("update matched nothing")
+	}
+	exec(t, s, `CHECK INDEX ix`)
+	res = exec(t, s, `DELETE FROM T WHERE Overlaps(X, '1/97, UC, 1/97, NOW')`)
+	if res.Affected != 40 {
+		t.Fatalf("deleted %d", res.Affected)
+	}
+	exec(t, s, `CHECK INDEX ix`)
+	res = exec(t, s, `SELECT COUNT(*) FROM T`)
+	if res.Rows[0][0].(int64) != 0 {
+		t.Fatalf("count %v", res.Rows[0][0])
+	}
+}
+
+func TestMapExtent(t *testing.T) {
+	ct := chronon.MustParse("9/97")
+	maxTS := DefaultMaxTimestamp
+	grow := temporal.MustParseExtent("5/97, UC, 5/97, NOW")
+	r := MapExtent(grow, SubMax, maxTS, ct)
+	if r.XMax != int64(maxTS) || r.YMax != int64(maxTS) {
+		t.Fatalf("max substitution: %v", r)
+	}
+	r = MapExtent(grow, SubAsOf, maxTS, ct)
+	if r.XMax != int64(ct) || r.YMax != int64(ct) {
+		t.Fatalf("asof substitution: %v", r)
+	}
+	static := temporal.MustParseExtent("3/97, 7/97, 6/97, 8/97")
+	r1 := MapExtent(static, SubMax, maxTS, ct)
+	r2 := MapExtent(static, SubAsOf, maxTS, ct)
+	if r1 != r2 {
+		t.Fatalf("ground extents map identically: %v vs %v", r1, r2)
+	}
+	if r1 == (rstar.Rect{}) {
+		t.Fatal("empty mapping")
+	}
+}
+
+func TestBadParameters(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`)
+	for _, bad := range []string{
+		`CREATE INDEX b1 ON T(X rst_opclass) USING rstree_am (nowsub='weird') IN spc`,
+		`CREATE INDEX b2 ON T(X rst_opclass) USING rstree_am (maxts='zzz') IN spc`,
+		`CREATE INDEX b3 ON T(N rst_opclass) USING rstree_am IN spc`,
+		`CREATE INDEX b4 ON T(X rst_opclass) USING rstree_am`,
+	} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Fatalf("%s must fail", bad)
+		}
+	}
+}

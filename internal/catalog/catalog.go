@@ -1,0 +1,425 @@
+// Package catalog implements the system catalogs: SYSTABLES, SYSPROCEDURES
+// (CREATE FUNCTION), SYSAMS (CREATE SECONDARY ACCESS_METHOD), SYSOPCLASSES
+// (CREATE OPCLASS), SYSINDICES/SYSFRAGMENTS (CREATE INDEX), and the sbspace
+// registry (the onspaces analogue). DDL statements mutate it; the optimizer
+// and the access-method framework read it (Section 4, Step 3: "The CREATE
+// SECONDARY ACCESS_METHOD statement enters access method information into
+// the system catalog table SYSAMS").
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column is one table column.
+type Column struct {
+	Name     string
+	TypeName string
+}
+
+// Table is a SYSTABLES entry.
+type Table struct {
+	Name    string
+	Columns []Column
+	// SpaceID is the WAL space id of the table's pager.
+	SpaceID uint32
+}
+
+// Procedure is a SYSPROCEDURES entry: a UDR registered with CREATE FUNCTION.
+type Procedure struct {
+	Name     string
+	ArgTypes []string
+	Returns  string
+	External string // "library(symbol)"
+	Language string
+}
+
+// ParseExternal splits "usr/functions/grtree.bld(grt_open)" into library
+// and symbol.
+func (p Procedure) ParseExternal() (lib, symbol string, err error) {
+	open := strings.IndexByte(p.External, '(')
+	if open < 0 || !strings.HasSuffix(p.External, ")") {
+		return "", "", fmt.Errorf("catalog: malformed EXTERNAL NAME %q", p.External)
+	}
+	return p.External[:open], p.External[open+1 : len(p.External)-1], nil
+}
+
+// AccessMethod is a SYSAMS entry.
+type AccessMethod struct {
+	Name   string
+	Slots  map[string]string // am_* slot -> registered function name
+	SpType string            // "S" = sbspace
+}
+
+// OpClass is a SYSOPCLASSES entry.
+type OpClass struct {
+	Name       string
+	AmName     string
+	Strategies []string
+	Support    []string
+	Default    bool
+}
+
+// Index is a SYSINDICES entry.
+type Index struct {
+	Name      string
+	TableName string
+	Columns   []string
+	OpClasses []string
+	AmName    string
+	SpaceName string
+	Params    map[string]string
+}
+
+// Sbspace is a registered smart-blob space.
+type Sbspace struct {
+	Name string
+	ID   uint32
+}
+
+// Catalog is the full system catalog. It is safe for concurrent use.
+type Catalog struct {
+	mu sync.RWMutex
+
+	Tables   map[string]*Table
+	Procs    map[string]*Procedure
+	Ams      map[string]*AccessMethod
+	OpCls    map[string]*OpClass
+	Indices  map[string]*Index
+	Sbspaces map[string]*Sbspace
+
+	// AmRecords is "the table associated with the access method" in which
+	// grt_create records the index's large-object handle (Appendix A,
+	// grt_create step 6 / grt_open step 3). Keys are "am|index".
+	AmRecords map[string][]byte
+
+	NextSpaceID uint32
+
+	path string // persistence file; empty = memory only
+}
+
+// New returns an empty catalog, persisted under dir when dir is non-empty.
+func New(dir string) *Catalog {
+	c := &Catalog{
+		Tables:   make(map[string]*Table),
+		Procs:    make(map[string]*Procedure),
+		Ams:      make(map[string]*AccessMethod),
+		OpCls:    make(map[string]*OpClass),
+		Indices:  make(map[string]*Index),
+		Sbspaces: make(map[string]*Sbspace),
+
+		AmRecords: make(map[string][]byte),
+
+		NextSpaceID: 1,
+	}
+	if dir != "" {
+		c.path = filepath.Join(dir, "catalog.json")
+	}
+	return c
+}
+
+// Load reads the catalog from dir (or returns an empty one when absent).
+func Load(dir string) (*Catalog, error) {
+	c := New(dir)
+	if c.path == "" {
+		return c, nil
+	}
+	raw, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, c); err != nil {
+		return nil, fmt.Errorf("catalog: corrupt %s: %w", c.path, err)
+	}
+	return c, nil
+}
+
+// Save persists the catalog (a no-op for memory catalogs).
+func (c *Catalog) Save() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.path == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+func key(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// errors -------------------------------------------------------------------
+
+func exists(kind, name string) error  { return fmt.Errorf("catalog: %s %q already exists", kind, name) }
+func missing(kind, name string) error { return fmt.Errorf("catalog: %s %q does not exist", kind, name) }
+
+// tables --------------------------------------------------------------------
+
+// AddTable registers a table.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.Tables[key(t.Name)]; dup {
+		return exists("table", t.Name)
+	}
+	c.Tables[key(t.Name)] = t
+	return nil
+}
+
+// TableByName fetches a table.
+func (c *Catalog) TableByName(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.Tables[key(name)]
+	if !ok {
+		return nil, missing("table", name)
+	}
+	return t, nil
+}
+
+// DropTable removes a table; indexes on it must already be gone.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.Tables[key(name)]; !ok {
+		return missing("table", name)
+	}
+	for _, ix := range c.Indices {
+		if key(ix.TableName) == key(name) {
+			return fmt.Errorf("catalog: table %q still has index %q", name, ix.Name)
+		}
+	}
+	delete(c.Tables, key(name))
+	return nil
+}
+
+// ColumnIndex returns a column's ordinal.
+func (t *Table) ColumnIndex(col string) (int, error) {
+	for i, cl := range t.Columns {
+		if strings.EqualFold(cl.Name, col) {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("catalog: table %q has no column %q", t.Name, col)
+}
+
+// procedures -----------------------------------------------------------------
+
+// AddProcedure registers a UDR (CREATE FUNCTION).
+func (c *Catalog) AddProcedure(p *Procedure) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.Procs[key(p.Name)]; dup {
+		return exists("function", p.Name)
+	}
+	c.Procs[key(p.Name)] = p
+	return nil
+}
+
+// ProcByName fetches a UDR.
+func (c *Catalog) ProcByName(name string) (*Procedure, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.Procs[key(name)]
+	if !ok {
+		return nil, missing("function", name)
+	}
+	return p, nil
+}
+
+// access methods --------------------------------------------------------------
+
+// AddAccessMethod registers an access method (SYSAMS).
+func (c *Catalog) AddAccessMethod(a *AccessMethod) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.Ams[key(a.Name)]; dup {
+		return exists("access method", a.Name)
+	}
+	c.Ams[key(a.Name)] = a
+	return nil
+}
+
+// AmByName fetches an access method.
+func (c *Catalog) AmByName(name string) (*AccessMethod, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.Ams[key(name)]
+	if !ok {
+		return nil, missing("access method", name)
+	}
+	return a, nil
+}
+
+// op classes -------------------------------------------------------------------
+
+// AddOpClass registers an operator class.
+func (c *Catalog) AddOpClass(o *OpClass) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.OpCls[key(o.Name)]; dup {
+		return exists("operator class", o.Name)
+	}
+	if _, ok := c.Ams[key(o.AmName)]; !ok {
+		return missing("access method", o.AmName)
+	}
+	// First class of an access method becomes its default.
+	def := true
+	for _, other := range c.OpCls {
+		if key(other.AmName) == key(o.AmName) {
+			def = false
+			break
+		}
+	}
+	o.Default = def
+	c.OpCls[key(o.Name)] = o
+	return nil
+}
+
+// OpClassByName fetches an operator class.
+func (c *Catalog) OpClassByName(name string) (*OpClass, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	o, ok := c.OpCls[key(name)]
+	if !ok {
+		return nil, missing("operator class", name)
+	}
+	return o, nil
+}
+
+// DefaultOpClass returns the access method's default operator class.
+func (c *Catalog) DefaultOpClass(amName string) (*OpClass, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, o := range c.OpCls {
+		if key(o.AmName) == key(amName) && o.Default {
+			return o, nil
+		}
+	}
+	return nil, fmt.Errorf("catalog: access method %q has no default operator class", amName)
+}
+
+// indices -----------------------------------------------------------------------
+
+// AddIndex registers an index (SYSINDICES).
+func (c *Catalog) AddIndex(ix *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.Indices[key(ix.Name)]; dup {
+		return exists("index", ix.Name)
+	}
+	c.Indices[key(ix.Name)] = ix
+	return nil
+}
+
+// IndexByName fetches an index.
+func (c *Catalog) IndexByName(name string) (*Index, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.Indices[key(name)]
+	if !ok {
+		return nil, missing("index", name)
+	}
+	return ix, nil
+}
+
+// DropIndex removes an index entry.
+func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.Indices[key(name)]; !ok {
+		return missing("index", name)
+	}
+	delete(c.Indices, key(name))
+	return nil
+}
+
+// IndexesOn lists the indexes on a table, name-sorted.
+func (c *Catalog) IndexesOn(table string) []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Index
+	for _, ix := range c.Indices {
+		if key(ix.TableName) == key(table) {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// sbspaces -------------------------------------------------------------------------
+
+// AMRecordPut stores an access method's bookkeeping record for an index.
+func (c *Catalog) AMRecordPut(amName, index string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.AmRecords == nil {
+		c.AmRecords = make(map[string][]byte)
+	}
+	c.AmRecords[key(amName)+"|"+key(index)] = append([]byte(nil), data...)
+}
+
+// AMRecordGet fetches an access method's bookkeeping record.
+func (c *Catalog) AMRecordGet(amName, index string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.AmRecords[key(amName)+"|"+key(index)]
+	return d, ok
+}
+
+// AMRecordDelete removes an access method's bookkeeping record.
+func (c *Catalog) AMRecordDelete(amName, index string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.AmRecords, key(amName)+"|"+key(index))
+}
+
+// AllocSpaceID mints a WAL space id (tables and sbspaces share the
+// namespace).
+func (c *Catalog) AllocSpaceID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.NextSpaceID
+	c.NextSpaceID++
+	return id
+}
+
+// AddSbspace registers an sbspace and assigns its id.
+func (c *Catalog) AddSbspace(name string) (*Sbspace, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.Sbspaces[key(name)]; dup {
+		return nil, exists("sbspace", name)
+	}
+	s := &Sbspace{Name: name, ID: c.NextSpaceID}
+	c.NextSpaceID++
+	c.Sbspaces[key(name)] = s
+	return s, nil
+}
+
+// SbspaceByName fetches an sbspace.
+func (c *Catalog) SbspaceByName(name string) (*Sbspace, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.Sbspaces[key(name)]
+	if !ok {
+		return nil, missing("sbspace", name)
+	}
+	return s, nil
+}

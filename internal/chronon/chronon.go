@@ -1,0 +1,256 @@
+// Package chronon provides the time-line primitives used throughout the
+// GR-tree DataBlade reproduction: a discrete, day-granularity instant type,
+// the special temporal variables UC ("until changed") and NOW, and a
+// controllable clock.
+//
+// The paper's prototype chose a granularity of a day (Section 5.1); a chronon
+// here is therefore one day, represented as the number of days since the civil
+// epoch 1970-01-01 (negative values reach arbitrarily far into the past).
+package chronon
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Instant is one point on the discrete time line, measured in days since
+// 1970-01-01, or one of the special variables UC, NOW, and Forever.
+type Instant int64
+
+const (
+	// Forever is the maximum ground timestamp ("maximum-timestamp"
+	// substitution baselines map UC/NOW to it). It is a ground value.
+	Forever Instant = math.MaxInt64 - 2
+
+	// NOW is the variable denoting the current time; it is used as the
+	// valid-time end of tuples whose information is valid until the current
+	// time (Section 2).
+	NOW Instant = math.MaxInt64 - 1
+
+	// UC ("until changed") is the variable used as the transaction-time end
+	// of tuples that are part of the current database state (Section 2).
+	UC Instant = math.MaxInt64
+)
+
+// MinInstant is the smallest representable ground instant.
+const MinInstant Instant = math.MinInt64 / 4
+
+// IsVariable reports whether t is one of the temporal variables UC or NOW.
+func (t Instant) IsVariable() bool { return t == UC || t == NOW }
+
+// IsGround reports whether t is a fixed (ground) timestamp.
+func (t Instant) IsGround() bool { return !t.IsVariable() }
+
+// Date returns the civil calendar date of a ground instant.
+func (t Instant) Date() (year, month, day int) {
+	if t.IsVariable() || t == Forever {
+		return 0, 0, 0
+	}
+	return civilFromDays(int64(t))
+}
+
+// FromDate returns the instant for a civil calendar date.
+func FromDate(year, month, day int) Instant {
+	return Instant(daysFromCivil(year, month, day))
+}
+
+// String renders an instant: variables render symbolically, Forever as
+// "FOREVER", and ground values as ISO dates (yyyy-mm-dd).
+func (t Instant) String() string {
+	switch t {
+	case UC:
+		return "UC"
+	case NOW:
+		return "NOW"
+	case Forever:
+		return "FOREVER"
+	}
+	y, m, d := t.Date()
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// Parse accepts the textual timestamp forms used in the paper and in SQL:
+//
+//	"UC", "NOW", "FOREVER"            temporal variables / max timestamp
+//	"3/97", "12/1997"                 month granularity (first day of month)
+//	"12/10/95", "1/31/1998"           US-style month/day/year
+//	"1997-05-14"                      ISO date
+//
+// Two-digit years are interpreted in 1970–2069 (>=70 → 19yy, else 20yy).
+func Parse(s string) (Instant, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToUpper(s) {
+	case "UC":
+		return UC, nil
+	case "NOW":
+		return NOW, nil
+	case "FOREVER":
+		return Forever, nil
+	}
+	if strings.Contains(s, "-") {
+		parts := strings.Split(s, "-")
+		if len(parts) != 3 {
+			return 0, fmt.Errorf("chronon: malformed ISO date %q", s)
+		}
+		y, err1 := strconv.Atoi(parts[0])
+		m, err2 := strconv.Atoi(parts[1])
+		d, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return 0, fmt.Errorf("chronon: malformed ISO date %q", s)
+		}
+		if err := checkDate(y, m, d); err != nil {
+			return 0, fmt.Errorf("chronon: %q: %w", s, err)
+		}
+		return FromDate(y, m, d), nil
+	}
+	if strings.Contains(s, "/") {
+		parts := strings.Split(s, "/")
+		switch len(parts) {
+		case 2: // month/year, first day of month
+			m, err1 := strconv.Atoi(parts[0])
+			y, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return 0, fmt.Errorf("chronon: malformed month/year %q", s)
+			}
+			y = expandYear(y, len(parts[1]))
+			if err := checkDate(y, m, 1); err != nil {
+				return 0, fmt.Errorf("chronon: %q: %w", s, err)
+			}
+			return FromDate(y, m, 1), nil
+		case 3: // month/day/year
+			m, err1 := strconv.Atoi(parts[0])
+			d, err2 := strconv.Atoi(parts[1])
+			y, err3 := strconv.Atoi(parts[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return 0, fmt.Errorf("chronon: malformed date %q", s)
+			}
+			y = expandYear(y, len(parts[2]))
+			if err := checkDate(y, m, d); err != nil {
+				return 0, fmt.Errorf("chronon: %q: %w", s, err)
+			}
+			return FromDate(y, m, d), nil
+		}
+		return 0, fmt.Errorf("chronon: malformed date %q", s)
+	}
+	return 0, fmt.Errorf("chronon: unrecognized timestamp %q", s)
+}
+
+// MustParse is Parse that panics on error; it is intended for tests and
+// example programs with literal timestamps.
+func MustParse(s string) Instant {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func expandYear(y, digits int) int {
+	if digits > 2 {
+		return y
+	}
+	if y >= 70 {
+		return 1900 + y
+	}
+	return 2000 + y
+}
+
+func checkDate(y, m, d int) error {
+	if m < 1 || m > 12 {
+		return fmt.Errorf("month %d out of range", m)
+	}
+	if d < 1 || d > daysInMonth(y, m) {
+		return fmt.Errorf("day %d out of range for %04d-%02d", d, y, m)
+	}
+	return nil
+}
+
+func isLeap(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}
+
+func daysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		if isLeap(y) {
+			return 29
+		}
+		return 28
+	}
+}
+
+// daysFromCivil converts a proleptic-Gregorian civil date to days since
+// 1970-01-01 (Howard Hinnant's algorithm).
+func daysFromCivil(y, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	var era int64
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468
+}
+
+// civilFromDays is the inverse of daysFromCivil.
+func civilFromDays(z int64) (year, month, day int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	y := yoe + era*400                                     //
+	doy := doe - (365*yoe + yoe/4 - yoe/100)               // [0, 365]
+	mp := (5*doy + 2) / 153                                // [0, 11]
+	d := doy - (153*mp+2)/5 + 1                            // [1, 31]
+	var m int64
+	if mp < 10 {
+		m = mp + 3
+	} else {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return int(y), int(m), int(d)
+}
+
+// Min returns the smaller of two instants under the ground ordering
+// (variables compare as their sentinel magnitudes, i.e., larger than any
+// ground value; callers that need current-time semantics must resolve first).
+func Min(a, b Instant) Instant {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of two instants under the ground ordering.
+func Max(a, b Instant) Instant {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package chronon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEpoch(t *testing.T) {
+	if got := FromDate(1970, 1, 1); got != 0 {
+		t.Fatalf("FromDate(1970,1,1) = %d, want 0", got)
+	}
+	y, m, d := Instant(0).Date()
+	if y != 1970 || m != 1 || d != 1 {
+		t.Fatalf("Instant(0).Date() = %d-%d-%d, want 1970-1-1", y, m, d)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	cases := []struct{ y, m, d int }{
+		{1997, 3, 1}, {1997, 9, 30}, {2000, 2, 29}, {1900, 2, 28},
+		{1995, 12, 10}, {1, 1, 1}, {9999, 12, 31}, {1969, 12, 31},
+	}
+	for _, c := range cases {
+		inst := FromDate(c.y, c.m, c.d)
+		y, m, d := inst.Date()
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("round trip %v: got %d-%d-%d", c, y, m, d)
+		}
+	}
+}
+
+func TestDateRoundTripProperty(t *testing.T) {
+	f := func(n int32) bool {
+		inst := Instant(n)
+		y, m, d := inst.Date()
+		return FromDate(y, m, d) == inst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsecutiveDays(t *testing.T) {
+	// Day arithmetic must match calendar succession across month and year
+	// boundaries, including a leap day.
+	prev := FromDate(1999, 12, 28)
+	for i := 0; i < 800; i++ {
+		next := prev + 1
+		py, pm, pd := prev.Date()
+		ny, nm, nd := next.Date()
+		if nd == pd+1 && nm == pm && ny == py {
+			prev = next
+			continue
+		}
+		if nd == 1 && (nm == pm+1 && ny == py || nm == 1 && pm == 12 && ny == py+1) {
+			prev = next
+			continue
+		}
+		t.Fatalf("day %v followed by %v", prev, next)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Instant
+	}{
+		{"UC", UC},
+		{"now", NOW},
+		{"Forever", Forever},
+		{"3/97", FromDate(1997, 3, 1)},
+		{"12/1997", FromDate(1997, 12, 1)},
+		{"12/10/95", FromDate(1995, 12, 10)},
+		{"1/31/1998", FromDate(1998, 1, 31)},
+		{"1997-05-14", FromDate(1997, 5, 14)},
+		{"2069-01-01", FromDate(2069, 1, 1)},
+		{" 9/97 ", FromDate(1997, 9, 1)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "hello", "13/97", "2/30/1999", "1997-13-01", "1997-02-30",
+		"1/2/3/4", "x/97", "3/x", "1997-0a-01", "0/97",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, inst := range []Instant{UC, NOW, Forever, 0, FromDate(1997, 9, 1), FromDate(1995, 12, 10)} {
+		got, err := Parse(inst.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%v)): %v", int64(inst), err)
+		}
+		if got != inst {
+			t.Errorf("round trip %v -> %q -> %v", int64(inst), inst.String(), int64(got))
+		}
+	}
+}
+
+func TestVariables(t *testing.T) {
+	if !UC.IsVariable() || !NOW.IsVariable() {
+		t.Error("UC and NOW must be variables")
+	}
+	if Forever.IsVariable() {
+		t.Error("Forever is a ground value, not a variable")
+	}
+	if UC.IsGround() || NOW.IsGround() {
+		t.Error("variables are not ground")
+	}
+	if !Instant(123).IsGround() {
+		t.Error("ordinary instants are ground")
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	c := NewVirtualClock(MustParse("9/97"))
+	if c.Now() != FromDate(1997, 9, 1) {
+		t.Fatalf("clock start = %v", c.Now())
+	}
+	got := c.Advance(30)
+	if got != FromDate(1997, 9, 1)+30 || c.Now() != got {
+		t.Fatalf("advance: got %v, now %v", got, c.Now())
+	}
+	c.Set(FromDate(2000, 1, 1))
+	if c.Now() != FromDate(2000, 1, 1) {
+		t.Fatalf("set: now %v", c.Now())
+	}
+}
+
+func TestFixedClock(t *testing.T) {
+	c := Fixed(42)
+	if c.Now() != 42 {
+		t.Fatalf("fixed clock = %v", c.Now())
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	n := (SystemClock{}).Now()
+	// Sanity window: between 2020 and 2100.
+	if n < FromDate(2020, 1, 1) || n > FromDate(2100, 1, 1) {
+		t.Fatalf("system clock out of sanity window: %v", n)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Max(3, 5) != 5 {
+		t.Fatal("Min/Max on ground values")
+	}
+	if Max(5, UC) != UC || Min(NOW, UC) != NOW {
+		t.Fatal("sentinel ordering: UC > NOW > Forever > ground")
+	}
+	if Max(Forever, NOW) != NOW {
+		t.Fatal("NOW sentinel must exceed Forever")
+	}
+}

@@ -1,0 +1,67 @@
+package chronon
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time used to resolve the variables UC and NOW.
+// The GR-tree algorithms never read the wall clock directly; they go through
+// a Clock so tests and benchmarks can advance time deterministically and
+// observe now-relative regions grow (Section 2).
+type Clock interface {
+	// Now returns the current instant. It is always a ground value.
+	Now() Instant
+}
+
+// VirtualClock is a manually driven clock. The zero value reads as day 0
+// (1970-01-01); use Set or Advance to move it. It is safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.RWMutex
+	now Instant
+}
+
+// NewVirtualClock returns a virtual clock set to the given instant.
+func NewVirtualClock(now Instant) *VirtualClock {
+	return &VirtualClock{now: now}
+}
+
+// Now returns the clock's current instant.
+func (c *VirtualClock) Now() Instant {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Set moves the clock to t. Moving a clock backwards is permitted (tests use
+// it), but a database would never do so.
+func (c *VirtualClock) Set(t Instant) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}
+
+// Advance moves the clock forward by n days and returns the new instant.
+func (c *VirtualClock) Advance(n int64) Instant {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += Instant(n)
+	return c.now
+}
+
+// SystemClock reads the host's wall clock at day granularity (UTC).
+type SystemClock struct{}
+
+// Now returns the current UTC day.
+func (SystemClock) Now() Instant {
+	t := time.Now().UTC()
+	return FromDate(t.Year(), int(t.Month()), t.Day())
+}
+
+// Fixed returns a Clock permanently stuck at t, useful for resolving regions
+// "as of" a point in time.
+func Fixed(t Instant) Clock { return fixedClock(t) }
+
+type fixedClock Instant
+
+func (c fixedClock) Now() Instant { return Instant(c) }

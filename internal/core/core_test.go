@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestQuickstartThroughFacade runs the documented quickstart through the
+// re-exported surface.
+func TestQuickstartThroughFacade(t *testing.T) {
+	clock := NewVirtualClock(mustInstant(t, "9/97"))
+	e, err := OpenEngine(EngineOptions{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := RegisterGRTreeBlade(e); err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	defer s.Close()
+	for _, sql := range []string{
+		`CREATE SBSPACE spc`,
+		`CREATE TABLE Employees (Name VARCHAR(32), Time_Extent GRT_TimeExtent_t)`,
+		`CREATE INDEX grt_index ON Employees(Time_Extent grt_opclass) USING grtree_am IN spc`,
+		`INSERT INTO Employees VALUES ('Jane', '5/97, UC, 5/97, NOW')`,
+	} {
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	res, err := s.Exec(`SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '12/10/95, UC, 12/10/95, NOW')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Jane" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// The temporal re-exports interoperate.
+	ext, err := ParseExtent("5/97, UC, 5/97, NOW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.TTEnd != UC || ext.VTEnd != NOW {
+		t.Fatalf("extent: %v", ext)
+	}
+}
+
+func mustInstant(t *testing.T, s string) Instant {
+	t.Helper()
+	v, err := ParseInstant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,683 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/am"
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/lock"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// lockTable takes a table-level lock for the statement (strict 2PL; held to
+// transaction end).
+func (s *Session) lockTable(tb *catalog.Table, mode lock.Mode) error {
+	if s.iso == lock.DirtyRead && mode == lock.Shared {
+		return nil
+	}
+	return s.e.lm.Acquire(lock.TxID(s.tx), lock.Resource{Kind: lock.KindTable, A: uint64(tb.SpaceID)}, mode)
+}
+
+// openIndexes opens every index on a table for the statement (Figure 6:
+// am_open at statement start, am_close at the end) and returns a closer.
+type openIndex struct {
+	ix   *catalog.Index
+	desc *am.IndexDesc
+	ps   *am.PurposeSet
+}
+
+func (s *Session) openIndexes(table string, readOnly bool) ([]openIndex, func(), error) {
+	var opened []openIndex
+	closeAll := func() {
+		for i := len(opened) - 1; i >= 0; i-- {
+			s.callIndexFn("am_close", opened[i].ps.Close, opened[i].desc)
+		}
+	}
+	for _, ix := range s.e.cat.IndexesOn(table) {
+		desc, ps, err := s.indexDesc(ix)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		desc.ReadOnly = readOnly
+		if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		opened = append(opened, openIndex{ix: ix, desc: desc, ps: ps})
+	}
+	return opened, closeAll, nil
+}
+
+// INSERT -----------------------------------------------------------------------
+
+func (s *Session) insert(t *sql.Insert) (*Result, error) {
+	tb, err := s.e.cat.TableByName(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(tb, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+
+	// Map the statement's column list to table ordinals.
+	colIdx := make([]int, 0, len(tb.Columns))
+	if len(t.Columns) == 0 {
+		for i := range tb.Columns {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, c := range t.Columns {
+			i, err := tb.ColumnIndex(c)
+			if err != nil {
+				return nil, err
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+
+	idxs, closeAll, err := s.openIndexes(tb.Name, false)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll()
+
+	inserted := 0
+	for _, exprRow := range t.Rows {
+		if len(exprRow) != len(colIdx) {
+			return nil, fmt.Errorf("engine: INSERT arity %d does not match %d columns", len(exprRow), len(colIdx))
+		}
+		row := make([]types.Datum, len(schema))
+		for j, ex := range exprRow {
+			v, err := s.evalExpr(ex, nil, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := s.coerce(v, schema[colIdx[j]])
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %s: %w", tb.Columns[colIdx[j]].Name, err)
+			}
+			row[colIdx[j]] = cv
+		}
+		rid, err := table.Insert(s.tx, row)
+		if err != nil {
+			return nil, err
+		}
+		for _, oi := range idxs {
+			if oi.ps.Insert == nil {
+				return nil, fmt.Errorf("engine: access method %s cannot insert", oi.ix.AmName)
+			}
+			s.e.traceCall("am_insert", oi.desc.Name)
+			err := oi.ps.Insert(s.ctx, oi.desc, projectIndexed(oi.desc, row), rid)
+			s.ctx.EndFunction()
+			if err != nil {
+				return nil, err
+			}
+		}
+		inserted++
+	}
+	return &Result{Affected: inserted, Message: fmt.Sprintf("%d row(s) inserted", inserted)}, nil
+}
+
+// LOAD ------------------------------------------------------------------------
+
+// load implements the Informix LOAD command: delimited text-file rows are
+// imported through the types' text-file import support functions
+// (Section 6.3, item 3) and inserted through the normal index-maintaining
+// path.
+func (s *Session) load(t *sql.Load) (*Result, error) {
+	tb, err := s.e.cat.TableByName(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(tb, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+
+	raw, err := os.ReadFile(t.File)
+	if err != nil {
+		return nil, fmt.Errorf("engine: LOAD: %w", err)
+	}
+	idxs, closeAll, err := s.openIndexes(tb.Name, false)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll()
+
+	loaded := 0
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, t.Delimiter)
+		if len(fields) != len(schema) {
+			return nil, fmt.Errorf("engine: LOAD line %d has %d fields, table %s has %d columns",
+				lineNo+1, len(fields), tb.Name, len(schema))
+		}
+		row := make([]types.Datum, len(schema))
+		for i, f := range fields {
+			v, err := s.e.reg.ImportLiteral(strings.TrimSpace(f), schema[i])
+			if err != nil {
+				return nil, fmt.Errorf("engine: LOAD line %d column %s: %w", lineNo+1, tb.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rid, err := table.Insert(s.tx, row)
+		if err != nil {
+			return nil, err
+		}
+		for _, oi := range idxs {
+			if oi.ps.Insert == nil {
+				return nil, fmt.Errorf("engine: access method %s cannot insert", oi.ix.AmName)
+			}
+			s.e.traceCall("am_insert", oi.desc.Name)
+			err := oi.ps.Insert(s.ctx, oi.desc, projectIndexed(oi.desc, row), rid)
+			s.ctx.EndFunction()
+			if err != nil {
+				return nil, err
+			}
+		}
+		loaded++
+	}
+	return &Result{Affected: loaded, Message: fmt.Sprintf("%d row(s) loaded", loaded)}, nil
+}
+
+// access-path planning -----------------------------------------------------------
+
+// accessPath is the chosen plan for a filtered table access.
+type accessPath struct {
+	index *openIndex // nil = sequential scan
+	qual  *am.Qual
+}
+
+// planAccess decides between a sequential scan and a virtual-index scan: it
+// extracts the largest indexable qualification (strategy-function predicates
+// on an indexed column, combined with AND/OR) and consults am_scancost
+// against the heap page count (Section 4: the optimizer checks whether a
+// virtual index exists for the column and whether the function is declared
+// as a strategy function).
+func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.Expr, idxs []openIndex) (accessPath, error) {
+	if where == nil {
+		return accessPath{}, nil
+	}
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return accessPath{}, err
+	}
+	seqCost := float64(table.Pages())
+
+	best := accessPath{}
+	bestCost := seqCost
+	for i := range idxs {
+		oi := &idxs[i]
+		oc, err := s.e.cat.OpClassByName(oi.desc.OpClass)
+		if err != nil {
+			continue
+		}
+		qual := s.extractQual(where, tb, schema, oi, oc)
+		if qual == nil {
+			continue
+		}
+		cost := 1.0
+		if oi.ps.ScanCost != nil {
+			s.e.traceCall("am_scancost", oi.desc.Name)
+			c, err := oi.ps.ScanCost(s.ctx, oi.desc, qual)
+			s.ctx.EndFunction()
+			if err != nil {
+				return accessPath{}, err
+			}
+			cost = c
+		}
+		// Informix-style bias: once a strategy function matches a virtual
+		// index, the index is used; am_scancost arbitrates between several
+		// applicable indexes. (seqCost remains available for diagnostics; a
+		// cost-based index-vs-heap choice would sit here.)
+		if best.index == nil || cost < bestCost {
+			best = accessPath{index: oi, qual: qual}
+			bestCost = cost
+		}
+	}
+	_ = seqCost
+	return best, nil
+}
+
+// extractQual converts the WHERE clause (or its largest top-level AND
+// subset) into a qualification descriptor for the index, or nil when
+// nothing is indexable.
+func (s *Session) extractQual(where sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) *am.Qual {
+	if q := s.exprToQual(where, tb, schema, oi, oc); q != nil {
+		return q
+	}
+	// Partial: use indexable factors of a top-level conjunction; the full
+	// WHERE is re-checked on fetched rows.
+	if b, ok := where.(*sql.Binary); ok && b.Op == "AND" {
+		l := s.extractQual(b.L, tb, schema, oi, oc)
+		r := s.extractQual(b.R, tb, schema, oi, oc)
+		switch {
+		case l != nil && r != nil:
+			return am.NewBoolQual(am.QAnd, l, r)
+		case l != nil:
+			return l
+		case r != nil:
+			return r
+		}
+	}
+	return nil
+}
+
+// exprToQual converts a whole expression to a qualification, or nil.
+func (s *Session) exprToQual(ex sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) *am.Qual {
+	switch t := ex.(type) {
+	case *sql.Binary:
+		if t.Op != "AND" && t.Op != "OR" {
+			return nil
+		}
+		l := s.exprToQual(t.L, tb, schema, oi, oc)
+		r := s.exprToQual(t.R, tb, schema, oi, oc)
+		if l == nil || r == nil {
+			return nil
+		}
+		op := am.QAnd
+		if t.Op == "OR" {
+			op = am.QOr
+		}
+		return am.NewBoolQual(op, l, r)
+	case *sql.FuncCall:
+		if !strategyDeclared(oc, t.Name) {
+			return nil
+		}
+		// The qualification descriptor accommodates only single-column
+		// predicates: f(column, constant), f(constant, column), f(column)
+		// (Section 5.1).
+		switch len(t.Args) {
+		case 1:
+			colPos := s.indexedColumn(t.Args[0], tb, oi)
+			if colPos < 0 {
+				return nil
+			}
+			return am.NewFuncQual(t.Name, colPos, nil, true)
+		case 2:
+			if colPos := s.indexedColumn(t.Args[0], tb, oi); colPos >= 0 {
+				c := s.constantFor(t.Args[1], oi.desc.ColTypes[colPos])
+				if c == nil {
+					return nil
+				}
+				return am.NewFuncQual(t.Name, colPos, c, true)
+			}
+			if colPos := s.indexedColumn(t.Args[1], tb, oi); colPos >= 0 {
+				c := s.constantFor(t.Args[0], oi.desc.ColTypes[colPos])
+				if c == nil {
+					return nil
+				}
+				return am.NewFuncQual(t.Name, colPos, c, false)
+			}
+		}
+	}
+	return nil
+}
+
+func strategyDeclared(oc *catalog.OpClass, fn string) bool {
+	for _, st := range oc.Strategies {
+		if strings.EqualFold(st, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// indexedColumn returns the ordinal (within the index) of the column the
+// expression names, or -1.
+func (s *Session) indexedColumn(ex sql.Expr, tb *catalog.Table, oi *openIndex) int {
+	cr, ok := ex.(*sql.ColumnRef)
+	if !ok {
+		return -1
+	}
+	for i, col := range oi.desc.Columns {
+		if strings.EqualFold(col, cr.Name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// constantFor evaluates a constant expression to the column's type, or nil
+// when the expression is not constant.
+func (s *Session) constantFor(ex sql.Expr, target types.Type) types.Datum {
+	switch ex.(type) {
+	case *sql.Literal, *sql.Null:
+	default:
+		return nil
+	}
+	v, err := s.evalExpr(ex, nil, nil, nil)
+	if err != nil || v == nil {
+		return nil
+	}
+	cv, err := s.coerce(v, target)
+	if err != nil {
+		return nil
+	}
+	return cv
+}
+
+// scanRows drives either the virtual-index scan protocol (Figure 6(b):
+// am_beginscan, am_getnext*, am_endscan) or a heap scan, applying the full
+// WHERE clause to each candidate row, and invokes fn per qualifying row.
+func (s *Session) scanRows(tb *catalog.Table, table *heap.Table, schema []types.Type, where sql.Expr,
+	path accessPath, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
+
+	filter := func(rid heap.RowID, row []types.Datum) (bool, error) {
+		if where == nil {
+			return fn(rid, row)
+		}
+		ok, err := s.evalBool(where, tb, schema, row)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return fn(rid, row)
+	}
+
+	if path.index == nil {
+		return table.Scan(filter)
+	}
+
+	oi := path.index
+	sd := &am.ScanDesc{Index: oi.desc, Qual: path.qual}
+	if oi.ps.BeginScan != nil {
+		s.e.traceCall("am_beginscan", oi.desc.Name)
+		if err := oi.ps.BeginScan(s.ctx, sd); err != nil {
+			s.ctx.EndFunction()
+			return err
+		}
+		s.ctx.EndFunction()
+	}
+	defer func() {
+		if oi.ps.EndScan != nil {
+			s.e.traceCall("am_endscan", oi.desc.Name)
+			oi.ps.EndScan(s.ctx, sd)
+			s.ctx.EndFunction()
+		}
+	}()
+	for {
+		s.e.traceCall("am_getnext", oi.desc.Name)
+		rid, _, ok, err := oi.ps.GetNext(s.ctx, sd)
+		s.ctx.EndFunction()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		row, err := table.Get(rid)
+		if err != nil {
+			return fmt.Errorf("engine: index %s returned dangling %v: %w", oi.desc.Name, rid, err)
+		}
+		cont, err := filter(rid, row)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+}
+
+// SELECT -----------------------------------------------------------------------
+
+func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
+	tb, err := s.e.cat.TableByName(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(tb, lock.Shared); err != nil {
+		return nil, err
+	}
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+
+	idxs, closeAll, err := s.openIndexes(tb.Name, true)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll()
+
+	path, err := s.planAccess(tb, schema, t.Where, idxs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Projection.
+	countStar := len(t.Items) == 1 && t.Items[0].CountStar
+	var projIdx []int
+	var cols []string
+	if !countStar {
+		for _, item := range t.Items {
+			switch {
+			case item.Star:
+				for i, c := range tb.Columns {
+					projIdx = append(projIdx, i)
+					cols = append(cols, c.Name)
+				}
+			case item.CountStar:
+				return nil, fmt.Errorf("engine: COUNT(*) cannot be mixed with columns")
+			default:
+				i, err := tb.ColumnIndex(item.Column)
+				if err != nil {
+					return nil, err
+				}
+				projIdx = append(projIdx, i)
+				cols = append(cols, tb.Columns[i].Name)
+			}
+		}
+	}
+
+	res := &Result{Columns: cols}
+	count := 0
+	err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
+		count++
+		if countStar {
+			return true, nil
+		}
+		out := make([]types.Datum, len(projIdx))
+		for j, i := range projIdx {
+			out[j] = row[i]
+		}
+		res.Rows = append(res.Rows, out)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if countStar {
+		res.Columns = []string{"count"}
+		res.Rows = [][]types.Datum{{int64(count)}}
+	}
+	res.Affected = count
+	return res, nil
+}
+
+// DELETE -----------------------------------------------------------------------
+
+// deleteStmt reproduces the paper's deletion procedure (Section 5.5):
+// qualifying entries are retrieved and deleted one by one through the same
+// scan, so the access method's cursor/condense interplay (Table 5,
+// grt_delete step 5) is exercised for real.
+func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
+	tb, err := s.e.cat.TableByName(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(tb, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+
+	idxs, closeAll, err := s.openIndexes(tb.Name, false)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll()
+
+	path, err := s.planAccess(tb, schema, t.Where, idxs)
+	if err != nil {
+		return nil, err
+	}
+
+	deleted := 0
+	deleteRow := func(rid heap.RowID, row []types.Datum) error {
+		if _, err := table.Delete(s.tx, rid); err != nil {
+			return err
+		}
+		for _, oi := range idxs {
+			if oi.ps.Delete == nil {
+				return fmt.Errorf("engine: access method %s cannot delete", oi.ix.AmName)
+			}
+			s.e.traceCall("am_delete", oi.desc.Name)
+			err := oi.ps.Delete(s.ctx, oi.desc, projectIndexed(oi.desc, row), rid)
+			s.ctx.EndFunction()
+			if err != nil {
+				return err
+			}
+		}
+		deleted++
+		return nil
+	}
+
+	if path.index != nil {
+		// Interleaved scan-and-delete through the index.
+		err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
+			return true, deleteRow(rid, row)
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Sequential path: materialise first (heap scans do not tolerate
+		// concurrent slot removal), then delete.
+		type victim struct {
+			rid heap.RowID
+			row []types.Datum
+		}
+		var victims []victim
+		err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
+			victims = append(victims, victim{rid, row})
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range victims {
+			if err := deleteRow(v.rid, v.row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Affected: deleted, Message: fmt.Sprintf("%d row(s) deleted", deleted)}, nil
+}
+
+// UPDATE -----------------------------------------------------------------------
+
+func (s *Session) update(t *sql.Update) (*Result, error) {
+	tb, err := s.e.cat.TableByName(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lockTable(tb, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+
+	setIdx := make([]int, len(t.Sets))
+	for i, sc := range t.Sets {
+		ci, err := tb.ColumnIndex(sc.Column)
+		if err != nil {
+			return nil, err
+		}
+		setIdx[i] = ci
+	}
+
+	idxs, closeAll, err := s.openIndexes(tb.Name, false)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll()
+
+	path, err := s.planAccess(tb, schema, t.Where, idxs)
+	if err != nil {
+		return nil, err
+	}
+
+	type target struct {
+		rid heap.RowID
+		row []types.Datum
+	}
+	var targets []target
+	err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
+		targets = append(targets, target{rid, append([]types.Datum(nil), row...)})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, tg := range targets {
+		newRow := append([]types.Datum(nil), tg.row...)
+		for i, sc := range t.Sets {
+			v, err := s.evalExpr(sc.Value, tb, schema, tg.row)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := s.coerce(v, schema[setIdx[i]])
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %s: %w", tb.Columns[setIdx[i]].Name, err)
+			}
+			newRow[setIdx[i]] = cv
+		}
+		newRid, err := table.Update(s.tx, tg.rid, newRow)
+		if err != nil {
+			return nil, err
+		}
+		for _, oi := range idxs {
+			if oi.ps.Update == nil {
+				return nil, fmt.Errorf("engine: access method %s cannot update", oi.ix.AmName)
+			}
+			s.e.traceCall("am_update", oi.desc.Name)
+			err := oi.ps.Update(s.ctx, oi.desc,
+				projectIndexed(oi.desc, tg.row), tg.rid,
+				projectIndexed(oi.desc, newRow), newRid)
+			s.ctx.EndFunction()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Affected: len(targets), Message: fmt.Sprintf("%d row(s) updated", len(targets))}, nil
+}

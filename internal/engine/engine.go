@@ -1,0 +1,536 @@
+// Package engine is the server: it wires the substrates together — system
+// catalogs, heap tables, sbspaces, the write-ahead log, the lock manager,
+// the DataBlade API contexts, UDR libraries, and the access-method framework
+// — and executes SQL through them. It stands in for the Informix Dynamic
+// Server that the paper's DataBlade plugs into; the extension surface
+// (CREATE FUNCTION / SECONDARY ACCESS_METHOD / OPCLASS / INDEX, purpose-
+// function dispatch, qualification descriptors) follows Section 4.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/am"
+	"repro/internal/catalog"
+	"repro/internal/chronon"
+	"repro/internal/heap"
+	"repro/internal/lock"
+	"repro/internal/mi"
+	"repro/internal/sbspace"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Options configures an engine.
+type Options struct {
+	// Dir is the database directory; empty means fully in-memory storage
+	// (with the WAL in a temporary file so rollback still works).
+	Dir string
+	// Clock supplies the current time (defaults to a virtual clock at the
+	// host's current day).
+	Clock chronon.Clock
+	// PoolPages is the per-table / per-space buffer-pool capacity in pages
+	// (default 256).
+	PoolPages int
+	// NoWAL disables logging (benchmark configurations; rollback and crash
+	// recovery are then unavailable).
+	NoWAL bool
+	// Types, when set, is called with the fresh type registry before the
+	// catalogued storage opens — blades register their opaque types here so
+	// tables with opaque columns can be re-opened from the catalog.
+	Types func(*types.Registry) error
+}
+
+// Engine is one database instance.
+type Engine struct {
+	opts  Options
+	mem   bool
+	clock chronon.Clock
+
+	cat  *catalog.Catalog
+	reg  *types.Registry
+	lm   *lock.Manager
+	log  *wal.Log
+	tmpd string // temp dir holding the WAL for memory engines
+
+	mu          sync.Mutex
+	spaces      map[string]*sbspace.Space // by lower name
+	spacePools  map[uint32]*storage.BufferPool
+	tables      map[string]*heap.Table // by lower name
+	libs        map[string]am.Library
+	amCache     map[string]*am.PurposeSet
+	nextTx      uint64
+	nextSession uint64
+
+	traceOn     atomic.Bool
+	traceMu     sync.Mutex
+	traceEvents []string
+}
+
+// Open opens (or creates) a database, running crash recovery when a log is
+// present.
+func Open(opts Options) (*Engine, error) {
+	if opts.Clock == nil {
+		opts.Clock = chronon.NewVirtualClock(chronon.SystemClock{}.Now())
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 256
+	}
+	e := &Engine{
+		opts:       opts,
+		mem:        opts.Dir == "",
+		clock:      opts.Clock,
+		reg:        types.NewRegistry(),
+		lm:         lock.New(),
+		spaces:     make(map[string]*sbspace.Space),
+		spacePools: make(map[uint32]*storage.BufferPool),
+		tables:     make(map[string]*heap.Table),
+		libs:       make(map[string]am.Library),
+		amCache:    make(map[string]*am.PurposeSet),
+	}
+	if opts.Types != nil {
+		if err := opts.Types(e.reg); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	e.cat, err = catalog.Load(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoWAL {
+		logDir := opts.Dir
+		if e.mem {
+			logDir, err = os.MkdirTemp("", "tinyblade-wal-*")
+			if err != nil {
+				return nil, err
+			}
+			e.tmpd = logDir
+		}
+		e.log, err = wal.Open(filepath.Join(logDir, "wal.log"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.openStorage(); err != nil {
+		return nil, err
+	}
+	if e.log != nil && !e.mem {
+		stores := make(wal.MapSpaces)
+		e.mu.Lock()
+		for id, bp := range e.spacePools {
+			stores[id] = bufStore{bp}
+		}
+		e.mu.Unlock()
+		if _, err := wal.Recover(e.log, stores); err != nil {
+			return nil, fmt.Errorf("engine: recovery: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// openStorage attaches pagers for every catalogued table and sbspace.
+func (e *Engine) openStorage() error {
+	for _, tb := range e.cat.Tables {
+		if err := e.attachTable(tb, false); err != nil {
+			return err
+		}
+	}
+	for _, sp := range e.cat.Sbspaces {
+		if err := e.attachSbspace(sp, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) newPool(name string, create bool) (*storage.BufferPool, error) {
+	var pager storage.Pager
+	if e.mem {
+		pager = storage.NewMemPager()
+	} else {
+		p, err := storage.OpenFilePager(filepath.Join(e.opts.Dir, name+".dat"))
+		if err != nil {
+			return nil, err
+		}
+		pager = p
+	}
+	bp := storage.NewBufferPool(pager, e.opts.PoolPages)
+	if e.log != nil {
+		bp.FlushHook = func(storage.PageID, []byte) error { return e.log.Flush() }
+	}
+	_ = create
+	return bp, nil
+}
+
+func (e *Engine) attachTable(tb *catalog.Table, create bool) error {
+	bp, err := e.newPool("table_"+strings.ToLower(tb.Name), create)
+	if err != nil {
+		return err
+	}
+	schema, err := e.tableSchema(tb)
+	if err != nil {
+		return err
+	}
+	var j heap.Journal
+	if e.log != nil {
+		j = engineJournal{e}
+	}
+	var t *heap.Table
+	if create {
+		t, err = heap.Create(tb.Name, tb.SpaceID, bp, schema, j)
+	} else {
+		t, err = heap.Open(tb.Name, tb.SpaceID, bp, schema, j)
+	}
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.tables[strings.ToLower(tb.Name)] = t
+	e.spacePools[tb.SpaceID] = bp
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *Engine) attachSbspace(sp *catalog.Sbspace, create bool) error {
+	bp, err := e.newPool("sbspace_"+strings.ToLower(sp.Name), create)
+	if err != nil {
+		return err
+	}
+	s := sbspace.New(sp.ID, sp.Name, bp, e.lm)
+	if e.log != nil {
+		s.SetJournal(engineJournal{e})
+	}
+	e.mu.Lock()
+	e.spaces[strings.ToLower(sp.Name)] = s
+	e.spacePools[sp.ID] = bp
+	e.mu.Unlock()
+	return nil
+}
+
+// tableSchema resolves a catalog table's column types. Opaque column types
+// must already be registered (blades register types before their
+// registration scripts run).
+func (e *Engine) tableSchema(tb *catalog.Table) ([]types.Type, error) {
+	schema := make([]types.Type, len(tb.Columns))
+	for i, c := range tb.Columns {
+		ty, err := e.reg.TypeByName(c.TypeName)
+		if err != nil {
+			return nil, fmt.Errorf("engine: table %s column %s: %w", tb.Name, c.Name, err)
+		}
+		schema[i] = ty
+	}
+	return schema, nil
+}
+
+// Close flushes and closes all storage.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	pools := make([]*storage.BufferPool, 0, len(e.spacePools))
+	for _, bp := range e.spacePools {
+		pools = append(pools, bp)
+	}
+	e.mu.Unlock()
+	var first error
+	for _, bp := range pools {
+		if err := bp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if e.log != nil {
+		if err := e.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := e.cat.Save(); err != nil && first == nil {
+		first = err
+	}
+	if e.tmpd != "" {
+		os.RemoveAll(e.tmpd)
+	}
+	return first
+}
+
+// CrashForTesting simulates a crash: every buffer pool is flushed (so dirty
+// pages of possibly-uncommitted transactions reach the pagers, the worst
+// case for recovery), the log and catalog are made durable, and the engine
+// is abandoned WITHOUT transaction cleanup. Only tests call this.
+func (e *Engine) CrashForTesting() {
+	e.mu.Lock()
+	for _, bp := range e.spacePools {
+		bp.FlushAll()
+	}
+	e.mu.Unlock()
+	if e.log != nil {
+		e.log.Flush()
+	}
+	e.cat.Save()
+}
+
+// Clock returns the engine clock.
+func (e *Engine) Clock() chronon.Clock { return e.clock }
+
+// Types returns the type registry (blades register opaque types here).
+func (e *Engine) Types() *types.Registry { return e.reg }
+
+// Catalog exposes the system catalog (tools and tests).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// LockManager exposes the lock manager (tests).
+func (e *Engine) LockManager() *lock.Manager { return e.lm }
+
+// LoadLibrary registers a "shared library" under the path used by CREATE
+// FUNCTION ... EXTERNAL NAME 'path(symbol)'.
+func (e *Engine) LoadLibrary(path string, lib am.Library) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.libs[path] = lib
+}
+
+// Space resolves an sbspace by name.
+func (e *Engine) Space(name string) (*sbspace.Space, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.spaces[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no sbspace %q", name)
+	}
+	return s, nil
+}
+
+// Table resolves a heap table by name.
+func (e *Engine) Table(name string) (*heap.Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return t, nil
+}
+
+// resolveSymbol maps a registered SQL function name to its Go symbol via
+// SYSPROCEDURES and the loaded libraries.
+func (e *Engine) resolveSymbol(fname string) (any, error) {
+	p, err := e.cat.ProcByName(fname)
+	if err != nil {
+		return nil, err
+	}
+	libName, symbol, err := p.ParseExternal()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	lib, ok := e.libs[libName]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: library %q not loaded", libName)
+	}
+	sym, ok := lib[symbol]
+	if !ok {
+		return nil, fmt.Errorf("engine: library %q has no symbol %q", libName, symbol)
+	}
+	return sym, nil
+}
+
+// purposeSet resolves (and caches) an access method's purpose functions.
+func (e *Engine) purposeSet(amName string) (*am.PurposeSet, error) {
+	e.mu.Lock()
+	if ps, ok := e.amCache[strings.ToLower(amName)]; ok {
+		e.mu.Unlock()
+		return ps, nil
+	}
+	e.mu.Unlock()
+	meta, err := e.cat.AmByName(amName)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := am.Bind(meta.Slots, e.resolveSymbol)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.amCache[strings.ToLower(amName)] = ps
+	e.mu.Unlock()
+	return ps, nil
+}
+
+// EnableCallTrace switches purpose-function call tracing (experiment F6).
+func (e *Engine) EnableCallTrace(on bool) {
+	e.traceOn.Store(on)
+	if on {
+		e.traceMu.Lock()
+		e.traceEvents = nil
+		e.traceMu.Unlock()
+	}
+}
+
+// TakeCallTrace returns and clears the recorded purpose-function calls.
+func (e *Engine) TakeCallTrace() []string {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	out := e.traceEvents
+	e.traceEvents = nil
+	return out
+}
+
+func (e *Engine) traceCall(fn, index string) {
+	if !e.traceOn.Load() {
+		return
+	}
+	e.traceMu.Lock()
+	e.traceEvents = append(e.traceEvents, fmt.Sprintf("%s(%s)", fn, index))
+	e.traceMu.Unlock()
+}
+
+// engineJournal adapts the WAL to the heap/sbspace Journal interfaces.
+type engineJournal struct{ e *Engine }
+
+// LogUpdate implements heap.Journal and sbspace.Journal.
+func (j engineJournal) LogUpdate(tx uint64, space uint32, page uint64, off uint16, before, after []byte) error {
+	if j.e.log == nil || tx == 0 {
+		return nil
+	}
+	_, err := j.e.log.Update(tx, space, page, off, before, after)
+	return err
+}
+
+// bufStore adapts a buffer pool to wal.PageStore so recovery and rollback
+// stay cache-coherent.
+type bufStore struct{ bp *storage.BufferPool }
+
+// ReadPage implements wal.PageStore.
+func (b bufStore) ReadPage(id uint64, buf []byte) error {
+	f, err := b.bp.Fetch(storage.PageID(id))
+	if err != nil {
+		return err
+	}
+	copy(buf, f.Data)
+	b.bp.Unpin(f, false)
+	return nil
+}
+
+// WritePage implements wal.PageStore.
+func (b bufStore) WritePage(id uint64, buf []byte) error {
+	f, err := b.bp.Fetch(storage.PageID(id))
+	if err != nil {
+		return err
+	}
+	copy(f.Data, buf)
+	b.bp.Unpin(f, true)
+	return nil
+}
+
+// EnsurePages implements wal.PageStore.
+func (b bufStore) EnsurePages(n uint64) error {
+	return storage.WALStore{P: b.bp.Pager()}.EnsurePages(n)
+}
+
+// PageSize implements wal.PageStore.
+func (b bufStore) PageSize() int { return storage.PageSize }
+
+// mapStores snapshots the space-id → store mapping for rollback.
+func (e *Engine) mapStores() wal.MapSpaces {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(wal.MapSpaces, len(e.spacePools))
+	for id, bp := range e.spacePools {
+		out[id] = bufStore{bp}
+	}
+	return out
+}
+
+// Session --------------------------------------------------------------------
+
+// Session is one client connection. Sessions are not safe for concurrent
+// use; open one per goroutine.
+type Session struct {
+	e   *Engine
+	id  uint64
+	ctx *mi.Context
+	iso lock.IsolationLevel
+
+	tx       uint64 // 0 = idle
+	explicit bool
+}
+
+// NewSession opens a session (default isolation: Committed Read).
+func (e *Engine) NewSession() *Session {
+	id := atomic.AddUint64(&e.nextSession, 1)
+	return &Session{e: e, id: id, ctx: mi.NewContext(id, nil), iso: lock.CommittedRead}
+}
+
+// Context returns the session's DataBlade API context.
+func (s *Session) Context() *mi.Context { return s.ctx }
+
+// Isolation returns the session's isolation level.
+func (s *Session) Isolation() lock.IsolationLevel { return s.iso }
+
+// InTx reports whether an explicit transaction is open.
+func (s *Session) InTx() bool { return s.tx != 0 && s.explicit }
+
+// beginTx starts a transaction (explicit or statement-scoped).
+func (s *Session) beginTx(explicit bool) error {
+	if s.tx != 0 {
+		if explicit {
+			return fmt.Errorf("engine: transaction already open")
+		}
+		return nil
+	}
+	s.tx = atomic.AddUint64(&s.e.nextTx, 1)
+	s.explicit = explicit
+	if s.e.log != nil {
+		if _, err := s.e.log.Begin(s.tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitTx commits the current transaction.
+func (s *Session) commitTx() error {
+	if s.tx == 0 {
+		return fmt.Errorf("engine: no transaction to commit")
+	}
+	if s.e.log != nil {
+		if _, err := s.e.log.Commit(s.tx); err != nil {
+			return err
+		}
+	}
+	s.ctx.EndTransaction(mi.TxCommit)
+	s.e.lm.ReleaseAll(lock.TxID(s.tx))
+	s.tx = 0
+	s.explicit = false
+	return nil
+}
+
+// rollbackTx rolls back the current transaction, restoring page state from
+// the log.
+func (s *Session) rollbackTx() error {
+	if s.tx == 0 {
+		return fmt.Errorf("engine: no transaction to roll back")
+	}
+	var err error
+	if s.e.log != nil {
+		err = wal.Rollback(s.e.log, s.e.mapStores(), s.tx)
+	}
+	s.ctx.EndTransaction(mi.TxAbort)
+	s.e.lm.ReleaseAll(lock.TxID(s.tx))
+	s.tx = 0
+	s.explicit = false
+	return err
+}
+
+// Close ends the session, rolling back any open transaction.
+func (s *Session) Close() {
+	if s.tx != 0 {
+		s.rollbackTx()
+	}
+	s.ctx.EndSession()
+}

@@ -1,0 +1,485 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/am"
+	"repro/internal/catalog"
+	"repro/internal/chronon"
+	"repro/internal/heap"
+	"repro/internal/lock"
+	"repro/internal/sbspace"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns  []string
+	Rows     [][]types.Datum
+	Affected int
+	Message  string
+}
+
+// Exec parses and executes one SQL statement.
+func (s *Session) Exec(src string) (*Result, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st)
+}
+
+// ExecScript executes a semicolon-separated script (registration scripts,
+// Section 6.1), returning the last result.
+func (s *Session) ExecScript(src string) (*Result, error) {
+	stmts, err := sql.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = s.ExecStmt(st)
+		if err != nil {
+			return last, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(st sql.Statement) (*Result, error) {
+	switch t := st.(type) {
+	case *sql.Begin:
+		if err := s.beginTx(true); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "transaction started"}, nil
+	case *sql.Commit:
+		if err := s.commitTx(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "committed"}, nil
+	case *sql.Rollback:
+		if err := s.rollbackTx(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "rolled back"}, nil
+	case *sql.SetIsolation:
+		switch t.Level {
+		case "DIRTY READ":
+			s.iso = lock.DirtyRead
+		case "COMMITTED READ":
+			s.iso = lock.CommittedRead
+		case "REPEATABLE READ":
+			s.iso = lock.RepeatableRead
+		default:
+			return nil, fmt.Errorf("engine: unknown isolation level %q", t.Level)
+		}
+		return &Result{Message: "isolation set to " + t.Level}, nil
+	}
+
+	auto := s.tx == 0
+	if auto {
+		if err := s.beginTx(false); err != nil {
+			return nil, err
+		}
+	}
+	res, err := s.run(st)
+	s.ctx.EndStatement()
+	if auto {
+		if err != nil {
+			s.rollbackTx()
+			return res, err
+		}
+		if cerr := s.commitTx(); cerr != nil {
+			return res, cerr
+		}
+	}
+	return res, err
+}
+
+func (s *Session) run(st sql.Statement) (*Result, error) {
+	switch t := st.(type) {
+	case *sql.CreateTable:
+		return s.createTable(t)
+	case *sql.DropTable:
+		return s.dropTable(t)
+	case *sql.CreateFunction:
+		return s.createFunction(t)
+	case *sql.CreateAccessMethod:
+		return s.createAccessMethod(t)
+	case *sql.CreateOpClass:
+		return s.createOpClass(t)
+	case *sql.CreateSbspace:
+		return s.createSbspace(t)
+	case *sql.CreateIndex:
+		return s.createIndex(t)
+	case *sql.DropIndex:
+		return s.dropIndex(t)
+	case *sql.Insert:
+		return s.insert(t)
+	case *sql.Select:
+		return s.selectStmt(t)
+	case *sql.Delete:
+		return s.deleteStmt(t)
+	case *sql.Update:
+		return s.update(t)
+	case *sql.CheckIndex:
+		return s.checkIndex(t)
+	case *sql.UpdateStatistics:
+		return s.updateStatistics(t)
+	case *sql.Load:
+		return s.load(t)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// DDL -------------------------------------------------------------------------
+
+func (s *Session) createTable(t *sql.CreateTable) (*Result, error) {
+	tb := &catalog.Table{Name: t.Name, SpaceID: s.e.cat.AllocSpaceID()}
+	for _, c := range t.Cols {
+		if _, err := s.e.reg.TypeByName(c.TypeName); err != nil {
+			return nil, err
+		}
+		tb.Columns = append(tb.Columns, catalog.Column{Name: c.Name, TypeName: c.TypeName})
+	}
+	if err := s.e.cat.AddTable(tb); err != nil {
+		return nil, err
+	}
+	if err := s.e.attachTable(tb, true); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "table created"}, nil
+}
+
+func (s *Session) dropTable(t *sql.DropTable) (*Result, error) {
+	if err := s.e.cat.DropTable(t.Name); err != nil {
+		return nil, err
+	}
+	s.e.mu.Lock()
+	delete(s.e.tables, strings.ToLower(t.Name))
+	s.e.mu.Unlock()
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "table dropped"}, nil
+}
+
+func (s *Session) createFunction(t *sql.CreateFunction) (*Result, error) {
+	p := &catalog.Procedure{
+		Name: t.Name, ArgTypes: t.ArgTypes, Returns: t.Returns,
+		External: t.External, Language: t.Language,
+	}
+	if _, _, err := p.ParseExternal(); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.AddProcedure(p); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "function created"}, nil
+}
+
+func (s *Session) createAccessMethod(t *sql.CreateAccessMethod) (*Result, error) {
+	meta := &catalog.AccessMethod{Name: t.Name, Slots: t.Slots, SpType: t.Slots["am_sptype"]}
+	// Validate eagerly: every named purpose function must resolve with the
+	// right signature (and am_getnext must be present).
+	if _, err := am.Bind(t.Slots, s.e.resolveSymbol); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.AddAccessMethod(meta); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "access method created"}, nil
+}
+
+func (s *Session) createOpClass(t *sql.CreateOpClass) (*Result, error) {
+	for _, fn := range append(append([]string{}, t.Strategies...), t.Support...) {
+		if _, err := s.e.cat.ProcByName(fn); err != nil {
+			return nil, err
+		}
+	}
+	oc := &catalog.OpClass{Name: t.Name, AmName: t.AmName, Strategies: t.Strategies, Support: t.Support}
+	if err := s.e.cat.AddOpClass(oc); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "operator class created"}, nil
+}
+
+func (s *Session) createSbspace(t *sql.CreateSbspace) (*Result, error) {
+	sp, err := s.e.cat.AddSbspace(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.e.attachSbspace(sp, true); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "sbspace created"}, nil
+}
+
+func (s *Session) createIndex(t *sql.CreateIndex) (*Result, error) {
+	if t.AmName == "" {
+		return nil, fmt.Errorf("engine: only USING <access method> indexes are supported")
+	}
+	tb, err := s.e.cat.TableByName(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	ix := &catalog.Index{
+		Name: t.Name, TableName: tb.Name, AmName: t.AmName,
+		SpaceName: t.Space, Params: t.Params,
+	}
+	for _, c := range t.Columns {
+		if _, err := tb.ColumnIndex(c.Column); err != nil {
+			return nil, err
+		}
+		ix.Columns = append(ix.Columns, c.Column)
+		oc := c.OpClass
+		if oc == "" {
+			def, err := s.e.cat.DefaultOpClass(t.AmName)
+			if err != nil {
+				return nil, err
+			}
+			oc = def.Name
+		} else if _, err := s.e.cat.OpClassByName(oc); err != nil {
+			return nil, err
+		}
+		ix.OpClasses = append(ix.OpClasses, oc)
+	}
+	desc, ps, err := s.indexDesc(ix)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.callIndexFn("am_create", ps.Create, desc); err != nil {
+		return nil, err
+	}
+	// The server invokes am_open right after am_create (grt_open step 1
+	// no-ops in that case) and then builds the index from existing rows.
+	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
+		return nil, err
+	}
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	buildErr := table.Scan(func(rid heap.RowID, row []types.Datum) (bool, error) {
+		vals := projectIndexed(desc, row)
+		if ps.Insert == nil {
+			return false, fmt.Errorf("engine: access method %s cannot insert", t.AmName)
+		}
+		s.e.traceCall("am_insert", desc.Name)
+		err := ps.Insert(s.ctx, desc, vals, rid)
+		s.ctx.EndFunction()
+		return err == nil, err
+	})
+	if cerr := s.callIndexFn("am_close", ps.Close, desc); cerr != nil && buildErr == nil {
+		buildErr = cerr
+	}
+	if buildErr != nil {
+		// Clean up the half-built index.
+		if ps.Drop != nil {
+			ps.Drop(s.ctx, desc)
+		}
+		return nil, buildErr
+	}
+	if err := s.e.cat.AddIndex(ix); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "index created"}, nil
+}
+
+func (s *Session) dropIndex(t *sql.DropIndex) (*Result, error) {
+	ix, err := s.e.cat.IndexByName(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	desc, ps, err := s.indexDesc(ix)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
+		return nil, err
+	}
+	if err := s.callIndexFn("am_drop", ps.Drop, desc); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.DropIndex(t.Name); err != nil {
+		return nil, err
+	}
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "index dropped"}, nil
+}
+
+func (s *Session) checkIndex(t *sql.CheckIndex) (*Result, error) {
+	ix, err := s.e.cat.IndexByName(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	desc, ps, err := s.indexDesc(ix)
+	if err != nil {
+		return nil, err
+	}
+	if ps.Check == nil {
+		return nil, fmt.Errorf("engine: access method %s has no am_check", ix.AmName)
+	}
+	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
+		return nil, err
+	}
+	defer s.callIndexFn("am_close", ps.Close, desc)
+	s.e.traceCall("am_check", desc.Name)
+	if err := ps.Check(s.ctx, desc); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "index is consistent"}, nil
+}
+
+func (s *Session) updateStatistics(t *sql.UpdateStatistics) (*Result, error) {
+	ix, err := s.e.cat.IndexByName(t.Index)
+	if err != nil {
+		return nil, err
+	}
+	desc, ps, err := s.indexDesc(ix)
+	if err != nil {
+		return nil, err
+	}
+	if ps.Stats == nil {
+		return nil, fmt.Errorf("engine: access method %s has no am_stats", ix.AmName)
+	}
+	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
+		return nil, err
+	}
+	defer s.callIndexFn("am_close", ps.Close, desc)
+	s.e.traceCall("am_stats", desc.Name)
+	msg, err := ps.Stats(s.ctx, desc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: msg}, nil
+}
+
+// descriptor plumbing ----------------------------------------------------------
+
+// indexDesc assembles the index descriptor the purpose functions receive
+// (the server fills in most of the data, Section 4 Step 2).
+func (s *Session) indexDesc(ix *catalog.Index) (*am.IndexDesc, *am.PurposeSet, error) {
+	ps, err := s.e.purposeSet(ix.AmName)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := s.e.cat.TableByName(ix.TableName)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema, err := s.e.tableSchema(tb)
+	if err != nil {
+		return nil, nil, err
+	}
+	desc := &am.IndexDesc{
+		Name: ix.Name, TableName: tb.Name, AmName: ix.AmName,
+		SpaceName: ix.SpaceName, Params: ix.Params,
+		Ctx: s.ctx, Services: services{s},
+	}
+	if len(ix.OpClasses) > 0 {
+		desc.OpClass = ix.OpClasses[0]
+	}
+	for _, col := range ix.Columns {
+		i, err := tb.ColumnIndex(col)
+		if err != nil {
+			return nil, nil, err
+		}
+		desc.Columns = append(desc.Columns, col)
+		desc.ColIdxs = append(desc.ColIdxs, i)
+		desc.ColTypes = append(desc.ColTypes, schema[i])
+	}
+	return desc, ps, nil
+}
+
+func projectIndexed(desc *am.IndexDesc, row []types.Datum) []types.Datum {
+	vals := make([]types.Datum, len(desc.ColIdxs))
+	for i, ci := range desc.ColIdxs {
+		vals[i] = row[ci]
+	}
+	return vals
+}
+
+func (s *Session) callIndexFn(name string, fn am.AmIndexFunc, desc *am.IndexDesc) error {
+	if fn == nil {
+		return nil
+	}
+	s.e.traceCall(name, desc.Name)
+	err := fn(s.ctx, desc)
+	s.ctx.EndFunction()
+	return err
+}
+
+// services implements am.Services for one session.
+type services struct{ s *Session }
+
+// Space implements am.Services.
+func (v services) Space(name string) (*sbspace.Space, error) { return v.s.e.Space(name) }
+
+// TxID implements am.Services.
+func (v services) TxID() lock.TxID { return lock.TxID(v.s.tx) }
+
+// Isolation implements am.Services.
+func (v services) Isolation() lock.IsolationLevel { return v.s.iso }
+
+// Clock implements am.Services.
+func (v services) Clock() chronon.Clock { return v.s.e.clock }
+
+// AMRecordPut implements am.Services.
+func (v services) AMRecordPut(amName, index string, data []byte) error {
+	v.s.e.cat.AMRecordPut(amName, index, data)
+	return v.s.e.cat.Save()
+}
+
+// AMRecordGet implements am.Services.
+func (v services) AMRecordGet(amName, index string) ([]byte, bool, error) {
+	d, ok := v.s.e.cat.AMRecordGet(amName, index)
+	return d, ok, nil
+}
+
+// AMRecordDelete implements am.Services.
+func (v services) AMRecordDelete(amName, index string) error {
+	v.s.e.cat.AMRecordDelete(amName, index)
+	return v.s.e.cat.Save()
+}
+
+// InvokeUDR implements am.Services: dynamic resolution and execution of a
+// registered UDR (how non-hard-coded strategy and support functions are
+// called; experiment P5 measures its overhead against hard-coded calls).
+func (v services) InvokeUDR(name string, args []types.Datum) (types.Datum, error) {
+	sym, err := v.s.e.resolveSymbol(name)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := sym.(am.UDRFunc)
+	if !ok {
+		return nil, fmt.Errorf("engine: %s is not callable from SQL (%T)", name, sym)
+	}
+	out, err := fn(v.s.ctx, args)
+	v.s.ctx.EndFunction()
+	return out, err
+}

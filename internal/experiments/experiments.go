@@ -1,0 +1,574 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/am"
+	"repro/internal/blades/grtblade"
+	"repro/internal/chronon"
+	"repro/internal/engine"
+	"repro/internal/grtree"
+	"repro/internal/heap"
+	"repro/internal/mi"
+	"repro/internal/nodestore"
+	"repro/internal/rstar"
+	"repro/internal/temporal"
+	"repro/internal/types"
+)
+
+// month renders an instant at the paper's month granularity (e.g. "3/97").
+func month(t chronon.Instant) string {
+	if t == chronon.UC {
+		return "UC"
+	}
+	if t == chronon.NOW {
+		return "NOW"
+	}
+	y, m, _ := t.Date()
+	return fmt.Sprintf("%d/%02d", m, y%100)
+}
+
+func newEmpDepEngine(clockStart string) (*engine.Engine, *chronon.VirtualClock, *engine.Session, error) {
+	clock := chronon.NewVirtualClock(chronon.MustParse(clockStart))
+	e, err := engine.Open(engine.Options{Clock: clock, NoWAL: true})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := grtblade.Register(e); err != nil {
+		e.Close()
+		return nil, nil, nil, err
+	}
+	s := e.NewSession()
+	return e, clock, s, nil
+}
+
+// RunT1 reproduces Table 1: the EmpDep relation built through the engine by
+// the operations the paper narrates — inserts, a deletion (Tom), and an
+// update (Julie) — with the current time advancing from 3/97 to 9/97.
+func RunT1(w io.Writer) error {
+	e, clock, s, err := newEmpDepEngine("3/97")
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	defer s.Close()
+	if _, err := s.ExecScript(`CREATE SBSPACE spc;
+		CREATE TABLE EmpDep (Employee VARCHAR(16), Department VARCHAR(16), Time_Extent GRT_TimeExtent_t);
+		CREATE INDEX empdep_ix ON EmpDep(Time_Extent) USING grtree_am IN spc`); err != nil {
+		return err
+	}
+	run := func(sql string) error { _, err := s.Exec(sql); return err }
+	ins := func(name, dep, vtb, vte string) error {
+		ct := clock.Now()
+		ext := temporal.Extent{TTBegin: ct, TTEnd: chronon.UC,
+			VTBegin: chronon.MustParse(vtb), VTEnd: chronon.MustParse(vte)}
+		if err := ext.ValidateInsert(ct); err != nil {
+			return err
+		}
+		return run(fmt.Sprintf(`INSERT INTO EmpDep VALUES ('%s', '%s', '%s')`, name, dep, ext))
+	}
+	logicalDelete := func(name string) error {
+		// Fetch the current extent, close it (TTEnd UC -> ct-1, Section 2).
+		res, err := s.Exec(fmt.Sprintf(`SELECT Time_Extent FROM EmpDep WHERE Employee = '%s'`, name))
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			ext, err := grtblade.DecodeExtent(row[0].(types.Opaque).Data)
+			if err != nil {
+				return err
+			}
+			if !ext.Current() {
+				continue
+			}
+			closed, err := ext.Deleted(clock.Now())
+			if err != nil {
+				return err
+			}
+			return run(fmt.Sprintf(`UPDATE EmpDep SET Time_Extent = '%s' WHERE Employee = '%s' AND Equal(Time_Extent, '%s')`,
+				closed, name, ext))
+		}
+		return fmt.Errorf("no current tuple for %s", name)
+	}
+
+	// The history behind Table 1 (times at month granularity, acting on the
+	// first day of each month; deletions on the 1st of the following month
+	// close the extent at the end of the stated month).
+	clock.Set(chronon.MustParse("3/97"))
+	if err := ins("Tom", "Management", "6/97", "8/97"); err != nil { // recorded before valid
+		return err
+	}
+	if err := ins("Julie", "Sales", "3/97", "NOW"); err != nil {
+		return err
+	}
+	clock.Set(chronon.MustParse("4/97"))
+	if err := ins("John", "Advertising", "3/97", "5/97"); err != nil {
+		return err
+	}
+	clock.Set(chronon.MustParse("5/97"))
+	if err := ins("Jane", "Sales", "5/97", "NOW"); err != nil {
+		return err
+	}
+	if err := ins("Michelle", "Management", "3/97", "NOW"); err != nil {
+		return err
+	}
+	clock.Set(chronon.MustParse("8/97"))
+	if err := logicalDelete("Tom"); err != nil { // Tom's tuple stops at 7/97
+		return err
+	}
+	// Julie's update: logical deletion + insertion of the corrected belief
+	// (she worked in Sales 3/97–7/97).
+	if err := logicalDelete("Julie"); err != nil {
+		return err
+	}
+	if err := ins("Julie", "Sales", "3/97", "7/97"); err != nil {
+		return err
+	}
+	clock.Set(chronon.MustParse("9/97"))
+
+	res, err := s.Exec(`SELECT Employee, Department, Time_Extent FROM EmpDep`)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "T1: the EmpDep relation (Table 1), CT = %s\n", month(clock.Now()))
+	fmt.Fprintf(w, "%-10s %-12s %8s %8s %8s %8s   %s\n", "Employee", "Department", "TTbegin", "TTend", "VTbegin", "VTend", "case")
+	type line struct {
+		emp, dep string
+		ext      temporal.Extent
+	}
+	var lines []line
+	for _, row := range res.Rows {
+		ext, err := grtblade.DecodeExtent(row[2].(types.Opaque).Data)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, line{row[0].(string), row[1].(string), ext})
+	}
+	sort.Slice(lines, func(a, b int) bool {
+		if lines[a].ext.TTBegin != lines[b].ext.TTBegin {
+			return lines[a].ext.TTBegin < lines[b].ext.TTBegin
+		}
+		return lines[a].emp < lines[b].emp
+	})
+	for _, l := range lines {
+		fmt.Fprintf(w, "%-10s %-12s %8s %8s %8s %8s   %v\n", l.emp, l.dep,
+			month(l.ext.TTBegin), month(l.ext.TTEnd), month(l.ext.VTBegin), month(l.ext.VTEnd), l.ext.Case())
+	}
+	if _, err := s.Exec(`CHECK INDEX empdep_ix`); err != nil {
+		return fmt.Errorf("index inconsistent after the Table 1 history: %w", err)
+	}
+	fmt.Fprintln(w, "index check: consistent")
+	return nil
+}
+
+// RunF2 reproduces Figures 1/2: the six qualitatively different timestamp
+// combinations, their case classification, and their region geometry.
+func RunF2(w io.Writer) error {
+	ct := chronon.MustParse("9/97")
+	fmt.Fprintf(w, "F2: the six combinations of time attributes (Figure 2), CT = %s\n", month(ct))
+	fmt.Fprintf(w, "%-8s %-34s %-9s %-22s %s\n", "case", "(TTbegin, TTend, VTbegin, VTend)", "growing", "shape at CT", "area at CT")
+	rows := []temporal.Extent{
+		temporal.MustParseExtent("4/97, UC, 3/97, 5/97"),
+		temporal.MustParseExtent("3/97, 7/97, 6/97, 8/97"),
+		temporal.MustParseExtent("5/97, UC, 5/97, NOW"),
+		temporal.MustParseExtent("3/97, 7/97, 3/97, NOW"),
+		temporal.MustParseExtent("5/97, UC, 3/97, NOW"),
+		temporal.MustParseExtent("5/97, 8/97, 3/97, NOW"),
+	}
+	for _, e := range rows {
+		r := e.Region()
+		sh := r.Resolve(ct)
+		kind := "rectangle"
+		if sh.Stair {
+			kind = "stair-shape"
+		}
+		ts := fmt.Sprintf("(%s, %s, %s, %s)", month(e.TTBegin), month(e.TTEnd), month(e.VTBegin), month(e.VTEnd))
+		fmt.Fprintf(w, "%-8v %-34s %-9v %-22s %.0f\n", e.Case(), ts, r.Growing(), kind, sh.Area())
+	}
+	return nil
+}
+
+// RunF3 reproduces Figure 3: an R*-tree whose query rectangle overlaps the
+// bounding rectangles R1 and R2 but finds qualifying data only under one of
+// them — both nodes must be read, and the R1 access is pure dead-space
+// cost.
+func RunF3(w io.Writer) error {
+	store := nodestore.NewMem()
+	tr, err := rstar.Create(store, rstar.Config{MaxEntries: 4, MinFillPct: 40, ReinsertPct: 0})
+	if err != nil {
+		return err
+	}
+	// Left cluster (becomes R1): rectangles whose bound [0,40]x[0,50] has
+	// dead space in its lower-right corner. Both clusters span the same
+	// y-range so the split axis is unambiguously x.
+	left := []rstar.Rect{
+		{XMin: 0, XMax: 10, YMin: 0, YMax: 10},
+		{XMin: 0, XMax: 10, YMin: 20, YMax: 30},
+		{XMin: 30, XMax: 40, YMin: 20, YMax: 30},
+		{XMin: 30, XMax: 40, YMin: 40, YMax: 50},
+	}
+	// Right cluster (becomes R2): from x=60 on, same y spread.
+	right := []rstar.Rect{
+		{XMin: 60, XMax: 70, YMin: 0, YMax: 10},
+		{XMin: 60, XMax: 70, YMin: 20, YMax: 30},
+		{XMin: 90, XMax: 100, YMin: 40, YMax: 50},
+		{XMin: 90, XMax: 100, YMin: 10, YMax: 20},
+	}
+	p := rstar.Payload(1)
+	for _, r := range append(append([]rstar.Rect{}, left...), right...) {
+		if err := tr.Insert(r, p); err != nil {
+			return err
+		}
+		p++
+	}
+	if tr.Height() != 2 {
+		return fmt.Errorf("F3 expected a two-level tree, got height %d", tr.Height())
+	}
+	// The query dips into R1's dead space (x 32..40 at low y holds no data)
+	// and touches real data only under R2.
+	query := rstar.Rect{XMin: 32, XMax: 65, YMin: 0, YMax: 10}
+	store.ResetStats()
+	matches, err := tr.SearchAll(rstar.OpOverlaps, query)
+	if err != nil {
+		return err
+	}
+	reads := store.Stats().NodeReads
+	fmt.Fprintf(w, "F3: the R*-tree example (Figure 3)\n")
+	fmt.Fprintf(w, "  tree: height %d, root + 2 leaves (R1 left cluster, R2 right cluster)\n", tr.Height())
+	fmt.Fprintf(w, "  query %v:\n", query)
+	fmt.Fprintf(w, "  nodes read: %d (root, R1, R2 — the query overlaps both bounding rectangles)\n", reads)
+	fmt.Fprintf(w, "  qualifying entries: %d, all from the right cluster\n", len(matches))
+	fmt.Fprintf(w, "  -> reading R1 found nothing: dead space caused one wasted node access\n")
+	if reads != 3 || len(matches) != 1 {
+		return fmt.Errorf("F3 shape violated: reads=%d matches=%d (want 3 and 1)", reads, len(matches))
+	}
+	return nil
+}
+
+// RunF4 reproduces Figure 4: the three bounding situations — a rectangle
+// growing in both dimensions, a stair-shape, and a hidden growing stair
+// inside a fixed rectangle.
+func RunF4(w io.Writer) error {
+	ct := chronon.Instant(10000)
+	pol := temporal.DefaultBoundPolicy
+	fmt.Fprintln(w, "F4: minimum bounding regions (Figure 4)")
+
+	// (a) A growing stair plus a rectangle above the line v = t: the bound
+	// is a rectangle growing in both dimensions.
+	a := temporal.Bound([]temporal.Region{
+		{TTBegin: ct - 100, TTEnd: chronon.UC, VTBegin: ct - 100, VTEnd: chronon.NOW},
+		{TTBegin: ct - 50, TTEnd: ct - 10, VTBegin: ct - 20, VTEnd: ct - 5, Rect: true},
+	}, ct, pol)
+	fmt.Fprintf(w, "  (a) growing stair + rectangle above v=t -> %s\n", describeBound(a))
+
+	// (b) Regions all below v = t: the bound is a stair-shape.
+	b := temporal.Bound([]temporal.Region{
+		{TTBegin: ct - 100, TTEnd: chronon.UC, VTBegin: ct - 100, VTEnd: chronon.NOW},
+		{TTBegin: ct - 60, TTEnd: ct - 20, VTBegin: ct - 90, VTEnd: ct - 70, Rect: true},
+	}, ct, pol)
+	fmt.Fprintf(w, "  (b) nothing above v=t -> %s\n", describeBound(b))
+
+	// (c) A small growing stair next to a rectangle with a distant fixed
+	// valid-time end: hidden inside the fixed rectangle.
+	c := temporal.Bound([]temporal.Region{
+		{TTBegin: ct - 5, TTEnd: chronon.UC, VTBegin: ct - 5, VTEnd: chronon.NOW},
+		{TTBegin: ct - 200, TTEnd: ct - 50, VTBegin: ct - 100, VTEnd: ct + 5000, Rect: true},
+	}, ct, pol)
+	fmt.Fprintf(w, "  (c) small growing stair + tall fixed rectangle -> %s\n", describeBound(c))
+	if !c.Hidden {
+		return fmt.Errorf("F4(c) expected a hidden bound, got %v", c)
+	}
+	adj := c.Adjust(ct + 6000)
+	fmt.Fprintf(w, "      after the stair outgrows it (CT+6000): Adjust -> %s\n", describeBound(adj))
+	return nil
+}
+
+func describeBound(r temporal.Region) string {
+	switch {
+	case r.Hidden && r.VTEnd == chronon.NOW:
+		return fmt.Sprintf("rectangle growing in both dimensions (repaired hidden) %v", r)
+	case r.Hidden:
+		return fmt.Sprintf("HIDDEN fixed rectangle %v", r)
+	case r.StairFlag():
+		return fmt.Sprintf("stair-shape %v", r)
+	case r.VTEnd == chronon.NOW:
+		return fmt.Sprintf("rectangle growing in both dimensions %v", r)
+	case r.TTEnd == chronon.UC:
+		return fmt.Sprintf("rectangle growing in transaction time %v", r)
+	default:
+		return fmt.Sprintf("static rectangle %v", r)
+	}
+}
+
+// RunF5 reproduces Figure 5: a GR-tree whose internal entries mix
+// stair-shaped and rectangular bounding regions, dumped structurally.
+func RunF5(w io.Writer) error {
+	store := nodestore.NewMem()
+	cfg := grtree.DefaultConfig()
+	cfg.MaxEntries = 4
+	tr, err := grtree.Create(store, cfg)
+	if err != nil {
+		return err
+	}
+	ct := chronon.Instant(1000)
+	extents := []temporal.Extent{
+		// Cluster of growing stairs (their bound stays a stair, like node 2
+		// in Figure 5).
+		{TTBegin: 900, TTEnd: chronon.UC, VTBegin: 900, VTEnd: chronon.NOW},
+		{TTBegin: 920, TTEnd: chronon.UC, VTBegin: 910, VTEnd: chronon.NOW},
+		{TTBegin: 940, TTEnd: chronon.UC, VTBegin: 930, VTEnd: chronon.NOW},
+		{TTBegin: 960, TTEnd: chronon.UC, VTBegin: 950, VTEnd: chronon.NOW},
+		// Cluster of static rectangles (their bound is a rectangle).
+		{TTBegin: 100, TTEnd: 200, VTBegin: 300, VTEnd: 400},
+		{TTBegin: 120, TTEnd: 220, VTBegin: 320, VTEnd: 420},
+		{TTBegin: 140, TTEnd: 240, VTBegin: 340, VTEnd: 440},
+		{TTBegin: 160, TTEnd: 260, VTBegin: 360, VTEnd: 460},
+	}
+	for i, e := range extents {
+		if err := tr.Insert(e, grtree.Payload(i+1), ct); err != nil {
+			return err
+		}
+	}
+	dump, err := tr.Dump(ct)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "F5: GR-tree structure (Figure 5): S = stair entry, R = growing rectangle, H = hidden")
+	fmt.Fprint(w, dump)
+	if !strings.Contains(dump, " S") {
+		return fmt.Errorf("F5 expected a stair-flagged internal entry in:\n%s", dump)
+	}
+	if err := tr.Check(ct); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunF6 reproduces Figure 6: the purpose functions the server calls when
+// processing INSERT and SELECT statements through a virtual index.
+func RunF6(w io.Writer) error {
+	e, _, s, err := newEmpDepEngine("9/97")
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	defer s.Close()
+	if _, err := s.ExecScript(`CREATE SBSPACE spc;
+		CREATE TABLE Employees (Name VARCHAR(16), Time_Extent GRT_TimeExtent_t);
+		CREATE INDEX grt_index ON Employees(Time_Extent) USING grtree_am IN spc;
+		INSERT INTO Employees VALUES ('seed', '5/97, UC, 5/97, NOW')`); err != nil {
+		return err
+	}
+	e.EnableCallTrace(true)
+	if _, err := s.Exec(`INSERT INTO Employees VALUES ('Ann', '9/97, UC, 9/97, NOW')`); err != nil {
+		return err
+	}
+	insertTrace := e.TakeCallTrace()
+	if _, err := s.Exec(`SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '1/97, UC, 1/97, NOW')`); err != nil {
+		return err
+	}
+	selectTrace := e.TakeCallTrace()
+	e.EnableCallTrace(false)
+
+	fmt.Fprintln(w, "F6: purpose functions called per statement (Figure 6)")
+	fmt.Fprintf(w, "  INSERT: %s\n", strings.Join(insertTrace, " -> "))
+	fmt.Fprintf(w, "  SELECT: %s\n", strings.Join(selectTrace, " -> "))
+	if strings.Join(insertTrace, " ") != "am_open(grt_index) am_insert(grt_index) am_close(grt_index)" {
+		return fmt.Errorf("F6 INSERT protocol violated: %v", insertTrace)
+	}
+	js := strings.Join(selectTrace, " ")
+	if !strings.Contains(js, "am_beginscan") || !strings.Contains(js, "am_getnext") ||
+		!strings.Contains(js, "am_endscan") || !strings.HasSuffix(js, "am_close(grt_index)") {
+		return fmt.Errorf("F6 SELECT protocol violated: %v", selectTrace)
+	}
+	return nil
+}
+
+// RunT2 reproduces Table 2: the purpose-function slots, their assignments
+// for grtree_am, and the fact that only am_getnext is mandatory.
+func RunT2(w io.Writer) error {
+	e, _, s, err := newEmpDepEngine("9/97")
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	defer s.Close()
+	meta, err := e.Catalog().AmByName(grtblade.AmName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "T2: access method purpose functions (Table 2), as registered in SYSAMS")
+	for _, slot := range am.PurposeSlots {
+		fn := meta.Slots[slot]
+		if fn == "" {
+			fn = "(not registered)"
+		}
+		fmt.Fprintf(w, "  %-14s = %s\n", slot, fn)
+	}
+	// Only am_getnext is mandatory: a minimal access method binds.
+	minimal := am.Library{"only_getnext": am.AmGetNextFunc(
+		func(*mi.Context, *am.ScanDesc) (heap.RowID, []types.Datum, bool, error) {
+			return 0, nil, false, nil
+		})}
+	if _, err := am.Bind(map[string]string{"am_getnext": "only_getnext"},
+		func(n string) (any, error) { return minimal[n], nil }); err != nil {
+		return fmt.Errorf("minimal access method must bind: %w", err)
+	}
+	if _, err := am.Bind(map[string]string{}, nil); err == nil {
+		return fmt.Errorf("an access method without am_getnext must be rejected")
+	}
+	fmt.Fprintln(w, "  am_getnext alone binds; an access method without it is rejected (only am_getnext is mandatory)")
+	return nil
+}
+
+// RunT3 reproduces Table 3 / Figure 8: the Julie query. Treating the valid-
+// and transaction-time intervals separately (the four-column design)
+// wrongly returns Julie; the single-column bitemporal Overlaps does not —
+// the Section 5.1 argument for one opaque extent column.
+func RunT3(w io.Writer) error {
+	e, clock, s, err := newEmpDepEngine("9/97")
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	defer s.Close()
+	// The bitemporal design: one opaque column, GR-tree indexed.
+	if _, err := s.ExecScript(`CREATE SBSPACE spc;
+		CREATE TABLE EmpDep (Name VARCHAR(16), Department VARCHAR(16), Time_Extent GRT_TimeExtent_t);
+		CREATE INDEX ix ON EmpDep(Time_Extent) USING grtree_am IN spc;
+		INSERT INTO EmpDep VALUES ('Julie', 'Sales', '3/97, 7/97, 3/97, NOW')`); err != nil {
+		return err
+	}
+	// The four-column design a naive schema would use: NOW resolved at the
+	// current time, one DATE column per timestamp.
+	now := clock.Now()
+	if _, err := s.ExecScript(fmt.Sprintf(`CREATE TABLE EmpDep4 (Name VARCHAR(16), Department VARCHAR(16),
+			TTb DATE, TTe DATE, VTb DATE, VTe DATE);
+		INSERT INTO EmpDep4 VALUES ('Julie', 'Sales', '3/97', '7/97', '3/97', '%s')`, now)); err != nil {
+		return err
+	}
+
+	// "Who worked in the Sales department during 7/97 according to the
+	// knowledge we had during 5/97?" — query region tt in 5/97, vt in 7/97.
+	fmt.Fprintln(w, "T3/F8: the Julie query (Table 3) — 'in Sales during 7/97 as known during 5/97?'")
+	correct, err := s.Exec(`SELECT Name FROM EmpDep WHERE Department = 'Sales'
+		AND Overlaps(Time_Extent, '5/97, 5/31/97, 7/97, 7/31/97')`)
+	if err != nil {
+		return err
+	}
+	naive, err := s.Exec(`SELECT Name FROM EmpDep4 WHERE Department = 'Sales'
+		AND TTb <= '5/31/97' AND TTe >= '5/97' AND VTb <= '7/31/97' AND VTe >= '7/97'`)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  four-column design (intervals treated separately): %d row(s)", len(naive.Rows))
+	for _, r := range naive.Rows {
+		fmt.Fprintf(w, " [%v]", r[0])
+	}
+	fmt.Fprintln(w, "  <- WRONG: Julie's region is a stair; it does not reach vt=7/97 at tt=5/97")
+	fmt.Fprintf(w, "  one-column bitemporal Overlaps:                     %d row(s)  <- correct\n", len(correct.Rows))
+	if len(naive.Rows) != 1 || len(correct.Rows) != 0 {
+		return fmt.Errorf("T3 expected naive=1 correct=0, got %d/%d", len(naive.Rows), len(correct.Rows))
+	}
+	return nil
+}
+
+// T4Row is one module row of the implementation inventory.
+type T4Row struct {
+	Task   string
+	Module string
+	LOC    int
+}
+
+// RunT4 reproduces Table 4 in spirit: the implementation-task inventory of
+// this reproduction, with lines of code counted from the source tree.
+func RunT4(w io.Writer, root string) ([]T4Row, error) {
+	count := func(rel string) int {
+		total := 0
+		filepath.Walk(filepath.Join(root, rel), func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil
+			}
+			total += strings.Count(string(data), "\n")
+			return nil
+		})
+		return total
+	}
+	rows := []T4Row{
+		{"Bitemporal model: UC/NOW, six cases, region algebra", "internal/chronon + internal/temporal", count("internal/chronon") + count("internal/temporal")},
+		{"Defining the opaque type and its support functions", "internal/blades/grtblade (type part)", count("internal/blades/grtblade")},
+		{"Access-method purpose functions (the GR-tree blade)", "internal/blades/grtblade", count("internal/blades/grtblade")},
+		{"The GR-tree core (assumed pre-existing in the paper)", "internal/grtree", count("internal/grtree")},
+		{"The R*-tree baseline", "internal/rstar + internal/blades/rstblade", count("internal/rstar") + count("internal/blades/rstblade")},
+		{"BLOB manipulation (sbspace large objects)", "internal/sbspace + internal/nodestore", count("internal/sbspace") + count("internal/nodestore")},
+		{"Qualification descriptors and the VII framework", "internal/am", count("internal/am")},
+		{"The server substrate (storage, WAL, locks, SQL, engine)", "internal/{storage,wal,lock,heap,sql,engine,catalog,types,mi}", count("internal/storage") + count("internal/wal") + count("internal/lock") + count("internal/heap") + count("internal/sql") + count("internal/engine") + count("internal/catalog") + count("internal/types") + count("internal/mi")},
+	}
+	fmt.Fprintln(w, "T4: implementation-task inventory (Table 4 analogue; non-test LOC)")
+	fmt.Fprintf(w, "  %-55s %-48s %6s\n", "Task", "Module", "LOC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-55s %-48s %6d\n", r.Task, r.Module, r.LOC)
+	}
+	fmt.Fprintln(w, "  (The paper reports ~1,450 C/C++ LOC for the blade alone, on top of Informix;")
+	fmt.Fprintln(w, "   this reproduction builds the server too, hence the larger totals.)")
+	return rows, nil
+}
+
+// RunT5 reproduces Table 5 / Appendix A: the purpose-function protocol
+// through a deletion that condenses the tree, showing the grt_delete
+// cursor-reset behaviour of Section 5.5.
+func RunT5(w io.Writer) error {
+	e, _, s, err := newEmpDepEngine("1/97")
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	defer s.Close()
+	if _, err := s.ExecScript(`CREATE SBSPACE spc;
+		CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t);
+		CREATE INDEX ix ON T(X) USING grtree_am (maxentries=8) IN spc`); err != nil {
+		return err
+	}
+	for i := 0; i < 80; i++ {
+		m := i%12 + 1
+		if _, err := s.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%d/96, UC, %d/96, NOW')`, i, m, m)); err != nil {
+			return err
+		}
+	}
+	e.EnableCallTrace(true)
+	res, err := s.Exec(`DELETE FROM T WHERE Overlaps(X, '1/96, UC, 1/96, NOW')`)
+	if err != nil {
+		return err
+	}
+	trace := e.TakeCallTrace()
+	e.EnableCallTrace(false)
+
+	counts := map[string]int{}
+	for _, t := range trace {
+		counts[strings.SplitN(t, "(", 2)[0]]++
+	}
+	fmt.Fprintln(w, "T5: purpose-function protocol through a condensing DELETE (Table 5 / Appendix A)")
+	fmt.Fprintf(w, "  deleted %d rows through one interleaved index scan\n", res.Affected)
+	for _, fn := range []string{"am_open", "am_scancost", "am_beginscan", "am_getnext", "am_delete", "am_endscan", "am_close"} {
+		fmt.Fprintf(w, "  %-13s called %4d time(s)\n", fn, counts[fn])
+	}
+	fmt.Fprintln(w, "  grt_delete condensed the tree repeatedly; the Cursor restarted per the")
+	fmt.Fprintln(w, "  Section 5.5 compromise (restart only when the tree is actually condensed),")
+	fmt.Fprintln(w, "  and no entry was returned twice.")
+	if res.Affected != 80 || counts["am_delete"] != 80 || counts["am_getnext"] != 81 {
+		return fmt.Errorf("T5 protocol violated: affected=%d counts=%v", res.Affected, counts)
+	}
+	if _, err := s.Exec(`CHECK INDEX ix`); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package gist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// IntervalClass is a one-dimensional closed-interval key class — the
+// smallest non-trivial GiST opclass, and the regression baseline for the
+// generic machinery.
+type IntervalClass struct{}
+
+// IntervalKey encodes a closed interval [Lo, Hi].
+func IntervalKey(lo, hi int64) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf[0:8], uint64(lo))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(hi))
+	return buf
+}
+
+func decodeInterval(key []byte) (lo, hi int64, err error) {
+	if len(key) != 16 {
+		return 0, 0, fmt.Errorf("gist: interval key has %d bytes", len(key))
+	}
+	return int64(binary.BigEndian.Uint64(key[0:8])), int64(binary.BigEndian.Uint64(key[8:16])), nil
+}
+
+// IntervalOverlaps is the overlap query.
+type IntervalOverlaps struct{ Lo, Hi int64 }
+
+// IntervalContains finds intervals containing the query interval.
+type IntervalContains struct{ Lo, Hi int64 }
+
+// Name implements KeyClass.
+func (IntervalClass) Name() string { return "interval_ops" }
+
+// MaxKeySize implements KeyClass.
+func (IntervalClass) MaxKeySize() int { return 16 }
+
+// Equal implements KeyClass.
+func (IntervalClass) Equal(a, b []byte) bool { return bytes.Equal(a, b) }
+
+// Consistent implements KeyClass.
+func (IntervalClass) Consistent(key []byte, q Query, leaf bool) (bool, error) {
+	lo, hi, err := decodeInterval(key)
+	if err != nil {
+		return false, err
+	}
+	switch t := q.(type) {
+	case IntervalOverlaps:
+		return lo <= t.Hi && t.Lo <= hi, nil
+	case IntervalContains:
+		// A leaf containing [qlo,qhi] must itself contain it; a subtree
+		// union containing such a leaf also contains it.
+		return lo <= t.Lo && t.Hi <= hi, nil
+	case KeyQuery:
+		klo, khi, err := decodeInterval([]byte(t))
+		if err != nil {
+			return false, err
+		}
+		return lo <= klo && khi <= hi, nil
+	}
+	return false, fmt.Errorf("gist: interval_ops cannot evaluate %T", q)
+}
+
+// Union implements KeyClass.
+func (IntervalClass) Union(keys [][]byte) ([]byte, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("gist: union of no keys")
+	}
+	lo, hi, err := decodeInterval(keys[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys[1:] {
+		l, h, err := decodeInterval(k)
+		if err != nil {
+			return nil, err
+		}
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return IntervalKey(lo, hi), nil
+}
+
+// Penalty implements KeyClass: length enlargement.
+func (IntervalClass) Penalty(existing, newKey []byte) (float64, error) {
+	lo, hi, err := decodeInterval(existing)
+	if err != nil {
+		return 0, err
+	}
+	nlo, nhi, err := decodeInterval(newKey)
+	if err != nil {
+		return 0, err
+	}
+	ulo, uhi := lo, hi
+	if nlo < ulo {
+		ulo = nlo
+	}
+	if nhi > uhi {
+		uhi = nhi
+	}
+	return float64(uhi-ulo) - float64(hi-lo), nil
+}
+
+// PickSplit implements KeyClass: sort by lower bound, split in half.
+func (IntervalClass) PickSplit(keys [][]byte) ([]int, []int, error) {
+	idx := make([]int, len(keys))
+	los := make([]int64, len(keys))
+	for i, k := range keys {
+		lo, _, err := decodeInterval(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[i] = i
+		los[i] = lo
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return los[idx[a]] < los[idx[b]] })
+	mid := len(idx) / 2
+	return idx[:mid], idx[mid:], nil
+}

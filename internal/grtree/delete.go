@@ -1,0 +1,195 @@
+package grtree
+
+import (
+	"repro/internal/chronon"
+	"repro/internal/temporal"
+)
+
+// Delete removes the leaf entry holding exactly this extent and payload,
+// as of current time ct. It reports whether an entry was removed and whether
+// the tree was condensed (entries re-inserted because a node underflowed) —
+// the signal grt_delete uses to decide whether the scan cursor must be reset
+// (Section 5.5, Table 5 step 5).
+func (t *Tree) Delete(ext temporal.Extent, payload Payload, ct chronon.Instant) (removed, condensed bool, err error) {
+	target := ext.Region()
+	var path []pathStep
+	n, e := t.readNode(t.root)
+	if e != nil {
+		return false, false, e
+	}
+	found, path, n, err := t.findLeaf(n, path, target, payload, ct)
+	if err != nil || !found {
+		return false, false, err
+	}
+
+	// Remove the entry from the leaf.
+	for i, le := range n.entries {
+		if le.Ref == uint64(payload) && le.Region == target {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			break
+		}
+	}
+	t.size--
+	if t.cfg.DeletePolicy == RestartAlways {
+		t.epoch++
+	}
+
+	condensed, err = t.condense(path, n, ct)
+	if err != nil {
+		return true, condensed, err
+	}
+	return true, condensed, t.saveMeta()
+}
+
+// findLeaf locates the leaf containing (target, payload), descending only
+// into children whose bounds contain the target region.
+func (t *Tree) findLeaf(n *node, path []pathStep, target temporal.Region, payload Payload, ct chronon.Instant) (bool, []pathStep, *node, error) {
+	if n.level == 0 {
+		for _, le := range n.entries {
+			if le.Ref == uint64(payload) && le.Region == target {
+				return true, path, n, nil
+			}
+		}
+		return false, path, n, nil
+	}
+	for idx, e := range n.entries {
+		if !e.Region.Contains(target, ct) {
+			continue
+		}
+		child, err := t.readNode(e.Child())
+		if err != nil {
+			return false, path, nil, err
+		}
+		found, p2, leaf, err := t.findLeaf(child, append(path, pathStep{n: n, idx: idx}), target, payload, ct)
+		if err != nil {
+			return false, path, nil, err
+		}
+		if found {
+			return true, p2, leaf, nil
+		}
+	}
+	return false, path, nil, nil
+}
+
+// condense repairs the tree after a removal: underfull nodes are unlinked
+// and their surviving entries re-inserted at their levels (R* CondenseTree
+// adapted); under NoCondense only empty nodes are unlinked. It reports
+// whether any structural change happened.
+func (t *Tree) condense(path []pathStep, n *node, ct chronon.Instant) (bool, error) {
+	type orphan struct {
+		e     Entry
+		level int
+	}
+	var orphans []orphan
+	structural := false
+
+	for i := len(path); i >= 0; i-- {
+		isRoot := n.id == t.root
+		under := len(n.entries) < t.minFill()
+		if t.cfg.DeletePolicy == NoCondense {
+			under = len(n.entries) == 0
+		}
+		if !isRoot && under {
+			// Unlink n from its parent and orphan its entries.
+			parent := path[i-1].n
+			idx := path[i-1].idx
+			parent.entries = append(parent.entries[:idx], parent.entries[idx+1:]...)
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: n.level})
+			}
+			if err := t.store.Free(n.id); err != nil {
+				return structural, err
+			}
+			structural = true
+			n = parent
+			// The parent's remaining child indexes shifted; fix deeper path
+			// steps is unnecessary (we only walk upward), but sibling idx in
+			// the grandparent step is still valid.
+			continue
+		}
+		// Node survives: rewrite it and refresh the parent's bound.
+		if err := t.writeNode(n); err != nil {
+			return structural, err
+		}
+		if !isRoot {
+			parent := path[i-1].n
+			// idx may have shifted if an earlier sibling was unlinked at
+			// this level; locate n in the parent.
+			for j := range parent.entries {
+				if parent.entries[j].Child() == n.id {
+					parent.entries[j] = Entry{Region: t.bound(n, ct), Ref: uint64(n.id)}
+					break
+				}
+			}
+			n = parent
+			continue
+		}
+		break
+	}
+
+	// Shrink the root while it is an internal node with a single child.
+	for {
+		root, err := t.readNode(t.root)
+		if err != nil {
+			return structural, err
+		}
+		if root.level == 0 || len(root.entries) != 1 {
+			break
+		}
+		oldRoot := root.id
+		t.root = root.entries[0].Child()
+		t.height--
+		if err := t.store.Free(oldRoot); err != nil {
+			return structural, err
+		}
+		structural = true
+	}
+
+	if structural {
+		t.epoch++
+	}
+
+	// Re-insert orphans at their original levels.
+	if len(orphans) > 0 {
+		reinserted := make(map[int]bool)
+		for _, o := range orphans {
+			if err := t.insertAtLevel(o.e, o.level, ct, reinserted); err != nil {
+				return structural, err
+			}
+		}
+	}
+	return structural, t.saveMeta()
+}
+
+// DeleteWhere removes every leaf entry matching the predicate, returning
+// how many were removed. It mirrors the engine's deletion procedure
+// (Section 5.5): scan with a cursor, delete each qualifying entry, and reset
+// the scan when the tree condenses. The cursor restart count is returned
+// for experiment P4.
+func (t *Tree) DeleteWhere(pred Predicate, ct chronon.Instant) (removed int, restarts int, err error) {
+	cur, err := t.Search(pred, ct)
+	if err != nil {
+		return 0, 0, err
+	}
+	for {
+		e, ok, err := cur.Next()
+		if err != nil {
+			return removed, cur.Restarts(), err
+		}
+		if !ok {
+			return removed, cur.Restarts(), nil
+		}
+		// Reconstruct the extent from the stored leaf region.
+		ext := temporal.Extent{
+			TTBegin: e.Region.TTBegin, TTEnd: e.Region.TTEnd,
+			VTBegin: e.Region.VTBegin, VTEnd: e.Region.VTEnd,
+		}
+		ok2, _, err := t.Delete(ext, e.Payload(), ct)
+		if err != nil {
+			return removed, cur.Restarts(), err
+		}
+		if ok2 {
+			removed++
+		}
+	}
+}

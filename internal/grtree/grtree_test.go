@@ -1,0 +1,544 @@
+package grtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/nodestore"
+	"repro/internal/temporal"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.MaxEntries = 8
+	c.Bound = temporal.BoundPolicy{TimeParam: 30, AllowHidden: true}
+	return c
+}
+
+func newTestTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := Create(nodestore.NewMem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// randomExtent draws a valid extent as of ct (mirrors the temporal package's
+// generator).
+func randomExtent(rng *rand.Rand, ct chronon.Instant) temporal.Extent {
+	c := int64(ct)
+	vtb := rng.Int63n(c + 1)
+	ttb := vtb + rng.Int63n(c-vtb+1)
+	switch rng.Intn(6) {
+	case 0:
+		return temporal.Extent{TTBegin: chronon.Instant(ttb), TTEnd: chronon.UC, VTBegin: chronon.Instant(vtb), VTEnd: chronon.Instant(vtb + rng.Int63n(60))}
+	case 1:
+		tte := ttb + rng.Int63n(c-ttb+1)
+		return temporal.Extent{TTBegin: chronon.Instant(ttb), TTEnd: chronon.Instant(tte), VTBegin: chronon.Instant(vtb), VTEnd: chronon.Instant(vtb + rng.Int63n(60))}
+	case 2:
+		return temporal.Extent{TTBegin: chronon.Instant(vtb), TTEnd: chronon.UC, VTBegin: chronon.Instant(vtb), VTEnd: chronon.NOW}
+	case 3:
+		tte := vtb + rng.Int63n(c-vtb+1)
+		return temporal.Extent{TTBegin: chronon.Instant(vtb), TTEnd: chronon.Instant(tte), VTBegin: chronon.Instant(vtb), VTEnd: chronon.NOW}
+	case 4:
+		return temporal.Extent{TTBegin: chronon.Instant(ttb), TTEnd: chronon.UC, VTBegin: chronon.Instant(vtb), VTEnd: chronon.NOW}
+	default:
+		tte := ttb + rng.Int63n(c-ttb+1)
+		return temporal.Extent{TTBegin: chronon.Instant(ttb), TTEnd: chronon.Instant(tte), VTBegin: chronon.Instant(vtb), VTEnd: chronon.NOW}
+	}
+}
+
+func payloadSetEqual(a []Payload, b map[Payload]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteForce evaluates the predicate over a model map.
+func bruteForce(model map[Payload]temporal.Extent, pred Predicate, ct chronon.Instant) map[Payload]bool {
+	out := make(map[Payload]bool)
+	for p, e := range model {
+		if pred.Match(e, ct) {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func TestInsertSearchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ct := chronon.Instant(200)
+	tr := newTestTree(t, smallConfig())
+	model := make(map[Payload]temporal.Extent)
+
+	for i := 0; i < 400; i++ {
+		e := randomExtent(rng, ct)
+		p := Payload(i + 1)
+		if err := tr.Insert(e, p, ct); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		model[p] = e
+	}
+	if tr.Size() != 400 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	if err := tr.Check(ct); err != nil {
+		t.Fatalf("check after inserts: %v", err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree should have split: height %d", tr.Height())
+	}
+
+	// Check all four operators at several current times against brute force.
+	for _, at := range []chronon.Instant{ct, ct + 50, ct + 500} {
+		for trial := 0; trial < 30; trial++ {
+			q := randomExtent(rng, ct)
+			for _, op := range []Op{OpOverlaps, OpEqual, OpContains, OpContainedIn} {
+				pred := Predicate{Op: op, Query: q}
+				got, err := tr.SearchAll(pred, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteForce(model, pred, at)
+				if !payloadSetEqual(got, want) {
+					t.Fatalf("at ct+%d, %v(%v): got %d rows, want %d", at-ct, op, q, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestSearchSeesGrowth: a query region ahead of the data matches only after
+// the clock advances and the now-relative regions grow into it.
+func TestSearchSeesGrowth(t *testing.T) {
+	ct := chronon.Instant(100)
+	tr := newTestTree(t, smallConfig())
+	// A growing stair starting at day 90.
+	ext := temporal.Extent{TTBegin: 90, TTEnd: chronon.UC, VTBegin: 90, VTEnd: chronon.NOW}
+	if err := tr.Insert(ext, 1, ct); err != nil {
+		t.Fatal(err)
+	}
+	// Query rectangle at tt,vt ∈ [150, 160].
+	q := temporal.Extent{TTBegin: 150, TTEnd: 160, VTBegin: 150, VTEnd: 160}
+	got, err := tr.SearchAll(Predicate{Op: OpOverlaps, Query: q}, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("region must not overlap the future query yet")
+	}
+	got, err = tr.SearchAll(Predicate{Op: OpOverlaps, Query: q}, 155)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("grown region must overlap the query at ct=155")
+	}
+}
+
+func TestDeleteAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ct := chronon.Instant(150)
+	tr := newTestTree(t, smallConfig())
+	model := make(map[Payload]temporal.Extent)
+	for i := 0; i < 300; i++ {
+		e := randomExtent(rng, ct)
+		p := Payload(i + 1)
+		if err := tr.Insert(e, p, ct); err != nil {
+			t.Fatal(err)
+		}
+		model[p] = e
+	}
+	// Delete a random half.
+	var ids []Payload
+	for p := range model {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, p := range ids[:150] {
+		removed, _, err := tr.Delete(model[p], p, ct)
+		if err != nil {
+			t.Fatalf("delete %d: %v", p, err)
+		}
+		if !removed {
+			t.Fatalf("delete %d: not found", p)
+		}
+		delete(model, p)
+	}
+	if tr.Size() != 150 {
+		t.Fatalf("size after deletes: %d", tr.Size())
+	}
+	if err := tr.Check(ct); err != nil {
+		t.Fatalf("check after deletes: %v", err)
+	}
+	// Deleting a missing entry reports not-found.
+	removed, _, err := tr.Delete(model[ids[200]], 99999, ct)
+	if err != nil || removed {
+		t.Fatalf("phantom delete: %v %v", removed, err)
+	}
+	// Survivors still searchable.
+	for trial := 0; trial < 20; trial++ {
+		q := randomExtent(rng, ct)
+		pred := Predicate{Op: OpOverlaps, Query: q}
+		got, err := tr.SearchAll(pred, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !payloadSetEqual(got, bruteForce(model, pred, ct)) {
+			t.Fatalf("trial %d: post-delete search mismatch", trial)
+		}
+	}
+	// Delete everything; the tree must shrink back to a single leaf root.
+	for p, e := range model {
+		if ok, _, err := tr.Delete(e, p, ct); err != nil || !ok {
+			t.Fatalf("final delete %d: %v %v", p, ok, err)
+		}
+	}
+	if tr.Size() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: size %d height %d", tr.Size(), tr.Height())
+	}
+	if err := tr.Check(ct); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckOverTimeAfterMixedWorkload(t *testing.T) {
+	// The structural invariant must keep holding as the clock advances.
+	rng := rand.New(rand.NewSource(99))
+	clockStart := chronon.Instant(120)
+	tr := newTestTree(t, smallConfig())
+	model := make(map[Payload]temporal.Extent)
+	ct := clockStart
+	for i := 0; i < 250; i++ {
+		ct++ // time passes between operations
+		if rng.Intn(4) != 0 || len(model) == 0 {
+			// Insert with proper insertion semantics: TTBegin = ct.
+			vtb := ct - chronon.Instant(rng.Int63n(50))
+			e := temporal.Extent{TTBegin: ct, TTEnd: chronon.UC, VTBegin: vtb, VTEnd: chronon.NOW}
+			if rng.Intn(2) == 0 {
+				e.VTEnd = vtb + chronon.Instant(rng.Int63n(40))
+			}
+			p := Payload(i + 1)
+			if err := e.ValidateInsert(ct); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Insert(e, p, ct); err != nil {
+				t.Fatal(err)
+			}
+			model[p] = e
+		} else {
+			// Logical deletion: index delete of old extent + insert of the
+			// closed extent (Section 2).
+			for p, e := range model {
+				if e.TTEnd != chronon.UC {
+					continue
+				}
+				if ok, _, err := tr.Delete(e, p, ct); err != nil || !ok {
+					t.Fatalf("delete: %v %v", ok, err)
+				}
+				closed, err := e.Deleted(ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Insert(closed, p, ct); err != nil {
+					t.Fatal(err)
+				}
+				model[p] = closed
+				break
+			}
+		}
+	}
+	for _, at := range []chronon.Instant{ct, ct + 100, ct + 1000} {
+		if err := tr.Check(at); err != nil {
+			t.Fatalf("check at ct+%d: %v", at-ct, err)
+		}
+	}
+	// And searches remain correct far in the future.
+	for trial := 0; trial < 20; trial++ {
+		q := randomExtent(rng, ct)
+		pred := Predicate{Op: OpOverlaps, Query: q}
+		at := ct + 500
+		got, err := tr.SearchAll(pred, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !payloadSetEqual(got, bruteForce(model, pred, at)) {
+			t.Fatalf("future search mismatch (trial %d)", trial)
+		}
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ct := chronon.Instant(300)
+	var items []BulkItem
+	model := make(map[Payload]temporal.Extent)
+	for i := 0; i < 500; i++ {
+		e := randomExtent(rng, ct)
+		p := Payload(i + 1)
+		items = append(items, BulkItem{Extent: e, Payload: p})
+		model[p] = e
+	}
+	tr := newTestTree(t, smallConfig())
+	if err := tr.BulkLoad(items, ct); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 500 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	if err := tr.Check(ct); err != nil {
+		t.Fatalf("check after bulk load: %v", err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		q := randomExtent(rng, ct)
+		pred := Predicate{Op: OpOverlaps, Query: q}
+		got, err := tr.SearchAll(pred, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !payloadSetEqual(got, bruteForce(model, pred, ct)) {
+			t.Fatalf("bulk search mismatch (trial %d)", trial)
+		}
+	}
+	// Bulk load into a non-empty tree fails.
+	if err := tr.BulkLoad(items, ct); err == nil {
+		t.Fatal("bulk load into non-empty tree must fail")
+	}
+	// Empty bulk load is a no-op.
+	tr2 := newTestTree(t, smallConfig())
+	if err := tr2.BulkLoad(nil, ct); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	store := nodestore.NewMem()
+	cfg := smallConfig()
+	tr, err := Create(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := chronon.Instant(100)
+	rng := rand.New(rand.NewSource(3))
+	model := make(map[Payload]temporal.Extent)
+	for i := 0; i < 120; i++ {
+		e := randomExtent(rng, ct)
+		p := Payload(i + 1)
+		if err := tr.Insert(e, p, ct); err != nil {
+			t.Fatal(err)
+		}
+		model[p] = e
+	}
+	tr2, err := Open(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Size() != 120 || tr2.Height() != tr.Height() {
+		t.Fatalf("reopened tree: size %d height %d", tr2.Size(), tr2.Height())
+	}
+	if err := tr2.Check(ct); err != nil {
+		t.Fatal(err)
+	}
+	pred := Predicate{Op: OpOverlaps, Query: temporal.Extent{TTBegin: 0, TTEnd: chronon.UC, VTBegin: 0, VTEnd: chronon.NOW}}
+	got, err := tr2.SearchAll(pred, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !payloadSetEqual(got, bruteForce(model, pred, ct)) {
+		t.Fatal("reopened search mismatch")
+	}
+	// Open of a store without a tree fails.
+	if _, err := Open(nodestore.NewMem(), cfg); err == nil {
+		t.Fatal("open of empty store must fail")
+	}
+}
+
+func TestCursorRestartOnCondense(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ct := chronon.Instant(150)
+	cfg := smallConfig()
+	cfg.DeletePolicy = RestartOnCondense
+	tr := newTestTree(t, cfg)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(randomExtent(rng, ct), Payload(i+1), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	everything := temporal.Extent{TTBegin: 0, TTEnd: chronon.UC, VTBegin: 0, VTEnd: chronon.NOW}
+	removed, restarts, err := tr.DeleteWhere(Predicate{Op: OpOverlaps, Query: everything}, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 200 {
+		t.Fatalf("DeleteWhere removed %d of 200", removed)
+	}
+	if restarts == 0 {
+		t.Fatal("mass deletion must condense and restart the cursor at least once")
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	if err := tr.Check(ct); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeletePolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ct := chronon.Instant(150)
+	everything := temporal.Extent{TTBegin: 0, TTEnd: chronon.UC, VTBegin: 0, VTEnd: chronon.NOW}
+	restartCounts := map[DeletePolicy]int{}
+	for _, pol := range []DeletePolicy{RestartOnCondense, RestartAlways, NoCondense} {
+		cfg := smallConfig()
+		cfg.DeletePolicy = pol
+		tr := newTestTree(t, cfg)
+		r := rand.New(rand.NewSource(9))
+		for i := 0; i < 150; i++ {
+			if err := tr.Insert(randomExtent(r, ct), Payload(i+1), ct); err != nil {
+				t.Fatal(err)
+			}
+		}
+		removed, restarts, err := tr.DeleteWhere(Predicate{Op: OpOverlaps, Query: everything}, ct)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if removed != 150 {
+			t.Fatalf("%v: removed %d", pol, removed)
+		}
+		if err := tr.Check(ct); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		restartCounts[pol] = restarts
+		if pol.String() == "" {
+			t.Fatal("policy string")
+		}
+	}
+	if restartCounts[RestartAlways] < restartCounts[RestartOnCondense] {
+		t.Fatalf("restart-always (%d) must restart at least as often as restart-on-condense (%d)",
+			restartCounts[RestartAlways], restartCounts[RestartOnCondense])
+	}
+	_ = rng
+}
+
+func TestCursorResetAndRescan(t *testing.T) {
+	ct := chronon.Instant(100)
+	tr := newTestTree(t, smallConfig())
+	for i := 0; i < 50; i++ {
+		e := temporal.Extent{TTBegin: chronon.Instant(10 + i), TTEnd: chronon.UC, VTBegin: chronon.Instant(10 + i), VTEnd: chronon.NOW}
+		if err := tr.Insert(e, Payload(i+1), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	everything := temporal.Extent{TTBegin: 0, TTEnd: chronon.UC, VTBegin: 0, VTEnd: chronon.NOW}
+	cur, err := tr.Search(Predicate{Op: OpOverlaps, Query: everything}, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("first scan: %d", count)
+	}
+	// grt_rescan: Reset rewinds and produces everything again.
+	cur.Reset()
+	count = 0
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("rescan: %d", count)
+	}
+}
+
+func TestStatsAndDump(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ct := chronon.Instant(150)
+	tr := newTestTree(t, smallConfig())
+	for i := 0; i < 150; i++ {
+		if err := tr.Insert(randomExtent(rng, ct), Payload(i+1), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := tr.Stats(ct, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LeafEntries != 150 || st.Height != tr.Height() || st.Nodes < 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.PerLevel) != st.Height {
+		t.Fatalf("per-level stats: %d levels, height %d", len(st.PerLevel), st.Height)
+	}
+	if st.DeadSpaceRatio < 0 || st.DeadSpaceRatio > 1 {
+		t.Fatalf("dead space ratio %v", st.DeadSpaceRatio)
+	}
+	dump, err := tr.Dump(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) == 0 {
+		t.Fatal("empty dump")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	tr := newTestTree(t, smallConfig())
+	bad := temporal.Extent{TTBegin: 10, TTEnd: 5, VTBegin: 0, VTEnd: 1}
+	if err := tr.Insert(bad, 1, 100); err == nil {
+		t.Fatal("invalid extent must not insert")
+	}
+	if _, err := tr.Search(Predicate{Op: OpOverlaps, Query: bad}, 100); err == nil {
+		t.Fatal("invalid query must fail")
+	}
+	for _, op := range []Op{OpOverlaps, OpEqual, OpContains, OpContainedIn, Op(99)} {
+		_ = op.String()
+	}
+}
+
+func TestFullCapacityNodes(t *testing.T) {
+	// Default capacity: entries per 4 KB page.
+	if Capacity < 80 {
+		t.Fatalf("capacity %d unexpectedly small", Capacity)
+	}
+	cfg := DefaultConfig()
+	tr := newTestTree(t, cfg)
+	ct := chronon.Instant(500)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 3*Capacity; i++ {
+		if err := tr.Insert(randomExtent(rng, ct), Payload(i+1), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(ct); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Fatal("default-capacity tree should have split")
+	}
+}

@@ -1,0 +1,218 @@
+package grtree
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/nodestore"
+	"repro/internal/temporal"
+)
+
+// Op is a query predicate operator — the strategy functions of the GR-tree
+// operator class (Section 5.2): Overlaps, Equal, Contains, ContainedIn.
+type Op int
+
+const (
+	// OpOverlaps finds extents whose regions share a cell with the query.
+	OpOverlaps Op = iota
+	// OpEqual finds extents whose regions equal the query region.
+	OpEqual
+	// OpContains finds extents whose regions contain the query region.
+	OpContains
+	// OpContainedIn finds extents whose regions lie inside the query region.
+	OpContainedIn
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOverlaps:
+		return "Overlaps"
+	case OpEqual:
+		return "Equal"
+	case OpContains:
+		return "Contains"
+	case OpContainedIn:
+		return "ContainedIn"
+	}
+	return "?"
+}
+
+// leafTest evaluates the predicate against a leaf region — the strategy
+// function proper, operating on exact geometry.
+func leafTest(op Op, entry, query temporal.Region, ct chronon.Instant) bool {
+	switch op {
+	case OpOverlaps:
+		return entry.Overlaps(query, ct)
+	case OpEqual:
+		return entry.Equal(query, ct)
+	case OpContains:
+		return entry.Contains(query, ct)
+	case OpContainedIn:
+		return entry.ContainedIn(query, ct)
+	}
+	return false
+}
+
+// internalTest is the pruning predicate for internal-node bounding regions —
+// the "internal" companion of each strategy function that Section 5.2
+// discusses (OverlapsInternal() etc., hard-coded in the prototype): it must
+// hold whenever any descendant leaf could satisfy the strategy function.
+func internalTest(op Op, bound, query temporal.Region, ct chronon.Instant) bool {
+	switch op {
+	case OpOverlaps, OpContainedIn:
+		// A leaf overlapping (or inside) the query overlaps it, so its
+		// ancestors' bounds do too.
+		return bound.Overlaps(query, ct)
+	case OpEqual, OpContains:
+		// A leaf equal to (or containing) the query contains it, so its
+		// ancestors' bounds contain it as well.
+		return bound.Contains(query, ct)
+	}
+	return false
+}
+
+// Predicate is a search qualification: an operator and a query extent.
+type Predicate struct {
+	Op    Op
+	Query temporal.Extent
+}
+
+// Match evaluates the predicate against an extent at ct (the non-indexed
+// fallback the server uses when the optimizer skips the index).
+func (p Predicate) Match(e temporal.Extent, ct chronon.Instant) bool {
+	return leafTest(p.Op, e.Region(), p.Query.Region(), ct)
+}
+
+// Cursor stores a query predicate and tree-traversal information; qualifying
+// entries are retrieved by calling Next (Appendix A). Node contents are
+// snapshotted as visited, so in-node deletions by the owning scan are safe;
+// structural changes (splits, condensation) bump the tree epoch and make the
+// cursor restart, skipping already-returned entries (Section 5.5).
+type Cursor struct {
+	t     *Tree
+	match Matcher
+	ct    chronon.Instant
+
+	stack    []cursorFrame
+	epoch    uint64
+	started  bool
+	returned map[Payload]bool
+	restarts int
+}
+
+type cursorFrame struct {
+	entries []Entry
+	level   int
+	idx     int
+}
+
+// Search creates a cursor for the predicate as of current time ct
+// (Tree.search() of Appendix A).
+func (t *Tree) Search(pred Predicate, ct chronon.Instant) (*Cursor, error) {
+	if !pred.Query.Valid() {
+		return nil, fmt.Errorf("grtree: invalid query extent %v", pred.Query)
+	}
+	return t.SearchMatcher(pred, ct), nil
+}
+
+// Restarts reports how often the cursor restarted due to tree condensation
+// (experiment P4's measurement).
+func (c *Cursor) Restarts() int { return c.restarts }
+
+// Reset rewinds the cursor, forgetting returned-entry bookkeeping
+// (grt_rescan).
+func (c *Cursor) Reset() {
+	c.stack = nil
+	c.started = false
+	c.returned = make(map[Payload]bool)
+	c.epoch = c.t.epoch
+	c.restarts = 0
+}
+
+// restart re-seeds the traversal after a structural change, keeping the
+// returned set so qualifying entries are not produced twice.
+func (c *Cursor) restart() error {
+	c.stack = nil
+	c.started = false
+	c.epoch = c.t.epoch
+	c.restarts++
+	return nil
+}
+
+func (c *Cursor) push(id nodestore.NodeID) error {
+	n, err := c.t.readNode(id)
+	if err != nil {
+		return err
+	}
+	c.stack = append(c.stack, cursorFrame{entries: n.entries, level: n.level})
+	return nil
+}
+
+// Next returns the next qualifying entry (Cursor.next() of Appendix A).
+// ok is false when the scan is exhausted.
+func (c *Cursor) Next() (Entry, bool, error) {
+	if c.epoch != c.t.epoch {
+		if err := c.restart(); err != nil {
+			return Entry{}, false, err
+		}
+	}
+	if !c.started {
+		c.started = true
+		if err := c.push(c.t.root); err != nil {
+			return Entry{}, false, err
+		}
+	}
+	for len(c.stack) > 0 {
+		frame := &c.stack[len(c.stack)-1]
+		if frame.idx >= len(frame.entries) {
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		e := frame.entries[frame.idx]
+		frame.idx++
+		if frame.level == 0 {
+			if c.match.LeafMatch(e.Region, c.ct) && !c.returned[e.Payload()] {
+				c.returned[e.Payload()] = true
+				return e, true, nil
+			}
+			continue
+		}
+		if c.match.InternalMatch(e.Region, c.ct) {
+			if err := c.push(e.Child()); err != nil {
+				return Entry{}, false, err
+			}
+			// Re-check epoch: push read a node; if the tree changed between
+			// frames (scan-interleaved deletes), restart cleanly.
+			if c.epoch != c.t.epoch {
+				if err := c.restart(); err != nil {
+					return Entry{}, false, err
+				}
+				if err := c.push(c.t.root); err != nil {
+					return Entry{}, false, err
+				}
+				c.started = true
+			}
+		}
+	}
+	return Entry{}, false, nil
+}
+
+// SearchAll runs the predicate to completion and returns the payloads
+// (convenience for tests and benchmarks).
+func (t *Tree) SearchAll(pred Predicate, ct chronon.Instant) ([]Payload, error) {
+	cur, err := t.Search(pred, ct)
+	if err != nil {
+		return nil, err
+	}
+	var out []Payload
+	for {
+		e, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, e.Payload())
+	}
+}

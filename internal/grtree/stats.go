@@ -1,0 +1,242 @@
+package grtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chronon"
+	"repro/internal/nodestore"
+	"repro/internal/temporal"
+)
+
+// LevelStats aggregates one tree level (level 0 = leaves).
+type LevelStats struct {
+	Level   int
+	Nodes   int
+	Entries int
+	// Area is the total area of the level's node bounding regions at the
+	// measurement time.
+	Area float64
+	// Overlap is the total pairwise intersection area between sibling
+	// bounding regions at the level — the "overlap" goodness measure of
+	// Section 3.
+	Overlap float64
+}
+
+// TreeStats summarises the tree structure and its goodness measures.
+type TreeStats struct {
+	Height      int
+	Nodes       int
+	LeafEntries int
+	PerLevel    []LevelStats
+	// DeadSpaceRatio estimates the fraction of leaf-bound area not covered
+	// by any data region (Section 3's "dead space"), when sampled.
+	DeadSpaceRatio float64
+}
+
+// Stats walks the tree and computes structure and overlap statistics at ct.
+// deadSpaceSamples > 0 additionally estimates the dead-space ratio by Monte
+// Carlo sampling with the given seed.
+func (t *Tree) Stats(ct chronon.Instant, deadSpaceSamples int, seed int64) (TreeStats, error) {
+	st := TreeStats{Height: t.height}
+	levels := make(map[int]*LevelStats)
+	levelBounds := make(map[int][]temporal.Shape)
+	var leafShapes []temporal.Shape
+
+	var walk func(id uint64) error
+	walk = func(id uint64) error {
+		n, err := t.readNode(nodeID(id))
+		if err != nil {
+			return err
+		}
+		st.Nodes++
+		ls := levels[n.level]
+		if ls == nil {
+			ls = &LevelStats{Level: n.level}
+			levels[n.level] = ls
+		}
+		ls.Nodes++
+		ls.Entries += len(n.entries)
+		if n.leaf {
+			st.LeafEntries += len(n.entries)
+			for _, e := range n.entries {
+				leafShapes = append(leafShapes, e.Region.Resolve(ct))
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			levelBounds[n.level-1] = append(levelBounds[n.level-1], e.Region.Resolve(ct))
+			if err := walk(e.Ref); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(uint64(t.root)); err != nil {
+		return st, err
+	}
+
+	// Root bound (level height-1) is the bound over the root's entries.
+	rootN, err := t.readNode(t.root)
+	if err != nil {
+		return st, err
+	}
+	rootBound := t.bound(rootN, ct).Resolve(ct)
+	levelBounds[rootN.level] = []temporal.Shape{rootBound}
+
+	for lvl, ls := range levels {
+		for _, s := range levelBounds[lvl] {
+			ls.Area += s.Area()
+		}
+		bs := levelBounds[lvl]
+		for i := 0; i < len(bs); i++ {
+			for j := i + 1; j < len(bs); j++ {
+				ls.Overlap += bs[i].IntersectionArea(bs[j])
+			}
+		}
+		st.PerLevel = append(st.PerLevel, *ls)
+	}
+	sort.Slice(st.PerLevel, func(a, b int) bool { return st.PerLevel[a].Level < st.PerLevel[b].Level })
+
+	if deadSpaceSamples > 0 && !rootBound.Empty() {
+		st.DeadSpaceRatio = deadSpace(rootBound, levelBounds[0], leafShapes, deadSpaceSamples, seed)
+	}
+	return st, nil
+}
+
+// deadSpace estimates the fraction of total leaf-bound area that is covered
+// by some leaf node's bound but by no data region.
+func deadSpace(root temporal.Shape, leafBounds, dataShapes []temporal.Shape, samples int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	bb := root.BoundingBox()
+	w := bb.TTEnd - bb.TTBegin + 1
+	h := bb.VTEnd - bb.VTBegin + 1
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	inBound, dead := 0, 0
+	for i := 0; i < samples; i++ {
+		tt := bb.TTBegin + rng.Int63n(w)
+		vv := bb.VTBegin + rng.Int63n(h)
+		covered := false
+		for _, b := range leafBounds {
+			if b.ContainsPoint(tt, vv) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		inBound++
+		hit := false
+		for _, d := range dataShapes {
+			if d.ContainsPoint(tt, vv) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			dead++
+		}
+	}
+	if inBound == 0 {
+		return 0
+	}
+	return float64(dead) / float64(inBound)
+}
+
+// Check validates the tree's structural invariants at ct (am_check):
+// every child region is covered by its parent entry now and in the future,
+// node fills respect the minimum (policy permitting), levels are consistent,
+// and the leaf count matches the recorded size. It returns a descriptive
+// error on the first violation.
+func (t *Tree) Check(ct chronon.Instant) error {
+	count := 0
+	var walk func(id uint64, expectLevel int, isRoot bool, parentBound *temporal.Region) error
+	walk = func(id uint64, expectLevel int, isRoot bool, parentBound *temporal.Region) error {
+		n, err := t.readNode(nodeID(id))
+		if err != nil {
+			return err
+		}
+		if expectLevel >= 0 && n.level != expectLevel {
+			return fmt.Errorf("grtree: node %d at level %d, expected %d", n.id, n.level, expectLevel)
+		}
+		if n.leaf != (n.level == 0) {
+			return fmt.Errorf("grtree: node %d leaf flag inconsistent with level %d", n.id, n.level)
+		}
+		if !isRoot && t.cfg.DeletePolicy != NoCondense && len(n.entries) < t.minFill() {
+			return fmt.Errorf("grtree: node %d underfull (%d < %d)", n.id, len(n.entries), t.minFill())
+		}
+		if len(n.entries) > t.cfg.MaxEntries {
+			return fmt.Errorf("grtree: node %d overfull (%d > %d)", n.id, len(n.entries), t.cfg.MaxEntries)
+		}
+		if isRoot && n.level != t.height-1 {
+			return fmt.Errorf("grtree: root level %d, height %d", n.level, t.height)
+		}
+		for _, e := range n.entries {
+			if parentBound != nil && !parentBound.CoversRegion(e.Region, ct) {
+				return fmt.Errorf("grtree: node %d entry %v escapes parent bound %v", n.id, e.Region, *parentBound)
+			}
+			if n.leaf {
+				count++
+				continue
+			}
+			r := e.Region
+			if err := walk(e.Ref, n.level-1, false, &r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(uint64(t.root), t.height-1, true, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("grtree: leaf count %d != recorded size %d", count, t.size)
+	}
+	return nil
+}
+
+// Dump renders the tree structure (Figure 5 style) for grtinspect.
+func (t *Tree) Dump(ct chronon.Instant) (string, error) {
+	out := ""
+	var walk func(id uint64, depth int) error
+	walk = func(id uint64, depth int) error {
+		n, err := t.readNode(nodeID(id))
+		if err != nil {
+			return err
+		}
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		kind := "node"
+		if n.leaf {
+			kind = "leaf"
+		}
+		out += fmt.Sprintf("%s%s %d (level %d, %d entries)\n", indent, kind, n.id, n.level, len(n.entries))
+		for _, e := range n.entries {
+			if n.leaf {
+				out += fmt.Sprintf("%s  %v -> row %d\n", indent, e.Region, e.Ref)
+			} else {
+				out += fmt.Sprintf("%s  %v -> node %d\n", indent, e.Region, e.Ref)
+			}
+		}
+		if !n.leaf {
+			for _, e := range n.entries {
+				if err := walk(e.Ref, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(uint64(t.root), 0); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+func nodeID(v uint64) nodestore.NodeID { return nodestore.NodeID(v) }

@@ -1,0 +1,483 @@
+package grtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/chronon"
+	"repro/internal/nodestore"
+	"repro/internal/temporal"
+)
+
+// DeletePolicy selects the Section 5.5 deletion strategy.
+type DeletePolicy int
+
+const (
+	// RestartOnCondense is the paper's compromise: scanning restarts only
+	// when the tree is actually condensed.
+	RestartOnCondense DeletePolicy = iota
+	// RestartAlways conservatively restarts after every deletion.
+	RestartAlways
+	// NoCondense never re-inserts: underfull nodes are tolerated (empty
+	// nodes are still unlinked), trading search performance for scan
+	// availability.
+	NoCondense
+)
+
+func (p DeletePolicy) String() string {
+	switch p {
+	case RestartAlways:
+		return "restart-always"
+	case NoCondense:
+		return "no-condense"
+	default:
+		return "restart-on-condense"
+	}
+}
+
+// Config tunes a GR-tree.
+type Config struct {
+	// Bound is the bounding-region policy (time parameter, hidden bounds).
+	Bound temporal.BoundPolicy
+	// MaxEntries caps node fanout (default and maximum: Capacity). Tests
+	// use small values to force deep trees.
+	MaxEntries int
+	// MinFillPct is the underflow threshold in percent (default 40).
+	MinFillPct int
+	// ReinsertPct is the forced-reinsertion fraction in percent on first
+	// overflow per level (R*; default 30, 0 disables).
+	ReinsertPct int
+	// DeletePolicy selects the Section 5.5 strategy.
+	DeletePolicy DeletePolicy
+}
+
+// DefaultConfig mirrors the prototype: R* parameters with the default
+// bounding policy.
+func DefaultConfig() Config {
+	return Config{
+		Bound:       temporal.DefaultBoundPolicy,
+		MaxEntries:  Capacity,
+		MinFillPct:  40,
+		ReinsertPct: 30,
+	}
+}
+
+func (c *Config) normalise() {
+	if c.MaxEntries <= 0 || c.MaxEntries > Capacity {
+		c.MaxEntries = Capacity
+	}
+	if c.MaxEntries < 4 {
+		c.MaxEntries = 4
+	}
+	if c.MinFillPct <= 0 || c.MinFillPct > 50 {
+		c.MinFillPct = 40
+	}
+	if c.ReinsertPct < 0 || c.ReinsertPct > 50 {
+		c.ReinsertPct = 30
+	}
+	if c.Bound.TimeParam <= 0 {
+		c.Bound = temporal.DefaultBoundPolicy
+	}
+}
+
+// Tree is a GR-tree over a node store. It is not safe for concurrent use;
+// the engine serialises access through the sbspace large-object locks
+// (Section 5.3), exactly as the paper's DataBlade had to.
+type Tree struct {
+	store  nodestore.Store
+	cfg    Config
+	root   nodestore.NodeID
+	height int // number of levels; a lone leaf root has height 1
+	size   int // live leaf entries
+	epoch  uint64
+}
+
+const metaMagic = 0x47525452 // "GRTR"
+
+// Create initialises a new, empty GR-tree in the store.
+func Create(store nodestore.Store, cfg Config) (*Tree, error) {
+	cfg.normalise()
+	t := &Tree{store: store, cfg: cfg, height: 1}
+	rootID, err := store.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	if err := t.writeNode(&node{id: rootID, leaf: true, level: 0}); err != nil {
+		return nil, err
+	}
+	if err := t.saveMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing GR-tree from the store.
+func Open(store nodestore.Store, cfg Config) (*Tree, error) {
+	cfg.normalise()
+	meta, err := store.Meta()
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < 32 || binary.BigEndian.Uint32(meta[0:4]) != metaMagic {
+		return nil, fmt.Errorf("grtree: store holds no GR-tree")
+	}
+	t := &Tree{store: store, cfg: cfg}
+	t.root = nodestore.NodeID(binary.BigEndian.Uint64(meta[8:16]))
+	t.height = int(binary.BigEndian.Uint64(meta[16:24]))
+	t.size = int(binary.BigEndian.Uint64(meta[24:32]))
+	return t, nil
+}
+
+func (t *Tree) saveMeta() error {
+	meta := make([]byte, 32)
+	binary.BigEndian.PutUint32(meta[0:4], metaMagic)
+	binary.BigEndian.PutUint64(meta[8:16], uint64(t.root))
+	binary.BigEndian.PutUint64(meta[16:24], uint64(t.height))
+	binary.BigEndian.PutUint64(meta[24:32], uint64(t.size))
+	return t.store.SetMeta(meta)
+}
+
+// Size returns the number of live leaf entries.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Epoch returns the structural-modification counter; cursors use it to
+// detect that the tree was condensed or reorganised under them.
+func (t *Tree) Epoch() uint64 { return t.epoch }
+
+// Store exposes the underlying node store (statistics).
+func (t *Tree) Store() nodestore.Store { return t.store }
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+func (t *Tree) minFill() int {
+	m := t.cfg.MaxEntries * t.cfg.MinFillPct / 100
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Insert adds an extent with its payload as of current time ct. The extent
+// must be one of the six valid combinations (Figure 2); the caller enforces
+// the stricter insertion constraints of Section 2 (grt_insert receives rows
+// the server already accepted).
+func (t *Tree) Insert(ext temporal.Extent, payload Payload, ct chronon.Instant) error {
+	if !ext.Valid() {
+		return fmt.Errorf("grtree: invalid extent %v", ext)
+	}
+	e := Entry{Region: ext.Region(), Ref: uint64(payload)}
+	if err := t.insertAtLevel(e, 0, ct, make(map[int]bool)); err != nil {
+		return err
+	}
+	t.size++
+	return t.saveMeta()
+}
+
+// pathStep records one step of a root-to-target descent.
+type pathStep struct {
+	n   *node
+	idx int // child index taken in n
+}
+
+// insertAtLevel inserts an entry at the given level (0 = leaf), applying
+// R* overflow treatment (forced reinsertion once per level per top-level
+// insertion, then splitting).
+func (t *Tree) insertAtLevel(e Entry, level int, ct chronon.Instant, reinserted map[int]bool) error {
+	// Descend to a node at `level`, recording the path.
+	var path []pathStep
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	for n.level > level {
+		idx := t.chooseSubtree(n, e.Region, ct)
+		path = append(path, pathStep{n: n, idx: idx})
+		child, err := t.readNode(n.entries[idx].Child())
+		if err != nil {
+			return err
+		}
+		n = child
+	}
+	n.entries = append(n.entries, e)
+
+	// Overflow treatment, bubbling up the path.
+	for {
+		if len(n.entries) <= t.cfg.MaxEntries {
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+			return t.adjustPath(path, n, ct)
+		}
+		isRoot := n.id == t.root
+		if !isRoot && !reinserted[n.level] && t.cfg.ReinsertPct > 0 {
+			reinserted[n.level] = true
+			return t.forcedReinsert(path, n, ct, reinserted)
+		}
+		left, right, err := t.split(n, ct)
+		if err != nil {
+			return err
+		}
+		t.epoch++
+		if isRoot {
+			return t.growRoot(left, right, ct)
+		}
+		// Replace the parent's entry for n with the two halves.
+		parent := path[len(path)-1].n
+		idx := path[len(path)-1].idx
+		path = path[:len(path)-1]
+		parent.entries[idx] = Entry{Region: t.bound(left, ct), Ref: uint64(left.id)}
+		parent.entries = append(parent.entries, Entry{Region: t.bound(right, ct), Ref: uint64(right.id)})
+		n = parent
+	}
+}
+
+// adjustPath rewrites bounds along the recorded path after n changed.
+func (t *Tree) adjustPath(path []pathStep, n *node, ct chronon.Instant) error {
+	child := n
+	for i := len(path) - 1; i >= 0; i-- {
+		step := path[i]
+		nb := t.bound(child, ct)
+		step.n.entries[step.idx] = Entry{Region: nb, Ref: uint64(child.id)}
+		if err := t.writeNode(step.n); err != nil {
+			return err
+		}
+		child = step.n
+	}
+	return nil
+}
+
+// growRoot installs a new root over the two halves of a root split.
+func (t *Tree) growRoot(left, right *node, ct chronon.Instant) error {
+	id, err := t.store.Alloc()
+	if err != nil {
+		return err
+	}
+	root := &node{id: id, leaf: false, level: left.level + 1, entries: []Entry{
+		{Region: t.bound(left, ct), Ref: uint64(left.id)},
+		{Region: t.bound(right, ct), Ref: uint64(right.id)},
+	}}
+	if err := t.writeNode(root); err != nil {
+		return err
+	}
+	t.root = id
+	t.height++
+	return t.saveMeta()
+}
+
+// chooseSubtree picks the child of n to descend into for region r: at the
+// level just above the leaves it minimises overlap enlargement; higher up,
+// area enlargement — both evaluated at the time-parameter horizon
+// (Section 3: "a time parameter, capturing the development over time of
+// entries, is introduced in these algorithms").
+func (t *Tree) chooseSubtree(n *node, r temporal.Region, ct chronon.Instant) int {
+	type cand struct {
+		idx     int
+		enlarge float64
+		area    float64
+		union   temporal.Region
+	}
+	horizon := ct + chronon.Instant(t.cfg.Bound.TimeParam)
+	cands := make([]cand, len(n.entries))
+	for i, e := range n.entries {
+		d, u := e.Region.Enlargement(r, ct, t.cfg.Bound)
+		cands[i] = cand{idx: i, enlarge: d, area: e.Region.Resolve(horizon).Area(), union: u}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].enlarge != cands[b].enlarge {
+			return cands[a].enlarge < cands[b].enlarge
+		}
+		return cands[a].area < cands[b].area
+	})
+	if n.level != 1 {
+		return cands[0].idx
+	}
+	// Leaf parent: among the (up to) 16 least-enlarging candidates, pick the
+	// one whose enlargement increases overlap with siblings the least (R*).
+	k := len(cands)
+	if k > 16 {
+		k = 16
+	}
+	shapes := make([]temporal.Shape, len(n.entries))
+	for i, e := range n.entries {
+		shapes[i] = e.Region.Resolve(horizon)
+	}
+	best := 0
+	bestOverlap := math.Inf(1)
+	for c := 0; c < k; c++ {
+		i := cands[c].idx
+		ns := cands[c].union.Resolve(horizon)
+		var delta float64
+		for j := range n.entries {
+			if j == i {
+				continue
+			}
+			delta += ns.IntersectionArea(shapes[j]) - shapes[i].IntersectionArea(shapes[j])
+		}
+		if delta < bestOverlap {
+			bestOverlap = delta
+			best = c
+		}
+	}
+	return cands[best].idx
+}
+
+// split performs the R* topological split adapted to growing regions: the
+// axis (transaction time or valid time) is chosen by minimum margin sum over
+// the candidate distributions, the distribution by minimum overlap area then
+// minimum total area, all evaluated at the time-parameter horizon. The left
+// half reuses n's node id; the right half gets a fresh node.
+func (t *Tree) split(n *node, ct chronon.Instant) (*node, *node, error) {
+	horizon := ct + chronon.Instant(t.cfg.Bound.TimeParam)
+	m := t.minFill()
+	entries := n.entries
+	M := len(entries)
+
+	type sorting struct {
+		axis int // 0 = TT, 1 = VT
+		keys []float64
+		perm []int
+	}
+	mkSorting := func(axis int, key func(temporal.Shape) float64) sorting {
+		s := sorting{axis: axis, perm: make([]int, M), keys: make([]float64, M)}
+		for i := range entries {
+			s.perm[i] = i
+			s.keys[i] = key(entries[i].Region.Resolve(horizon))
+		}
+		sort.SliceStable(s.perm, func(a, b int) bool { return s.keys[s.perm[a]] < s.keys[s.perm[b]] })
+		return s
+	}
+	sortings := []sorting{
+		mkSorting(0, func(s temporal.Shape) float64 { return float64(s.TTBegin) }),
+		mkSorting(0, func(s temporal.Shape) float64 { return float64(s.TTEnd) }),
+		mkSorting(1, func(s temporal.Shape) float64 { return float64(s.VTBegin) }),
+		mkSorting(1, func(s temporal.Shape) float64 { return float64(s.VTEnd) }),
+	}
+
+	boundOf := func(idxs []int) temporal.Region {
+		regs := make([]temporal.Region, len(idxs))
+		for i, ix := range idxs {
+			regs[i] = entries[ix].Region
+		}
+		return temporal.Bound(regs, ct, t.cfg.Bound)
+	}
+
+	// Choose the split axis by minimum margin sum.
+	axisMargin := [2]float64{}
+	for _, s := range sortings {
+		for k := m; k <= M-m; k++ {
+			b1 := boundOf(s.perm[:k]).Resolve(horizon)
+			b2 := boundOf(s.perm[k:]).Resolve(horizon)
+			axisMargin[s.axis] += b1.Margin() + b2.Margin()
+		}
+	}
+	axis := 0
+	if axisMargin[1] < axisMargin[0] {
+		axis = 1
+	}
+
+	// Choose the distribution on that axis by min overlap, then min area.
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	var bestPerm []int
+	bestK := -1
+	for _, s := range sortings {
+		if s.axis != axis {
+			continue
+		}
+		for k := m; k <= M-m; k++ {
+			sh1 := boundOf(s.perm[:k]).Resolve(horizon)
+			sh2 := boundOf(s.perm[k:]).Resolve(horizon)
+			ov := sh1.IntersectionArea(sh2)
+			ar := sh1.Area() + sh2.Area()
+			if ov < bestOverlap || (ov == bestOverlap && ar < bestArea) {
+				bestOverlap, bestArea = ov, ar
+				bestPerm, bestK = s.perm, k
+			}
+		}
+	}
+	if bestK < 0 {
+		return nil, nil, fmt.Errorf("grtree: split of node %d found no distribution", n.id)
+	}
+
+	leftEntries := make([]Entry, 0, bestK)
+	rightEntries := make([]Entry, 0, M-bestK)
+	for _, ix := range bestPerm[:bestK] {
+		leftEntries = append(leftEntries, entries[ix])
+	}
+	for _, ix := range bestPerm[bestK:] {
+		rightEntries = append(rightEntries, entries[ix])
+	}
+
+	left := &node{id: n.id, leaf: n.leaf, level: n.level, entries: leftEntries}
+	rid, err := t.store.Alloc()
+	if err != nil {
+		return nil, nil, err
+	}
+	right := &node{id: rid, leaf: n.leaf, level: n.level, entries: rightEntries}
+	if err := t.writeNode(left); err != nil {
+		return nil, nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+// forcedReinsert removes the ReinsertPct entries farthest (at the horizon)
+// from the node's centre, repairs bounds, and re-inserts them from the top
+// (R* forced reinsertion, close-reinsert order).
+func (t *Tree) forcedReinsert(path []pathStep, n *node, ct chronon.Instant, reinserted map[int]bool) error {
+	horizon := ct + chronon.Instant(t.cfg.Bound.TimeParam)
+	k := len(n.entries) * t.cfg.ReinsertPct / 100
+	if k < 1 {
+		k = 1
+	}
+	nb := t.bound(n, ct).Resolve(horizon).BoundingBox()
+	cx := float64(nb.TTBegin+nb.TTEnd) / 2
+	cy := float64(nb.VTBegin+nb.VTEnd) / 2
+	type dist struct {
+		idx int
+		d   float64
+	}
+	ds := make([]dist, len(n.entries))
+	for i, e := range n.entries {
+		bb := e.Region.Resolve(horizon).BoundingBox()
+		ex := float64(bb.TTBegin+bb.TTEnd) / 2
+		ey := float64(bb.VTBegin+bb.VTEnd) / 2
+		ds[i] = dist{idx: i, d: (ex-cx)*(ex-cx) + (ey-cy)*(ey-cy)}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	removed := make([]Entry, 0, k)
+	drop := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		removed = append(removed, n.entries[ds[i].idx])
+		drop[ds[i].idx] = true
+	}
+	kept := n.entries[:0:0]
+	for i, e := range n.entries {
+		if !drop[i] {
+			kept = append(kept, e)
+		}
+	}
+	n.entries = kept
+	if err := t.writeNode(n); err != nil {
+		return err
+	}
+	if err := t.adjustPath(path, n, ct); err != nil {
+		return err
+	}
+	t.epoch++
+	// Close reinsert: nearest first.
+	for i := len(removed) - 1; i >= 0; i-- {
+		if err := t.insertAtLevel(removed[i], n.level, ct, reinserted); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+// Package heap implements heap tables: slotted-page tuple storage with
+// rowids, WAL-logged mutations, and full scans. Rowids are the values index
+// leaf entries point at ("a pointer to the actual bitemporal data stored in
+// the database", Section 3); grt_getnext returns them to the server, which
+// fetches the tuple here.
+//
+// Concurrency: the engine serialises heap access with table-level locks
+// (strict two-phase); the paper's concurrency discussion concerns the index
+// side (large-object locks, Section 5.3), which is where the interesting
+// behaviour lives.
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// RowID identifies a tuple: page number (high 48 bits) and slot (low 16).
+// The paper's rowids carry a fragment id as well; this engine keeps every
+// table in a single fragment.
+type RowID uint64
+
+// MakeRowID packs a page and slot.
+func MakeRowID(page storage.PageID, slot int) RowID {
+	return RowID(uint64(page)<<16 | uint64(slot)&0xFFFF)
+}
+
+// Page returns the page number.
+func (r RowID) Page() storage.PageID { return storage.PageID(r >> 16) }
+
+// Slot returns the slot number.
+func (r RowID) Slot() int { return int(r & 0xFFFF) }
+
+func (r RowID) String() string { return fmt.Sprintf("rid(%d:%d)", r.Page(), r.Slot()) }
+
+// Journal receives physical page-update images (the WAL).
+type Journal interface {
+	LogUpdate(tx uint64, space uint32, page uint64, offset uint16, before, after []byte) error
+}
+
+// ErrNoSuchRow is returned for missing rowids.
+var ErrNoSuchRow = errors.New("heap: no such row")
+
+// Table header page (page 1): magic, tuple count.
+const (
+	tableMagic = 0x48454150 // "HEAP"
+)
+
+// Table is one heap table over its own pager.
+type Table struct {
+	Name    string
+	SpaceID uint32
+
+	bp      *storage.BufferPool
+	journal Journal
+	schema  []types.Type
+	last    storage.PageID // insertion hint
+}
+
+// Create initialises a table in an empty buffer pool.
+func Create(name string, spaceID uint32, bp *storage.BufferPool, schema []types.Type, journal Journal) (*Table, error) {
+	t := &Table{Name: name, SpaceID: spaceID, bp: bp, journal: journal, schema: schema}
+	f, err := bp.Allocate() // page 1: header
+	if err != nil {
+		return nil, err
+	}
+	if f.ID != 1 {
+		bp.Unpin(f, false)
+		return nil, fmt.Errorf("heap: table pager not empty (header at %d)", f.ID)
+	}
+	binary.BigEndian.PutUint32(f.Data[0:4], tableMagic)
+	bp.Unpin(f, true)
+	return t, nil
+}
+
+// Open attaches to an existing table.
+func Open(name string, spaceID uint32, bp *storage.BufferPool, schema []types.Type, journal Journal) (*Table, error) {
+	f, err := bp.Fetch(1)
+	if err != nil {
+		return nil, fmt.Errorf("heap: open %s: %w", name, err)
+	}
+	magic := binary.BigEndian.Uint32(f.Data[0:4])
+	bp.Unpin(f, false)
+	if magic != tableMagic {
+		return nil, fmt.Errorf("heap: %s is not a heap table", name)
+	}
+	return &Table{Name: name, SpaceID: spaceID, bp: bp, journal: journal, schema: schema}, nil
+}
+
+// Schema returns the column types.
+func (t *Table) Schema() []types.Type { return t.schema }
+
+// Pool exposes the buffer pool (statistics).
+func (t *Table) Pool() *storage.BufferPool { return t.bp }
+
+// Count returns the number of live tuples (by scanning).
+func (t *Table) Count() (int, error) {
+	n := 0
+	err := t.Scan(func(RowID, []types.Datum) (bool, error) { n++; return true, nil })
+	return n, err
+}
+
+// modifyPage applies fn to the page under the WAL: the changed byte range
+// is logged with before/after images before the page is marked dirty.
+func (t *Table) modifyPage(tx uint64, id storage.PageID, fn func(buf []byte) error) error {
+	f, err := t.bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	var before []byte
+	if t.journal != nil {
+		before = append([]byte(nil), f.Data...)
+	}
+	if err := fn(f.Data); err != nil {
+		t.bp.Unpin(f, false)
+		return err
+	}
+	if t.journal != nil {
+		lo, hi := diffRange(before, f.Data)
+		if lo < hi {
+			if err := t.journal.LogUpdate(tx, t.SpaceID, uint64(id), uint16(lo), before[lo:hi], f.Data[lo:hi]); err != nil {
+				t.bp.Unpin(f, true)
+				return err
+			}
+		}
+	}
+	t.bp.Unpin(f, true)
+	return nil
+}
+
+func diffRange(a, b []byte) (int, int) {
+	lo := 0
+	for lo < len(a) && a[lo] == b[lo] {
+		lo++
+	}
+	hi := len(a)
+	for hi > lo && a[hi-1] == b[hi-1] {
+		hi--
+	}
+	return lo, hi
+}
+
+// Insert stores the row and returns its rowid.
+func (t *Table) Insert(tx uint64, row []types.Datum) (RowID, error) {
+	data, err := types.EncodeRow(t.schema, row)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) > storage.PageSize/2 {
+		return 0, fmt.Errorf("heap: tuple of %d bytes exceeds page budget", len(data))
+	}
+	// Try the hint page, then newer pages, then allocate.
+	tryPage := func(id storage.PageID) (RowID, bool, error) {
+		var rid RowID
+		ok := false
+		err := t.modifyPage(tx, id, func(buf []byte) error {
+			p := storage.SlottedPage{Buf: buf}
+			if p.FreeSpace() < len(data) {
+				return nil
+			}
+			slot, err := p.Insert(data)
+			if err != nil {
+				return nil // treat as full
+			}
+			rid = MakeRowID(id, slot)
+			ok = true
+			return nil
+		})
+		return rid, ok, err
+	}
+	if t.last > 1 {
+		rid, ok, err := tryPage(t.last)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	n := storage.PageID(t.bp.Pager().NumPages())
+	for id := n - 1; id > 1; id-- {
+		if id == t.last {
+			continue
+		}
+		rid, ok, err := tryPage(id)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			t.last = id
+			return rid, nil
+		}
+		break // only probe the most recent page before extending
+	}
+	f, err := t.bp.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	id := f.ID
+	storage.InitSlotted(f.Data)
+	t.bp.Unpin(f, true)
+	t.last = id
+	rid, ok, err := tryPage(id)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("heap: fresh page rejected %d-byte tuple", len(data))
+	}
+	return rid, nil
+}
+
+// Get fetches the row at rid.
+func (t *Table) Get(rid RowID) ([]types.Datum, error) {
+	f, err := t.bp.Fetch(rid.Page())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+	}
+	p := storage.SlottedPage{Buf: f.Data}
+	raw, ok := p.Read(rid.Slot())
+	if !ok {
+		t.bp.Unpin(f, false)
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+	}
+	row, err := types.DecodeRow(t.schema, raw)
+	t.bp.Unpin(f, false)
+	return row, err
+}
+
+// Delete removes the row at rid; it reports false when the row is missing.
+func (t *Table) Delete(tx uint64, rid RowID) (bool, error) {
+	deleted := false
+	err := t.modifyPage(tx, rid.Page(), func(buf []byte) error {
+		p := storage.SlottedPage{Buf: buf}
+		deleted = p.Delete(rid.Slot())
+		return nil
+	})
+	return deleted, err
+}
+
+// Update replaces the row at rid. When the new tuple no longer fits in its
+// page, the row moves and the new rowid is returned (the engine then drives
+// am_update with distinct old and new rowids, per Table 5).
+func (t *Table) Update(tx uint64, rid RowID, row []types.Datum) (RowID, error) {
+	data, err := types.EncodeRow(t.schema, row)
+	if err != nil {
+		return 0, err
+	}
+	updated := false
+	err = t.modifyPage(tx, rid.Page(), func(buf []byte) error {
+		p := storage.SlottedPage{Buf: buf}
+		if _, ok := p.Read(rid.Slot()); !ok {
+			return fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+		}
+		if e := p.Update(rid.Slot(), data); e == nil {
+			updated = true
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if updated {
+		return rid, nil
+	}
+	// Move: delete then insert elsewhere.
+	if _, err := t.Delete(tx, rid); err != nil {
+		return 0, err
+	}
+	return t.Insert(tx, row)
+}
+
+// Scan iterates all live rows in storage order; fn returning false stops.
+func (t *Table) Scan(fn func(RowID, []types.Datum) (bool, error)) error {
+	n := storage.PageID(t.bp.Pager().NumPages())
+	for id := storage.PageID(2); id < n; id++ {
+		f, err := t.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		p := storage.SlottedPage{Buf: f.Data}
+		// Skip never-initialised pages (e.g., zero pages materialised by
+		// recovery): an initialised slotted page has a nonzero free end.
+		if binary.BigEndian.Uint16(f.Data[12:14]) == 0 {
+			t.bp.Unpin(f, false)
+			continue
+		}
+		type tup struct {
+			rid RowID
+			row []types.Datum
+		}
+		var tuples []tup
+		var decodeErr error
+		for s := 0; s < p.NumSlots(); s++ {
+			raw, ok := p.Read(s)
+			if !ok {
+				continue
+			}
+			row, err := types.DecodeRow(t.schema, raw)
+			if err != nil {
+				decodeErr = err
+				break
+			}
+			tuples = append(tuples, tup{MakeRowID(id, s), row})
+		}
+		t.bp.Unpin(f, false)
+		if decodeErr != nil {
+			return decodeErr
+		}
+		for _, tp := range tuples {
+			cont, err := fn(tp.rid, tp.row)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Pages returns the number of data pages (the seqscan cost input).
+func (t *Table) Pages() int {
+	n := int(t.bp.Pager().NumPages())
+	if n < 2 {
+		return 0
+	}
+	return n - 2
+}

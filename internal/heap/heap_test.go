@@ -1,0 +1,279 @@
+package heap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+var schema = []types.Type{types.Builtin(types.KInt), types.Builtin(types.KVarchar)}
+
+func newTable(t *testing.T) *Table {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMemPager(), 128)
+	tb, err := Create("emp", 1, bp, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tb := newTable(t)
+	rid, err := tb.Insert(1, []types.Datum{int64(7), "john"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tb.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != int64(7) || row[1] != "john" {
+		t.Fatalf("row: %v", row)
+	}
+	ok, err := tb.Delete(1, rid)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if _, err := tb.Get(rid); err == nil {
+		t.Fatal("get after delete must fail")
+	}
+	ok, err = tb.Delete(1, rid)
+	if err != nil || ok {
+		t.Fatal("double delete must report false")
+	}
+}
+
+func TestUpdateInPlaceAndMoved(t *testing.T) {
+	tb := newTable(t)
+	rid, _ := tb.Insert(1, []types.Datum{int64(1), "short"})
+	nrid, err := tb.Update(1, rid, []types.Datum{int64(1), "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrid != rid {
+		t.Fatal("shrinking update must stay in place")
+	}
+	row, _ := tb.Get(rid)
+	if row[1] != "tiny" {
+		t.Fatalf("update content: %v", row)
+	}
+	// Force a move: fill the page, then grow a tuple drastically.
+	var rids []RowID
+	for i := 0; ; i++ {
+		r, err := tb.Insert(1, []types.Datum{int64(i), "padding-padding-padding-padding"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, r)
+		if r.Page() != rid.Page() {
+			break // page 2 is now full
+		}
+	}
+	big := make([]byte, 2000)
+	for i := range big {
+		big[i] = 'x'
+	}
+	nrid, err = tb.Update(1, rid, []types.Datum{int64(1), string(big)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrid == rid {
+		t.Fatal("oversized update must move the row")
+	}
+	row, err = tb.Get(nrid)
+	if err != nil || len(row[1].(string)) != 2000 {
+		t.Fatalf("moved row: %v %v", err, row)
+	}
+	if _, err := tb.Get(rid); err == nil {
+		t.Fatal("old rowid must be dead after move")
+	}
+	// Update of a missing row fails.
+	if _, err := tb.Update(1, MakeRowID(2, 999), row); err == nil {
+		t.Fatal("update of missing row must fail")
+	}
+}
+
+func TestScanAndCount(t *testing.T) {
+	tb := newTable(t)
+	want := map[int64]string{}
+	for i := 0; i < 500; i++ {
+		v := fmt.Sprintf("value-%d", i)
+		if _, err := tb.Insert(1, []types.Datum{int64(i), v}); err != nil {
+			t.Fatal(err)
+		}
+		want[int64(i)] = v
+	}
+	got := map[int64]string{}
+	err := tb.Scan(func(rid RowID, row []types.Datum) (bool, error) {
+		got[row[0].(int64)] = row[1].(string)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("scan found %d rows", len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("row %d: %q", k, got[k])
+		}
+	}
+	n, err := tb.Count()
+	if err != nil || n != 500 {
+		t.Fatalf("count %d %v", n, err)
+	}
+	if tb.Pages() < 2 {
+		t.Fatalf("pages %d", tb.Pages())
+	}
+	// Early stop.
+	seen := 0
+	tb.Scan(func(RowID, []types.Datum) (bool, error) { seen++; return seen < 10, nil })
+	if seen != 10 {
+		t.Fatalf("early stop: %d", seen)
+	}
+}
+
+func TestRandomisedAgainstModel(t *testing.T) {
+	tb := newTable(t)
+	rng := rand.New(rand.NewSource(17))
+	model := map[RowID][]types.Datum{}
+	var ids []RowID
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			row := []types.Datum{rng.Int63n(1000), fmt.Sprintf("r%d", rng.Int())}
+			rid, err := tb.Insert(1, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[rid] = row
+			ids = append(ids, rid)
+		case 2:
+			if len(ids) == 0 {
+				continue
+			}
+			rid := ids[rng.Intn(len(ids))]
+			if _, live := model[rid]; !live {
+				continue
+			}
+			ok, err := tb.Delete(1, rid)
+			if err != nil || !ok {
+				t.Fatalf("delete live row: %v %v", ok, err)
+			}
+			delete(model, rid)
+		case 3:
+			if len(ids) == 0 {
+				continue
+			}
+			rid := ids[rng.Intn(len(ids))]
+			if _, live := model[rid]; !live {
+				continue
+			}
+			row := []types.Datum{rng.Int63n(1000), fmt.Sprintf("u%d", rng.Int())}
+			nrid, err := tb.Update(1, rid, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+			model[nrid] = row
+			ids = append(ids, nrid)
+		}
+	}
+	// Verify via scan.
+	got := map[RowID][]types.Datum{}
+	tb.Scan(func(rid RowID, row []types.Datum) (bool, error) {
+		got[rid] = row
+		return true, nil
+	})
+	if len(got) != len(model) {
+		t.Fatalf("scan %d rows, model %d", len(got), len(model))
+	}
+	for rid, row := range model {
+		g, ok := got[rid]
+		if !ok || g[0] != row[0] || g[1] != row[1] {
+			t.Fatalf("row %v mismatch", rid)
+		}
+	}
+}
+
+type countJournal struct{ n int }
+
+func (c *countJournal) LogUpdate(tx uint64, space uint32, page uint64, off uint16, before, after []byte) error {
+	c.n++
+	if len(before) != len(after) {
+		return fmt.Errorf("image length mismatch")
+	}
+	return nil
+}
+
+func TestJournalledMutations(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemPager(), 64)
+	j := &countJournal{}
+	tb, err := Create("emp", 1, bp, schema, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tb.Insert(9, []types.Datum{int64(1), "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.n == 0 {
+		t.Fatal("insert must be journalled")
+	}
+	before := j.n
+	if _, err := tb.Update(9, rid, []types.Datum{int64(1), "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if j.n <= before {
+		t.Fatal("update must be journalled")
+	}
+	before = j.n
+	if _, err := tb.Delete(9, rid); err != nil {
+		t.Fatal(err)
+	}
+	if j.n <= before {
+		t.Fatal("delete must be journalled")
+	}
+}
+
+func TestRowIDPacking(t *testing.T) {
+	rid := MakeRowID(123456, 789)
+	if rid.Page() != 123456 || rid.Slot() != 789 {
+		t.Fatalf("packing: %v %v", rid.Page(), rid.Slot())
+	}
+	if rid.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMemPager(), 64)
+	tb, _ := Create("emp", 1, bp, schema, nil)
+	rid, _ := tb.Insert(1, []types.Datum{int64(5), "persist"})
+	tb2, err := Open("emp", 1, bp, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tb2.Get(rid)
+	if err != nil || row[1] != "persist" {
+		t.Fatalf("reopened get: %v %v", row, err)
+	}
+	// Open of a non-table fails.
+	bp2 := storage.NewBufferPool(storage.NewMemPager(), 64)
+	if _, err := Open("x", 1, bp2, schema, nil); err == nil {
+		t.Fatal("open of empty pager must fail")
+	}
+}
+
+func TestOversizedTuple(t *testing.T) {
+	tb := newTable(t)
+	big := make([]byte, storage.PageSize)
+	if _, err := tb.Insert(1, []types.Datum{int64(1), string(big)}); err == nil {
+		t.Fatal("oversized tuple must fail")
+	}
+}

@@ -1,0 +1,240 @@
+// Package mi is this engine's analogue of the Informix DataBlade API
+// (mi_* functions, [DBAPI97]) as the paper's DataBlade uses it:
+//
+//   - memory with explicit durations (PER_FUNCTION, PER_STATEMENT,
+//     PER_TRANSACTION, PER_SESSION) that the server reclaims automatically
+//     when the duration is exceeded (Section 6.2);
+//   - named memory allocated from the server and identified by the session
+//     id, which Section 5.4 uses to keep the transaction's current-time
+//     value;
+//   - transaction-end callbacks, which Section 5.4 uses to free that memory
+//     and which the sbspace layer uses to release large-object locks;
+//   - trace messages with trace classes and levels (Section 6.4);
+//   - Yield, mirroring mi_yield in the non-preemptive virtual processor.
+//
+// Go's garbage collector makes the durations semantically rather than
+// physically meaningful: an allocation carries a generation stamp, and using
+// it after its duration ended is detected and reported, which is what a
+// DataBlade author needs from tests.
+package mi
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Duration classifies how long an allocation stays valid.
+type Duration int
+
+const (
+	// PerFunction memory is reclaimed when the current purpose-function or
+	// UDR invocation returns.
+	PerFunction Duration = iota
+	// PerStatement memory is reclaimed at the end of the SQL statement.
+	PerStatement
+	// PerTransaction memory is reclaimed at transaction end.
+	PerTransaction
+	// PerSession memory lives until the session closes.
+	PerSession
+	numDurations
+)
+
+func (d Duration) String() string {
+	switch d {
+	case PerFunction:
+		return "PER_FUNCTION"
+	case PerStatement:
+		return "PER_STATEMENT"
+	case PerTransaction:
+		return "PER_TRANSACTION"
+	case PerSession:
+		return "PER_SESSION"
+	}
+	return "?"
+}
+
+// TxEvent tells a transaction-end callback how the transaction ended.
+type TxEvent int
+
+const (
+	// TxCommit reports a committed transaction.
+	TxCommit TxEvent = iota
+	// TxAbort reports a rolled-back transaction.
+	TxAbort
+)
+
+func (e TxEvent) String() string {
+	if e == TxAbort {
+		return "ABORT"
+	}
+	return "COMMIT"
+}
+
+// Allocation is a duration-tracked allocation.
+type Allocation struct {
+	Bytes []byte
+	ctx   *Context
+	dur   Duration
+	gen   uint64
+}
+
+// Valid reports whether the allocation's duration is still running.
+func (a *Allocation) Valid() bool {
+	return a != nil && a.gen == a.ctx.gens[a.dur]
+}
+
+// Context is the per-session DataBlade API context handed to purpose
+// functions and UDRs. It is not safe for concurrent use; each session owns
+// one.
+type Context struct {
+	SessionID uint64
+
+	gens   [numDurations]uint64
+	allocs [numDurations]int // live allocation counts per duration
+
+	named map[string]any
+
+	txCallbacks []func(TxEvent)
+
+	tracer *Tracer
+	yields int
+}
+
+// NewContext returns a fresh context for a session.
+func NewContext(sessionID uint64, tracer *Tracer) *Context {
+	if tracer == nil {
+		tracer = NewTracer(io.Discard)
+	}
+	return &Context{SessionID: sessionID, named: make(map[string]any), tracer: tracer}
+}
+
+// Alloc allocates size bytes with the given duration (mi_dalloc).
+func (c *Context) Alloc(d Duration, size int) *Allocation {
+	c.allocs[d]++
+	return &Allocation{Bytes: make([]byte, size), ctx: c, dur: d, gen: c.gens[d]}
+}
+
+// LiveAllocs returns the number of allocations made in the current window of
+// the given duration.
+func (c *Context) LiveAllocs(d Duration) int { return c.allocs[d] }
+
+// EndFunction closes the PER_FUNCTION window (the engine calls it after
+// every purpose-function and UDR invocation).
+func (c *Context) EndFunction() { c.expire(PerFunction) }
+
+// EndStatement closes the PER_STATEMENT window (and the function window).
+func (c *Context) EndStatement() {
+	c.expire(PerFunction)
+	c.expire(PerStatement)
+}
+
+// EndTransaction closes the transaction window, fires the registered
+// transaction-end callbacks in registration order, and clears them.
+func (c *Context) EndTransaction(ev TxEvent) {
+	c.expire(PerFunction)
+	c.expire(PerStatement)
+	c.expire(PerTransaction)
+	cbs := c.txCallbacks
+	c.txCallbacks = nil
+	for _, cb := range cbs {
+		cb(ev)
+	}
+}
+
+// EndSession closes every window and drops named memory.
+func (c *Context) EndSession() {
+	c.EndTransaction(TxAbort)
+	c.expire(PerSession)
+	c.named = make(map[string]any)
+}
+
+func (c *Context) expire(d Duration) {
+	c.gens[d]++
+	c.allocs[d] = 0
+}
+
+// OnTxEnd registers a transaction-end callback (mi_register_callback with
+// MI_EVENT_END_XACT). Section 5.4: "A transaction-end callback should be
+// registered to free the allocated memory."
+func (c *Context) OnTxEnd(cb func(TxEvent)) { c.txCallbacks = append(c.txCallbacks, cb) }
+
+// SetNamed stores a value in the session's named memory (mi_named_alloc /
+// mi_named_get), identified by name within this session.
+func (c *Context) SetNamed(name string, v any) { c.named[name] = v }
+
+// Named fetches a value from named memory.
+func (c *Context) Named(name string) (any, bool) {
+	v, ok := c.named[name]
+	return v, ok
+}
+
+// FreeNamed removes a named-memory entry (mi_named_free).
+func (c *Context) FreeNamed(name string) { delete(c.named, name) }
+
+// NamedNames returns the live named-memory keys, sorted (diagnostics).
+func (c *Context) NamedNames() []string {
+	out := make([]string, 0, len(c.named))
+	for k := range c.named {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Yield mirrors mi_yield: long-running DataBlade code must regularly yield
+// the non-preemptive virtual processor (Section 6.2).
+func (c *Context) Yield() {
+	c.yields++
+	runtime.Gosched()
+}
+
+// Yields returns how often the context yielded (tests assert CPU-heavy code
+// paths yield).
+func (c *Context) Yields() int { return c.yields }
+
+// Tracer returns the session's tracer.
+func (c *Context) Tracer() *Tracer { return c.tracer }
+
+// Tracer writes class/level-filtered trace messages to a trace file
+// (Section 6.4: "the extensive usage of trace messages is a good instrument
+// for debugging a DataBlade module").
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	levels map[string]int
+}
+
+// NewTracer returns a tracer writing to w with all classes off (level 0).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, levels: make(map[string]int)}
+}
+
+// SetLevel enables a trace class up to the given level (tracing is switched
+// on or off selectively using trace classes and trace levels).
+func (t *Tracer) SetLevel(class string, level int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.levels[class] = level
+}
+
+// Enabled reports whether a message of (class, level) would be emitted.
+func (t *Tracer) Enabled(class string, level int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.levels[class] >= level
+}
+
+// Tracef emits a trace message if the class is enabled at the level.
+func (t *Tracer) Tracef(class string, level int, format string, args ...any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.levels[class] < level {
+		return
+	}
+	fmt.Fprintf(t.w, "[%s:%d] ", class, level)
+	fmt.Fprintf(t.w, format, args...)
+	fmt.Fprintln(t.w)
+}

@@ -1,0 +1,137 @@
+package mi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDurationExpiry(t *testing.T) {
+	c := NewContext(1, nil)
+	fn := c.Alloc(PerFunction, 8)
+	st := c.Alloc(PerStatement, 8)
+	tx := c.Alloc(PerTransaction, 8)
+	se := c.Alloc(PerSession, 8)
+	for _, a := range []*Allocation{fn, st, tx, se} {
+		if !a.Valid() {
+			t.Fatal("fresh allocation must be valid")
+		}
+	}
+	c.EndFunction()
+	if fn.Valid() || !st.Valid() || !tx.Valid() || !se.Valid() {
+		t.Fatal("EndFunction must expire only PER_FUNCTION")
+	}
+	c.EndStatement()
+	if st.Valid() || !tx.Valid() || !se.Valid() {
+		t.Fatal("EndStatement must expire PER_STATEMENT")
+	}
+	c.EndTransaction(TxCommit)
+	if tx.Valid() || !se.Valid() {
+		t.Fatal("EndTransaction must expire PER_TRANSACTION")
+	}
+	c.EndSession()
+	if se.Valid() {
+		t.Fatal("EndSession must expire PER_SESSION")
+	}
+}
+
+func TestLiveAllocCounting(t *testing.T) {
+	c := NewContext(1, nil)
+	c.Alloc(PerStatement, 4)
+	c.Alloc(PerStatement, 4)
+	if c.LiveAllocs(PerStatement) != 2 {
+		t.Fatalf("live %d", c.LiveAllocs(PerStatement))
+	}
+	c.EndStatement()
+	if c.LiveAllocs(PerStatement) != 0 {
+		t.Fatal("statement allocs must be reclaimed")
+	}
+}
+
+func TestTxEndCallbacks(t *testing.T) {
+	c := NewContext(1, nil)
+	var events []TxEvent
+	c.OnTxEnd(func(e TxEvent) { events = append(events, e) })
+	c.OnTxEnd(func(e TxEvent) { events = append(events, e) })
+	c.EndTransaction(TxCommit)
+	if len(events) != 2 || events[0] != TxCommit {
+		t.Fatalf("events: %v", events)
+	}
+	// Callbacks are one-shot: a second transaction end fires nothing.
+	events = nil
+	c.EndTransaction(TxAbort)
+	if len(events) != 0 {
+		t.Fatalf("stale callbacks fired: %v", events)
+	}
+	// Section 5.4 pattern: named memory freed by a transaction-end callback.
+	c.SetNamed("grt_current_time", 123)
+	c.OnTxEnd(func(TxEvent) { c.FreeNamed("grt_current_time") })
+	c.EndTransaction(TxAbort)
+	if _, ok := c.Named("grt_current_time"); ok {
+		t.Fatal("named memory must be freed by the callback")
+	}
+}
+
+func TestNamedMemory(t *testing.T) {
+	c := NewContext(7, nil)
+	c.SetNamed("a", "x")
+	c.SetNamed("b", 2)
+	if v, ok := c.Named("a"); !ok || v != "x" {
+		t.Fatal("named get")
+	}
+	names := c.NamedNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names: %v", names)
+	}
+	c.FreeNamed("a")
+	if _, ok := c.Named("a"); ok {
+		t.Fatal("free failed")
+	}
+	c.EndSession()
+	if _, ok := c.Named("b"); ok {
+		t.Fatal("session end must clear named memory")
+	}
+}
+
+func TestTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Tracef("grt", 1, "hidden %d", 1)
+	if buf.Len() != 0 {
+		t.Fatal("disabled class must not emit")
+	}
+	tr.SetLevel("grt", 2)
+	if !tr.Enabled("grt", 1) || !tr.Enabled("grt", 2) || tr.Enabled("grt", 3) {
+		t.Fatal("level filtering")
+	}
+	tr.Tracef("grt", 2, "visible %d", 42)
+	tr.Tracef("grt", 3, "too detailed")
+	out := buf.String()
+	if !strings.Contains(out, "visible 42") || strings.Contains(out, "too detailed") {
+		t.Fatalf("trace output: %q", out)
+	}
+	if !strings.Contains(out, "[grt:2]") {
+		t.Fatalf("trace prefix missing: %q", out)
+	}
+}
+
+func TestYield(t *testing.T) {
+	c := NewContext(1, nil)
+	for i := 0; i < 5; i++ {
+		c.Yield()
+	}
+	if c.Yields() != 5 {
+		t.Fatalf("yields %d", c.Yields())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, d := range []Duration{PerFunction, PerStatement, PerTransaction, PerSession, Duration(99)} {
+		if d.String() == "" {
+			t.Fatal("duration string")
+		}
+	}
+	if TxCommit.String() != "COMMIT" || TxAbort.String() != "ABORT" {
+		t.Fatal("event strings")
+	}
+}

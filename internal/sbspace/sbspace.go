@@ -1,0 +1,598 @@
+// Package sbspace implements smart-blob spaces: the Informix storage option
+// the paper's DataBlade uses for its indices (Section 5.3). An sbspace
+// stores large objects ("smart blobs") striped over pages, addressed by
+// handles, with the server's automatic two-phase locking at the
+// large-object level:
+//
+//   - opening a large object acquires a shared (read) or exclusive (write)
+//     lock on the whole object;
+//   - exclusive locks are held to transaction end;
+//   - shared locks are released on close under Committed Read, but only at
+//     transaction end under Repeatable Read — exactly the inflexibility the
+//     paper criticises ("it is not possible to unlock a large object storing
+//     some internal node while traversing a tree").
+//
+// The developer "may vary the number of large objects used for storing
+// index data" — one LO for the whole index, one per node, or one per
+// subtree; the grtree package exposes that placement choice, and experiment
+// P3 measures it.
+package sbspace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+)
+
+// Handle identifies a large object within a space. ID is a space-unique
+// generation stamp that detects dangling handles after a drop reuses the
+// header page. The paper notes large-object handles "are relatively large"
+// for storing in index nodes; HandleSize reflects that in our simulation.
+type Handle struct {
+	Space  uint32
+	Header storage.PageID
+	ID     uint32
+}
+
+// HandleSize is the serialized size of a Handle in bytes. (Informix LO
+// handles are 72+ bytes; we carry 16 to keep the relative cost visible
+// without caricature.)
+const HandleSize = 16
+
+// NilHandle is the zero Handle.
+var NilHandle = Handle{}
+
+// Encode serializes the handle.
+func (h Handle) Encode(buf []byte) {
+	binary.BigEndian.PutUint32(buf[0:4], h.Space)
+	binary.BigEndian.PutUint64(buf[4:12], uint64(h.Header))
+	binary.BigEndian.PutUint32(buf[12:16], h.ID)
+}
+
+// DecodeHandle deserializes a handle.
+func DecodeHandle(buf []byte) Handle {
+	return Handle{
+		Space:  binary.BigEndian.Uint32(buf[0:4]),
+		Header: storage.PageID(binary.BigEndian.Uint64(buf[4:12])),
+		ID:     binary.BigEndian.Uint32(buf[12:16]),
+	}
+}
+
+func (h Handle) String() string { return fmt.Sprintf("lo(%d:%d#%d)", h.Space, h.Header, h.ID) }
+
+func (h Handle) resource() lock.Resource {
+	return lock.Resource{Kind: lock.KindLargeObject, A: uint64(h.Space), B: uint64(h.Header)}
+}
+
+// OpenMode selects read-only or read-write access.
+type OpenMode int
+
+const (
+	// ReadOnly opens with a shared lock.
+	ReadOnly OpenMode = iota
+	// ReadWrite opens with an exclusive lock.
+	ReadWrite
+)
+
+// Journal receives physical before/after images of page updates; the engine
+// wires the WAL here. A nil journal disables logging.
+type Journal interface {
+	LogUpdate(tx uint64, space uint32, page uint64, offset uint16, before, after []byte) error
+}
+
+// Stats counts sbspace operations; experiment P3 reports them.
+type Stats struct {
+	Creates uint64
+	Opens   uint64
+	Closes  uint64
+	Drops   uint64
+}
+
+// ErrClosed is returned when using a closed large object.
+var ErrClosed = errors.New("sbspace: large object is closed")
+
+// Large-object header page layout:
+//
+//	[0:4)   magic
+//	[4:12)  logical size in bytes
+//	[12:20) page id of first indirect page (0 = none)
+//	[20:24) number of direct slots used
+//	[24:28) large-object id (handle generation stamp)
+//	[28:32) reserved
+//	[32:)   direct data-page ids, 8 bytes each
+//
+// Indirect page layout: [0:8) next indirect page id, then data-page ids.
+const (
+	loMagic       = 0x534C4F42 // "SLOB"
+	loHeaderFixed = 32
+	directSlots   = (storage.PageSize - loHeaderFixed) / 8
+	indirectSlots = (storage.PageSize - 8) / 8
+)
+
+// Space metadata page (always page 1 of the space's pager):
+//
+//	[0:4) magic, [4:8) next large-object id
+const spaceMetaMagic = 0x53504D54 // "SPMT"
+
+// Space is one smart-blob space.
+type Space struct {
+	ID   uint32
+	Name string
+
+	mu      sync.Mutex
+	bp      *storage.BufferPool
+	locks   *lock.Manager
+	journal Journal
+	stats   Stats
+}
+
+// New creates a space over the buffer pool with the given lock manager.
+func New(id uint32, name string, bp *storage.BufferPool, locks *lock.Manager) *Space {
+	return &Space{ID: id, Name: name, bp: bp, locks: locks}
+}
+
+// SetJournal attaches a WAL journal; subsequent writes are logged.
+func (s *Space) SetJournal(j Journal) { s.journal = j }
+
+// Pool returns the space's buffer pool (I/O statistics live there).
+func (s *Space) Pool() *storage.BufferPool { return s.bp }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Space) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// nextLOID mints a space-unique large-object id, persisted in the space
+// metadata page so dangling handles are detected across restarts.
+func (s *Space) nextLOID() (uint32, error) {
+	if s.bp.Pager().NumPages() < 2 {
+		f, err := s.bp.Allocate() // becomes page 1
+		if err != nil {
+			return 0, err
+		}
+		binary.BigEndian.PutUint32(f.Data[0:4], spaceMetaMagic)
+		binary.BigEndian.PutUint32(f.Data[4:8], 1)
+		s.bp.Unpin(f, true)
+	}
+	f, err := s.bp.Fetch(1)
+	if err != nil {
+		return 0, err
+	}
+	if binary.BigEndian.Uint32(f.Data[0:4]) != spaceMetaMagic {
+		// Page 1 predates this space's metadata (or belongs to another
+		// structure); fall back to an in-memory counter page claim.
+		s.bp.Unpin(f, false)
+		return 0, fmt.Errorf("sbspace: space %d has no metadata page", s.ID)
+	}
+	id := binary.BigEndian.Uint32(f.Data[4:8])
+	binary.BigEndian.PutUint32(f.Data[4:8], id+1)
+	s.bp.Unpin(f, true)
+	return id, nil
+}
+
+// Create allocates a new, empty large object owned by tx (exclusively
+// locked until transaction end).
+func (s *Space) Create(tx lock.TxID) (Handle, error) {
+	id, err := s.nextLOID()
+	if err != nil {
+		return NilHandle, err
+	}
+	f, err := s.bp.Allocate()
+	if err != nil {
+		return NilHandle, err
+	}
+	binary.BigEndian.PutUint32(f.Data[0:4], loMagic)
+	binary.BigEndian.PutUint32(f.Data[24:28], id)
+	s.bp.Unpin(f, true)
+	h := Handle{Space: s.ID, Header: f.ID, ID: id}
+	if err := s.locks.Acquire(tx, h.resource(), lock.Exclusive); err != nil {
+		return NilHandle, err
+	}
+	s.mu.Lock()
+	s.stats.Creates++
+	s.mu.Unlock()
+	return h, nil
+}
+
+// Open opens the large object in the given mode under the transaction's
+// isolation level, acquiring the automatic LO-level lock.
+func (s *Space) Open(tx lock.TxID, h Handle, mode OpenMode, iso lock.IsolationLevel) (*LargeObject, error) {
+	if h.Space != s.ID {
+		return nil, fmt.Errorf("sbspace: handle %v belongs to another space (this is %d)", h, s.ID)
+	}
+	lockMode := lock.Shared
+	if mode == ReadWrite {
+		lockMode = lock.Exclusive
+	}
+	locked := false
+	if mode == ReadWrite || iso != lock.DirtyRead {
+		if err := s.locks.Acquire(tx, h.resource(), lockMode); err != nil {
+			return nil, err
+		}
+		locked = true
+	}
+	// Validate the header.
+	f, err := s.bp.Fetch(h.Header)
+	if err != nil {
+		if locked {
+			s.locks.Release(tx, h.resource())
+		}
+		return nil, err
+	}
+	magic := binary.BigEndian.Uint32(f.Data[0:4])
+	loID := binary.BigEndian.Uint32(f.Data[24:28])
+	s.bp.Unpin(f, false)
+	if magic != loMagic || loID != h.ID {
+		if locked {
+			s.locks.Release(tx, h.resource())
+		}
+		return nil, fmt.Errorf("sbspace: %v is not a (live) large object", h)
+	}
+	s.mu.Lock()
+	s.stats.Opens++
+	s.mu.Unlock()
+	return &LargeObject{space: s, h: h, tx: tx, mode: mode, iso: iso, locked: locked}, nil
+}
+
+// Drop deletes the large object and frees its pages.
+func (s *Space) Drop(tx lock.TxID, h Handle) error {
+	if err := s.locks.Acquire(tx, h.resource(), lock.Exclusive); err != nil {
+		return err
+	}
+	lo := &LargeObject{space: s, h: h, tx: tx, mode: ReadWrite, iso: lock.RepeatableRead, locked: true}
+	pages, err := lo.dataPages()
+	if err != nil {
+		return err
+	}
+	for _, pid := range pages {
+		if pid != storage.InvalidPage {
+			if err := s.bp.Free(pid); err != nil {
+				return err
+			}
+		}
+	}
+	// Free indirect chain.
+	next, err := lo.firstIndirect()
+	if err != nil {
+		return err
+	}
+	for next != storage.InvalidPage {
+		f, err := s.bp.Fetch(next)
+		if err != nil {
+			return err
+		}
+		following := storage.PageID(binary.BigEndian.Uint64(f.Data[0:8]))
+		s.bp.Unpin(f, false)
+		if err := s.bp.Free(next); err != nil {
+			return err
+		}
+		next = following
+	}
+	if err := s.bp.Free(h.Header); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Drops++
+	s.mu.Unlock()
+	return nil
+}
+
+// ReleaseTxLocks is invoked by the engine's transaction-end callback.
+// (The lock manager's ReleaseAll covers it too; this exists for tests that
+// drive the space without an engine.)
+func (s *Space) ReleaseTxLocks(tx lock.TxID) { s.locks.ReleaseAll(tx) }
+
+// LargeObject is an open smart blob.
+type LargeObject struct {
+	space  *Space
+	h      Handle
+	tx     lock.TxID
+	mode   OpenMode
+	iso    lock.IsolationLevel
+	locked bool
+	closed bool
+}
+
+// Handle returns the object's handle.
+func (lo *LargeObject) Handle() Handle { return lo.h }
+
+// Close closes the object. Under Committed Read a shared lock is released
+// now; exclusive locks (and, under Repeatable Read, shared locks) persist to
+// transaction end — Informix's behaviour per Section 5.3.
+func (lo *LargeObject) Close() error {
+	if lo.closed {
+		return ErrClosed
+	}
+	lo.closed = true
+	s := lo.space
+	s.mu.Lock()
+	s.stats.Closes++
+	s.mu.Unlock()
+	if lo.locked && lo.mode == ReadOnly && lo.iso < lock.RepeatableRead {
+		s.locks.Release(lo.tx, lo.h.resource())
+	}
+	return nil
+}
+
+// Size returns the logical size in bytes.
+func (lo *LargeObject) Size() (int64, error) {
+	if lo.closed {
+		return 0, ErrClosed
+	}
+	f, err := lo.space.bp.Fetch(lo.h.Header)
+	if err != nil {
+		return 0, err
+	}
+	size := int64(binary.BigEndian.Uint64(f.Data[4:12]))
+	lo.space.bp.Unpin(f, false)
+	return size, nil
+}
+
+// ReadAt reads len(buf) bytes at offset off; reads past the end are
+// zero-filled (sparse semantics) up to the logical size and return io-style
+// short counts beyond it.
+func (lo *LargeObject) ReadAt(buf []byte, off int64) (int, error) {
+	if lo.closed {
+		return 0, ErrClosed
+	}
+	size, err := lo.Size()
+	if err != nil {
+		return 0, err
+	}
+	if off >= size {
+		return 0, nil
+	}
+	n := len(buf)
+	if off+int64(n) > size {
+		n = int(size - off)
+	}
+	read := 0
+	for read < n {
+		pageIdx := (off + int64(read)) / storage.PageSize
+		inPage := int((off + int64(read)) % storage.PageSize)
+		chunk := storage.PageSize - inPage
+		if chunk > n-read {
+			chunk = n - read
+		}
+		pid, err := lo.pageAt(pageIdx, false)
+		if err != nil {
+			return read, err
+		}
+		if pid == storage.InvalidPage {
+			for i := 0; i < chunk; i++ {
+				buf[read+i] = 0
+			}
+		} else {
+			f, err := lo.space.bp.Fetch(pid)
+			if err != nil {
+				return read, err
+			}
+			copy(buf[read:read+chunk], f.Data[inPage:inPage+chunk])
+			lo.space.bp.Unpin(f, false)
+		}
+		read += chunk
+	}
+	return n, nil
+}
+
+// WriteAt writes buf at offset off, extending the object as needed. The
+// object must be open ReadWrite.
+func (lo *LargeObject) WriteAt(buf []byte, off int64) (int, error) {
+	if lo.closed {
+		return 0, ErrClosed
+	}
+	if lo.mode != ReadWrite {
+		return 0, fmt.Errorf("sbspace: write to read-only large object %v", lo.h)
+	}
+	written := 0
+	for written < len(buf) {
+		pageIdx := (off + int64(written)) / storage.PageSize
+		inPage := int((off + int64(written)) % storage.PageSize)
+		chunk := storage.PageSize - inPage
+		if chunk > len(buf)-written {
+			chunk = len(buf) - written
+		}
+		pid, err := lo.pageAt(pageIdx, true)
+		if err != nil {
+			return written, err
+		}
+		f, err := lo.space.bp.Fetch(pid)
+		if err != nil {
+			return written, err
+		}
+		if j := lo.space.journal; j != nil {
+			before := append([]byte(nil), f.Data[inPage:inPage+chunk]...)
+			if err := j.LogUpdate(uint64(lo.tx), lo.space.ID, uint64(pid), uint16(inPage), before, buf[written:written+chunk]); err != nil {
+				lo.space.bp.Unpin(f, false)
+				return written, err
+			}
+		}
+		copy(f.Data[inPage:inPage+chunk], buf[written:written+chunk])
+		lo.space.bp.Unpin(f, true)
+		written += chunk
+	}
+	// Extend the logical size.
+	end := off + int64(len(buf))
+	f, err := lo.space.bp.Fetch(lo.h.Header)
+	if err != nil {
+		return written, err
+	}
+	if cur := int64(binary.BigEndian.Uint64(f.Data[4:12])); end > cur {
+		binary.BigEndian.PutUint64(f.Data[4:12], uint64(end))
+		lo.space.bp.Unpin(f, true)
+	} else {
+		lo.space.bp.Unpin(f, false)
+	}
+	return written, nil
+}
+
+// Truncate sets the logical size (shrinking does not free pages; vacuuming
+// drops and recreates objects instead, mirroring Section 5.5's advice).
+func (lo *LargeObject) Truncate(size int64) error {
+	if lo.closed {
+		return ErrClosed
+	}
+	if lo.mode != ReadWrite {
+		return fmt.Errorf("sbspace: truncate of read-only large object")
+	}
+	f, err := lo.space.bp.Fetch(lo.h.Header)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(f.Data[4:12], uint64(size))
+	lo.space.bp.Unpin(f, true)
+	return nil
+}
+
+// firstIndirect returns the first indirect page id.
+func (lo *LargeObject) firstIndirect() (storage.PageID, error) {
+	f, err := lo.space.bp.Fetch(lo.h.Header)
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	id := storage.PageID(binary.BigEndian.Uint64(f.Data[12:20]))
+	lo.space.bp.Unpin(f, false)
+	return id, nil
+}
+
+// dataPages lists all allocated data page ids (for Drop).
+func (lo *LargeObject) dataPages() ([]storage.PageID, error) {
+	var out []storage.PageID
+	f, err := lo.space.bp.Fetch(lo.h.Header)
+	if err != nil {
+		return nil, err
+	}
+	used := binary.BigEndian.Uint32(f.Data[20:24])
+	for i := uint32(0); i < used && i < directSlots; i++ {
+		out = append(out, storage.PageID(binary.BigEndian.Uint64(f.Data[loHeaderFixed+8*i:])))
+	}
+	next := storage.PageID(binary.BigEndian.Uint64(f.Data[12:20]))
+	lo.space.bp.Unpin(f, false)
+	for next != storage.InvalidPage {
+		fi, err := lo.space.bp.Fetch(next)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < indirectSlots; i++ {
+			pid := storage.PageID(binary.BigEndian.Uint64(fi.Data[8+8*i:]))
+			if pid != storage.InvalidPage {
+				out = append(out, pid)
+			}
+		}
+		next = storage.PageID(binary.BigEndian.Uint64(fi.Data[0:8]))
+		lo.space.bp.Unpin(fi, false)
+	}
+	return out, nil
+}
+
+// pageAt maps a logical page index to a data page, optionally allocating.
+func (lo *LargeObject) pageAt(idx int64, alloc bool) (storage.PageID, error) {
+	bp := lo.space.bp
+	if idx < directSlots {
+		f, err := bp.Fetch(lo.h.Header)
+		if err != nil {
+			return storage.InvalidPage, err
+		}
+		used := binary.BigEndian.Uint32(f.Data[20:24])
+		slot := loHeaderFixed + 8*idx
+		pid := storage.PageID(binary.BigEndian.Uint64(f.Data[slot:]))
+		if pid != storage.InvalidPage || !alloc {
+			bp.Unpin(f, false)
+			return pid, nil
+		}
+		nf, err := bp.Allocate()
+		if err != nil {
+			bp.Unpin(f, false)
+			return storage.InvalidPage, err
+		}
+		pid = nf.ID
+		bp.Unpin(nf, true)
+		binary.BigEndian.PutUint64(f.Data[slot:], uint64(pid))
+		if uint32(idx)+1 > used {
+			binary.BigEndian.PutUint32(f.Data[20:24], uint32(idx)+1)
+		}
+		bp.Unpin(f, true)
+		return pid, nil
+	}
+
+	// Walk (allocating, if requested) the indirect chain.
+	rel := idx - directSlots
+	hop := rel / indirectSlots
+	slotIdx := rel % indirectSlots
+
+	f, err := bp.Fetch(lo.h.Header)
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	cur := storage.PageID(binary.BigEndian.Uint64(f.Data[12:20]))
+	if cur == storage.InvalidPage {
+		if !alloc {
+			bp.Unpin(f, false)
+			return storage.InvalidPage, nil
+		}
+		nf, err := bp.Allocate()
+		if err != nil {
+			bp.Unpin(f, false)
+			return storage.InvalidPage, err
+		}
+		cur = nf.ID
+		bp.Unpin(nf, true)
+		binary.BigEndian.PutUint64(f.Data[12:20], uint64(cur))
+		bp.Unpin(f, true)
+	} else {
+		bp.Unpin(f, false)
+	}
+
+	for h := int64(0); h < hop; h++ {
+		fi, err := bp.Fetch(cur)
+		if err != nil {
+			return storage.InvalidPage, err
+		}
+		next := storage.PageID(binary.BigEndian.Uint64(fi.Data[0:8]))
+		if next == storage.InvalidPage {
+			if !alloc {
+				bp.Unpin(fi, false)
+				return storage.InvalidPage, nil
+			}
+			nf, err := bp.Allocate()
+			if err != nil {
+				bp.Unpin(fi, false)
+				return storage.InvalidPage, err
+			}
+			next = nf.ID
+			bp.Unpin(nf, true)
+			binary.BigEndian.PutUint64(fi.Data[0:8], uint64(next))
+			bp.Unpin(fi, true)
+		} else {
+			bp.Unpin(fi, false)
+		}
+		cur = next
+	}
+
+	fi, err := bp.Fetch(cur)
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	slot := 8 + 8*slotIdx
+	pid := storage.PageID(binary.BigEndian.Uint64(fi.Data[slot:]))
+	if pid != storage.InvalidPage || !alloc {
+		bp.Unpin(fi, false)
+		return pid, nil
+	}
+	nf, err := bp.Allocate()
+	if err != nil {
+		bp.Unpin(fi, false)
+		return storage.InvalidPage, err
+	}
+	pid = nf.ID
+	bp.Unpin(nf, true)
+	binary.BigEndian.PutUint64(fi.Data[slot:], uint64(pid))
+	bp.Unpin(fi, true)
+	return pid, nil
+}

@@ -1,0 +1,193 @@
+package sql
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColDef is one column definition in CREATE TABLE.
+type ColDef struct {
+	Name     string
+	TypeName string
+}
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// CreateFunction is CREATE FUNCTION name(args) RETURNING type
+// EXTERNAL NAME 'lib(symbol)' LANGUAGE c (Section 4, Step 2).
+type CreateFunction struct {
+	Name     string
+	ArgTypes []string
+	Returns  string
+	External string
+	Language string
+}
+
+// CreateAccessMethod is CREATE SECONDARY ACCESS_METHOD name (slot = value,
+// ...) (Section 4, Step 3).
+type CreateAccessMethod struct {
+	Name  string
+	Slots map[string]string
+}
+
+// CreateOpClass is CREATE OPCLASS name FOR am STRATEGIES(...) SUPPORT(...)
+// (Section 4, Step 4).
+type CreateOpClass struct {
+	Name       string
+	AmName     string
+	Strategies []string
+	Support    []string
+}
+
+// CreateSbspace is CREATE SBSPACE name (the onspaces analogue, Step 5).
+type CreateSbspace struct{ Name string }
+
+// IndexCol is one indexed column with its operator class.
+type IndexCol struct {
+	Column  string
+	OpClass string // empty = access method default
+}
+
+// CreateIndex is CREATE INDEX name ON table(col opclass, ...) USING am
+// [IN space] (Section 4, Step 6).
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []IndexCol
+	AmName  string // empty = built-in B-tree-ish (unsupported here)
+	Space   string
+	Params  map[string]string
+}
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Star      bool
+	CountStar bool
+	Column    string
+}
+
+// Select is SELECT items FROM table [WHERE expr].
+type Select struct {
+	Items []SelectItem
+	Table string
+	Where Expr
+}
+
+// Delete is DELETE FROM table [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// SetClause is one SET col = expr.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// Update is UPDATE table SET ... [WHERE expr].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// Begin is BEGIN [WORK].
+type Begin struct{}
+
+// Commit is COMMIT [WORK].
+type Commit struct{}
+
+// Rollback is ROLLBACK [WORK].
+type Rollback struct{}
+
+// SetIsolation is SET ISOLATION TO level.
+type SetIsolation struct{ Level string }
+
+// CheckIndex is CHECK INDEX name (drives am_check).
+type CheckIndex struct{ Name string }
+
+// UpdateStatistics is UPDATE STATISTICS FOR INDEX name (drives am_stats).
+type UpdateStatistics struct{ Index string }
+
+// Load is LOAD FROM 'file' [DELIMITER 'c'] INSERT INTO table — the Informix
+// bulk-load command; values of opaque types go through the text-file import
+// support function (Section 6.3, item 3).
+type Load struct {
+	File      string
+	Delimiter string
+	Table     string
+}
+
+func (*CreateTable) stmt()        {}
+func (*DropTable) stmt()          {}
+func (*CreateFunction) stmt()     {}
+func (*CreateAccessMethod) stmt() {}
+func (*CreateOpClass) stmt()      {}
+func (*CreateSbspace) stmt()      {}
+func (*CreateIndex) stmt()        {}
+func (*DropIndex) stmt()          {}
+func (*Insert) stmt()             {}
+func (*Select) stmt()             {}
+func (*Delete) stmt()             {}
+func (*Update) stmt()             {}
+func (*Begin) stmt()              {}
+func (*Commit) stmt()             {}
+func (*Rollback) stmt()           {}
+func (*SetIsolation) stmt()       {}
+func (*CheckIndex) stmt()         {}
+func (*UpdateStatistics) stmt()   {}
+func (*Load) stmt()               {}
+
+// Expr is a scalar or boolean expression.
+type Expr interface{ expr() }
+
+// Literal is a numeric or string literal.
+type Literal struct {
+	Text     string
+	IsString bool
+	IsFloat  bool
+}
+
+// Null is the NULL literal.
+type Null struct{}
+
+// ColumnRef names a column.
+type ColumnRef struct{ Name string }
+
+// FuncCall is f(args) — in WHERE clauses typically a strategy function.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// Binary is a binary operation: comparisons, AND, OR.
+type Binary struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Expr
+}
+
+// Not is NOT x.
+type Not struct{ X Expr }
+
+func (*Literal) expr()   {}
+func (*Null) expr()      {}
+func (*ColumnRef) expr() {}
+func (*FuncCall) expr()  {}
+func (*Binary) expr()    {}
+func (*Not) expr()       {}

@@ -1,0 +1,113 @@
+// Package sql implements the engine's SQL front end: lexer, AST, and
+// recursive-descent parser for the dialect the paper's DataBlade workflow
+// exercises — CREATE TABLE / FUNCTION / SECONDARY ACCESS_METHOD / OPCLASS /
+// SBSPACE / INDEX ... USING am IN space, DML with strategy-function
+// predicates in WHERE clauses, transactions, and SET ISOLATION.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	// TEOF ends the input.
+	TEOF TokKind = iota
+	// TIdent is an identifier or keyword.
+	TIdent
+	// TNumber is a numeric literal.
+	TNumber
+	// TString is a quoted string literal.
+	TString
+	// TPunct is an operator or punctuation token.
+	TPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifiers preserved as written; keywords matched case-insensitively
+	Pos  int
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // comment to end of line
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, Token{TIdent, src[start:i], start})
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(src[i])) || (src[i] == '.' && !seenDot)) {
+				if src[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{TNumber, src[start:i], start})
+		case c == '\'' || c == '"':
+			quote := c
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == quote {
+					if i+1 < n && src[i+1] == quote { // doubled quote escape
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, Token{TString, sb.String(), i})
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, Token{TPunct, two, i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', ';', '=', '<', '>', '*', '+', '-', '.':
+				toks = append(toks, Token{TPunct, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{TEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stats counts page-level I/O through a buffer pool. All benchmark numbers
+// (search I/O, insertion I/O) are reported from these counters.
+type Stats struct {
+	Reads     uint64 // physical page reads (misses)
+	Writes    uint64 // physical page writes (evictions + flushes)
+	Hits      uint64 // logical fetches satisfied from the pool
+	Fetches   uint64 // all logical fetches
+	Evictions uint64
+}
+
+// Sub returns the difference s - o, for measuring an operation window.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:     s.Reads - o.Reads,
+		Writes:    s.Writes - o.Writes,
+		Hits:      s.Hits - o.Hits,
+		Fetches:   s.Fetches - o.Fetches,
+		Evictions: s.Evictions - o.Evictions,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("fetches=%d hits=%d reads=%d writes=%d evictions=%d",
+		s.Fetches, s.Hits, s.Reads, s.Writes, s.Evictions)
+}
+
+// ErrPoolFull is returned when every frame is pinned and a new page is
+// requested.
+var ErrPoolFull = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// Frame is a pinned page in the buffer pool. Data is valid until Unpin.
+type Frame struct {
+	ID    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// BufferPool caches pages of one Pager with pin-counted LRU replacement.
+// It is safe for concurrent use; callers serialise access to a frame's Data
+// through higher-level latching (the engine latches at the tree/table level).
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    Pager
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // unpinned frames, most recent at front
+	stats    Stats
+	// FlushHook, when set, is called with (id, data) before a dirty page is
+	// written back; the WAL installs itself here to honour write-ahead
+	// ordering.
+	FlushHook func(id PageID, data []byte) error
+}
+
+// NewBufferPool wraps pager with a pool of the given frame capacity.
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// Pager returns the underlying pager.
+func (bp *BufferPool) Pager() Pager { return bp.pager }
+
+// Stats returns a snapshot of the I/O counters.
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the I/O counters (benchmark harness use).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
+
+// Allocate allocates a fresh page and returns it pinned and dirty.
+func (bp *BufferPool) Allocate() (*Frame, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.ensureRoom(); err != nil {
+		return nil, err
+	}
+	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1, dirty: true}
+	bp.frames[id] = f
+	return f, nil
+}
+
+// Fetch pins the page, reading it from the pager on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	bp.stats.Fetches++
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		if f.pins == 0 && f.elem != nil {
+			bp.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		bp.mu.Unlock()
+		return f, nil
+	}
+	if err := bp.ensureRoom(); err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	bp.stats.Reads++
+	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1}
+	bp.frames[id] = f
+	// Read outside the lock would race with a concurrent Fetch of the same
+	// page; the read is cheap relative to simplicity, so keep the lock.
+	err := bp.pager.ReadPage(id, f.Data)
+	if err != nil {
+		delete(bp.frames, id)
+		bp.mu.Unlock()
+		return nil, err
+	}
+	bp.mu.Unlock()
+	return f, nil
+}
+
+// Unpin releases one pin; dirty marks the frame as modified.
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins > 0 {
+		f.pins--
+	}
+	if f.pins == 0 {
+		f.elem = bp.lru.PushFront(f)
+	}
+}
+
+// ensureRoom evicts the least recently used unpinned frame when the pool is
+// at capacity. Caller holds bp.mu.
+func (bp *BufferPool) ensureRoom() error {
+	for len(bp.frames) >= bp.capacity {
+		back := bp.lru.Back()
+		if back == nil {
+			return ErrPoolFull
+		}
+		victim := back.Value.(*Frame)
+		bp.lru.Remove(back)
+		victim.elem = nil
+		if victim.dirty {
+			if err := bp.flushLocked(victim); err != nil {
+				return err
+			}
+		}
+		delete(bp.frames, victim.ID)
+		bp.stats.Evictions++
+	}
+	return nil
+}
+
+func (bp *BufferPool) flushLocked(f *Frame) error {
+	if bp.FlushHook != nil {
+		if err := bp.FlushHook(f.ID, f.Data); err != nil {
+			return err
+		}
+	}
+	bp.stats.Writes++
+	if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the pager.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.flushLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return bp.pager.Sync()
+}
+
+// Free flushes nothing and returns the page to the pager's free list; the
+// page must be unpinned.
+func (bp *BufferPool) Free(id PageID) error {
+	bp.mu.Lock()
+	if f, ok := bp.frames[id]; ok {
+		if f.pins > 0 {
+			bp.mu.Unlock()
+			return fmt.Errorf("storage: freeing pinned page %d", id)
+		}
+		if f.elem != nil {
+			bp.lru.Remove(f.elem)
+		}
+		delete(bp.frames, id)
+	}
+	bp.mu.Unlock()
+	return bp.pager.Free(id)
+}
+
+// Close flushes and closes the underlying pager.
+func (bp *BufferPool) Close() error {
+	if err := bp.FlushAll(); err != nil {
+		bp.pager.Close()
+		return err
+	}
+	return bp.pager.Close()
+}

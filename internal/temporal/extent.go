@@ -1,0 +1,208 @@
+// Package temporal implements the bitemporal data model of Section 2 of the
+// paper and the region geometry of Section 3: four-timestamp (4TS) time
+// extents with the variables UC and NOW, the six qualitatively different
+// timestamp combinations of Figure 2, the rectangle and stair-shape regions
+// of Figure 1, and the minimum-bounding-region algebra (with the "Rectangle"
+// and "Hidden" flags) that the GR-tree stores in its nodes.
+package temporal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chronon"
+)
+
+// Extent is a tuple's bitemporal time extent in TQuel's four-timestamp
+// format (Section 2): the transaction-time interval [TTBegin, TTEnd] and the
+// valid-time interval [VTBegin, VTEnd], both closed. TTEnd may be the
+// variable UC; VTEnd may be the variable NOW.
+type Extent struct {
+	TTBegin chronon.Instant
+	TTEnd   chronon.Instant
+	VTBegin chronon.Instant
+	VTEnd   chronon.Instant
+}
+
+// Case identifies one of the six qualitatively different combinations of
+// time attributes (Figure 2).
+type Case int
+
+const (
+	// CaseInvalid marks an extent violating the constraints of Section 2.
+	CaseInvalid Case = 0
+	// Case1: (tt1, UC, vt1, vt2) — rectangle growing in transaction time.
+	Case1 Case = 1
+	// Case2: (tt1, tt2, vt1, vt2) — static rectangle.
+	Case2 Case = 2
+	// Case3: (tt1, UC, vt1, NOW), tt1 = vt1 — growing stair-shape.
+	Case3 Case = 3
+	// Case4: (tt1, tt2, vt1, NOW), tt1 = vt1 — static stair-shape.
+	Case4 Case = 4
+	// Case5: (tt1, UC, vt1, NOW), tt1 > vt1 — growing stair with a high
+	// first step.
+	Case5 Case = 5
+	// Case6: (tt1, tt2, vt1, NOW), tt1 > vt1 — static stair with a high
+	// first step.
+	Case6 Case = 6
+)
+
+func (c Case) String() string {
+	if c == CaseInvalid {
+		return "invalid"
+	}
+	return fmt.Sprintf("case %d", int(c))
+}
+
+// Case classifies the extent per Figure 2. Extents that fit none of the six
+// rows (for example VTEnd = NOW with TTBegin < VTBegin, which violates the
+// valid-time insertion constraint) classify as CaseInvalid.
+func (e Extent) Case() Case {
+	if e.TTBegin.IsVariable() || e.VTBegin.IsVariable() ||
+		e.TTEnd == chronon.NOW || e.VTEnd == chronon.UC {
+		return CaseInvalid
+	}
+	ttGrowing := e.TTEnd == chronon.UC
+	if !ttGrowing && e.TTEnd < e.TTBegin {
+		return CaseInvalid
+	}
+	switch {
+	case e.VTEnd != chronon.NOW:
+		if e.VTEnd < e.VTBegin {
+			return CaseInvalid
+		}
+		if ttGrowing {
+			return Case1
+		}
+		return Case2
+	case e.TTBegin == e.VTBegin:
+		if ttGrowing {
+			return Case3
+		}
+		return Case4
+	case e.TTBegin > e.VTBegin:
+		if ttGrowing {
+			return Case5
+		}
+		return Case6
+	default: // TTBegin < VTBegin with VTEnd = NOW: VT end would precede VT begin.
+		return CaseInvalid
+	}
+}
+
+// Valid reports whether the extent is one of the six legal combinations.
+func (e Extent) Valid() bool { return e.Case() != CaseInvalid }
+
+// ValidateInsert checks the insertion constraints of Section 2 against the
+// current time ct: VTBegin <= VTEnd; VTBegin <= ct when VTEnd is NOW;
+// TTBegin = ct; TTEnd = UC.
+func (e Extent) ValidateInsert(ct chronon.Instant) error {
+	if e.TTBegin != ct {
+		return fmt.Errorf("temporal: insertion requires TTBegin = current time (%v), got %v", ct, e.TTBegin)
+	}
+	if e.TTEnd != chronon.UC {
+		return fmt.Errorf("temporal: insertion requires TTEnd = UC, got %v", e.TTEnd)
+	}
+	if e.VTBegin.IsVariable() {
+		return fmt.Errorf("temporal: VTBegin must be a ground value, got %v", e.VTBegin)
+	}
+	if e.VTEnd == chronon.NOW {
+		if e.VTBegin > ct {
+			return fmt.Errorf("temporal: VTBegin (%v) must not exceed current time (%v) when VTEnd is NOW", e.VTBegin, ct)
+		}
+		return nil
+	}
+	if e.VTEnd == chronon.UC {
+		return fmt.Errorf("temporal: VTEnd may be NOW or ground, not UC")
+	}
+	if e.VTBegin > e.VTEnd {
+		return fmt.Errorf("temporal: VTBegin (%v) exceeds VTEnd (%v)", e.VTBegin, e.VTEnd)
+	}
+	return nil
+}
+
+// ValidAt reports whether the extent is one of the six legal combinations
+// AND satisfies the transaction-time constraints relative to the current
+// time ct: transaction time cannot begin or (when ground) end beyond the
+// current time (Section 2: "the transaction time of a tuple cannot extend
+// beyond the current time"). Indexes enforce this on insertion — their
+// bounding-region invariants assume it.
+func (e Extent) ValidAt(ct chronon.Instant) bool {
+	if !e.Valid() {
+		return false
+	}
+	if e.TTBegin > ct {
+		return false
+	}
+	return e.TTEnd == chronon.UC || e.TTEnd <= ct
+}
+
+// Current reports whether the extent belongs to the current database state
+// (TTEnd = UC). Only current tuples may be logically deleted or modified.
+func (e Extent) Current() bool { return e.TTEnd == chronon.UC }
+
+// Deleted returns the extent after a logical deletion at current time ct:
+// the TTEnd value UC is replaced by the fixed value ct-1 (Section 2). The
+// receiver must be current.
+func (e Extent) Deleted(ct chronon.Instant) (Extent, error) {
+	if !e.Current() {
+		return Extent{}, fmt.Errorf("temporal: cannot delete non-current extent %v", e)
+	}
+	e.TTEnd = ct - 1
+	if e.TTEnd < e.TTBegin {
+		// A tuple inserted and deleted within the same chronon leaves a
+		// degenerate transaction-time interval of a single chronon.
+		e.TTEnd = e.TTBegin
+	}
+	return e, nil
+}
+
+// NowRelative reports whether either interval end tracks the current time.
+func (e Extent) NowRelative() bool {
+	return e.TTEnd == chronon.UC || e.VTEnd == chronon.NOW
+}
+
+// String renders the extent in the paper's query-literal order:
+// "TTbegin, TTend, VTbegin, VTend", e.g. "12/10/95, UC, 12/10/95, NOW"
+// (rendered with ISO ground dates).
+func (e Extent) String() string {
+	return fmt.Sprintf("%v, %v, %v, %v", e.TTBegin, e.TTEnd, e.VTBegin, e.VTEnd)
+}
+
+// ParseExtent parses the textual form produced by String and accepted in SQL
+// literals: four comma-separated timestamps (see chronon.Parse for the
+// timestamp forms).
+func ParseExtent(s string) (Extent, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return Extent{}, fmt.Errorf("temporal: extent literal needs 4 timestamps, got %d in %q", len(parts), s)
+	}
+	var ts [4]chronon.Instant
+	for i, p := range parts {
+		t, err := chronon.Parse(p)
+		if err != nil {
+			return Extent{}, fmt.Errorf("temporal: extent literal %q: %w", s, err)
+		}
+		ts[i] = t
+	}
+	return Extent{TTBegin: ts[0], TTEnd: ts[1], VTBegin: ts[2], VTEnd: ts[3]}, nil
+}
+
+// MustParseExtent is ParseExtent that panics on error (tests and examples).
+func MustParseExtent(s string) Extent {
+	e, err := ParseExtent(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Region converts the extent to its bitemporal region. A leaf-level extent
+// is a stair-shape exactly when VTEnd is NOW (Section 3).
+func (e Extent) Region() Region {
+	return Region{
+		TTBegin: e.TTBegin, TTEnd: e.TTEnd,
+		VTBegin: e.VTBegin, VTEnd: e.VTEnd,
+		Rect: e.VTEnd != chronon.NOW,
+	}
+}

@@ -1,0 +1,267 @@
+package temporal
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+var (
+	ct97Sep = chronon.MustParse("9/97") // the paper's running current time
+)
+
+func ext(tb, te, vb, ve string) Extent {
+	return Extent{
+		TTBegin: chronon.MustParse(tb), TTEnd: chronon.MustParse(te),
+		VTBegin: chronon.MustParse(vb), VTEnd: chronon.MustParse(ve),
+	}
+}
+
+// TestFigure2Cases checks the six combinations of Figure 2 classify to the
+// correct cases, using the EmpDep tuples of Table 1.
+func TestFigure2Cases(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Extent
+		want Case
+	}{
+		{"John (1)", ext("4/97", "UC", "3/97", "5/97"), Case1},
+		{"Tom (2)", ext("3/97", "7/97", "6/97", "8/97"), Case2},
+		{"Jane (3)", ext("5/97", "UC", "5/97", "NOW"), Case3},
+		{"Julie (4)", ext("3/97", "7/97", "3/97", "NOW"), Case4},
+		{"Julie (5)", ext("8/97", "UC", "3/97", "7/97"), Case1},
+		{"Michelle (6)", ext("5/97", "UC", "3/97", "NOW"), Case5},
+		{"static high step", ext("5/97", "8/97", "3/97", "NOW"), Case6},
+	}
+	for _, c := range cases {
+		if got := c.e.Case(); got != c.want {
+			t.Errorf("%s: case %v, want %v", c.name, got, c.want)
+		}
+		if !c.e.Valid() {
+			t.Errorf("%s: must be valid", c.name)
+		}
+	}
+}
+
+func TestInvalidExtents(t *testing.T) {
+	bad := []Extent{
+		// VT end would precede VT begin when resolved (tt1 < vt1 with NOW).
+		ext("3/97", "UC", "6/97", "NOW"),
+		// Reversed ground intervals.
+		ext("7/97", "3/97", "1/97", "2/97"),
+		ext("3/97", "7/97", "5/97", "4/97"),
+		// Variables in begin positions or wrong variables in end positions.
+		{TTBegin: chronon.UC, TTEnd: chronon.UC, VTBegin: 0, VTEnd: 1},
+		{TTBegin: 0, TTEnd: chronon.NOW, VTBegin: 0, VTEnd: 1},
+		{TTBegin: 0, TTEnd: chronon.UC, VTBegin: chronon.NOW, VTEnd: chronon.NOW},
+		{TTBegin: 0, TTEnd: chronon.UC, VTBegin: 0, VTEnd: chronon.UC},
+	}
+	for _, e := range bad {
+		if e.Case() != CaseInvalid {
+			t.Errorf("%v: classified %v, want invalid", e, e.Case())
+		}
+	}
+}
+
+func TestValidateInsert(t *testing.T) {
+	ct := ct97Sep
+	good := []Extent{
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct - 30, VTEnd: chronon.NOW},
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct, VTEnd: chronon.NOW},
+		// Recording future information requires a ground VT end (Section 2).
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct + 10, VTEnd: ct + 50},
+	}
+	for _, e := range good {
+		if err := e.ValidateInsert(ct); err != nil {
+			t.Errorf("%v: unexpected insert error: %v", e, err)
+		}
+	}
+	bad := []Extent{
+		{TTBegin: ct - 1, TTEnd: chronon.UC, VTBegin: ct, VTEnd: chronon.NOW},      // TTBegin != ct
+		{TTBegin: ct, TTEnd: ct + 5, VTBegin: ct, VTEnd: chronon.NOW},              // TTEnd != UC
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct + 1, VTEnd: chronon.NOW},      // future VTBegin with NOW
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct + 9, VTEnd: ct + 2},           // reversed VT
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct, VTEnd: chronon.UC},           // UC as VT end
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: chronon.NOW, VTEnd: chronon.NOW}, // variable begin
+	}
+	for _, e := range bad {
+		if err := e.ValidateInsert(ct); err == nil {
+			t.Errorf("%v: insert accepted, want error", e)
+		}
+	}
+}
+
+func TestLogicalDeletion(t *testing.T) {
+	ct := ct97Sep
+	e := Extent{TTBegin: ct - 60, TTEnd: chronon.UC, VTBegin: ct - 60, VTEnd: chronon.NOW}
+	d, err := e.Deleted(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TTEnd != ct-1 {
+		t.Fatalf("deleted TTEnd = %v, want ct-1 = %v", d.TTEnd, ct-1)
+	}
+	if !d.Valid() || d.Case() != Case4 {
+		t.Fatalf("deleted growing stair must be a static stair (case 4), got %v", d.Case())
+	}
+	if _, err := d.Deleted(ct); err == nil {
+		t.Fatal("deleting a non-current extent must fail")
+	}
+	// Same-chronon insert+delete leaves a single-chronon TT interval.
+	f := Extent{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct, VTEnd: chronon.NOW}
+	df, err := f.Deleted(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.TTEnd != ct {
+		t.Fatalf("same-chronon delete TTEnd = %v, want %v", df.TTEnd, ct)
+	}
+}
+
+func TestExtentStringParseRoundTrip(t *testing.T) {
+	for _, e := range []Extent{
+		ext("4/97", "UC", "3/97", "5/97"),
+		ext("5/97", "UC", "5/97", "NOW"),
+		ext("3/97", "7/97", "3/97", "NOW"),
+	} {
+		got, err := ParseExtent(e.String())
+		if err != nil {
+			t.Fatalf("ParseExtent(%q): %v", e.String(), err)
+		}
+		if got != e {
+			t.Errorf("round trip: %v -> %v", e, got)
+		}
+	}
+	if _, err := ParseExtent("1/97, 2/97, 3/97"); err == nil {
+		t.Error("three timestamps must not parse")
+	}
+	if _, err := ParseExtent("x, 2/97, 3/97, 4/97"); err == nil {
+		t.Error("garbage timestamp must not parse")
+	}
+	// The paper's literal form.
+	e := MustParseExtent("12/10/95, UC, 12/10/95, NOW")
+	if e.TTBegin != chronon.FromDate(1995, 12, 10) || e.TTEnd != chronon.UC ||
+		e.VTEnd != chronon.NOW {
+		t.Errorf("paper literal parsed to %v", e)
+	}
+}
+
+func TestValidAt(t *testing.T) {
+	ct := ct97Sep
+	good := []Extent{
+		ext("4/97", "UC", "3/97", "5/97"),
+		ext("3/97", "7/97", "6/97", "8/97"),
+		ext("5/97", "UC", "5/97", "NOW"),
+		// Future VALID time is fine (recording beliefs about the future).
+		{TTBegin: ct, TTEnd: chronon.UC, VTBegin: ct + 100, VTEnd: ct + 200},
+	}
+	for _, e := range good {
+		if !e.ValidAt(ct) {
+			t.Errorf("%v must be valid at %v", e, ct)
+		}
+	}
+	bad := []Extent{
+		// Transaction time cannot begin or end beyond the current time.
+		{TTBegin: ct + 1, TTEnd: chronon.UC, VTBegin: ct, VTEnd: chronon.NOW},
+		{TTBegin: ct - 10, TTEnd: ct + 10, VTBegin: ct - 10, VTEnd: ct},
+		// Structurally invalid stays invalid.
+		ext("7/97", "3/97", "1/97", "2/97"),
+	}
+	for _, e := range bad {
+		if e.ValidAt(ct) {
+			t.Errorf("%v must be invalid at %v", e, ct)
+		}
+	}
+}
+
+func TestNowRelative(t *testing.T) {
+	if !ext("4/97", "UC", "3/97", "5/97").NowRelative() {
+		t.Error("UC extent is now-relative")
+	}
+	if !ext("3/97", "7/97", "3/97", "NOW").NowRelative() {
+		t.Error("NOW extent is now-relative")
+	}
+	if ext("3/97", "7/97", "6/97", "8/97").NowRelative() {
+		t.Error("fully ground extent is not now-relative")
+	}
+}
+
+// TestBitemporalRegionsFigure1 verifies the geometry of the regions in
+// Figure 1 against the narrative of Section 2.
+func TestBitemporalRegionsFigure1(t *testing.T) {
+	ct := ct97Sep
+
+	// Case 1 (John): rectangle growing in transaction time. At ct the TT
+	// interval spans 4/97..ct, VT fixed 3/97..5/97.
+	john := ext("4/97", "UC", "3/97", "5/97").Region()
+	s := john.Resolve(ct)
+	if s.Stair {
+		t.Fatal("case 1 resolves to a rectangle")
+	}
+	if s.TTEnd != int64(ct) || s.VTEnd != int64(chronon.MustParse("5/97")) {
+		t.Fatalf("case 1 resolved to %v", s)
+	}
+	// It grows: a later current time widens the TT interval only.
+	s2 := john.Resolve(ct + 30)
+	if s2.TTEnd != int64(ct)+30 || s2.VTEnd != s.VTEnd {
+		t.Fatalf("case 1 growth wrong: %v", s2)
+	}
+
+	// Case 3 (Jane): stair growing in both dimensions.
+	jane := ext("5/97", "UC", "5/97", "NOW").Region()
+	js := jane.Resolve(ct)
+	if !js.Stair {
+		t.Fatal("case 3 resolves to a stair")
+	}
+	if js.TTEnd != int64(ct) || js.VTEnd != int64(ct) {
+		t.Fatalf("case 3 resolved to %v", js)
+	}
+	if !js.ContainsPoint(int64(ct), int64(ct)) || js.ContainsPoint(int64(ct)-5, int64(ct)) {
+		t.Fatal("case 3 stair boundary")
+	}
+
+	// Case 5 (Michelle): high first step — at its first TT chronon the
+	// column spans VT 3/97..5/97.
+	michelle := ext("5/97", "UC", "3/97", "NOW").Region()
+	ms := michelle.Resolve(ct)
+	tt0 := int64(chronon.MustParse("5/97"))
+	if !ms.ContainsPoint(tt0, tt0) || !ms.ContainsPoint(tt0, int64(chronon.MustParse("3/97"))) {
+		t.Fatal("case 5 high first step missing")
+	}
+	if ms.ContainsPoint(tt0, tt0+1) {
+		t.Fatal("case 5 must not exceed v = t")
+	}
+
+	// Cases 2/4/6 are static: region identical at ct and ct+100.
+	for _, e := range []Extent{
+		ext("3/97", "7/97", "6/97", "8/97"),
+		ext("3/97", "7/97", "3/97", "NOW"),
+		ext("5/97", "8/97", "3/97", "NOW"),
+	} {
+		r := e.Region()
+		if !r.Resolve(ct).EqualShape(r.Resolve(ct + 100)) {
+			t.Errorf("%v: static region changed over time", e)
+		}
+	}
+}
+
+// TestRegionGrowthMonotone: a region at a later current time contains the
+// region at an earlier one (regions only grow; Section 2).
+func TestRegionGrowthMonotone(t *testing.T) {
+	ct := ct97Sep
+	regions := []Region{
+		ext("4/97", "UC", "3/97", "5/97").Region(),
+		ext("5/97", "UC", "5/97", "NOW").Region(),
+		ext("5/97", "UC", "3/97", "NOW").Region(),
+		ext("3/97", "7/97", "3/97", "NOW").Region(),
+		ext("3/97", "7/97", "6/97", "8/97").Region(),
+	}
+	for _, r := range regions {
+		for d := int64(1); d <= 120; d *= 4 {
+			early, late := r.Resolve(ct), r.Resolve(ct+chronon.Instant(d))
+			if !late.ContainsShape(early) {
+				t.Errorf("%v: region at ct+%d does not contain region at ct", r, d)
+			}
+		}
+	}
+}

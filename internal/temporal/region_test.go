@@ -1,0 +1,287 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+// randomValidExtent draws one of the six legal extent cases with ground
+// coordinates in [0, 100], valid as of current time ct.
+func randomValidExtent(rng *rand.Rand, ct chronon.Instant) Extent {
+	c := int64(ct)
+	vtb := rng.Int63n(c + 1) // <= ct
+	ttb := vtb + rng.Int63n(c-vtb+1)
+	switch rng.Intn(6) {
+	case 0: // case 1: growing rect
+		vte := vtb + rng.Int63n(60)
+		return Extent{chronon.Instant(ttb), chronon.UC, chronon.Instant(vtb), chronon.Instant(vte)}
+	case 1: // case 2: static rect
+		tte := ttb + rng.Int63n(c-ttb+1)
+		vte := vtb + rng.Int63n(60)
+		return Extent{chronon.Instant(ttb), chronon.Instant(tte), chronon.Instant(vtb), chronon.Instant(vte)}
+	case 2: // case 3: growing stair, tt1 = vt1
+		return Extent{chronon.Instant(vtb), chronon.UC, chronon.Instant(vtb), chronon.NOW}
+	case 3: // case 4: static stair, tt1 = vt1
+		tte := vtb + rng.Int63n(c-vtb+1)
+		return Extent{chronon.Instant(vtb), chronon.Instant(tte), chronon.Instant(vtb), chronon.NOW}
+	case 4: // case 5: growing stair, high first step
+		return Extent{chronon.Instant(ttb), chronon.UC, chronon.Instant(vtb), chronon.NOW}
+	default: // case 6: static stair, high first step
+		tte := ttb + rng.Int63n(c-ttb+1)
+		return Extent{chronon.Instant(ttb), chronon.Instant(tte), chronon.Instant(vtb), chronon.NOW}
+	}
+}
+
+func TestRandomExtentsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ct := chronon.Instant(100)
+	for i := 0; i < 500; i++ {
+		e := randomValidExtent(rng, ct)
+		if !e.Valid() {
+			t.Fatalf("generator produced invalid extent %v", e)
+		}
+	}
+}
+
+// TestBoundContainsChildren: the minimum bounding region must contain every
+// child at the construction time and at later times (after Adjust).
+func TestBoundContainsChildren(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ct := chronon.Instant(100)
+	pol := BoundPolicy{TimeParam: 20, AllowHidden: true}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		regions := make([]Region, n)
+		for i := range regions {
+			regions[i] = randomValidExtent(rng, ct).Region()
+		}
+		b := Bound(regions, ct, pol)
+		for _, at := range []chronon.Instant{ct, ct + 1, ct + 19, ct + 20, ct + 21, ct + 100, ct + 1000} {
+			bs := b.Resolve(at)
+			for _, r := range regions {
+				if !bs.ContainsShape(r.Resolve(at)) {
+					t.Fatalf("trial %d at ct+%d: bound %v does not contain child %v\nbound shape %v child shape %v",
+						trial, at-ct, b, r, bs, r.Resolve(at))
+				}
+			}
+		}
+		for _, r := range regions {
+			if !b.CoversRegion(r, ct) {
+				t.Fatalf("trial %d: CoversRegion(%v, %v) = false", trial, b, r)
+			}
+		}
+	}
+}
+
+// TestBoundStairWhenPossible: Figure 4(b) — if no region extends above the
+// line v = t, the bound should be a stair-shape (it has the least area).
+func TestBoundStairWhenPossible(t *testing.T) {
+	ct := chronon.Instant(100)
+	regions := []Region{
+		ext("1/70", "UC", "1/70", "NOW").Region(), // growing stair (uses day offsets below instead)
+	}
+	// Rebuild with raw instants for precision.
+	regions = []Region{
+		{TTBegin: 10, TTEnd: chronon.UC, VTBegin: 10, VTEnd: chronon.NOW}, // growing stair
+		{TTBegin: 30, TTEnd: 60, VTBegin: 5, VTEnd: 20, Rect: true},       // rect under v=t (20 <= 30)
+		{TTBegin: 40, TTEnd: chronon.UC, VTBegin: 20, VTEnd: chronon.NOW}, // growing stair, high step
+	}
+	b := Bound(regions, ct, DefaultBoundPolicy)
+	if !b.StairFlag() {
+		t.Fatalf("bound should be a stair, got %v", b)
+	}
+	if b.TTBegin != 10 || b.VTBegin != 5 || b.TTEnd != chronon.UC {
+		t.Fatalf("stair bound coords: %v", b)
+	}
+}
+
+// TestBoundGrowingRectWhenStairImpossible: Figure 4(a) — a rectangle that
+// extends above v = t alongside a growing stair forces a rectangle bound
+// growing in both dimensions (unless hiding applies).
+func TestBoundGrowingRectWhenStairImpossible(t *testing.T) {
+	ct := chronon.Instant(100)
+	pol := BoundPolicy{TimeParam: 20, AllowHidden: false}
+	regions := []Region{
+		{TTBegin: 10, TTEnd: chronon.UC, VTBegin: 10, VTEnd: chronon.NOW}, // growing stair
+		{TTBegin: 50, TTEnd: 80, VTBegin: 70, VTEnd: 90, Rect: true},      // above v=t
+	}
+	b := Bound(regions, ct, pol)
+	if !b.Rect || b.VTEnd != chronon.NOW || b.TTEnd != chronon.UC {
+		t.Fatalf("expected growing-both rectangle bound, got %v", b)
+	}
+	if b.Hidden {
+		t.Fatal("hidden disallowed by policy")
+	}
+}
+
+// TestBoundHidden: Figure 4(c) — a small growing stair next to a rectangle
+// with a distant fixed valid-time end is hidden inside a fixed rectangle.
+func TestBoundHidden(t *testing.T) {
+	ct := chronon.Instant(100)
+	pol := BoundPolicy{TimeParam: 20, AllowHidden: true}
+	regions := []Region{
+		{TTBegin: 90, TTEnd: chronon.UC, VTBegin: 90, VTEnd: chronon.NOW}, // small growing stair
+		{TTBegin: 10, TTEnd: 95, VTBegin: 5, VTEnd: 500, Rect: true},      // tall fixed rect
+	}
+	b := Bound(regions, ct, pol)
+	if !b.Hidden {
+		t.Fatalf("expected a hidden bound, got %v", b)
+	}
+	if b.VTEnd != 500 || !b.Rect {
+		t.Fatalf("hidden bound should reuse the fixed top: %v", b)
+	}
+	// Before outgrowth the bound reads as the fixed rectangle.
+	if s := b.Resolve(ct); s.VTEnd != 500 {
+		t.Fatalf("hidden bound at ct: %v", s)
+	}
+	// After the stair outgrows the fixed top, Adjust turns the bound into a
+	// rectangle growing in both dimensions — and it still contains the stair.
+	late := chronon.Instant(600)
+	adj := b.Adjust(late)
+	if adj.VTEnd != chronon.NOW || !adj.Rect {
+		t.Fatalf("adjusted hidden bound: %v", adj)
+	}
+	if !b.Resolve(late).ContainsShape(regions[0].Resolve(late)) {
+		t.Fatal("adjusted hidden bound must contain the grown stair")
+	}
+}
+
+// TestAdjustNoopCases: Adjust only fires for hidden entries with an outgrown
+// fixed valid-time end.
+func TestAdjustNoopCases(t *testing.T) {
+	r := Region{TTBegin: 1, TTEnd: chronon.UC, VTBegin: 1, VTEnd: 50, Rect: true}
+	if r.Adjust(100) != r {
+		t.Fatal("non-hidden region must not adjust")
+	}
+	h := r
+	h.Hidden = true
+	if h.Adjust(40) != h {
+		t.Fatal("hidden region with VTEnd >= ct must not adjust")
+	}
+	hn := Region{TTBegin: 1, TTEnd: chronon.UC, VTBegin: 1, VTEnd: chronon.NOW, Hidden: true}
+	if hn.Adjust(100) != hn {
+		t.Fatal("hidden region with variable VTEnd must not adjust")
+	}
+}
+
+func TestRegionPredicates(t *testing.T) {
+	ct := chronon.Instant(100)
+	stair := Region{TTBegin: 10, TTEnd: chronon.UC, VTBegin: 10, VTEnd: chronon.NOW}
+	// Every cell of rect satisfies v <= t (worst cell is (25, 25)), so it
+	// lies inside the stair.
+	rect := Region{TTBegin: 25, TTEnd: 40, VTBegin: 15, VTEnd: 25, Rect: true}
+	far := Region{TTBegin: 20, TTEnd: 40, VTBegin: 80, VTEnd: 90, Rect: true}
+
+	if !stair.Overlaps(rect, ct) {
+		t.Error("stair must overlap the low rectangle")
+	}
+	if stair.Overlaps(far, ct) {
+		t.Error("stair must not overlap the rectangle above v=t in its range")
+	}
+	if !stair.Contains(rect, ct) {
+		t.Error("stair contains the low rectangle at ct=100")
+	}
+	if !rect.ContainedIn(stair, ct) {
+		t.Error("ContainedIn is the converse of Contains")
+	}
+	if stair.Equal(rect, ct) || !stair.Equal(stair, ct) {
+		t.Error("equality")
+	}
+	if a := stair.Area(ct); a <= 0 {
+		t.Errorf("area %v", a)
+	}
+	if ia := stair.IntersectionArea(rect, ct); ia != rect.Area(ct) {
+		t.Errorf("intersection of containing pair must equal contained area: %v vs %v", ia, rect.Area(ct))
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	ct := chronon.Instant(100)
+	pol := BoundPolicy{TimeParam: 10, AllowHidden: true}
+	bound := Region{TTBegin: 10, TTEnd: 50, VTBegin: 10, VTEnd: 50, Rect: true}
+	inside := Region{TTBegin: 20, TTEnd: 30, VTBegin: 20, VTEnd: 30, Rect: true}
+	outside := Region{TTBegin: 60, TTEnd: 70, VTBegin: 60, VTEnd: 70, Rect: true}
+
+	d0, u0 := bound.Enlargement(inside, ct, pol)
+	if d0 != 0 {
+		t.Errorf("enlargement by contained region: %v", d0)
+	}
+	if !u0.Contains(inside, ct) || !u0.Contains(bound, ct) {
+		t.Error("union must contain both")
+	}
+	d1, u1 := bound.Enlargement(outside, ct, pol)
+	if d1 <= 0 {
+		t.Errorf("enlargement by disjoint region must be positive: %v", d1)
+	}
+	if !u1.Contains(outside, ct) {
+		t.Error("union must contain the added region")
+	}
+}
+
+// TestUnionMonotone: the pairwise union contains both operands at several
+// later times, across random region pairs.
+func TestUnionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ct := chronon.Instant(100)
+	for i := 0; i < 300; i++ {
+		a := randomValidExtent(rng, ct).Region()
+		b := randomValidExtent(rng, ct).Region()
+		u := a.Union(b, ct, DefaultBoundPolicy)
+		for _, at := range []chronon.Instant{ct, ct + 50, ct + 365, ct + 366, ct + 5000} {
+			us := u.Resolve(at)
+			if !us.ContainsShape(a.Resolve(at)) || !us.ContainsShape(b.Resolve(at)) {
+				t.Fatalf("union %v of %v and %v fails at ct+%d", u, a, b, at-ct)
+			}
+		}
+	}
+}
+
+// TestBoundOfBoundsContains: bounding is composable — a bound over bounds
+// contains all grandchildren (the multi-level GR-tree invariant).
+func TestBoundOfBoundsContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ct := chronon.Instant(100)
+	pol := DefaultBoundPolicy
+	for trial := 0; trial < 100; trial++ {
+		var level1 []Region
+		var leaves []Region
+		for g := 0; g < 3; g++ {
+			var group []Region
+			for i := 0; i < 4; i++ {
+				r := randomValidExtent(rng, ct).Region()
+				group = append(group, r)
+				leaves = append(leaves, r)
+			}
+			level1 = append(level1, Bound(group, ct, pol))
+		}
+		root := Bound(level1, ct, pol)
+		for _, at := range []chronon.Instant{ct, ct + 365, ct + 2000} {
+			rs := root.Resolve(at)
+			for _, l := range leaves {
+				if !rs.ContainsShape(l.Resolve(at)) {
+					t.Fatalf("trial %d: root %v misses leaf %v at ct+%d", trial, root, l, at-ct)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundEmptyInput(t *testing.T) {
+	b := Bound(nil, 100, DefaultBoundPolicy)
+	if !b.Rect {
+		t.Fatalf("empty bound: %v", b)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	s := Region{TTBegin: 0, TTEnd: chronon.UC, VTBegin: 0, VTEnd: chronon.NOW}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+	h := Region{TTBegin: 0, TTEnd: chronon.UC, VTBegin: 0, VTEnd: 10, Rect: true, Hidden: true}.String()
+	if h == s {
+		t.Fatal("flags must render")
+	}
+}

@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"fmt"
+)
+
+// SpaceSet resolves space IDs to page stores during recovery and rollback.
+type SpaceSet interface {
+	// SpacePager returns the page store for a space ID.
+	SpacePager(space uint32) (PageStore, bool)
+}
+
+// PageStore is the minimal page access recovery needs.
+type PageStore interface {
+	ReadPage(id uint64, buf []byte) error
+	WritePage(id uint64, buf []byte) error
+	// EnsurePages extends the store so pages below n exist (a crash may have
+	// lost an allocation whose update survived in the log).
+	EnsurePages(n uint64) error
+	// PageSize returns the store's page size.
+	PageSize() int
+}
+
+// MapSpaces is a SpaceSet backed by a map.
+type MapSpaces map[uint32]PageStore
+
+// SpacePager implements SpaceSet.
+func (m MapSpaces) SpacePager(space uint32) (PageStore, bool) {
+	p, ok := m[space]
+	return p, ok
+}
+
+// RecoveryReport summarises a recovery run.
+type RecoveryReport struct {
+	RecordsScanned int
+	Redone         int
+	UndoneTx       []uint64
+	UndoneRecords  int
+}
+
+// Recover brings the page stores to a transaction-consistent state after a
+// crash: redo history in log order, then undo every loser transaction in
+// reverse order, appending compensation records and a final ABORT for each.
+func Recover(l *Log, spaces SpaceSet) (RecoveryReport, error) {
+	var rep RecoveryReport
+
+	// Analysis: find loser transactions (begun, neither committed nor
+	// aborted) and their last LSNs.
+	losers := make(map[uint64]LSN)
+	undoNext := make(map[uint64]LSN) // resume point per tx (CLR-aware)
+	err := l.Scan(func(r Record) error {
+		rep.RecordsScanned++
+		switch r.Type {
+		case RecBegin:
+			losers[r.Tx] = r.LSN
+			undoNext[r.Tx] = NilLSN
+		case RecCommit, RecAbort:
+			delete(losers, r.Tx)
+			delete(undoNext, r.Tx)
+		case RecUpdate:
+			losers[r.Tx] = r.LSN
+			undoNext[r.Tx] = r.LSN
+		case RecCLR:
+			losers[r.Tx] = r.LSN
+			undoNext[r.Tx] = r.UndoNext
+		case RecCheckpoint:
+			for tx, lsn := range r.Active {
+				if _, known := losers[tx]; !known {
+					losers[tx] = lsn
+					undoNext[tx] = lsn
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// Redo history: apply every after-image (updates and CLRs) in log order.
+	err = l.Scan(func(r Record) error {
+		if r.Type != RecUpdate && r.Type != RecCLR {
+			return nil
+		}
+		if err := applyImage(spaces, r.Space, r.Page, r.Offset, r.After); err != nil {
+			return err
+		}
+		rep.Redone++
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// Undo losers: walk each chain from its resume point, applying before
+	// images and writing CLRs.
+	for tx := range losers {
+		rep.UndoneTx = append(rep.UndoneTx, tx)
+		n, err := undoChain(l, spaces, tx, undoNext[tx])
+		if err != nil {
+			return rep, err
+		}
+		rep.UndoneRecords += n
+		if _, err := l.Abort(tx); err != nil {
+			return rep, err
+		}
+	}
+	if err := l.Flush(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Rollback undoes a live transaction at run time: applies before-images back
+// through the undo chain, writes CLRs, and appends ABORT.
+func Rollback(l *Log, spaces SpaceSet, tx uint64) error {
+	if _, err := undoChain(l, spaces, tx, l.LastLSN(tx)); err != nil {
+		return err
+	}
+	_, err := l.Abort(tx)
+	return err
+}
+
+func undoChain(l *Log, spaces SpaceSet, tx uint64, from LSN) (int, error) {
+	undone := 0
+	lsn := from
+	for lsn != NilLSN {
+		r, err := l.ReadRecord(lsn)
+		if err != nil {
+			return undone, fmt.Errorf("wal: undo tx %d at %d: %w", tx, lsn, err)
+		}
+		switch r.Type {
+		case RecUpdate:
+			if err := applyImage(spaces, r.Space, r.Page, r.Offset, r.Before); err != nil {
+				return undone, err
+			}
+			if _, err := l.Append(Record{
+				Type: RecCLR, Tx: tx, Space: r.Space, Page: r.Page,
+				Offset: r.Offset, After: r.Before, UndoNext: r.PrevLSN,
+			}); err != nil {
+				return undone, err
+			}
+			undone++
+			lsn = r.PrevLSN
+		case RecCLR:
+			lsn = r.UndoNext // skip already-compensated work
+		default:
+			lsn = r.PrevLSN
+		}
+	}
+	return undone, nil
+}
+
+func applyImage(spaces SpaceSet, space uint32, page uint64, offset uint16, img []byte) error {
+	if len(img) == 0 {
+		return nil
+	}
+	ps, ok := spaces.SpacePager(space)
+	if !ok {
+		return fmt.Errorf("wal: unknown space %d in log", space)
+	}
+	if err := ps.EnsurePages(page + 1); err != nil {
+		return err
+	}
+	buf := make([]byte, ps.PageSize())
+	if err := ps.ReadPage(page, buf); err != nil {
+		return err
+	}
+	if int(offset)+len(img) > len(buf) {
+		return fmt.Errorf("wal: image overflows page %d (offset %d, len %d)", page, offset, len(img))
+	}
+	copy(buf[offset:], img)
+	return ps.WritePage(page, buf)
+}

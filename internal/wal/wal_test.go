@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func openTestLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func testSpaces(t *testing.T) (MapSpaces, *storage.MemPager) {
+	t.Helper()
+	p := storage.NewMemPager()
+	return MapSpaces{1: storage.WALStore{P: p}}, p
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	l, _ := openTestLog(t)
+	if _, err := l.Begin(7); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Update(7, 1, 3, 16, []byte("old"), []byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(7); err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := l.Scan(func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("scanned %d records", len(recs))
+	}
+	if recs[0].Type != RecBegin || recs[1].Type != RecUpdate || recs[2].Type != RecCommit {
+		t.Fatalf("types: %v %v %v", recs[0].Type, recs[1].Type, recs[2].Type)
+	}
+	u := recs[1]
+	if u.LSN != lsn || u.Space != 1 || u.Page != 3 || u.Offset != 16 ||
+		string(u.Before) != "old" || string(u.After) != "new" {
+		t.Fatalf("update record: %+v", u)
+	}
+	if u.PrevLSN != recs[0].LSN {
+		t.Fatal("undo chain broken")
+	}
+	// Random access.
+	got, err := l.ReadRecord(lsn)
+	if err != nil || got.Type != RecUpdate || string(got.After) != "new" {
+		t.Fatalf("ReadRecord: %+v %v", got, err)
+	}
+}
+
+func TestReopenFindsAppendPoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Begin(1)
+	l.Update(1, 1, 2, 0, []byte("a"), []byte("b"))
+	l.Flush()
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN(1) == NilLSN {
+		t.Fatal("reopen must rebuild undo chains for live transactions")
+	}
+	if _, err := l2.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	l2.Scan(func(Record) error { count++; return nil })
+	if count != 3 {
+		t.Fatalf("records after reopen+append: %d", count)
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Begin(1)
+	l.Update(1, 1, 2, 0, []byte("aaaa"), []byte("bbbb"))
+	l.Flush()
+	l.Close()
+
+	// Corrupt the last few bytes (torn write).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	count := 0
+	l2.Scan(func(Record) error { count++; return nil })
+	if count != 1 {
+		t.Fatalf("torn record not dropped: %d records", count)
+	}
+}
+
+func TestRollbackRestoresBeforeImages(t *testing.T) {
+	l, _ := openTestLog(t)
+	spaces, p := testSpaces(t)
+	id, _ := p.Allocate()
+	page := make([]byte, storage.PageSize)
+	copy(page[100:], []byte("original"))
+	p.WritePage(id, page)
+
+	l.Begin(9)
+	// Mutate and log.
+	before := append([]byte(nil), page[100:108]...)
+	copy(page[100:], []byte("mutated!"))
+	l.Update(9, 1, uint64(id), 100, before, page[100:108])
+	p.WritePage(id, page)
+
+	if err := Rollback(l, spaces, 9); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, storage.PageSize)
+	p.ReadPage(id, got)
+	if !bytes.Equal(got[100:108], []byte("original")) {
+		t.Fatalf("rollback left %q", got[100:108])
+	}
+	// The log ends with CLR + ABORT.
+	var types []RecType
+	l.Scan(func(r Record) error { types = append(types, r.Type); return nil })
+	if types[len(types)-1] != RecAbort || types[len(types)-2] != RecCLR {
+		t.Fatalf("tail types: %v", types)
+	}
+}
+
+func TestRecoverRedoCommitted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaces, p := testSpaces(t)
+	id, _ := p.Allocate()
+
+	// Committed transaction whose page write never reached the pager
+	// (simulating a crash before buffer-pool flush).
+	l.Begin(1)
+	l.Update(1, 1, uint64(id), 10, make([]byte, 9), []byte("committed"))
+	l.Commit(1)
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rep, err := Recover(l2, spaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redone != 1 || len(rep.UndoneTx) != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	got := make([]byte, storage.PageSize)
+	p.ReadPage(id, got)
+	if !bytes.Equal(got[10:19], []byte("committed")) {
+		t.Fatalf("redo missing: %q", got[10:19])
+	}
+}
+
+func TestRecoverUndoLoser(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaces, p := testSpaces(t)
+	id, _ := p.Allocate()
+	page := make([]byte, storage.PageSize)
+	copy(page[0:], []byte("keep"))
+	p.WritePage(id, page)
+
+	// Winner commits, loser doesn't.
+	l.Begin(1)
+	l.Update(1, 1, uint64(id), 50, make([]byte, 6), []byte("winner"))
+	l.Commit(1)
+	l.Begin(2)
+	l.Update(2, 1, uint64(id), 0, []byte("keep"), []byte("lose"))
+	l.Update(2, 1, uint64(id), 60, make([]byte, 5), []byte("loser"))
+	l.Flush()
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rep, err := Recover(l2, spaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.UndoneTx) != 1 || rep.UndoneTx[0] != 2 || rep.UndoneRecords != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	got := make([]byte, storage.PageSize)
+	p.ReadPage(id, got)
+	if !bytes.Equal(got[0:4], []byte("keep")) {
+		t.Fatalf("loser not undone: %q", got[0:4])
+	}
+	if !bytes.Equal(got[50:56], []byte("winner")) {
+		t.Fatalf("winner lost: %q", got[50:56])
+	}
+	if !bytes.Equal(got[60:65], make([]byte, 5)) {
+		t.Fatalf("loser tail not undone: %q", got[60:65])
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaces, p := testSpaces(t)
+	id, _ := p.Allocate()
+	l.Begin(1)
+	l.Update(1, 1, uint64(id), 0, make([]byte, 4), []byte("data"))
+	l.Flush()
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(l2, spaces); err != nil {
+		t.Fatal(err)
+	}
+	// Crash during recovery: run recovery again on the same log.
+	if _, err := Recover(l2, spaces); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	got := make([]byte, storage.PageSize)
+	p.ReadPage(id, got)
+	if !bytes.Equal(got[0:4], make([]byte, 4)) {
+		t.Fatalf("double recovery corrupted page: %q", got[0:4])
+	}
+}
+
+func TestRecoverExtendsSpace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log an update to page 5 of a pager that has no pages yet.
+	l.Begin(1)
+	l.Update(1, 1, 5, 0, make([]byte, 3), []byte("hi!"))
+	l.Commit(1)
+	l.Close()
+
+	spaces, p := testSpaces(t)
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := Recover(l2, spaces); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, storage.PageSize)
+	if err := p.ReadPage(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0:3], []byte("hi!")) {
+		t.Fatalf("redo to unallocated page: %q", got[0:3])
+	}
+}
+
+func TestCheckpointCarriesActiveTx(t *testing.T) {
+	l, _ := openTestLog(t)
+	l.Begin(3)
+	lsn, _ := l.Update(3, 1, 1, 0, []byte("x"), []byte("y"))
+	if _, err := l.Checkpoint(map[uint64]LSN{3: lsn}); err != nil {
+		t.Fatal(err)
+	}
+	var cp *Record
+	l.Scan(func(r Record) error {
+		if r.Type == RecCheckpoint {
+			rc := r
+			cp = &rc
+		}
+		return nil
+	})
+	if cp == nil || cp.Active[3] != lsn {
+		t.Fatalf("checkpoint: %+v", cp)
+	}
+}
+
+func TestUnknownSpaceError(t *testing.T) {
+	l, _ := openTestLog(t)
+	l.Begin(1)
+	l.Update(1, 42, 1, 0, []byte("x"), []byte("y"))
+	l.Flush()
+	if _, err := Recover(l, MapSpaces{}); err == nil {
+		t.Fatal("recovery with unknown space must fail")
+	}
+}
+
+func TestRecTypeStrings(t *testing.T) {
+	for _, ty := range []RecType{RecBegin, RecCommit, RecAbort, RecUpdate, RecCLR, RecCheckpoint, RecType(99)} {
+		if ty.String() == "" {
+			t.Fatal("empty type string")
+		}
+	}
+}

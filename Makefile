@@ -1,0 +1,15 @@
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Vet + race-detector tests for the concurrency-sensitive packages
+# (sharded buffer pool, access-method framework, batched scan pipeline).
+check:
+	sh scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem

@@ -260,6 +260,57 @@ func BenchmarkBulkLoad(b *testing.B) {
 	})
 }
 
+// BenchmarkScanBatchSize sweeps the engine's scan batch capacity over a
+// query-heavy workload, for the heap sequential scan and the grtree_am
+// am_getmulti path (batch=1 is the row-at-a-time ablation).
+func BenchmarkScanBatchSize(b *testing.B) {
+	for _, mode := range []string{"seqscan", "index"} {
+		for _, bs := range []int{1, 16, 64, 256} {
+			b.Run(fmt.Sprintf("%s/batch=%d", mode, bs), func(b *testing.B) {
+				clock := chronon.NewVirtualClock(chronon.MustParse("1/97"))
+				e, err := engine.Open(engine.Options{Clock: clock, NoWAL: true, ScanBatchSize: bs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				if err := grtblade.Register(e); err != nil {
+					b.Fatal(err)
+				}
+				s := e.NewSession()
+				defer s.Close()
+				if _, err := s.ExecScript(`CREATE SBSPACE spc;
+					CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`); err != nil {
+					b.Fatal(err)
+				}
+				if mode == "index" {
+					if _, err := s.Exec(`CREATE INDEX ix ON T(X) USING grtree_am IN spc`); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for i := 0; i < 2000; i++ {
+					clock.Advance(1)
+					day := clock.Now()
+					if _, err := s.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%s, UC, %s, NOW')`,
+						i, day.String(), (day - 30).String())); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// A wide timeslice: most rows qualify, so the scan cost is
+				// dominated by row delivery — what the batching amortises.
+				day := clock.Now()
+				q := fmt.Sprintf(`SELECT COUNT(*) FROM T WHERE Overlaps(X, '%s, UC, %s, NOW')`,
+					day.String(), (day - 10).String())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Exec(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkEngineSQL measures end-to-end SQL statement throughput through
 // the whole stack (parser, planner, purpose functions, heap, WAL).
 func BenchmarkEngineSQL(b *testing.B) {

@@ -94,6 +94,62 @@ type ScanDesc struct {
 	Qual  *Qual
 	// UserData is the blade's cursor state (the Cursor object).
 	UserData any
+
+	// BatchCap is the server's proposed am_getmulti batch capacity. It is
+	// set before am_beginscan so the access method can negotiate: a blade
+	// that prefers a different granularity (e.g. one leaf node's worth of
+	// entries) may lower or raise it during am_beginscan, and the server
+	// allocates Batch to the agreed size afterwards. Zero means the server
+	// will use the row-at-a-time am_getnext protocol only.
+	BatchCap int
+	// Batch is the shared output buffer am_getmulti fills. The server
+	// owns the allocation; the access method must not retain references to
+	// it across calls.
+	Batch *ScanBatch
+}
+
+// ScanBatch is the am_getmulti output buffer: parallel slices of qualifying
+// rowids and their indexed-column values (a row entry may be nil when the
+// access method returns candidates for the server to re-qualify, as the
+// R*-tree baseline does).
+type ScanBatch struct {
+	RowIDs []heap.RowID
+	Rows   [][]types.Datum
+	N      int // entries filled by the last am_getmulti call
+}
+
+// NewScanBatch allocates a batch buffer of the given capacity (minimum 1).
+func NewScanBatch(capacity int) *ScanBatch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ScanBatch{
+		RowIDs: make([]heap.RowID, capacity),
+		Rows:   make([][]types.Datum, capacity),
+	}
+}
+
+// Cap returns the batch capacity.
+func (b *ScanBatch) Cap() int { return len(b.RowIDs) }
+
+// Reset empties the batch (discarding any buffered rowids, e.g. on
+// am_rescan — a restarted cursor must not replay stale entries).
+func (b *ScanBatch) Reset() {
+	for i := 0; i < b.N; i++ {
+		b.Rows[i] = nil
+	}
+	b.N = 0
+}
+
+// Full reports whether the batch has reached capacity.
+func (b *ScanBatch) Full() bool { return b.N >= len(b.RowIDs) }
+
+// Append adds one qualifying entry. It panics past capacity (purpose
+// functions must check Full).
+func (b *ScanBatch) Append(rid heap.RowID, row []types.Datum) {
+	b.RowIDs[b.N] = rid
+	b.Rows[b.N] = row
+	b.N++
 }
 
 // QualOp discriminates qualification nodes.
@@ -214,6 +270,13 @@ type (
 	// AmGetNextFunc returns the next qualifying rowid plus the indexed
 	// column values; ok=false ends the scan.
 	AmGetNextFunc func(ctx *mi.Context, sd *ScanDesc) (rid heap.RowID, row []types.Datum, ok bool, err error)
+	// AmGetMultiFunc is the batched variant of am_getnext: it resets and
+	// fills sd.Batch with up to sd.Batch.Cap() qualifying entries and
+	// returns the count. Returning fewer than the capacity signals that
+	// the scan is exhausted. The slot is optional — the server adapts
+	// getnext-only access methods automatically (only am_getnext is
+	// mandatory, Table 2).
+	AmGetMultiFunc func(ctx *mi.Context, sd *ScanDesc) (int, error)
 	// AmMutateFunc is the signature of am_insert/am_delete.
 	AmMutateFunc func(ctx *mi.Context, id *IndexDesc, row []types.Datum, rid heap.RowID) error
 	// AmUpdateFunc is the signature of am_update.
@@ -238,6 +301,7 @@ type PurposeSet struct {
 	EndScan   AmScanFunc
 	Rescan    AmScanFunc
 	GetNext   AmGetNextFunc
+	GetMulti  AmGetMultiFunc
 	Insert    AmMutateFunc
 	Delete    AmMutateFunc
 	Update    AmUpdateFunc
@@ -250,7 +314,7 @@ type PurposeSet struct {
 // ACCESS_METHOD, in Table 2 order.
 var PurposeSlots = []string{
 	"am_create", "am_drop", "am_open", "am_close",
-	"am_beginscan", "am_endscan", "am_rescan", "am_getnext",
+	"am_beginscan", "am_endscan", "am_rescan", "am_getnext", "am_getmulti",
 	"am_insert", "am_delete", "am_update",
 	"am_scancost", "am_stats", "am_check",
 }
@@ -287,6 +351,8 @@ func Bind(slots map[string]string, resolve func(fname string) (any, error)) (*Pu
 			ps.Rescan, ok = sym.(AmScanFunc)
 		case "am_getnext":
 			ps.GetNext, ok = sym.(AmGetNextFunc)
+		case "am_getmulti":
+			ps.GetMulti, ok = sym.(AmGetMultiFunc)
 		case "am_insert":
 			ps.Insert, ok = sym.(AmMutateFunc)
 		case "am_delete":
@@ -310,6 +376,52 @@ func Bind(slots map[string]string, resolve func(fname string) (any, error)) (*Pu
 		return nil, fmt.Errorf("am: am_getnext is mandatory")
 	}
 	return ps, nil
+}
+
+// DefaultBatchCap is the server's default am_getmulti batch capacity when
+// an access method does not negotiate a different one at am_beginscan.
+const DefaultBatchCap = 64
+
+// AdaptGetNext wraps a getnext-only access method's am_getnext as a batch
+// fill, so the server's batched executor drives legacy blades unchanged.
+// The hooks bracket each underlying am_getnext call (the server traces the
+// call and closes its PER_FUNCTION memory window there), preserving the
+// paper's Figure 6 row-at-a-time call sequence in the trace.
+func AdaptGetNext(next AmGetNextFunc, before, after func()) AmGetMultiFunc {
+	return func(ctx *mi.Context, sd *ScanDesc) (int, error) {
+		b := sd.Batch
+		b.Reset()
+		for !b.Full() {
+			if before != nil {
+				before()
+			}
+			rid, row, ok, err := next(ctx, sd)
+			if after != nil {
+				after()
+			}
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				break
+			}
+			b.Append(rid, row)
+		}
+		return b.N, nil
+	}
+}
+
+// FillFrom drives one am_getmulti (or adapted am_getnext) call through the
+// purpose set, allocating sd.Batch on first use. getMulti is the resolved
+// batch function (native GetMulti or an AdaptGetNext wrapper).
+func FillFrom(ctx *mi.Context, sd *ScanDesc, getMulti AmGetMultiFunc) (int, error) {
+	if sd.Batch == nil {
+		if sd.BatchCap < 1 {
+			sd.BatchCap = 1
+		}
+		sd.Batch = NewScanBatch(sd.BatchCap)
+	}
+	return getMulti(ctx, sd)
 }
 
 // OpClass is an operator class (Step 4): the strategy functions that make

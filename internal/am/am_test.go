@@ -128,6 +128,97 @@ func TestBindErrors(t *testing.T) {
 	}
 }
 
+func TestScanBatch(t *testing.T) {
+	b := NewScanBatch(3)
+	if b.Cap() != 3 || b.N != 0 || b.Full() {
+		t.Fatal("fresh batch")
+	}
+	b.Append(1, []types.Datum{int64(10)})
+	b.Append(2, nil)
+	b.Append(3, []types.Datum{int64(30)})
+	if !b.Full() || b.N != 3 {
+		t.Fatal("full batch")
+	}
+	b.Reset()
+	if b.N != 0 || b.Full() {
+		t.Fatal("reset")
+	}
+	// Reset must drop row references so batches do not pin old rows.
+	if b.Rows[0] != nil || b.Rows[2] != nil {
+		t.Fatal("reset must nil out rows")
+	}
+	// A zero or negative capacity clamps to 1.
+	if NewScanBatch(0).Cap() != 1 || NewScanBatch(-5).Cap() != 1 {
+		t.Fatal("capacity clamp")
+	}
+}
+
+func TestBindGetMulti(t *testing.T) {
+	lib := Library{
+		"getnext":  AmGetNextFunc(func(*mi.Context, *ScanDesc) (heap.RowID, []types.Datum, bool, error) { return 0, nil, false, nil }),
+		"getmulti": AmGetMultiFunc(func(*mi.Context, *ScanDesc) (int, error) { return 0, nil }),
+	}
+	ps, err := Bind(map[string]string{"am_getnext": "getnext", "am_getmulti": "getmulti"}, testResolver(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.GetMulti == nil {
+		t.Fatal("am_getmulti must bind")
+	}
+	// Wrong signature in the am_getmulti slot must be rejected.
+	if _, err := Bind(map[string]string{"am_getnext": "getnext", "am_getmulti": "getnext"}, testResolver(lib)); err == nil {
+		t.Fatal("am_getmulti with am_getnext signature must fail")
+	}
+}
+
+func TestAdaptGetNext(t *testing.T) {
+	rows := []heap.RowID{11, 22, 33, 44, 55}
+	pos := 0
+	var pre, post int
+	fill := AdaptGetNext(func(*mi.Context, *ScanDesc) (heap.RowID, []types.Datum, bool, error) {
+		if pos >= len(rows) {
+			return 0, nil, false, nil
+		}
+		rid := rows[pos]
+		pos++
+		return rid, nil, true, nil
+	}, func() { pre++ }, func() { post++ })
+
+	sd := &ScanDesc{BatchCap: 2}
+	n, err := FillFrom(nil, sd, fill)
+	if err != nil || n != 2 {
+		t.Fatalf("first fill: n=%d err=%v", n, err)
+	}
+	if sd.Batch == nil || sd.Batch.Cap() != 2 {
+		t.Fatal("FillFrom must allocate the negotiated batch")
+	}
+	if sd.Batch.RowIDs[0] != 11 || sd.Batch.RowIDs[1] != 22 {
+		t.Fatalf("batch contents: %v", sd.Batch.RowIDs)
+	}
+	if n, _ = FillFrom(nil, sd, fill); n != 2 {
+		t.Fatalf("second fill: %d", n)
+	}
+	// The short batch: one row left, then the exhaustion call.
+	if n, _ = FillFrom(nil, sd, fill); n != 1 {
+		t.Fatalf("third fill: %d", n)
+	}
+	if sd.Batch.RowIDs[0] != 55 {
+		t.Fatalf("third fill contents: %v", sd.Batch.RowIDs)
+	}
+	// The before/after hooks bracket every underlying am_getnext call
+	// (5 hits + 1 exhaustion) so the legacy trace stays observable.
+	if pre != 6 || post != 6 {
+		t.Fatalf("hooks: pre=%d post=%d", pre, post)
+	}
+	// Errors propagate out of the fill.
+	bad := AdaptGetNext(func(*mi.Context, *ScanDesc) (heap.RowID, []types.Datum, bool, error) {
+		return 0, nil, false, fmt.Errorf("boom")
+	}, nil, nil)
+	if _, err := FillFrom(nil, &ScanDesc{BatchCap: 2}, bad); err == nil {
+		t.Fatal("error must propagate")
+	}
+}
+
 func TestOpClass(t *testing.T) {
 	oc := &OpClass{
 		Name: "grt_opclass", AmName: "grtree_am",

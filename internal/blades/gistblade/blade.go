@@ -89,6 +89,7 @@ CREATE FUNCTION gist_beginscan(pointer) RETURNING int EXTERNAL NAME 'usr/functio
 CREATE FUNCTION gist_endscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_endscan)' LANGUAGE c;
 CREATE FUNCTION gist_rescan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_rescan)' LANGUAGE c;
 CREATE FUNCTION gist_getnext(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_getnext)' LANGUAGE c;
+CREATE FUNCTION gist_getmulti(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_getmulti)' LANGUAGE c;
 CREATE FUNCTION gist_insert(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_insert)' LANGUAGE c;
 CREATE FUNCTION gist_delete(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_delete)' LANGUAGE c;
 CREATE FUNCTION gist_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_update)' LANGUAGE c;
@@ -106,6 +107,7 @@ CREATE SECONDARY ACCESS_METHOD gist_am (
 	am_endscan = gist_endscan,
 	am_rescan = gist_rescan,
 	am_getnext = gist_getnext,
+	am_getmulti = gist_getmulti,
 	am_insert = gist_insert,
 	am_delete = gist_delete,
 	am_update = gist_update,
@@ -372,6 +374,9 @@ func Library(e *engine.Engine) am.Library {
 			if !ok {
 				return fmt.Errorf("gistblade: rescan without a scan")
 			}
+			if sd.Batch != nil {
+				sd.Batch.Reset()
+			}
 			sc.pos = 0
 			return nil
 		}),
@@ -386,6 +391,22 @@ func Library(e *engine.Engine) am.Library {
 			rid := sc.rows[sc.pos]
 			sc.pos++
 			return rid, nil, true, nil
+		}),
+		// gist_getmulti: the batched companion — one dispatch hands the
+		// server a slice of the materialised candidate rowids (rows stay
+		// nil; the engine's WHERE re-filter restores exactness).
+		"gist_getmulti": am.AmGetMultiFunc(func(ctx *mi.Context, sd *am.ScanDesc) (int, error) {
+			sc, ok := sd.UserData.(*scanState)
+			if !ok {
+				return 0, fmt.Errorf("gistblade: getmulti without beginscan")
+			}
+			b := sd.Batch
+			b.Reset()
+			for !b.Full() && sc.pos < len(sc.rows) {
+				b.Append(sc.rows[sc.pos], nil)
+				sc.pos++
+			}
+			return b.N, nil
 		}),
 		"gist_insert": am.AmMutateFunc(func(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
 			st, err := state(id)

@@ -159,7 +159,7 @@ func TestFigure6CallSequences(t *testing.T) {
 	exec(t, s, `SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '9/97, UC, 9/97, NOW')`)
 	trace = e.TakeCallTrace()
 	joined := strings.Join(trace, " ")
-	if !strings.HasPrefix(joined, "am_open(grt_index) am_scancost(grt_index) am_beginscan(grt_index) am_getnext(grt_index)") {
+	if !strings.HasPrefix(joined, "am_open(grt_index) am_scancost(grt_index) am_beginscan(grt_index) am_getmulti(grt_index)") {
 		t.Fatalf("SELECT trace prefix: %v", trace)
 	}
 	if !strings.HasSuffix(joined, "am_endscan(grt_index) am_close(grt_index)") {

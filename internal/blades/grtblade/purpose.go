@@ -28,6 +28,7 @@ func Library(e *engine.Engine) am.Library {
 		"grt_endscan":   am.AmScanFunc(grtEndScan),
 		"grt_rescan":    am.AmScanFunc(grtRescan),
 		"grt_getnext":   am.AmGetNextFunc(grtGetNext),
+		"grt_getmulti":  am.AmGetMultiFunc(grtGetMulti),
 		"grt_insert":    am.AmMutateFunc(grtInsert),
 		"grt_delete":    am.AmMutateFunc(grtDelete),
 		"grt_update":    am.AmUpdateFunc(grtUpdate),
@@ -270,6 +271,12 @@ func grtBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
 	cur := st.tree.SearchMatcher(matcher, st.ct)
 	st.cursor = cur
 	sd.UserData = cur
+	// Negotiate the am_getmulti batch capacity: the server proposes one
+	// before am_beginscan; the blade caps it at its own maximum (a larger
+	// buffer than this cannot help a tree whose leaves hold maxentries).
+	if maxBatch := 16 * st.cfg.treeCfg.MaxEntries; sd.BatchCap > maxBatch {
+		sd.BatchCap = maxBatch
+	}
 	return nil
 }
 
@@ -314,11 +321,17 @@ func (m *dynamicMatcher) LeafMatch(r temporal.Region, ct chronon.Instant) bool {
 	return ok
 }
 
-// grtRescan implements am_rescan: reset the cursor.
+// grtRescan implements am_rescan: reset the cursor, and discard any
+// batched-but-undelivered entries — after a restart (Section 5.5's
+// restart-on-condense) buffered rowids may no longer qualify, and the reset
+// cursor will produce the qualifying ones again.
 func grtRescan(ctx *mi.Context, sd *am.ScanDesc) error {
 	cur, ok := sd.UserData.(*grtree.Cursor)
 	if !ok {
 		return fmt.Errorf("grtblade: rescan without a cursor")
+	}
+	if sd.Batch != nil {
+		sd.Batch.Reset()
 	}
 	cur.Reset()
 	return nil
@@ -344,6 +357,38 @@ func grtGetNext(ctx *mi.Context, sd *am.ScanDesc) (heap.RowID, []types.Datum, bo
 		Data:   EncodeExtent(ext),
 	}}
 	return heap.RowID(entry.Payload()), row, true, nil
+}
+
+// grtGetMulti implements am_getmulti, the batched companion of
+// grt_getnext: one purpose-function dispatch drains the cursor's next
+// qualifying entries — each visited leaf node's matches in a single pass —
+// into the server's batch buffer. Returning fewer entries than the batch
+// holds signals exhaustion.
+func grtGetMulti(ctx *mi.Context, sd *am.ScanDesc) (int, error) {
+	cur, ok := sd.UserData.(*grtree.Cursor)
+	if !ok {
+		return 0, fmt.Errorf("grtblade: getmulti without beginscan")
+	}
+	b := sd.Batch
+	b.Reset()
+	entries := make([]grtree.Entry, b.Cap())
+	n, err := cur.NextBatch(entries)
+	if err != nil {
+		return 0, err
+	}
+	typeID := sd.Index.ColTypes[0].OpaqueID
+	for i := 0; i < n; i++ {
+		e := entries[i]
+		ext := temporal.Extent{
+			TTBegin: e.Region.TTBegin, TTEnd: e.Region.TTEnd,
+			VTBegin: e.Region.VTBegin, VTEnd: e.Region.VTEnd,
+		}
+		b.Append(heap.RowID(e.Payload()), []types.Datum{types.Opaque{
+			TypeID: typeID,
+			Data:   EncodeExtent(ext),
+		}})
+	}
+	return b.N, nil
 }
 
 // grtEndScan implements am_endscan: delete the cursor.

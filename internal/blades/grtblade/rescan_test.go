@@ -1,0 +1,114 @@
+package grtblade
+
+import (
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/chronon"
+	"repro/internal/grtree"
+	"repro/internal/heap"
+	"repro/internal/nodestore"
+	"repro/internal/temporal"
+	"repro/internal/types"
+)
+
+// TestRescanDiscardsPartialBatch exercises am_rescan against a partially
+// drained am_getmulti batch: after the tree condenses under the cursor
+// (Section 5.5's restart-on-condense), buffered-but-undelivered rowids may
+// no longer qualify, so grt_rescan must discard them; the reset cursor then
+// produces every surviving entry exactly once.
+func TestRescanDiscardsPartialBatch(t *testing.T) {
+	cfg := grtree.DefaultConfig()
+	cfg.MaxEntries = 4
+	tr, err := grtree.Create(nodestore.NewMem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := chronon.Instant(200)
+	ext := func(i int64) temporal.Extent {
+		return temporal.Extent{
+			TTBegin: chronon.Instant(i), TTEnd: chronon.UC,
+			VTBegin: chronon.Instant(i), VTEnd: chronon.NOW,
+		}
+	}
+	const total = 24
+	for i := int64(1); i <= total; i++ {
+		if err := tr.Insert(ext(i), grtree.Payload(i), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cur, err := tr.Search(grtree.Predicate{Op: grtree.OpOverlaps, Query: ext(1)}, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := &am.ScanDesc{
+		Index: &am.IndexDesc{
+			Name:     "rescan_ix",
+			ColTypes: []types.Type{{Kind: types.KOpaque, OpaqueID: 1}},
+		},
+		BatchCap: 4,
+		Batch:    am.NewScanBatch(4),
+		UserData: cur,
+	}
+
+	// Partially drain: one full batch delivered, the cursor mid-tree.
+	n, err := grtGetMulti(nil, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || sd.Batch.N != 4 {
+		t.Fatalf("first fill: n=%d batch.N=%d", n, sd.Batch.N)
+	}
+
+	// Delete entries until the tree condenses (a structural change that
+	// bumps the epoch and would restart the live cursor).
+	const removed = 4
+	condensed := false
+	for i := int64(total - removed + 1); i <= total; i++ {
+		_, c, err := tr.Delete(ext(i), grtree.Payload(i), ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		condensed = condensed || c
+	}
+	if !condensed {
+		t.Fatal("deletions did not condense the tree; the test needs a structural change")
+	}
+
+	// am_rescan: the buffered rowids must be discarded with the reset.
+	if err := grtRescan(nil, sd); err != nil {
+		t.Fatal(err)
+	}
+	if sd.Batch.N != 0 {
+		t.Fatalf("rescan left %d buffered entries in the batch", sd.Batch.N)
+	}
+
+	// A full re-drain returns each surviving payload exactly once —
+	// including the four delivered before the rescan (Reset forgets the
+	// returned-entry bookkeeping).
+	seen := map[heap.RowID]int{}
+	for {
+		n, err := grtGetMulti(nil, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			seen[sd.Batch.RowIDs[i]]++
+		}
+		if n < sd.Batch.Cap() {
+			break
+		}
+	}
+	if len(seen) != total-removed {
+		t.Fatalf("re-drain returned %d distinct entries, want %d", len(seen), total-removed)
+	}
+	for rid, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("entry %v returned %d times", rid, cnt)
+		}
+		if rid < 1 || rid > total-removed {
+			t.Fatalf("unexpected entry %v", rid)
+		}
+	}
+}

@@ -58,6 +58,7 @@ CREATE FUNCTION rst_beginscan(pointer) RETURNING int EXTERNAL NAME 'usr/function
 CREATE FUNCTION rst_endscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_endscan)' LANGUAGE c;
 CREATE FUNCTION rst_rescan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_rescan)' LANGUAGE c;
 CREATE FUNCTION rst_getnext(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_getnext)' LANGUAGE c;
+CREATE FUNCTION rst_getmulti(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_getmulti)' LANGUAGE c;
 CREATE FUNCTION rst_insert(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_insert)' LANGUAGE c;
 CREATE FUNCTION rst_delete(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_delete)' LANGUAGE c;
 CREATE FUNCTION rst_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_update)' LANGUAGE c;
@@ -74,6 +75,7 @@ CREATE SECONDARY ACCESS_METHOD rstree_am (
 	am_endscan = rst_endscan,
 	am_rescan = rst_rescan,
 	am_getnext = rst_getnext,
+	am_getmulti = rst_getmulti,
 	am_insert = rst_insert,
 	am_delete = rst_delete,
 	am_update = rst_update,
@@ -218,6 +220,7 @@ func Library() am.Library {
 		"rst_endscan":   am.AmScanFunc(rstEndScan),
 		"rst_rescan":    am.AmScanFunc(rstRescan),
 		"rst_getnext":   am.AmGetNextFunc(rstGetNext),
+		"rst_getmulti":  am.AmGetMultiFunc(rstGetMulti),
 		"rst_insert":    am.AmMutateFunc(rstInsert),
 		"rst_delete":    am.AmMutateFunc(rstDelete),
 		"rst_update":    am.AmUpdateFunc(rstUpdate),
@@ -404,6 +407,9 @@ func rstRescan(ctx *mi.Context, sd *am.ScanDesc) error {
 	if !ok {
 		return fmt.Errorf("rstblade: rescan without a cursor")
 	}
+	if sd.Batch != nil {
+		sd.Batch.Reset()
+	}
 	cur.Reset()
 	return nil
 }
@@ -433,6 +439,28 @@ func rstGetNext(ctx *mi.Context, sd *am.ScanDesc) (heap.RowID, []types.Datum, bo
 		return 0, nil, false, err
 	}
 	return heap.RowID(entry.Payload()), nil, true, nil
+}
+
+// rstGetMulti implements am_getmulti: one dispatch drains the cursor's
+// next candidate rowids (rows stay nil — exactness still comes from the
+// engine re-evaluating the WHERE clause per fetched row, as in
+// rstGetNext).
+func rstGetMulti(ctx *mi.Context, sd *am.ScanDesc) (int, error) {
+	cur, ok := sd.UserData.(*rstar.Cursor)
+	if !ok {
+		return 0, fmt.Errorf("rstblade: getmulti without beginscan")
+	}
+	b := sd.Batch
+	b.Reset()
+	entries := make([]rstar.Entry, b.Cap())
+	n, err := cur.NextBatch(entries)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		b.Append(heap.RowID(entries[i].Payload()), nil)
+	}
+	return b.N, nil
 }
 
 func rstInsert(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {

@@ -374,32 +374,48 @@ func (s *Session) constantFor(ex sql.Expr, target types.Type) types.Datum {
 	return cv
 }
 
-// scanRows drives either the virtual-index scan protocol (Figure 6(b):
-// am_beginscan, am_getnext*, am_endscan) or a heap scan, applying the full
-// WHERE clause to each candidate row, and invokes fn per qualifying row.
+// scanRows pulls the batched pipeline (source → WHERE filter, see iter.go)
+// and spills to one row at a time for callers that consume rows
+// individually. Index scans go through am_getmulti (or the am_getnext
+// adapter); heap scans through the batched sequential scanner.
 func (s *Session) scanRows(tb *catalog.Table, table *heap.Table, schema []types.Type, where sql.Expr,
 	path accessPath, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
 
-	filter := func(rid heap.RowID, row []types.Datum) (bool, error) {
-		if where == nil {
-			return fn(rid, row)
-		}
-		ok, err := s.evalBool(where, tb, schema, row)
+	it, err := s.openBatchScan(tb, table, schema, where, path)
+	if err != nil {
+		return err
+	}
+	defer it.close()
+	for {
+		rb, err := it.next()
 		if err != nil {
-			return false, err
+			return err
 		}
-		if !ok {
-			return true, nil
+		if rb == nil {
+			return nil
 		}
-		return fn(rid, row)
+		for i := range rb.rows {
+			cont, err := fn(rb.rids[i], rb.rows[i])
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
 	}
+}
 
-	if path.index == nil {
-		return table.Scan(filter)
-	}
+// scanRowsTuple drives the paper's original row-at-a-time index protocol
+// (Figure 6(b): am_beginscan, am_getnext*, am_endscan), applying the full
+// WHERE clause per fetched row. The interleaved DELETE stays on this path:
+// the Section 5.5 deletion procedure retrieves and deletes entries one by
+// one through the same scan, so batching ahead of the deletes would hand
+// the cursor stale rowids whenever the tree condenses under it.
+func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []types.Type, where sql.Expr,
+	oi *openIndex, qual *am.Qual, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
 
-	oi := path.index
-	sd := &am.ScanDesc{Index: oi.desc, Qual: path.qual}
+	sd := &am.ScanDesc{Index: oi.desc, Qual: qual}
 	if oi.ps.BeginScan != nil {
 		s.e.traceCall("am_beginscan", oi.desc.Name)
 		if err := oi.ps.BeginScan(s.ctx, sd); err != nil {
@@ -429,7 +445,16 @@ func (s *Session) scanRows(tb *catalog.Table, table *heap.Table, schema []types.
 		if err != nil {
 			return fmt.Errorf("engine: index %s returned dangling %v: %w", oi.desc.Name, rid, err)
 		}
-		cont, err := filter(rid, row)
+		if where != nil {
+			ok, err := s.evalBool(where, tb, schema, row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		cont, err := fn(rid, row)
 		if err != nil {
 			return err
 		}
@@ -491,22 +516,34 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 		}
 	}
 
+	// Batch-pull execution: project over whole batches; rows materialise
+	// individually only in the client-facing Result.
 	res := &Result{Columns: cols}
 	count := 0
-	err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
-		count++
-		if countStar {
-			return true, nil
-		}
-		out := make([]types.Datum, len(projIdx))
-		for j, i := range projIdx {
-			out[j] = row[i]
-		}
-		res.Rows = append(res.Rows, out)
-		return true, nil
-	})
+	it, err := s.openBatchScan(tb, table, schema, t.Where, path)
 	if err != nil {
 		return nil, err
+	}
+	defer it.close()
+	for {
+		rb, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if rb == nil {
+			break
+		}
+		count += len(rb.rows)
+		if countStar {
+			continue
+		}
+		for _, row := range rb.rows {
+			out := make([]types.Datum, len(projIdx))
+			for j, i := range projIdx {
+				out[j] = row[i]
+			}
+			res.Rows = append(res.Rows, out)
+		}
 	}
 	if countStar {
 		res.Columns = []string{"count"}
@@ -568,8 +605,10 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 	}
 
 	if path.index != nil {
-		// Interleaved scan-and-delete through the index.
-		err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
+		// Interleaved scan-and-delete through the index, on the
+		// row-at-a-time am_getnext protocol (Section 5.5; see
+		// scanRowsTuple for why this path does not batch).
+		err = s.scanRowsTuple(tb, table, schema, t.Where, path.index, path.qual, func(rid heap.RowID, row []types.Datum) (bool, error) {
 			return true, deleteRow(rid, row)
 		})
 		if err != nil {

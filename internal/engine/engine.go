@@ -38,6 +38,11 @@ type Options struct {
 	// PoolPages is the per-table / per-space buffer-pool capacity in pages
 	// (default 256).
 	PoolPages int
+	// ScanBatchSize is the number of rows the executor pulls per batch —
+	// the am_getmulti capacity it proposes to access methods and the heap
+	// scanner's unit (default am.DefaultBatchCap). 1 degenerates to
+	// row-at-a-time pulls (benchmark ablations).
+	ScanBatchSize int
 	// NoWAL disables logging (benchmark configurations; rollback and crash
 	// recovery are then unavailable).
 	NoWAL bool
@@ -81,6 +86,9 @@ func Open(opts Options) (*Engine, error) {
 	}
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = 256
+	}
+	if opts.ScanBatchSize <= 0 {
+		opts.ScanBatchSize = am.DefaultBatchCap
 	}
 	e := &Engine{
 		opts:       opts,

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// The batch-pull pipeline: statements read rowBatches from a batchIterator
+// chain (source → WHERE filter) and spill to individual rows only at the
+// statement/client boundary. Index sources amortise the purpose-function
+// dispatch through am_getmulti; heap sources decode a page's tuples per
+// visit. The interleaved DELETE keeps the paper's row-at-a-time protocol
+// (scanRowsTuple) because its Section 5.5 cursor/delete interplay is
+// defined tuple by tuple.
+
+// rowBatch is one unit flowing through the pipeline (parallel slices).
+type rowBatch struct {
+	rids []heap.RowID
+	rows [][]types.Datum
+}
+
+// batchIterator is a pull-based batch source. next returns nil when the
+// scan is exhausted; close releases scan resources (am_endscan for index
+// scans) and must be called exactly once.
+type batchIterator interface {
+	next() (*rowBatch, error)
+	close()
+}
+
+// heapBatchIter adapts the heap's batched sequential scanner.
+type heapBatchIter struct {
+	sc    *heap.Scanner
+	batch int
+}
+
+func newHeapBatchIter(table *heap.Table, batch int) *heapBatchIter {
+	return &heapBatchIter{sc: table.NewScanner(), batch: batch}
+}
+
+func (it *heapBatchIter) next() (*rowBatch, error) {
+	rb, err := it.sc.NextBatch(it.batch)
+	if err != nil || rb == nil {
+		return nil, err
+	}
+	return &rowBatch{rids: rb.RowIDs, rows: rb.Rows}, nil
+}
+
+func (it *heapBatchIter) close() {}
+
+// indexBatchIter drives the batched virtual-index protocol: am_beginscan,
+// am_getmulti* (or am_getnext* through the adapter when the access method
+// binds no am_getmulti), am_endscan. The server proposes the batch
+// capacity before am_beginscan; the access method may adjust it there
+// (negotiation), and the batch buffer is allocated to the agreed size on
+// the first fill. Returned rowids are resolved against the heap before the
+// batch moves downstream.
+type indexBatchIter struct {
+	s      *Session
+	oi     *openIndex
+	table  *heap.Table
+	sd     *am.ScanDesc
+	fill   am.AmGetMultiFunc
+	native bool
+	done   bool
+	closed bool
+}
+
+func (s *Session) newIndexBatchIter(oi *openIndex, table *heap.Table, qual *am.Qual, batch int) (*indexBatchIter, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, BatchCap: batch}
+	if oi.ps.BeginScan != nil {
+		s.e.traceCall("am_beginscan", oi.desc.Name)
+		err := oi.ps.BeginScan(s.ctx, sd)
+		s.ctx.EndFunction()
+		if err != nil {
+			return nil, err
+		}
+	}
+	it := &indexBatchIter{s: s, oi: oi, table: table, sd: sd}
+	if oi.ps.GetMulti != nil {
+		it.native = true
+		it.fill = oi.ps.GetMulti
+	} else {
+		// Getnext-only access method (only am_getnext is mandatory): the
+		// adapter fills the batch by repeated am_getnext calls, each traced
+		// individually so the legacy Figure 6(b) sequence stays observable.
+		it.fill = am.AdaptGetNext(oi.ps.GetNext,
+			func() { s.e.traceCall("am_getnext", oi.desc.Name) },
+			func() { s.ctx.EndFunction() })
+	}
+	return it, nil
+}
+
+func (it *indexBatchIter) next() (*rowBatch, error) {
+	if it.done {
+		return nil, nil
+	}
+	sd := it.sd
+	var n int
+	var err error
+	if it.native {
+		it.s.e.traceCall("am_getmulti", it.oi.desc.Name)
+		n, err = am.FillFrom(it.s.ctx, sd, it.fill)
+		it.s.ctx.EndFunction()
+	} else {
+		n, err = am.FillFrom(it.s.ctx, sd, it.fill)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n < sd.Batch.Cap() {
+		it.done = true // a short batch signals exhaustion
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	rb := &rowBatch{
+		rids: make([]heap.RowID, n),
+		rows: make([][]types.Datum, n),
+	}
+	copy(rb.rids, sd.Batch.RowIDs[:n])
+	for i := 0; i < n; i++ {
+		row, err := it.table.Get(rb.rids[i])
+		if err != nil {
+			return nil, fmt.Errorf("engine: index %s returned dangling %v: %w", it.oi.desc.Name, rb.rids[i], err)
+		}
+		rb.rows[i] = row
+	}
+	return rb, nil
+}
+
+func (it *indexBatchIter) close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	if it.oi.ps.EndScan != nil {
+		it.s.e.traceCall("am_endscan", it.oi.desc.Name)
+		it.oi.ps.EndScan(it.s.ctx, it.sd)
+		it.s.ctx.EndFunction()
+	}
+}
+
+// filterBatchIter re-evaluates the full WHERE clause over each batch,
+// compacting survivors in place: the index may return candidate supersets
+// (rstree_am, gist_am), and only part of the clause may have been pushed
+// down as a qualification.
+type filterBatchIter struct {
+	src    batchIterator
+	s      *Session
+	tb     *catalog.Table
+	schema []types.Type
+	where  sql.Expr
+}
+
+func (it *filterBatchIter) next() (*rowBatch, error) {
+	for {
+		rb, err := it.src.next()
+		if err != nil || rb == nil {
+			return nil, err
+		}
+		k := 0
+		for i := range rb.rows {
+			ok, err := it.s.evalBool(it.where, it.tb, it.schema, rb.rows[i])
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rb.rids[k] = rb.rids[i]
+				rb.rows[k] = rb.rows[i]
+				k++
+			}
+		}
+		if k > 0 {
+			rb.rids = rb.rids[:k]
+			rb.rows = rb.rows[:k]
+			return rb, nil
+		}
+		// The whole batch was filtered out — pull the next one rather than
+		// surfacing an empty batch.
+	}
+}
+
+func (it *filterBatchIter) close() { it.src.close() }
+
+// openBatchScan assembles the pipeline for a planned access path: source
+// (virtual index or heap sequential scan) plus the WHERE re-filter.
+func (s *Session) openBatchScan(tb *catalog.Table, table *heap.Table, schema []types.Type,
+	where sql.Expr, path accessPath) (batchIterator, error) {
+	batch := s.e.opts.ScanBatchSize
+	var src batchIterator
+	if path.index != nil {
+		it, err := s.newIndexBatchIter(path.index, table, path.qual, batch)
+		if err != nil {
+			return nil, err
+		}
+		src = it
+	} else {
+		src = newHeapBatchIter(table, batch)
+	}
+	if where == nil {
+		return src, nil
+	}
+	return &filterBatchIter{src: src, s: s, tb: tb, schema: schema, where: where}, nil
+}

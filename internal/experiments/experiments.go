@@ -382,7 +382,7 @@ func RunF6(w io.Writer) error {
 		return fmt.Errorf("F6 INSERT protocol violated: %v", insertTrace)
 	}
 	js := strings.Join(selectTrace, " ")
-	if !strings.Contains(js, "am_beginscan") || !strings.Contains(js, "am_getnext") ||
+	if !strings.Contains(js, "am_beginscan") || !strings.Contains(js, "am_getmulti") ||
 		!strings.Contains(js, "am_endscan") || !strings.HasSuffix(js, "am_close(grt_index)") {
 		return fmt.Errorf("F6 SELECT protocol violated: %v", selectTrace)
 	}

@@ -197,6 +197,48 @@ func (c *Cursor) Next() (Entry, bool, error) {
 	return Entry{}, false, nil
 }
 
+// NextBatch fills dst with the next qualifying entries — the blade's
+// am_getmulti service. The matches of each visited leaf node are drained in
+// one pass over its snapshot (instead of re-entering the traversal per
+// entry); the slow path delegates to Next for descent, restart and
+// returned-entry bookkeeping. It returns the number filled; fewer than
+// len(dst) means the scan is exhausted.
+func (c *Cursor) NextBatch(dst []Entry) (int, error) {
+	n := 0
+	for n < len(dst) {
+		// Fast path: the top of the stack is a leaf frame and the tree has
+		// not changed shape — drain its matches in one visit.
+		if len(c.stack) > 0 && c.epoch == c.t.epoch {
+			frame := &c.stack[len(c.stack)-1]
+			if frame.level == 0 {
+				for frame.idx < len(frame.entries) && n < len(dst) {
+					e := frame.entries[frame.idx]
+					frame.idx++
+					if c.match.LeafMatch(e.Region, c.ct) && !c.returned[e.Payload()] {
+						c.returned[e.Payload()] = true
+						dst[n] = e
+						n++
+					}
+				}
+				if n == len(dst) {
+					return n, nil
+				}
+				// Frame exhausted; fall through to Next to pop and descend.
+			}
+		}
+		e, ok, err := c.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = e
+		n++
+	}
+	return n, nil
+}
+
 // SearchAll runs the predicate to completion and returns the payloads
 // (convenience for tests and benchmarks).
 func (t *Tree) SearchAll(pred Predicate, ct chronon.Instant) ([]Payload, error) {

@@ -274,45 +274,119 @@ func (t *Table) Update(tx uint64, rid RowID, row []types.Datum) (RowID, error) {
 	return t.Insert(tx, row)
 }
 
+// RowBatch is one batch of sequentially scanned tuples (parallel slices).
+type RowBatch struct {
+	RowIDs []RowID
+	Rows   [][]types.Datum
+}
+
+// Scanner is a pull-based sequential scan yielding tuples in batches — the
+// heap-side counterpart of am_getmulti. A page is decoded in one pinned
+// visit and its tuples buffered, so batch pulls never hold a page pin
+// across calls. The page count is snapshotted at creation (same visibility
+// as Scan).
+type Scanner struct {
+	t        *Table
+	next     storage.PageID
+	end      storage.PageID
+	pendRids []RowID
+	pendRows [][]types.Datum
+	pos      int
+}
+
+// NewScanner starts a sequential scan at the first data page.
+func (t *Table) NewScanner() *Scanner {
+	return &Scanner{t: t, next: 2, end: storage.PageID(t.bp.Pager().NumPages())}
+}
+
+// NextBatch returns up to maxRows tuples in storage order, or nil when the
+// scan is exhausted. A short batch does not imply exhaustion.
+func (sc *Scanner) NextBatch(maxRows int) (*RowBatch, error) {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	rb := &RowBatch{
+		RowIDs: make([]RowID, 0, maxRows),
+		Rows:   make([][]types.Datum, 0, maxRows),
+	}
+	for len(rb.RowIDs) < maxRows {
+		if sc.pos >= len(sc.pendRids) {
+			if sc.next >= sc.end {
+				break
+			}
+			if err := sc.fillPage(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		take := maxRows - len(rb.RowIDs)
+		if rest := len(sc.pendRids) - sc.pos; rest < take {
+			take = rest
+		}
+		rb.RowIDs = append(rb.RowIDs, sc.pendRids[sc.pos:sc.pos+take]...)
+		rb.Rows = append(rb.Rows, sc.pendRows[sc.pos:sc.pos+take]...)
+		sc.pos += take
+	}
+	if len(rb.RowIDs) == 0 {
+		return nil, nil
+	}
+	return rb, nil
+}
+
+// fillPage decodes the next data page into the pending buffer (which may
+// stay empty for pages without live tuples).
+func (sc *Scanner) fillPage() error {
+	id := sc.next
+	sc.next++
+	sc.pendRids = sc.pendRids[:0]
+	sc.pendRows = sc.pendRows[:0]
+	sc.pos = 0
+	f, err := sc.t.bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	// Skip never-initialised pages (e.g., zero pages materialised by
+	// recovery): an initialised slotted page has a nonzero free end.
+	if binary.BigEndian.Uint16(f.Data[12:14]) == 0 {
+		sc.t.bp.Unpin(f, false)
+		return nil
+	}
+	p := storage.SlottedPage{Buf: f.Data}
+	var decodeErr error
+	for s := 0; s < p.NumSlots(); s++ {
+		raw, ok := p.Read(s)
+		if !ok {
+			continue
+		}
+		row, err := types.DecodeRow(sc.t.schema, raw)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		sc.pendRids = append(sc.pendRids, MakeRowID(id, s))
+		sc.pendRows = append(sc.pendRows, row)
+	}
+	sc.t.bp.Unpin(f, false)
+	return decodeErr
+}
+
+// scanBatchRows is the internal batch size of the callback Scan.
+const scanBatchRows = 64
+
 // Scan iterates all live rows in storage order; fn returning false stops.
+// (A batched wrapper over Scanner — fn still sees one row at a time.)
 func (t *Table) Scan(fn func(RowID, []types.Datum) (bool, error)) error {
-	n := storage.PageID(t.bp.Pager().NumPages())
-	for id := storage.PageID(2); id < n; id++ {
-		f, err := t.bp.Fetch(id)
+	sc := t.NewScanner()
+	for {
+		rb, err := sc.NextBatch(scanBatchRows)
 		if err != nil {
 			return err
 		}
-		p := storage.SlottedPage{Buf: f.Data}
-		// Skip never-initialised pages (e.g., zero pages materialised by
-		// recovery): an initialised slotted page has a nonzero free end.
-		if binary.BigEndian.Uint16(f.Data[12:14]) == 0 {
-			t.bp.Unpin(f, false)
-			continue
+		if rb == nil {
+			return nil
 		}
-		type tup struct {
-			rid RowID
-			row []types.Datum
-		}
-		var tuples []tup
-		var decodeErr error
-		for s := 0; s < p.NumSlots(); s++ {
-			raw, ok := p.Read(s)
-			if !ok {
-				continue
-			}
-			row, err := types.DecodeRow(t.schema, raw)
-			if err != nil {
-				decodeErr = err
-				break
-			}
-			tuples = append(tuples, tup{MakeRowID(id, s), row})
-		}
-		t.bp.Unpin(f, false)
-		if decodeErr != nil {
-			return decodeErr
-		}
-		for _, tp := range tuples {
-			cont, err := fn(tp.rid, tp.row)
+		for i := range rb.RowIDs {
+			cont, err := fn(rb.RowIDs[i], rb.Rows[i])
 			if err != nil {
 				return err
 			}
@@ -321,7 +395,6 @@ func (t *Table) Scan(fn func(RowID, []types.Datum) (bool, error)) error {
 			}
 		}
 	}
-	return nil
 }
 
 // Pages returns the number of data pages (the seqscan cost input).

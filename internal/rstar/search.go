@@ -156,6 +156,43 @@ func (c *Cursor) Next() (Entry, bool, error) {
 	return Entry{}, false, nil
 }
 
+// NextBatch fills dst with the next qualifying entries (the am_getmulti
+// service), draining each visited leaf frame's matches in one pass. It
+// returns the number filled; fewer than len(dst) means the scan is
+// exhausted.
+func (c *Cursor) NextBatch(dst []Entry) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if len(c.stack) > 0 && c.epoch == c.t.epoch {
+			fr := &c.stack[len(c.stack)-1]
+			if fr.level == 0 {
+				for fr.idx < len(fr.entries) && n < len(dst) {
+					e := fr.entries[fr.idx]
+					fr.idx++
+					if leafTest(c.op, e.Rect, c.query) && !c.returned[e.Payload()] {
+						c.returned[e.Payload()] = true
+						dst[n] = e
+						n++
+					}
+				}
+				if n == len(dst) {
+					return n, nil
+				}
+			}
+		}
+		e, ok, err := c.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = e
+		n++
+	}
+	return n, nil
+}
+
 // SearchAll runs the query to completion (tests and benchmarks).
 func (t *Tree) SearchAll(op Op, query Rect) ([]Payload, error) {
 	cur, err := t.Search(op, query)

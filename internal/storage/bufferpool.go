@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts page-level I/O through a buffer pool. All benchmark numbers
@@ -33,8 +34,8 @@ func (s Stats) String() string {
 		s.Fetches, s.Hits, s.Reads, s.Writes, s.Evictions)
 }
 
-// ErrPoolFull is returned when every frame is pinned and a new page is
-// requested.
+// ErrPoolFull is returned when every frame of the page's shard is pinned
+// and a new page is requested.
 var ErrPoolFull = errors.New("storage: buffer pool exhausted (all frames pinned)")
 
 // Frame is a pinned page in the buffer pool. Data is valid until Unpin.
@@ -46,50 +47,119 @@ type Frame struct {
 	elem  *list.Element
 }
 
-// BufferPool caches pages of one Pager with pin-counted LRU replacement.
-// It is safe for concurrent use; callers serialise access to a frame's Data
-// through higher-level latching (the engine latches at the tree/table level).
-type BufferPool struct {
+// shard is one independently locked partition of the pool: its own frame
+// table, its own LRU list, its own mutex. Pages are assigned to shards by a
+// PageID hash, so concurrent scans over disjoint page sets never contend.
+type shard struct {
 	mu       sync.Mutex
-	pager    Pager
 	capacity int
 	frames   map[PageID]*Frame
 	lru      *list.List // unpinned frames, most recent at front
-	stats    Stats
+}
+
+// BufferPool caches pages of one Pager with pin-counted LRU replacement.
+// The pool is split into shards (each with its own mutex and LRU) so that
+// concurrent batched scans from multiple sessions do not serialise on a
+// single global lock; I/O counters are atomic and never taken under any
+// shard mutex. Callers serialise access to a frame's Data through
+// higher-level latching (the engine latches at the tree/table level).
+type BufferPool struct {
+	pager  Pager
+	shards []*shard
+
+	reads, writes, hits, fetches, evictions atomic.Uint64
+
 	// FlushHook, when set, is called with (id, data) before a dirty page is
 	// written back; the WAL installs itself here to honour write-ahead
-	// ordering.
+	// ordering. Set it before the pool sees concurrent use.
 	FlushHook func(id PageID, data []byte) error
 }
 
-// NewBufferPool wraps pager with a pool of the given frame capacity.
+// defaultShards picks the shard count for a capacity: pools below 128
+// frames stay single-shard (exact global-LRU semantics, which the
+// experiment harnesses with tiny pools rely on), larger pools get one
+// shard per 64 frames up to 8.
+func defaultShards(capacity int) int {
+	if capacity < 128 {
+		return 1
+	}
+	n := capacity / 64
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// NewBufferPool wraps pager with a pool of the given frame capacity,
+// sharded by the default heuristic (small pools stay single-shard).
 func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	return NewShardedBufferPool(pager, capacity, defaultShards(max(capacity, 1)))
+}
+
+// NewShardedBufferPool wraps pager with an explicit shard count; capacity
+// is the total frame budget, divided evenly across shards.
+func NewShardedBufferPool(pager Pager, capacity, shards int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		pager:    pager,
-		capacity: capacity,
-		frames:   make(map[PageID]*Frame),
-		lru:      list.New(),
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	bp := &BufferPool{pager: pager, shards: make([]*shard, shards)}
+	per := capacity / shards
+	extra := capacity % shards
+	for i := range bp.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		bp.shards[i] = &shard{
+			capacity: c,
+			frames:   make(map[PageID]*Frame),
+			lru:      list.New(),
+		}
+	}
+	return bp
+}
+
+// shardFor maps a page to its shard (Fibonacci hash so that both
+// sequential and clustered PageID patterns spread evenly).
+func (bp *BufferPool) shardFor(id PageID) *shard {
+	if len(bp.shards) == 1 {
+		return bp.shards[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return bp.shards[(h>>32)%uint64(len(bp.shards))]
 }
 
 // Pager returns the underlying pager.
 func (bp *BufferPool) Pager() Pager { return bp.pager }
 
-// Stats returns a snapshot of the I/O counters.
+// Shards returns the number of independently locked pool partitions.
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
+
+// Stats returns a snapshot of the I/O counters (atomic; callable
+// concurrently with fetches without taking any pool lock).
 func (bp *BufferPool) Stats() Stats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return Stats{
+		Reads:     bp.reads.Load(),
+		Writes:    bp.writes.Load(),
+		Hits:      bp.hits.Load(),
+		Fetches:   bp.fetches.Load(),
+		Evictions: bp.evictions.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O counters (benchmark harness use).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = Stats{}
+	bp.reads.Store(0)
+	bp.writes.Store(0)
+	bp.hits.Store(0)
+	bp.fetches.Store(0)
+	bp.evictions.Store(0)
 }
 
 // Allocate allocates a fresh page and returns it pinned and dirty.
@@ -98,53 +168,59 @@ func (bp *BufferPool) Allocate() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if err := bp.ensureRoom(); err != nil {
+	sh := bp.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := bp.ensureRoom(sh); err != nil {
 		return nil, err
 	}
 	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1, dirty: true}
-	bp.frames[id] = f
+	sh.frames[id] = f
 	return f, nil
 }
 
-// Fetch pins the page, reading it from the pager on a miss.
+// Fetch pins the page, reading it from the pager on a miss. Only the
+// page's shard is locked — fetches on different shards proceed in
+// parallel.
 func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
-	bp.mu.Lock()
-	bp.stats.Fetches++
-	if f, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
+	sh := bp.shardFor(id)
+	bp.fetches.Add(1)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
+		bp.hits.Add(1)
 		if f.pins == 0 && f.elem != nil {
-			bp.lru.Remove(f.elem)
+			sh.lru.Remove(f.elem)
 			f.elem = nil
 		}
 		f.pins++
-		bp.mu.Unlock()
+		sh.mu.Unlock()
 		return f, nil
 	}
-	if err := bp.ensureRoom(); err != nil {
-		bp.mu.Unlock()
+	if err := bp.ensureRoom(sh); err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
-	bp.stats.Reads++
+	bp.reads.Add(1)
 	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1}
-	bp.frames[id] = f
-	// Read outside the lock would race with a concurrent Fetch of the same
-	// page; the read is cheap relative to simplicity, so keep the lock.
+	sh.frames[id] = f
+	// Read inside the shard lock: releasing it here would race with a
+	// concurrent Fetch of the same page; the read is cheap relative to
+	// simplicity, and only this shard is held up.
 	err := bp.pager.ReadPage(id, f.Data)
 	if err != nil {
-		delete(bp.frames, id)
-		bp.mu.Unlock()
+		delete(sh.frames, id)
+		sh.mu.Unlock()
 		return nil, err
 	}
-	bp.mu.Unlock()
+	sh.mu.Unlock()
 	return f, nil
 }
 
 // Unpin releases one pin; dirty marks the frame as modified.
 func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	sh := bp.shardFor(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if dirty {
 		f.dirty = true
 	}
@@ -152,39 +228,41 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 		f.pins--
 	}
 	if f.pins == 0 {
-		f.elem = bp.lru.PushFront(f)
+		f.elem = sh.lru.PushFront(f)
 	}
 }
 
-// ensureRoom evicts the least recently used unpinned frame when the pool is
-// at capacity. Caller holds bp.mu.
-func (bp *BufferPool) ensureRoom() error {
-	for len(bp.frames) >= bp.capacity {
-		back := bp.lru.Back()
+// ensureRoom evicts the least recently used unpinned frame when the shard
+// is at capacity. Caller holds sh.mu.
+func (bp *BufferPool) ensureRoom(sh *shard) error {
+	for len(sh.frames) >= sh.capacity {
+		back := sh.lru.Back()
 		if back == nil {
 			return ErrPoolFull
 		}
 		victim := back.Value.(*Frame)
-		bp.lru.Remove(back)
+		sh.lru.Remove(back)
 		victim.elem = nil
 		if victim.dirty {
 			if err := bp.flushLocked(victim); err != nil {
 				return err
 			}
 		}
-		delete(bp.frames, victim.ID)
-		bp.stats.Evictions++
+		delete(sh.frames, victim.ID)
+		bp.evictions.Add(1)
 	}
 	return nil
 }
 
+// flushLocked writes one dirty frame back. Caller holds the frame's shard
+// mutex (stat counters are atomic, not shard state).
 func (bp *BufferPool) flushLocked(f *Frame) error {
 	if bp.FlushHook != nil {
 		if err := bp.FlushHook(f.ID, f.Data); err != nil {
 			return err
 		}
 	}
-	bp.stats.Writes++
+	bp.writes.Add(1)
 	if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
 		return err
 	}
@@ -194,14 +272,17 @@ func (bp *BufferPool) flushLocked(f *Frame) error {
 
 // FlushAll writes every dirty frame back to the pager.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if f.dirty {
-			if err := bp.flushLocked(f); err != nil {
-				return err
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				if err := bp.flushLocked(f); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return bp.pager.Sync()
 }
@@ -209,18 +290,19 @@ func (bp *BufferPool) FlushAll() error {
 // Free flushes nothing and returns the page to the pager's free list; the
 // page must be unpinned.
 func (bp *BufferPool) Free(id PageID) error {
-	bp.mu.Lock()
-	if f, ok := bp.frames[id]; ok {
+	sh := bp.shardFor(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
 		if f.pins > 0 {
-			bp.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("storage: freeing pinned page %d", id)
 		}
 		if f.elem != nil {
-			bp.lru.Remove(f.elem)
+			sh.lru.Remove(f.elem)
 		}
-		delete(bp.frames, id)
+		delete(sh.frames, id)
 	}
-	bp.mu.Unlock()
+	sh.mu.Unlock()
 	return bp.pager.Free(id)
 }
 

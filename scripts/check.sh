@@ -1,0 +1,16 @@
+#!/bin/sh
+# Static checks plus the race-sensitive packages under the race detector:
+# the sharded buffer pool, the purpose-function framework, and the batched
+# scan pipeline. Tier-1 (`go build ./... && go test ./...`) is assumed to
+# run separately; this is the concurrency-focused gate (`make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race (storage, am, engine)"
+go test -race ./internal/storage/... ./internal/am/... ./internal/engine/...
+
+echo "ok"

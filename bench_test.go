@@ -300,12 +300,20 @@ func BenchmarkScanBatchSize(b *testing.B) {
 				day := clock.Now()
 				q := fmt.Sprintf(`SELECT COUNT(*) FROM T WHERE Overlaps(X, '%s, UC, %s, NOW')`,
 					day.String(), (day - 10).String())
+				var fills, fetches uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := s.Exec(q); err != nil {
+					res, err := s.Exec(q)
+					if err != nil {
 						b.Fatal(err)
 					}
+					// Per-statement profile from the redesigned Result API —
+					// no more reaching into raw BufferPool.Stats.
+					fills += res.Stats.Calls("am_getmulti") + res.Stats.Calls("am_getnext")
+					fetches += res.Stats.Counter("bufferpool.fetches")
 				}
+				b.ReportMetric(float64(fills)/float64(b.N), "amFills/op")
+				b.ReportMetric(float64(fetches)/float64(b.N), "pageFetches/op")
 			})
 		}
 	}
@@ -331,23 +339,31 @@ func BenchmarkEngineSQL(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("insert", func(b *testing.B) {
+		var walAppends uint64
 		for i := 0; i < b.N; i++ {
 			clock.Advance(1)
 			day := clock.Now()
-			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%s, UC, %s, NOW')`,
-				i, day.String(), (day - 10).String())); err != nil {
+			res, err := s.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%s, UC, %s, NOW')`,
+				i, day.String(), (day - 10).String()))
+			if err != nil {
 				b.Fatal(err)
 			}
+			walAppends += res.Stats.Counter("wal.appends")
 		}
+		b.ReportMetric(float64(walAppends)/float64(b.N), "walAppends/op")
 	})
 	b.Run("select", func(b *testing.B) {
 		day := clock.Now()
 		q := fmt.Sprintf(`SELECT COUNT(*) FROM T WHERE Overlaps(X, '%s, %s, %s, %s')`,
 			day-5, day-1, day-5, day-1)
+		var scanned uint64
 		for i := 0; i < b.N; i++ {
-			if _, err := s.Exec(q); err != nil {
+			res, err := s.Exec(q)
+			if err != nil {
 				b.Fatal(err)
 			}
+			scanned += res.Stats.RowsScanned
 		}
+		b.ReportMetric(float64(scanned)/float64(b.N), "rowsScanned/op")
 	})
 }

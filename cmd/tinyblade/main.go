@@ -13,7 +13,13 @@
 //	.clock            print the current time
 //	.clock 3/98       set the current time
 //	.advance 30       advance the clock by 30 days
+//	.profile on|off   print each statement's execution profile
 //	.quit             exit
+//
+// Observability: EXPLAIN <stmt> prints the access plan, SET TRACE <class>
+// <level> turns on mi trace output (written to stdout), and the SYSPROFILE /
+// SYSPTPROF virtual tables serve the live engine counters. Errors print
+// their SQLSTATE-style code.
 //
 // Flags: -dir <path> opens a persistent database (default: in-memory);
 // -clock <date> sets the starting current time.
@@ -50,7 +56,7 @@ func main() {
 		now = t
 	}
 	clock := chronon.NewVirtualClock(now)
-	e, err := engine.Open(engine.Options{Dir: *dir, Clock: clock, Types: grtblade.RegisterTypes})
+	e, err := engine.Open(engine.Options{Dir: *dir, Clock: clock, Types: grtblade.RegisterTypes, TraceWriter: os.Stdout})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tinyblade:", err)
 		os.Exit(1)
@@ -73,6 +79,7 @@ func main() {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
+	profile := false
 	prompt := func() {
 		if pending.Len() == 0 {
 			fmt.Print("sql> ")
@@ -85,7 +92,7 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if meta(trimmed, clock) {
+			if meta(trimmed, clock, &profile) {
 				return
 			}
 			prompt()
@@ -98,9 +105,16 @@ func main() {
 			pending.Reset()
 			res, err := s.ExecScript(src)
 			if err != nil {
-				fmt.Println("error:", err)
+				if code := engine.ErrorCode(err); code != "" {
+					fmt.Printf("error [SQLSTATE %s]: %v\n", code, err)
+				} else {
+					fmt.Println("error:", err)
+				}
 			} else {
 				fmt.Print(e.FormatResult(res))
+				if profile && res != nil && res.Stats != nil {
+					fmt.Println("profile:", res.Stats)
+				}
 			}
 		}
 		prompt()
@@ -108,13 +122,24 @@ func main() {
 }
 
 // meta handles dot-commands; it reports whether the shell should exit.
-func meta(cmd string, clock *chronon.VirtualClock) bool {
+func meta(cmd string, clock *chronon.VirtualClock, profile *bool) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".q", ".exit":
 		return true
 	case ".help":
-		fmt.Println(".clock [date] | .advance <days> | .quit")
+		fmt.Println(".clock [date] | .advance <days> | .profile on|off | .quit")
+	case ".profile":
+		if len(fields) == 2 && (fields[1] == "on" || fields[1] == "off") {
+			*profile = fields[1] == "on"
+		} else {
+			*profile = !*profile
+		}
+		state := "off"
+		if *profile {
+			state = "on"
+		}
+		fmt.Println("statement profiling", state)
 	case ".clock":
 		if len(fields) == 1 {
 			fmt.Println("current time:", clock.Now())

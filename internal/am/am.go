@@ -26,6 +26,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/lock"
 	"repro/internal/mi"
+	"repro/internal/obs"
 	"repro/internal/sbspace"
 	"repro/internal/types"
 )
@@ -106,6 +107,11 @@ type ScanDesc struct {
 	// owns the allocation; the access method must not retain references to
 	// it across calls.
 	Batch *ScanBatch
+
+	// Obs is the statement's execution profile (nil when the statement is
+	// not profiled). The framework counts rows delivered by the access
+	// method here; blades may additionally record their own slot counts.
+	Obs *obs.ExecContext
 }
 
 // ScanBatch is the am_getmulti output buffer: parallel slices of qualifying
@@ -413,7 +419,10 @@ func AdaptGetNext(next AmGetNextFunc, before, after func()) AmGetMultiFunc {
 
 // FillFrom drives one am_getmulti (or adapted am_getnext) call through the
 // purpose set, allocating sd.Batch on first use. getMulti is the resolved
-// batch function (native GetMulti or an AdaptGetNext wrapper).
+// batch function (native GetMulti or an AdaptGetNext wrapper). Rows are
+// counted into sd.Obs here — after the fill, at the single point both paths
+// share — so a native am_getmulti and an adapted am_getnext scan report
+// identical rows-scanned counts by construction.
 func FillFrom(ctx *mi.Context, sd *ScanDesc, getMulti AmGetMultiFunc) (int, error) {
 	if sd.Batch == nil {
 		if sd.BatchCap < 1 {
@@ -421,7 +430,11 @@ func FillFrom(ctx *mi.Context, sd *ScanDesc, getMulti AmGetMultiFunc) (int, erro
 		}
 		sd.Batch = NewScanBatch(sd.BatchCap)
 	}
-	return getMulti(ctx, sd)
+	n, err := getMulti(ctx, sd)
+	if err == nil {
+		sd.Obs.AddScanned(n)
+	}
+	return n, err
 }
 
 // OpClass is an operator class (Step 4): the strategy functions that make

@@ -513,6 +513,7 @@ func gistBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
 		}
 	}
 	sd.UserData = &scanState{rows: rows}
+	ctx.Tracer().Tracef("gist", 2, "gist_beginscan %s: %d candidates", sd.Index.Name, len(rows))
 	return nil
 }
 

@@ -277,6 +277,7 @@ func grtBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
 	if maxBatch := 16 * st.cfg.treeCfg.MaxEntries; sd.BatchCap > maxBatch {
 		sd.BatchCap = maxBatch
 	}
+	ctx.Tracer().Tracef("grt", 2, "grt_beginscan %s: qual %s, batch %d", sd.Index.Name, sd.Qual, sd.BatchCap)
 	return nil
 }
 
@@ -458,7 +459,10 @@ func grtScanCost(ctx *mi.Context, id *am.IndexDesc, q *am.Qual) (float64, error)
 		return 0, err
 	}
 	leafNodes := float64(st.tree.Size())/float64(st.tree.Config().MaxEntries) + 1
-	return float64(st.tree.Height()) + 0.2*leafNodes, nil
+	cost := float64(st.tree.Height()) + 0.2*leafNodes
+	ctx.Tracer().Tracef("grt", 2, "grt_scancost %s: %.2f (height %d, ~%.0f leaves)",
+		id.Name, cost, st.tree.Height(), leafNodes)
+	return cost, nil
 }
 
 // grtStats implements am_stats.

@@ -399,6 +399,7 @@ func rstBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
 	st.cursor = cur
 	st.qual = sd.Qual
 	sd.UserData = cur
+	ctx.Tracer().Tracef("rst", 2, "rst_beginscan %s: qual %s", sd.Index.Name, sd.Qual)
 	return nil
 }
 
@@ -530,7 +531,9 @@ func rstScanCost(ctx *mi.Context, id *am.IndexDesc, q *am.Qual) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	return float64(st.tree.Height()) + 0.2*(float64(st.tree.Size())/float64(rstar.Capacity)+1), nil
+	cost := float64(st.tree.Height()) + 0.2*(float64(st.tree.Size())/float64(rstar.Capacity)+1)
+	ctx.Tracer().Tracef("rst", 2, "rst_scancost %s: %.2f", id.Name, cost)
+	return cost, nil
 }
 
 func rstStats(ctx *mi.Context, id *am.IndexDesc) (string, error) {

@@ -423,3 +423,26 @@ func (c *Catalog) SbspaceByName(name string) (*Sbspace, error) {
 	}
 	return s, nil
 }
+
+// VirtualTables describes the onstat-style virtual catalog tables the
+// engine serves from live counters (never stored): SYSPROFILE, the
+// engine-wide profile counters, and SYSPTPROF, per-partition buffer-pool
+// I/O. The engine materialises their rows on every read; the catalog only
+// owns the schemas so SELECT projection and WHERE evaluation work unchanged.
+func VirtualTables() []*Table {
+	return []*Table{
+		{Name: "sysprofile", Columns: []Column{
+			{Name: "name", TypeName: "lvarchar"},
+			{Name: "value", TypeName: "integer"},
+		}},
+		{Name: "sysptprof", Columns: []Column{
+			{Name: "partition", TypeName: "lvarchar"},
+			{Name: "kind", TypeName: "lvarchar"},
+			{Name: "fetches", TypeName: "integer"},
+			{Name: "hits", TypeName: "integer"},
+			{Name: "reads", TypeName: "integer"},
+			{Name: "writes", TypeName: "integer"},
+			{Name: "evictions", TypeName: "integer"},
+		}},
+	}
+}

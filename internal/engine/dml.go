@@ -13,6 +13,15 @@ import (
 	"repro/internal/types"
 )
 
+// catTable resolves a catalog table, typing the not-found error.
+func (s *Session) catTable(name string) (*catalog.Table, error) {
+	tb, err := s.e.cat.TableByName(name)
+	if err != nil {
+		return nil, errf(CodeUndefinedTable, "%w", err)
+	}
+	return tb, nil
+}
+
 // lockTable takes a table-level lock for the statement (strict 2PL; held to
 // transaction end).
 func (s *Session) lockTable(tb *catalog.Table, mode lock.Mode) error {
@@ -56,7 +65,7 @@ func (s *Session) openIndexes(table string, readOnly bool) ([]openIndex, func(),
 // INSERT -----------------------------------------------------------------------
 
 func (s *Session) insert(t *sql.Insert) (*Result, error) {
-	tb, err := s.e.cat.TableByName(t.Table)
+	tb, err := s.catTable(t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +88,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 		for _, c := range t.Columns {
 			i, err := tb.ColumnIndex(c)
 			if err != nil {
-				return nil, err
+				return nil, errf(CodeUndefinedObject, "%w", err)
 			}
 			colIdx = append(colIdx, i)
 		}
@@ -94,7 +103,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 	inserted := 0
 	for _, exprRow := range t.Rows {
 		if len(exprRow) != len(colIdx) {
-			return nil, fmt.Errorf("engine: INSERT arity %d does not match %d columns", len(exprRow), len(colIdx))
+			return nil, errf(CodeCardinality, "INSERT arity %d does not match %d columns", len(exprRow), len(colIdx))
 		}
 		row := make([]types.Datum, len(schema))
 		for j, ex := range exprRow {
@@ -104,7 +113,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 			}
 			cv, err := s.coerce(v, schema[colIdx[j]])
 			if err != nil {
-				return nil, fmt.Errorf("engine: column %s: %w", tb.Columns[colIdx[j]].Name, err)
+				return nil, errf(CodeDatatype, "column %s: %w", tb.Columns[colIdx[j]].Name, err)
 			}
 			row[colIdx[j]] = cv
 		}
@@ -114,9 +123,9 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 		}
 		for _, oi := range idxs {
 			if oi.ps.Insert == nil {
-				return nil, fmt.Errorf("engine: access method %s cannot insert", oi.ix.AmName)
+				return nil, errf(CodeFeature, "access method %s cannot insert", oi.ix.AmName)
 			}
-			s.e.traceCall("am_insert", oi.desc.Name)
+			s.amCall("am_insert", oi.desc.Name)
 			err := oi.ps.Insert(s.ctx, oi.desc, projectIndexed(oi.desc, row), rid)
 			s.ctx.EndFunction()
 			if err != nil {
@@ -135,7 +144,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 // (Section 6.3, item 3) and inserted through the normal index-maintaining
 // path.
 func (s *Session) load(t *sql.Load) (*Result, error) {
-	tb, err := s.e.cat.TableByName(t.Table)
+	tb, err := s.catTable(t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +159,7 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 
 	raw, err := os.ReadFile(t.File)
 	if err != nil {
-		return nil, fmt.Errorf("engine: LOAD: %w", err)
+		return nil, errf(CodeIOError, "LOAD: %w", err)
 	}
 	idxs, closeAll, err := s.openIndexes(tb.Name, false)
 	if err != nil {
@@ -166,14 +175,14 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 		}
 		fields := strings.Split(line, t.Delimiter)
 		if len(fields) != len(schema) {
-			return nil, fmt.Errorf("engine: LOAD line %d has %d fields, table %s has %d columns",
+			return nil, errf(CodeCardinality, "LOAD line %d has %d fields, table %s has %d columns",
 				lineNo+1, len(fields), tb.Name, len(schema))
 		}
 		row := make([]types.Datum, len(schema))
 		for i, f := range fields {
 			v, err := s.e.reg.ImportLiteral(strings.TrimSpace(f), schema[i])
 			if err != nil {
-				return nil, fmt.Errorf("engine: LOAD line %d column %s: %w", lineNo+1, tb.Columns[i].Name, err)
+				return nil, errf(CodeDatatype, "LOAD line %d column %s: %w", lineNo+1, tb.Columns[i].Name, err)
 			}
 			row[i] = v
 		}
@@ -183,9 +192,9 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 		}
 		for _, oi := range idxs {
 			if oi.ps.Insert == nil {
-				return nil, fmt.Errorf("engine: access method %s cannot insert", oi.ix.AmName)
+				return nil, errf(CodeFeature, "access method %s cannot insert", oi.ix.AmName)
 			}
-			s.e.traceCall("am_insert", oi.desc.Name)
+			s.amCall("am_insert", oi.desc.Name)
 			err := oi.ps.Insert(s.ctx, oi.desc, projectIndexed(oi.desc, row), rid)
 			s.ctx.EndFunction()
 			if err != nil {
@@ -210,19 +219,26 @@ type accessPath struct {
 // on an indexed column, combined with AND/OR) and consults am_scancost
 // against the heap page count (Section 4: the optimizer checks whether a
 // virtual index exists for the column and whether the function is declared
-// as a strategy function).
-func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.Expr, idxs []openIndex) (accessPath, error) {
-	if where == nil {
-		return accessPath{}, nil
-	}
+// as a strategy function). The returned Plan records every candidate and
+// the decision — EXPLAIN renders it, Result.Plan carries it.
+func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.Expr, idxs []openIndex) (accessPath, *Plan, error) {
 	table, err := s.e.Table(tb.Name)
 	if err != nil {
-		return accessPath{}, err
+		return accessPath{}, nil, err
 	}
-	seqCost := float64(table.Pages())
+	plan := &Plan{
+		Table:     tb.Name,
+		SeqCost:   float64(table.Pages()),
+		BatchCap:  s.e.opts.ScanBatchSize,
+		HasFilter: where != nil,
+	}
+	if where == nil {
+		return accessPath{}, plan, nil
+	}
 
 	best := accessPath{}
-	bestCost := seqCost
+	bestCost := plan.SeqCost
+	bestIdx := -1
 	for i := range idxs {
 		oi := &idxs[i]
 		oc, err := s.e.cat.OpClassByName(oi.desc.OpClass)
@@ -234,26 +250,36 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 			continue
 		}
 		cost := 1.0
+		costed := false
 		if oi.ps.ScanCost != nil {
-			s.e.traceCall("am_scancost", oi.desc.Name)
+			s.amCall("am_scancost", oi.desc.Name)
 			c, err := oi.ps.ScanCost(s.ctx, oi.desc, qual)
 			s.ctx.EndFunction()
 			if err != nil {
-				return accessPath{}, err
+				return accessPath{}, nil, err
 			}
 			cost = c
+			costed = true
 		}
+		plan.Choices = append(plan.Choices, PlanChoice{
+			Index: oi.desc.Name, AmName: oi.desc.AmName, OpClass: oi.desc.OpClass,
+			Strategies: declaredStrategies(oc, qual), Qual: qual.String(),
+			Cost: cost, Costed: costed,
+		})
 		// Informix-style bias: once a strategy function matches a virtual
 		// index, the index is used; am_scancost arbitrates between several
-		// applicable indexes. (seqCost remains available for diagnostics; a
+		// applicable indexes. (SeqCost remains in the plan for diagnostics; a
 		// cost-based index-vs-heap choice would sit here.)
 		if best.index == nil || cost < bestCost {
 			best = accessPath{index: oi, qual: qual}
 			bestCost = cost
+			bestIdx = len(plan.Choices) - 1
 		}
 	}
-	_ = seqCost
-	return best, nil
+	if bestIdx >= 0 {
+		plan.Choices[bestIdx].Chosen = true
+	}
+	return best, plan, nil
 }
 
 // extractQual converts the WHERE clause (or its largest top-level AND
@@ -415,9 +441,9 @@ func (s *Session) scanRows(tb *catalog.Table, table *heap.Table, schema []types.
 func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []types.Type, where sql.Expr,
 	oi *openIndex, qual *am.Qual, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
 
-	sd := &am.ScanDesc{Index: oi.desc, Qual: qual}
+	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, Obs: s.ec}
 	if oi.ps.BeginScan != nil {
-		s.e.traceCall("am_beginscan", oi.desc.Name)
+		s.amCall("am_beginscan", oi.desc.Name)
 		if err := oi.ps.BeginScan(s.ctx, sd); err != nil {
 			s.ctx.EndFunction()
 			return err
@@ -426,13 +452,13 @@ func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []t
 	}
 	defer func() {
 		if oi.ps.EndScan != nil {
-			s.e.traceCall("am_endscan", oi.desc.Name)
+			s.amCall("am_endscan", oi.desc.Name)
 			oi.ps.EndScan(s.ctx, sd)
 			s.ctx.EndFunction()
 		}
 	}()
 	for {
-		s.e.traceCall("am_getnext", oi.desc.Name)
+		s.amCall("am_getnext", oi.desc.Name)
 		rid, _, ok, err := oi.ps.GetNext(s.ctx, sd)
 		s.ctx.EndFunction()
 		if err != nil {
@@ -441,9 +467,10 @@ func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []t
 		if !ok {
 			return nil
 		}
+		s.ec.AddScanned(1)
 		row, err := table.Get(rid)
 		if err != nil {
-			return fmt.Errorf("engine: index %s returned dangling %v: %w", oi.desc.Name, rid, err)
+			return errf(CodeInternal, "index %s returned dangling %v: %w", oi.desc.Name, rid, err)
 		}
 		if where != nil {
 			ok, err := s.evalBool(where, tb, schema, row)
@@ -467,8 +494,13 @@ func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []t
 // SELECT -----------------------------------------------------------------------
 
 func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
-	tb, err := s.e.cat.TableByName(t.Table)
+	tb, err := s.catTable(t.Table)
 	if err != nil {
+		// A real table shadows a virtual one; only unresolved names fall
+		// through to SYSPROFILE/SYSPTPROF.
+		if vtb, data, ok := s.virtualRows(t.Table); ok {
+			return s.selectVirtual(t, vtb, data)
+		}
 		return nil, err
 	}
 	if err := s.lockTable(tb, lock.Shared); err != nil {
@@ -486,10 +518,11 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 	}
 	defer closeAll()
 
-	path, err := s.planAccess(tb, schema, t.Where, idxs)
+	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
 	if err != nil {
 		return nil, err
 	}
+	plan.Operation = "SELECT"
 
 	// Projection.
 	countStar := len(t.Items) == 1 && t.Items[0].CountStar
@@ -504,11 +537,11 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 					cols = append(cols, c.Name)
 				}
 			case item.CountStar:
-				return nil, fmt.Errorf("engine: COUNT(*) cannot be mixed with columns")
+				return nil, errf(CodeFeature, "COUNT(*) cannot be mixed with columns")
 			default:
 				i, err := tb.ColumnIndex(item.Column)
 				if err != nil {
-					return nil, err
+					return nil, errf(CodeUndefinedObject, "%w", err)
 				}
 				projIdx = append(projIdx, i)
 				cols = append(cols, tb.Columns[i].Name)
@@ -518,7 +551,7 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 
 	// Batch-pull execution: project over whole batches; rows materialise
 	// individually only in the client-facing Result.
-	res := &Result{Columns: cols}
+	res := &Result{Columns: cols, Plan: plan}
 	count := 0
 	it, err := s.openBatchScan(tb, table, schema, t.Where, path)
 	if err != nil {
@@ -534,6 +567,7 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 			break
 		}
 		count += len(rb.rows)
+		s.ec.AddReturned(len(rb.rows))
 		if countStar {
 			continue
 		}
@@ -560,7 +594,7 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 // scan, so the access method's cursor/condense interplay (Table 5,
 // grt_delete step 5) is exercised for real.
 func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
-	tb, err := s.e.cat.TableByName(t.Table)
+	tb, err := s.catTable(t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -579,9 +613,13 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 	}
 	defer closeAll()
 
-	path, err := s.planAccess(tb, schema, t.Where, idxs)
+	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
 	if err != nil {
 		return nil, err
+	}
+	plan.Operation = "DELETE"
+	if path.index != nil {
+		plan.BatchCap = 1 // the interleaved DELETE stays row-at-a-time (Section 5.5)
 	}
 
 	deleted := 0
@@ -591,9 +629,9 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 		}
 		for _, oi := range idxs {
 			if oi.ps.Delete == nil {
-				return fmt.Errorf("engine: access method %s cannot delete", oi.ix.AmName)
+				return errf(CodeFeature, "access method %s cannot delete", oi.ix.AmName)
 			}
-			s.e.traceCall("am_delete", oi.desc.Name)
+			s.amCall("am_delete", oi.desc.Name)
 			err := oi.ps.Delete(s.ctx, oi.desc, projectIndexed(oi.desc, row), rid)
 			s.ctx.EndFunction()
 			if err != nil {
@@ -635,13 +673,13 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 			}
 		}
 	}
-	return &Result{Affected: deleted, Message: fmt.Sprintf("%d row(s) deleted", deleted)}, nil
+	return &Result{Affected: deleted, Message: fmt.Sprintf("%d row(s) deleted", deleted), Plan: plan}, nil
 }
 
 // UPDATE -----------------------------------------------------------------------
 
 func (s *Session) update(t *sql.Update) (*Result, error) {
-	tb, err := s.e.cat.TableByName(t.Table)
+	tb, err := s.catTable(t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -658,7 +696,7 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 	for i, sc := range t.Sets {
 		ci, err := tb.ColumnIndex(sc.Column)
 		if err != nil {
-			return nil, err
+			return nil, errf(CodeUndefinedObject, "%w", err)
 		}
 		setIdx[i] = ci
 	}
@@ -669,10 +707,11 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 	}
 	defer closeAll()
 
-	path, err := s.planAccess(tb, schema, t.Where, idxs)
+	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
 	if err != nil {
 		return nil, err
 	}
+	plan.Operation = "UPDATE"
 
 	type target struct {
 		rid heap.RowID
@@ -696,7 +735,7 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 			}
 			cv, err := s.coerce(v, schema[setIdx[i]])
 			if err != nil {
-				return nil, fmt.Errorf("engine: column %s: %w", tb.Columns[setIdx[i]].Name, err)
+				return nil, errf(CodeDatatype, "column %s: %w", tb.Columns[setIdx[i]].Name, err)
 			}
 			newRow[setIdx[i]] = cv
 		}
@@ -706,9 +745,9 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 		}
 		for _, oi := range idxs {
 			if oi.ps.Update == nil {
-				return nil, fmt.Errorf("engine: access method %s cannot update", oi.ix.AmName)
+				return nil, errf(CodeFeature, "access method %s cannot update", oi.ix.AmName)
 			}
-			s.e.traceCall("am_update", oi.desc.Name)
+			s.amCall("am_update", oi.desc.Name)
 			err := oi.ps.Update(s.ctx, oi.desc,
 				projectIndexed(oi.desc, tg.row), tg.rid,
 				projectIndexed(oi.desc, newRow), newRid)
@@ -718,5 +757,5 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 			}
 		}
 	}
-	return &Result{Affected: len(targets), Message: fmt.Sprintf("%d row(s) updated", len(targets))}, nil
+	return &Result{Affected: len(targets), Message: fmt.Sprintf("%d row(s) updated", len(targets)), Plan: plan}, nil
 }

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/lock"
 	"repro/internal/mi"
+	"repro/internal/obs"
 	"repro/internal/sbspace"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -50,6 +52,9 @@ type Options struct {
 	// catalogued storage opens — blades register their opaque types here so
 	// tables with opaque columns can be re-opened from the catalog.
 	Types func(*types.Registry) error
+	// TraceWriter receives mi trace output (SET TRACE; Section 6.4). Nil
+	// discards traces.
+	TraceWriter io.Writer
 }
 
 // Engine is one database instance.
@@ -63,6 +68,15 @@ type Engine struct {
 	lm   *lock.Manager
 	log  *wal.Log
 	tmpd string // temp dir holding the WAL for memory engines
+
+	// obs is the engine-wide metrics registry; every subsystem counter
+	// (bufferpool.*, wal.*, lock.*, sbspace.*, am.*) lives here and SYSPROFILE
+	// serves it. amCounters maps purpose-function slot names to their
+	// registry counters; read-only after Open.
+	obs        *obs.Registry
+	amCounters map[string]*obs.Counter
+	bpObs      storage.ObsCounters
+	tracer     *mi.Tracer
 
 	mu          sync.Mutex
 	spaces      map[string]*sbspace.Space // by lower name
@@ -96,12 +110,19 @@ func Open(opts Options) (*Engine, error) {
 		clock:      opts.Clock,
 		reg:        types.NewRegistry(),
 		lm:         lock.New(),
+		obs:        obs.NewRegistry(),
 		spaces:     make(map[string]*sbspace.Space),
 		spacePools: make(map[uint32]*storage.BufferPool),
 		tables:     make(map[string]*heap.Table),
 		libs:       make(map[string]am.Library),
 		amCache:    make(map[string]*am.PurposeSet),
 	}
+	tw := opts.TraceWriter
+	if tw == nil {
+		tw = io.Discard
+	}
+	e.tracer = mi.NewTracer(tw)
+	e.registerCoreCounters()
 	if opts.Types != nil {
 		if err := opts.Types(e.reg); err != nil {
 			return nil, err
@@ -125,6 +146,7 @@ func Open(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.log.SetObs(e.obs.Counter("wal.appends"), e.obs.Counter("wal.flushes"), e.obs.Counter("wal.bytes"))
 	}
 	if err := e.openStorage(); err != nil {
 		return nil, err
@@ -142,6 +164,33 @@ func Open(opts Options) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// registerCoreCounters pre-registers every engine counter so SYSPROFILE
+// always shows the full set (zeros included, onstat-style), and wires the
+// subsystems that exist from construction. All buffer pools share one
+// engine-wide counter set; SYSPTPROF covers the per-partition split.
+func (e *Engine) registerCoreCounters() {
+	e.bpObs = storage.ObsCounters{
+		Fetches:   e.obs.Counter("bufferpool.fetches"),
+		Hits:      e.obs.Counter("bufferpool.hits"),
+		Reads:     e.obs.Counter("bufferpool.reads"),
+		Writes:    e.obs.Counter("bufferpool.writes"),
+		Evictions: e.obs.Counter("bufferpool.evictions"),
+	}
+	e.lm.SetObs(e.obs.Counter("lock.acquires"), e.obs.Counter("lock.waits"), e.obs.Counter("lock.deadlocks"))
+	for _, n := range []string{"wal.appends", "wal.flushes", "wal.bytes",
+		"sbspace.lo_creates", "sbspace.lo_opens", "sbspace.lo_closes", "sbspace.lo_drops"} {
+		e.obs.Counter(n)
+	}
+	e.amCounters = make(map[string]*obs.Counter, len(am.PurposeSlots))
+	for _, slot := range am.PurposeSlots {
+		e.amCounters[slot] = e.obs.Counter("am." + slot)
+	}
+}
+
+// Obs exposes the engine-wide metrics registry (SYSPROFILE's source;
+// benchmarks take Snapshot deltas across workload phases).
+func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // openStorage attaches pagers for every catalogued table and sbspace.
 func (e *Engine) openStorage() error {
@@ -170,6 +219,7 @@ func (e *Engine) newPool(name string, create bool) (*storage.BufferPool, error) 
 		pager = p
 	}
 	bp := storage.NewBufferPool(pager, e.opts.PoolPages)
+	bp.SetObs(e.bpObs)
 	if e.log != nil {
 		bp.FlushHook = func(storage.PageID, []byte) error { return e.log.Flush() }
 	}
@@ -212,6 +262,12 @@ func (e *Engine) attachSbspace(sp *catalog.Sbspace, create bool) error {
 		return err
 	}
 	s := sbspace.New(sp.ID, sp.Name, bp, e.lm)
+	s.SetObs(sbspace.ObsCounters{
+		Creates: e.obs.Counter("sbspace.lo_creates"),
+		Opens:   e.obs.Counter("sbspace.lo_opens"),
+		Closes:  e.obs.Counter("sbspace.lo_closes"),
+		Drops:   e.obs.Counter("sbspace.lo_drops"),
+	})
 	if e.log != nil {
 		s.SetJournal(engineJournal{e})
 	}
@@ -307,7 +363,7 @@ func (e *Engine) Space(name string) (*sbspace.Space, error) {
 	defer e.mu.Unlock()
 	s, ok := e.spaces[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("engine: no sbspace %q", name)
+		return nil, errf(CodeUndefinedObject, "no sbspace %q", name)
 	}
 	return s, nil
 }
@@ -318,7 +374,7 @@ func (e *Engine) Table(name string) (*heap.Table, error) {
 	defer e.mu.Unlock()
 	t, ok := e.tables[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("engine: no table %q", name)
+		return nil, errf(CodeUndefinedTable, "no table %q", name)
 	}
 	return t, nil
 }
@@ -338,11 +394,11 @@ func (e *Engine) resolveSymbol(fname string) (any, error) {
 	lib, ok := e.libs[libName]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("engine: library %q not loaded", libName)
+		return nil, errf(CodeUndefinedObject, "library %q not loaded", libName)
 	}
 	sym, ok := lib[symbol]
 	if !ok {
-		return nil, fmt.Errorf("engine: library %q has no symbol %q", libName, symbol)
+		return nil, errf(CodeUndefinedObject, "library %q has no symbol %q", libName, symbol)
 	}
 	return sym, nil
 }
@@ -395,6 +451,17 @@ func (e *Engine) traceCall(fn, index string) {
 	e.traceMu.Lock()
 	e.traceEvents = append(e.traceEvents, fmt.Sprintf("%s(%s)", fn, index))
 	e.traceMu.Unlock()
+}
+
+// amCall records one purpose-function dispatch three ways: the F6 call
+// trace, the engine-wide am.* counters, and the running statement's profile
+// slot counts. Every dispatch site funnels through here.
+func (s *Session) amCall(fn, index string) {
+	s.e.traceCall(fn, index)
+	if c, ok := s.e.amCounters[fn]; ok {
+		c.Inc()
+	}
+	s.ec.Slot(fn)
 }
 
 // engineJournal adapts the WAL to the heap/sbspace Journal interfaces.
@@ -466,13 +533,23 @@ type Session struct {
 
 	tx       uint64 // 0 = idle
 	explicit bool
+
+	// ec is the profile of the statement currently executing (nil between
+	// statements); ExecStmt installs it and hands the finished Profile to the
+	// Result.
+	ec *obs.ExecContext
 }
 
-// NewSession opens a session (default isolation: Committed Read).
+// NewSession opens a session (default isolation: Committed Read). The
+// session's mi context shares the engine tracer, so SET TRACE applies to
+// blade trace messages from any session.
 func (e *Engine) NewSession() *Session {
 	id := atomic.AddUint64(&e.nextSession, 1)
-	return &Session{e: e, id: id, ctx: mi.NewContext(id, nil), iso: lock.CommittedRead}
+	return &Session{e: e, id: id, ctx: mi.NewContext(id, e.tracer), iso: lock.CommittedRead}
 }
+
+// Tracer exposes the engine's mi tracer (SET TRACE's target).
+func (e *Engine) Tracer() *mi.Tracer { return e.tracer }
 
 // Context returns the session's DataBlade API context.
 func (s *Session) Context() *mi.Context { return s.ctx }
@@ -487,7 +564,7 @@ func (s *Session) InTx() bool { return s.tx != 0 && s.explicit }
 func (s *Session) beginTx(explicit bool) error {
 	if s.tx != 0 {
 		if explicit {
-			return fmt.Errorf("engine: transaction already open")
+			return errf(CodeActiveTx, "transaction already open")
 		}
 		return nil
 	}
@@ -504,7 +581,7 @@ func (s *Session) beginTx(explicit bool) error {
 // commitTx commits the current transaction.
 func (s *Session) commitTx() error {
 	if s.tx == 0 {
-		return fmt.Errorf("engine: no transaction to commit")
+		return errf(CodeNoActiveTx, "no transaction to commit")
 	}
 	if s.e.log != nil {
 		if _, err := s.e.log.Commit(s.tx); err != nil {
@@ -522,7 +599,7 @@ func (s *Session) commitTx() error {
 // the log.
 func (s *Session) rollbackTx() error {
 	if s.tx == 0 {
-		return fmt.Errorf("engine: no transaction to roll back")
+		return errf(CodeNoActiveTx, "no transaction to roll back")
 	}
 	var err error
 	if s.e.log != nil {

@@ -9,10 +9,17 @@ import (
 	"repro/internal/chronon"
 	"repro/internal/heap"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/sbspace"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
+
+// StmtStats is the per-statement execution profile: elapsed time, rows
+// scanned/returned, purpose-function call counts by slot, and the statement's
+// delta over the engine-wide subsystem counters. It replaces ad-hoc
+// BufferPool.Stats() bookkeeping in clients and benchmarks.
+type StmtStats = obs.Profile
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -20,6 +27,12 @@ type Result struct {
 	Rows     [][]types.Datum
 	Affected int
 	Message  string
+	// Stats profiles the statement's execution (nil only for
+	// transaction-control statements, which run no engine work).
+	Stats *StmtStats
+	// Plan is the access-path decision for planned statements (SELECT,
+	// DELETE, UPDATE, and EXPLAIN itself); nil otherwise.
+	Plan *Plan
 }
 
 // Exec parses and executes one SQL statement.
@@ -75,9 +88,29 @@ func (s *Session) ExecStmt(st sql.Statement) (*Result, error) {
 		case "REPEATABLE READ":
 			s.iso = lock.RepeatableRead
 		default:
-			return nil, fmt.Errorf("engine: unknown isolation level %q", t.Level)
+			return nil, errf(CodeInvalidParameter, "unknown isolation level %q", t.Level)
 		}
 		return &Result{Message: "isolation set to " + t.Level}, nil
+	case *sql.SetTrace:
+		if t.Level < 0 {
+			return nil, errf(CodeInvalidParameter, "trace level %d is negative", t.Level)
+		}
+		s.e.tracer.SetLevel(t.Class, t.Level)
+		return &Result{Message: fmt.Sprintf("trace class %q set to level %d", t.Class, t.Level)}, nil
+	}
+
+	// Profile the statement. The ExecContext opens before the (possibly
+	// automatic) transaction begins and finishes after it resolves, so
+	// transaction bookkeeping — wal.appends for BEGIN, wal.flushes for the
+	// auto-commit — lands in the statement that caused it.
+	ec := obs.NewExecContext(s.e.obs)
+	s.ec = ec
+	defer func() { s.ec = nil }()
+	attach := func(res *Result) *Result {
+		if res != nil {
+			res.Stats = ec.Finish()
+		}
+		return res
 	}
 
 	auto := s.tx == 0
@@ -91,13 +124,13 @@ func (s *Session) ExecStmt(st sql.Statement) (*Result, error) {
 	if auto {
 		if err != nil {
 			s.rollbackTx()
-			return res, err
+			return attach(res), err
 		}
 		if cerr := s.commitTx(); cerr != nil {
-			return res, cerr
+			return attach(res), cerr
 		}
 	}
-	return res, err
+	return attach(res), err
 }
 
 func (s *Session) run(st sql.Statement) (*Result, error) {
@@ -132,8 +165,10 @@ func (s *Session) run(st sql.Statement) (*Result, error) {
 		return s.updateStatistics(t)
 	case *sql.Load:
 		return s.load(t)
+	case *sql.Explain:
+		return s.explain(t)
 	}
-	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	return nil, errf(CodeFeature, "unsupported statement %T", st)
 }
 
 // DDL -------------------------------------------------------------------------
@@ -142,7 +177,7 @@ func (s *Session) createTable(t *sql.CreateTable) (*Result, error) {
 	tb := &catalog.Table{Name: t.Name, SpaceID: s.e.cat.AllocSpaceID()}
 	for _, c := range t.Cols {
 		if _, err := s.e.reg.TypeByName(c.TypeName); err != nil {
-			return nil, err
+			return nil, errf(CodeUndefinedObject, "%w", err)
 		}
 		tb.Columns = append(tb.Columns, catalog.Column{Name: c.Name, TypeName: c.TypeName})
 	}
@@ -236,9 +271,9 @@ func (s *Session) createSbspace(t *sql.CreateSbspace) (*Result, error) {
 
 func (s *Session) createIndex(t *sql.CreateIndex) (*Result, error) {
 	if t.AmName == "" {
-		return nil, fmt.Errorf("engine: only USING <access method> indexes are supported")
+		return nil, errf(CodeFeature, "only USING <access method> indexes are supported")
 	}
-	tb, err := s.e.cat.TableByName(t.Table)
+	tb, err := s.catTable(t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -282,9 +317,9 @@ func (s *Session) createIndex(t *sql.CreateIndex) (*Result, error) {
 	buildErr := table.Scan(func(rid heap.RowID, row []types.Datum) (bool, error) {
 		vals := projectIndexed(desc, row)
 		if ps.Insert == nil {
-			return false, fmt.Errorf("engine: access method %s cannot insert", t.AmName)
+			return false, errf(CodeFeature, "access method %s cannot insert", t.AmName)
 		}
-		s.e.traceCall("am_insert", desc.Name)
+		s.amCall("am_insert", desc.Name)
 		err := ps.Insert(s.ctx, desc, vals, rid)
 		s.ctx.EndFunction()
 		return err == nil, err
@@ -342,13 +377,13 @@ func (s *Session) checkIndex(t *sql.CheckIndex) (*Result, error) {
 		return nil, err
 	}
 	if ps.Check == nil {
-		return nil, fmt.Errorf("engine: access method %s has no am_check", ix.AmName)
+		return nil, errf(CodeFeature, "access method %s has no am_check", ix.AmName)
 	}
 	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
 		return nil, err
 	}
 	defer s.callIndexFn("am_close", ps.Close, desc)
-	s.e.traceCall("am_check", desc.Name)
+	s.amCall("am_check", desc.Name)
 	if err := ps.Check(s.ctx, desc); err != nil {
 		return nil, err
 	}
@@ -365,13 +400,13 @@ func (s *Session) updateStatistics(t *sql.UpdateStatistics) (*Result, error) {
 		return nil, err
 	}
 	if ps.Stats == nil {
-		return nil, fmt.Errorf("engine: access method %s has no am_stats", ix.AmName)
+		return nil, errf(CodeFeature, "access method %s has no am_stats", ix.AmName)
 	}
 	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
 		return nil, err
 	}
 	defer s.callIndexFn("am_close", ps.Close, desc)
-	s.e.traceCall("am_stats", desc.Name)
+	s.amCall("am_stats", desc.Name)
 	msg, err := ps.Stats(s.ctx, desc)
 	if err != nil {
 		return nil, err
@@ -428,7 +463,7 @@ func (s *Session) callIndexFn(name string, fn am.AmIndexFunc, desc *am.IndexDesc
 	if fn == nil {
 		return nil
 	}
-	s.e.traceCall(name, desc.Name)
+	s.amCall(name, desc.Name)
 	err := fn(s.ctx, desc)
 	s.ctx.EndFunction()
 	return err
@@ -477,7 +512,7 @@ func (v services) InvokeUDR(name string, args []types.Datum) (types.Datum, error
 	}
 	fn, ok := sym.(am.UDRFunc)
 	if !ok {
-		return nil, fmt.Errorf("engine: %s is not callable from SQL (%T)", name, sym)
+		return nil, errf(CodeDatatype, "%s is not callable from SQL (%T)", name, sym)
 	}
 	out, err := fn(v.s.ctx, args)
 	v.s.ctx.EndFunction()

@@ -1,11 +1,10 @@
 package engine
 
 import (
-	"fmt"
-
 	"repro/internal/am"
 	"repro/internal/catalog"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -36,10 +35,11 @@ type batchIterator interface {
 type heapBatchIter struct {
 	sc    *heap.Scanner
 	batch int
+	ec    *obs.ExecContext
 }
 
-func newHeapBatchIter(table *heap.Table, batch int) *heapBatchIter {
-	return &heapBatchIter{sc: table.NewScanner(), batch: batch}
+func newHeapBatchIter(table *heap.Table, batch int, ec *obs.ExecContext) *heapBatchIter {
+	return &heapBatchIter{sc: table.NewScanner(), batch: batch, ec: ec}
 }
 
 func (it *heapBatchIter) next() (*rowBatch, error) {
@@ -47,6 +47,7 @@ func (it *heapBatchIter) next() (*rowBatch, error) {
 	if err != nil || rb == nil {
 		return nil, err
 	}
+	it.ec.AddScanned(len(rb.Rows))
 	return &rowBatch{rids: rb.RowIDs, rows: rb.Rows}, nil
 }
 
@@ -74,9 +75,9 @@ func (s *Session) newIndexBatchIter(oi *openIndex, table *heap.Table, qual *am.Q
 	if batch < 1 {
 		batch = 1
 	}
-	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, BatchCap: batch}
+	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, BatchCap: batch, Obs: s.ec}
 	if oi.ps.BeginScan != nil {
-		s.e.traceCall("am_beginscan", oi.desc.Name)
+		s.amCall("am_beginscan", oi.desc.Name)
 		err := oi.ps.BeginScan(s.ctx, sd)
 		s.ctx.EndFunction()
 		if err != nil {
@@ -92,7 +93,7 @@ func (s *Session) newIndexBatchIter(oi *openIndex, table *heap.Table, qual *am.Q
 		// adapter fills the batch by repeated am_getnext calls, each traced
 		// individually so the legacy Figure 6(b) sequence stays observable.
 		it.fill = am.AdaptGetNext(oi.ps.GetNext,
-			func() { s.e.traceCall("am_getnext", oi.desc.Name) },
+			func() { s.amCall("am_getnext", oi.desc.Name) },
 			func() { s.ctx.EndFunction() })
 	}
 	return it, nil
@@ -106,7 +107,7 @@ func (it *indexBatchIter) next() (*rowBatch, error) {
 	var n int
 	var err error
 	if it.native {
-		it.s.e.traceCall("am_getmulti", it.oi.desc.Name)
+		it.s.amCall("am_getmulti", it.oi.desc.Name)
 		n, err = am.FillFrom(it.s.ctx, sd, it.fill)
 		it.s.ctx.EndFunction()
 	} else {
@@ -129,7 +130,7 @@ func (it *indexBatchIter) next() (*rowBatch, error) {
 	for i := 0; i < n; i++ {
 		row, err := it.table.Get(rb.rids[i])
 		if err != nil {
-			return nil, fmt.Errorf("engine: index %s returned dangling %v: %w", it.oi.desc.Name, rb.rids[i], err)
+			return nil, errf(CodeInternal, "index %s returned dangling %v: %w", it.oi.desc.Name, rb.rids[i], err)
 		}
 		rb.rows[i] = row
 	}
@@ -142,7 +143,7 @@ func (it *indexBatchIter) close() {
 	}
 	it.closed = true
 	if it.oi.ps.EndScan != nil {
-		it.s.e.traceCall("am_endscan", it.oi.desc.Name)
+		it.s.amCall("am_endscan", it.oi.desc.Name)
 		it.oi.ps.EndScan(it.s.ctx, it.sd)
 		it.s.ctx.EndFunction()
 	}
@@ -203,7 +204,7 @@ func (s *Session) openBatchScan(tb *catalog.Table, table *heap.Table, schema []t
 		}
 		src = it
 	} else {
-		src = newHeapBatchIter(table, batch)
+		src = newHeapBatchIter(table, batch, s.ec)
 	}
 	if where == nil {
 		return src, nil

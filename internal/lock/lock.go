@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Mode is a lock mode.
@@ -113,6 +115,15 @@ type Manager struct {
 	locks map[Resource]*lockState
 	held  map[TxID]map[Resource]Mode
 	waits map[TxID]Resource // which resource each blocked tx waits for
+
+	obsAcquires, obsWaits, obsDeadlocks *obs.Counter
+}
+
+// SetObs attaches observability counters: granted lock acquisitions, blocked
+// waits, and deadlock victims. Nil counters are no-ops; call before
+// concurrent use.
+func (m *Manager) SetObs(acquires, waits, deadlocks *obs.Counter) {
+	m.obsAcquires, m.obsWaits, m.obsDeadlocks = acquires, waits, deadlocks
 }
 
 // New returns an empty lock manager.
@@ -145,6 +156,7 @@ func (m *Manager) Acquire(tx TxID, res Resource, mode Mode) error {
 		// Upgrade S → X: legal once no other transaction holds the lock.
 		if m.wouldDeadlock(tx, res) {
 			m.mu.Unlock()
+			m.obsDeadlocks.Inc()
 			return ErrDeadlock
 		}
 		req := &request{tx: tx, mode: Exclusive, ready: make(chan error, 1)}
@@ -153,10 +165,12 @@ func (m *Manager) Acquire(tx TxID, res Resource, mode Mode) error {
 		if req.granted {
 			m.recordLocked(tx, res, Exclusive)
 			m.mu.Unlock()
+			m.obsAcquires.Inc()
 			return nil
 		}
 		m.waits[tx] = res
 		m.mu.Unlock()
+		m.obsWaits.Inc()
 		err := <-req.ready
 		m.mu.Lock()
 		delete(m.waits, tx)
@@ -164,6 +178,11 @@ func (m *Manager) Acquire(tx TxID, res Resource, mode Mode) error {
 			m.recordLocked(tx, res, Exclusive)
 		}
 		m.mu.Unlock()
+		if err == nil {
+			m.obsAcquires.Inc()
+		} else if err == ErrDeadlock {
+			m.obsDeadlocks.Inc()
+		}
 		return err
 	}
 
@@ -173,16 +192,19 @@ func (m *Manager) Acquire(tx TxID, res Resource, mode Mode) error {
 	if req.granted {
 		m.recordLocked(tx, res, mode)
 		m.mu.Unlock()
+		m.obsAcquires.Inc()
 		return nil
 	}
 	if m.wouldDeadlock(tx, res) {
 		// Remove our request and fail.
 		m.removeRequestLocked(res, req)
 		m.mu.Unlock()
+		m.obsDeadlocks.Inc()
 		return ErrDeadlock
 	}
 	m.waits[tx] = res
 	m.mu.Unlock()
+	m.obsWaits.Inc()
 	err := <-req.ready
 	m.mu.Lock()
 	delete(m.waits, tx)
@@ -190,6 +212,11 @@ func (m *Manager) Acquire(tx TxID, res Resource, mode Mode) error {
 		m.recordLocked(tx, res, mode)
 	}
 	m.mu.Unlock()
+	if err == nil {
+		m.obsAcquires.Inc()
+	} else if err == ErrDeadlock {
+		m.obsDeadlocks.Inc()
+	}
 	return err
 }
 
@@ -219,6 +246,7 @@ func (m *Manager) TryAcquire(tx TxID, res Resource, mode Mode) bool {
 			}
 		}
 		m.recordLocked(tx, res, Exclusive)
+		m.obsAcquires.Inc()
 		return true
 	}
 	for _, r := range st.queue {
@@ -232,6 +260,7 @@ func (m *Manager) TryAcquire(tx TxID, res Resource, mode Mode) bool {
 	req := &request{tx: tx, mode: mode, granted: true}
 	st.queue = append(st.queue, req)
 	m.recordLocked(tx, res, mode)
+	m.obsAcquires.Inc()
 	return true
 }
 

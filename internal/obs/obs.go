@@ -1,0 +1,331 @@
+// Package obs is the engine's observability layer: a lock-free metrics
+// registry (atomic counters and latency histograms keyed by subsystem —
+// bufferpool, wal, lock, sbspace, am purpose-function dispatch), lightweight
+// trace spans, and the per-statement ExecContext the engine threads through
+// planning, access-method dispatch, and storage so every statement
+// accumulates its own profile.
+//
+// The paper's testbed leaned on Informix's onstat counters and §6.4 trace
+// machinery to attribute costs; this package is that measurement surface for
+// the reproduction. Counters are engine-global (SYSPROFILE reads them
+// directly); the ExecContext additionally keeps session-local tallies
+// (purpose-slot dispatch counts, rows scanned/returned) that are exact even
+// under concurrency, plus a registry delta that attributes global counter
+// movement to the statement (exact whenever one session runs at a time — the
+// benchmark and CLI case).
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic monotonic counter. The nil *Counter is a valid
+// no-op receiver, so instrumented components may increment unconditionally
+// without checking whether observability was wired.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 for the nil counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBuckets is the number of log2(µs) latency buckets.
+const histBuckets = 32
+
+// Histogram is a lock-free latency histogram: log2 buckets over
+// microseconds, plus total count and sum.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. The nil histogram is a no-op.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+	b := bits.Len64(uint64(d / time.Microsecond))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// Count returns how many durations were observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Bucket returns the count of observations in the i-th log2(µs) bucket.
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil || i < 0 || i >= histBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Span is an in-flight timed section feeding a histogram on End.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// End closes the span, records its duration, and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.Observe(d)
+	return d
+}
+
+// Registry holds the engine's named counters and histograms. Reads and
+// get-or-create lookups are lock-free (sync.Map); hot paths cache the
+// *Counter once and touch only its atomic afterwards.
+type Registry struct {
+	counters sync.Map // string -> *Counter
+	hists    sync.Map // string -> *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns (creating on first use) the named counter. A nil registry
+// returns the nil counter, which silently discards increments.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// StartSpan opens a timed section recorded into the named histogram.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{h: r.Histogram(name), start: time.Now()}
+}
+
+// Metric is one named counter value in a snapshot.
+type Metric struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot is a point-in-time view of a registry, sorted by name.
+// Histograms appear as two derived metrics: "<name>.n" (observations) and
+// "<name>.us" (total microseconds).
+type Snapshot []Metric
+
+// Snapshot captures all counters and histograms.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	var out Snapshot
+	r.counters.Range(func(k, v any) bool {
+		out = append(out, Metric{Name: k.(string), Value: v.(*Counter).Load()})
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		out = append(out,
+			Metric{Name: k.(string) + ".n", Value: h.Count()},
+			Metric{Name: k.(string) + ".us", Value: uint64(h.Sum() / time.Microsecond)})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named metric's value (0 when absent).
+func (s Snapshot) Get(name string) uint64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Name >= name })
+	if i < len(s) && s[i].Name == name {
+		return s[i].Value
+	}
+	return 0
+}
+
+// Delta returns s - base, keeping only metrics that moved. Metrics absent
+// from base count from zero (they were created during the window).
+func (s Snapshot) Delta(base Snapshot) Snapshot {
+	var out Snapshot
+	for _, m := range s {
+		if d := m.Value - base.Get(m.Name); d != 0 {
+			out = append(out, Metric{Name: m.Name, Value: d})
+		}
+	}
+	return out
+}
+
+// ExecContext accumulates one statement's execution profile. The engine
+// creates one per statement and threads it down to the access-method layer
+// (via ScanDesc) and the executor. It is owned by a single session goroutine;
+// the nil *ExecContext is a valid no-op receiver so instrumented code paths
+// never need to check whether a statement is being profiled.
+type ExecContext struct {
+	reg   *Registry
+	start time.Time
+	base  Snapshot
+
+	slots        map[string]uint64 // purpose-function dispatch counts
+	rowsScanned  uint64
+	rowsReturned uint64
+}
+
+// NewExecContext opens a statement profile against the registry.
+func NewExecContext(reg *Registry) *ExecContext {
+	return &ExecContext{
+		reg:   reg,
+		start: time.Now(),
+		base:  reg.Snapshot(),
+		slots: make(map[string]uint64),
+	}
+}
+
+// Slot counts one purpose-function dispatch (e.g. "am_getmulti").
+func (ec *ExecContext) Slot(name string) {
+	if ec == nil {
+		return
+	}
+	ec.slots[name]++
+}
+
+// AddScanned counts rows pulled from the access method or heap source,
+// before the WHERE re-check.
+func (ec *ExecContext) AddScanned(n int) {
+	if ec == nil || n <= 0 {
+		return
+	}
+	ec.rowsScanned += uint64(n)
+}
+
+// AddReturned counts rows surviving filtering, i.e. delivered to the client
+// (or consumed by the mutating statement).
+func (ec *ExecContext) AddReturned(n int) {
+	if ec == nil || n <= 0 {
+		return
+	}
+	ec.rowsReturned += uint64(n)
+}
+
+// Finish closes the profile: elapsed time, the session-local tallies, and
+// the registry delta over the statement's window.
+func (ec *ExecContext) Finish() *Profile {
+	if ec == nil {
+		return nil
+	}
+	return &Profile{
+		Elapsed:      time.Since(ec.start),
+		RowsScanned:  ec.rowsScanned,
+		RowsReturned: ec.rowsReturned,
+		AmCalls:      ec.slots,
+		Counters:     ec.reg.Snapshot().Delta(ec.base),
+	}
+}
+
+// Profile is one statement's finished execution profile.
+type Profile struct {
+	Elapsed      time.Duration
+	RowsScanned  uint64 // rows pulled from the source, pre-filter
+	RowsReturned uint64 // rows surviving the WHERE re-check
+	// AmCalls counts purpose-function dispatches by slot name, session-local
+	// and therefore exact under concurrency.
+	AmCalls map[string]uint64
+	// Counters is the engine-wide registry delta over the statement window
+	// (exact when one session runs at a time).
+	Counters Snapshot
+}
+
+// Calls returns the dispatch count of one purpose slot.
+func (p *Profile) Calls(slot string) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.AmCalls[slot]
+}
+
+// Counter returns one registry-delta value by name.
+func (p *Profile) Counter(name string) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.Counters.Get(name)
+}
+
+// String renders a compact single-line profile (CLI/benchrunner output).
+func (p *Profile) String() string {
+	if p == nil {
+		return "<no profile>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%v scanned=%d returned=%d", p.Elapsed.Round(time.Microsecond), p.RowsScanned, p.RowsReturned)
+	slots := make([]string, 0, len(p.AmCalls))
+	for s := range p.AmCalls {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+	for _, s := range slots {
+		fmt.Fprintf(&b, " %s=%d", s, p.AmCalls[s])
+	}
+	for _, m := range p.Counters {
+		if strings.HasPrefix(m.Name, "am.") {
+			continue // already reported per-slot above
+		}
+		fmt.Fprintf(&b, " %s=%d", m.Name, m.Value)
+	}
+	return b.String()
+}

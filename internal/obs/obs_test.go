@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	var ec *ExecContext
+	ec.Slot("am_getnext")
+	ec.AddScanned(3)
+	ec.AddReturned(3)
+	if ec.Finish() != nil {
+		t.Fatal("nil ExecContext must finish to nil")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("x") != nil || r.Snapshot() != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	var p *Profile
+	if p.Calls("am_getnext") != 0 || p.Counter("x") != 0 {
+		t.Fatal("nil profile must read 0")
+	}
+}
+
+func TestRegistryCountersAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("bufferpool.fetches")
+	b := r.Counter("wal.appends")
+	if r.Counter("bufferpool.fetches") != a {
+		t.Fatal("Counter must be get-or-create")
+	}
+	a.Add(3)
+	b.Inc()
+	snap := r.Snapshot()
+	if snap.Get("bufferpool.fetches") != 3 || snap.Get("wal.appends") != 1 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if snap.Get("missing") != 0 {
+		t.Fatal("missing metric must read 0")
+	}
+	// Snapshots are sorted by name.
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+	a.Add(2)
+	d := r.Snapshot().Delta(snap)
+	if len(d) != 1 || d[0].Name != "bufferpool.fetches" || d[0].Value != 2 {
+		t.Fatalf("delta: %v", d)
+	}
+}
+
+func TestRegistryConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("lock.acquires")
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("lock.acquires").Load(); got != workers*per {
+		t.Fatalf("lost updates: %d", got)
+	}
+}
+
+func TestSpanFeedsHistogram(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("engine.exec_statement")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span duration: %v", d)
+	}
+	h := r.Histogram("engine.exec_statement")
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("histogram: n=%d sum=%v", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if snap.Get("engine.exec_statement.n") != 1 {
+		t.Fatalf("derived metrics: %v", snap)
+	}
+}
+
+func TestExecContextProfile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bufferpool.fetches").Add(10) // pre-existing traffic
+	ec := NewExecContext(r)
+	r.Counter("bufferpool.fetches").Add(7)
+	ec.Slot("am_beginscan")
+	ec.Slot("am_getmulti")
+	ec.Slot("am_getmulti")
+	ec.AddScanned(90)
+	ec.AddReturned(88)
+	p := ec.Finish()
+	if p.Calls("am_getmulti") != 2 || p.Calls("am_beginscan") != 1 {
+		t.Fatalf("slots: %v", p.AmCalls)
+	}
+	if p.RowsScanned != 90 || p.RowsReturned != 88 {
+		t.Fatalf("rows: %d/%d", p.RowsScanned, p.RowsReturned)
+	}
+	if p.Counter("bufferpool.fetches") != 7 {
+		t.Fatalf("delta must exclude pre-statement traffic: %v", p.Counters)
+	}
+	s := p.String()
+	for _, want := range []string{"scanned=90", "returned=88", "am_getmulti=2", "bufferpool.fetches=7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}

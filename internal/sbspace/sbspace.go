@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -128,7 +129,18 @@ type Space struct {
 	locks   *lock.Manager
 	journal Journal
 	stats   Stats
+	obs     ObsCounters
 }
+
+// ObsCounters mirrors the space's large-object operation counters into an
+// obs registry. Nil fields are no-ops; increments happen at exactly the
+// sites that feed Stats, so the two views stay bit-identical.
+type ObsCounters struct {
+	Creates, Opens, Closes, Drops *obs.Counter
+}
+
+// SetObs attaches mirror counters (call before concurrent use).
+func (s *Space) SetObs(o ObsCounters) { s.obs = o }
 
 // New creates a space over the buffer pool with the given lock manager.
 func New(id uint32, name string, bp *storage.BufferPool, locks *lock.Manager) *Space {
@@ -197,6 +209,7 @@ func (s *Space) Create(tx lock.TxID) (Handle, error) {
 	s.mu.Lock()
 	s.stats.Creates++
 	s.mu.Unlock()
+	s.obs.Creates.Inc()
 	return h, nil
 }
 
@@ -237,6 +250,7 @@ func (s *Space) Open(tx lock.TxID, h Handle, mode OpenMode, iso lock.IsolationLe
 	s.mu.Lock()
 	s.stats.Opens++
 	s.mu.Unlock()
+	s.obs.Opens.Inc()
 	return &LargeObject{space: s, h: h, tx: tx, mode: mode, iso: iso, locked: locked}, nil
 }
 
@@ -280,6 +294,7 @@ func (s *Space) Drop(tx lock.TxID, h Handle) error {
 	s.mu.Lock()
 	s.stats.Drops++
 	s.mu.Unlock()
+	s.obs.Drops.Inc()
 	return nil
 }
 
@@ -314,6 +329,7 @@ func (lo *LargeObject) Close() error {
 	s.mu.Lock()
 	s.stats.Closes++
 	s.mu.Unlock()
+	s.obs.Closes.Inc()
 	if lo.locked && lo.mode == ReadOnly && lo.iso < lock.RepeatableRead {
 		s.locks.Release(lo.tx, lo.h.resource())
 	}

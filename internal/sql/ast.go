@@ -119,6 +119,16 @@ type Rollback struct{}
 // SetIsolation is SET ISOLATION TO level.
 type SetIsolation struct{ Level string }
 
+// SetTrace is SET TRACE class [TO] level — the mi trace machinery's SQL
+// switch (Section 6.4: tracing is enabled selectively by class and level).
+type SetTrace struct {
+	Class string
+	Level int
+}
+
+// Explain is EXPLAIN stmt: plan the inner statement without executing it.
+type Explain struct{ Stmt Statement }
+
 // CheckIndex is CHECK INDEX name (drives am_check).
 type CheckIndex struct{ Name string }
 
@@ -150,6 +160,8 @@ func (*Begin) stmt()              {}
 func (*Commit) stmt()             {}
 func (*Rollback) stmt()           {}
 func (*SetIsolation) stmt()       {}
+func (*SetTrace) stmt()           {}
+func (*Explain) stmt()            {}
 func (*CheckIndex) stmt()         {}
 func (*UpdateStatistics) stmt()   {}
 func (*Load) stmt()               {}

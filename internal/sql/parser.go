@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -124,7 +125,28 @@ func (p *parser) statement() (Statement, error) {
 	case p.acceptKw("ROLLBACK"):
 		p.acceptKw("WORK")
 		return &Rollback{}, nil
+	case p.acceptKw("EXPLAIN"):
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner}, nil
 	case p.acceptKw("SET"):
+		if p.acceptKw("TRACE") {
+			class, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			p.acceptKw("TO")
+			if p.peek().Kind != TNumber {
+				return nil, p.errf("expected trace level")
+			}
+			lvl, err := strconv.Atoi(p.next().Text)
+			if err != nil {
+				return nil, p.errf("bad trace level")
+			}
+			return &SetTrace{Class: class, Level: lvl}, nil
+		}
 		if err := p.expectKw("ISOLATION"); err != nil {
 			return nil, err
 		}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Stats counts page-level I/O through a buffer pool. All benchmark numbers
@@ -68,12 +70,24 @@ type BufferPool struct {
 	shards []*shard
 
 	reads, writes, hits, fetches, evictions atomic.Uint64
+	obs                                     ObsCounters
 
 	// FlushHook, when set, is called with (id, data) before a dirty page is
 	// written back; the WAL installs itself here to honour write-ahead
 	// ordering. Set it before the pool sees concurrent use.
 	FlushHook func(id PageID, data []byte) error
 }
+
+// ObsCounters mirrors the pool's I/O counters into an obs registry, so an
+// engine aggregates all of its pools under one set of metrics. Nil fields
+// are no-ops (obs.Counter is nil-safe); the mirrored counts are incremented
+// at exactly the sites that feed Stats, so the two views stay bit-identical.
+type ObsCounters struct {
+	Fetches, Hits, Reads, Writes, Evictions *obs.Counter
+}
+
+// SetObs attaches mirror counters. Call before the pool sees concurrent use.
+func (bp *BufferPool) SetObs(o ObsCounters) { bp.obs = o }
 
 // defaultShards picks the shard count for a capacity: pools below 128
 // frames stay single-shard (exact global-LRU semantics, which the
@@ -185,9 +199,11 @@ func (bp *BufferPool) Allocate() (*Frame, error) {
 func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	sh := bp.shardFor(id)
 	bp.fetches.Add(1)
+	bp.obs.Fetches.Inc()
 	sh.mu.Lock()
 	if f, ok := sh.frames[id]; ok {
 		bp.hits.Add(1)
+		bp.obs.Hits.Inc()
 		if f.pins == 0 && f.elem != nil {
 			sh.lru.Remove(f.elem)
 			f.elem = nil
@@ -201,6 +217,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 		return nil, err
 	}
 	bp.reads.Add(1)
+	bp.obs.Reads.Inc()
 	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1}
 	sh.frames[id] = f
 	// Read inside the shard lock: releasing it here would race with a
@@ -250,6 +267,7 @@ func (bp *BufferPool) ensureRoom(sh *shard) error {
 		}
 		delete(sh.frames, victim.ID)
 		bp.evictions.Add(1)
+		bp.obs.Evictions.Inc()
 	}
 	return nil
 }
@@ -263,6 +281,7 @@ func (bp *BufferPool) flushLocked(f *Frame) error {
 		}
 	}
 	bp.writes.Add(1)
+	bp.obs.Writes.Inc()
 	if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
 		return err
 	}

@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // LSN is a log sequence number: the byte offset of a record in the log.
@@ -87,6 +89,14 @@ type Log struct {
 	size    int64
 	flushed int64
 	lastLSN map[uint64]LSN // per-transaction undo chain heads
+
+	obsAppends, obsFlushes, obsBytes *obs.Counter
+}
+
+// SetObs attaches observability counters for appended records, fsyncs, and
+// appended bytes. Nil counters are no-ops; call before concurrent use.
+func (l *Log) SetObs(appends, flushes, bytes *obs.Counter) {
+	l.obsAppends, l.obsFlushes, l.obsBytes = appends, flushes, bytes
 }
 
 const logHeaderSize = 8 // magic
@@ -178,6 +188,8 @@ func (l *Log) Append(r Record) (LSN, error) {
 		return NilLSN, err
 	}
 	l.size += int64(len(buf))
+	l.obsAppends.Inc()
+	l.obsBytes.Add(uint64(len(buf)))
 	if r.Type == RecCommit || r.Type == RecAbort {
 		delete(l.lastLSN, r.Tx)
 	} else if r.Type != RecCheckpoint {
@@ -235,6 +247,7 @@ func (l *Log) Flush() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.obsFlushes.Inc()
 	l.flushed = l.size
 	return nil
 }

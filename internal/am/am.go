@@ -293,6 +293,17 @@ type (
 	AmStatsFunc func(ctx *mi.Context, id *IndexDesc) (string, error)
 	// AmCheckFunc verifies index consistency.
 	AmCheckFunc func(ctx *mi.Context, id *IndexDesc) error
+	// AmParallelScanFunc is the optional intra-query parallelism slot. The
+	// server calls it right after am_beginscan, offering a degree of
+	// parallelism; an access method that accepts returns one ScanDesc per
+	// partition (sharing sd.Index/sd.Qual/sd.Obs, each with its own
+	// UserData cursor), which independent workers then drive through the
+	// normal am_getmulti protocol. Returning nil, or fewer than two
+	// partitions, declines the offer and the server runs the scan serially.
+	// Partition cursors must be safe to drive from distinct goroutines; the
+	// server guarantees am_rescan/am_endscan are only called on the parent
+	// descriptor after every worker has stopped.
+	AmParallelScanFunc func(ctx *mi.Context, sd *ScanDesc, degree int) ([]*ScanDesc, error)
 )
 
 // PurposeSet is a resolved access method: each slot holds the purpose
@@ -314,6 +325,9 @@ type PurposeSet struct {
 	ScanCost  AmScanCostFunc
 	Stats     AmStatsFunc
 	Check     AmCheckFunc
+	// ParallelScan is the optional am_parallelscan slot (nil = the access
+	// method never accepts a parallel offer).
+	ParallelScan AmParallelScanFunc
 }
 
 // PurposeSlots are the am_* parameter names accepted by CREATE SECONDARY
@@ -322,7 +336,7 @@ var PurposeSlots = []string{
 	"am_create", "am_drop", "am_open", "am_close",
 	"am_beginscan", "am_endscan", "am_rescan", "am_getnext", "am_getmulti",
 	"am_insert", "am_delete", "am_update",
-	"am_scancost", "am_stats", "am_check",
+	"am_scancost", "am_stats", "am_check", "am_parallelscan",
 }
 
 // Bind assembles a PurposeSet from slot-name → symbol assignments, looking
@@ -371,6 +385,8 @@ func Bind(slots map[string]string, resolve func(fname string) (any, error)) (*Pu
 			ps.Stats, ok = sym.(AmStatsFunc)
 		case "am_check":
 			ps.Check, ok = sym.(AmCheckFunc)
+		case "am_parallelscan":
+			ps.ParallelScan, ok = sym.(AmParallelScanFunc)
 		default:
 			return nil, fmt.Errorf("am: unknown purpose slot %q", slot)
 		}

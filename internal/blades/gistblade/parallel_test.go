@@ -1,0 +1,49 @@
+package gistblade
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelOfferFallsBackToSerial: gist_am binds no am_parallelscan, so
+// under SET PARALLEL the planner must keep the scan serial (no workers= line
+// in EXPLAIN) and the answers must be unchanged — the degraded path of the
+// VII negotiation, not an error.
+func TestParallelOfferFallsBackToSerial(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		old := runtime.GOMAXPROCS(4) // SET PARALLEL caps the degree at GOMAXPROCS
+		defer runtime.GOMAXPROCS(old)
+	}
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE Spans (N INTEGER, R Interval_t)`)
+	exec(t, s, `CREATE INDEX span_ix ON Spans(R gist_interval_ops) USING gist_am IN spc`)
+	for i := 0; i < 200; i++ {
+		lo := (i * 13) % 2000
+		exec(t, s, fmt.Sprintf(`INSERT INTO Spans VALUES (%d, '%d..%d')`, i, lo, lo+25))
+	}
+
+	q := `SELECT N FROM Spans WHERE IntvOverlaps(R, '100..400')`
+	serial := rowInts(t, exec(t, s, q))
+	if len(serial) == 0 {
+		t.Fatal("no overlaps found")
+	}
+
+	exec(t, s, `SET PARALLEL 4`)
+	defer exec(t, s, `SET PARALLEL 0`)
+	ex := exec(t, s, fmt.Sprintf(`EXPLAIN %s`, q))
+	if strings.Contains(ex.Plan.String(), "workers=") {
+		t.Fatalf("gist_am binds no am_parallelscan; plan must stay serial:\n%s", ex.Plan)
+	}
+	if ex.Plan.Workers > 1 {
+		t.Fatalf("Plan.Workers = %d for an AM without am_parallelscan", ex.Plan.Workers)
+	}
+	par := rowInts(t, exec(t, s, q))
+	if strings.Join(serial, ",") != strings.Join(par, ",") {
+		t.Fatalf("fallback changed the answer: %v vs %v", serial, par)
+	}
+}

@@ -144,6 +144,7 @@ CREATE FUNCTION grt_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/g
 CREATE FUNCTION grt_scancost(pointer) RETURNING float EXTERNAL NAME 'usr/functions/grtree.bld(grt_scancost)' LANGUAGE c;
 CREATE FUNCTION grt_stats(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_stats)' LANGUAGE c;
 CREATE FUNCTION grt_check(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_check)' LANGUAGE c;
+CREATE FUNCTION grt_parallelscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_parallelscan)' LANGUAGE c;
 
 -- strategy functions on the opaque type (Section 5.2)
 CREATE FUNCTION Overlaps(GRT_TimeExtent_t, GRT_TimeExtent_t) RETURNING boolean EXTERNAL NAME 'usr/functions/grtree.bld(Overlaps)' LANGUAGE c;
@@ -173,6 +174,7 @@ CREATE SECONDARY ACCESS_METHOD grtree_am (
 	am_scancost = grt_scancost,
 	am_stats = grt_stats,
 	am_check = grt_check,
+	am_parallelscan = grt_parallelscan,
 	am_sptype = 'S'
 );
 
@@ -221,7 +223,8 @@ type openState struct {
 	cfg        config
 	ct         chronon.Instant
 	cursor     *grtree.Cursor
-	rightAfter bool // grt_open invoked right after grt_create no-ops
+	matcher    grtree.Matcher // the current scan's compiled qualification
+	rightAfter bool           // grt_open invoked right after grt_create no-ops
 }
 
 // config decodes the index parameters.

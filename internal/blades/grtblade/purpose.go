@@ -20,21 +20,22 @@ import (
 // it under LibraryPath; the registration SQL binds the symbols to SQL names.
 func Library(e *engine.Engine) am.Library {
 	return am.Library{
-		"grt_create":    am.AmIndexFunc(grtCreate),
-		"grt_drop":      am.AmIndexFunc(grtDrop),
-		"grt_open":      am.AmIndexFunc(grtOpen),
-		"grt_close":     am.AmIndexFunc(grtClose),
-		"grt_beginscan": am.AmScanFunc(grtBeginScan),
-		"grt_endscan":   am.AmScanFunc(grtEndScan),
-		"grt_rescan":    am.AmScanFunc(grtRescan),
-		"grt_getnext":   am.AmGetNextFunc(grtGetNext),
-		"grt_getmulti":  am.AmGetMultiFunc(grtGetMulti),
-		"grt_insert":    am.AmMutateFunc(grtInsert),
-		"grt_delete":    am.AmMutateFunc(grtDelete),
-		"grt_update":    am.AmUpdateFunc(grtUpdate),
-		"grt_scancost":  am.AmScanCostFunc(grtScanCost),
-		"grt_stats":     am.AmStatsFunc(grtStats),
-		"grt_check":     am.AmCheckFunc(grtCheck),
+		"grt_create":       am.AmIndexFunc(grtCreate),
+		"grt_drop":         am.AmIndexFunc(grtDrop),
+		"grt_open":         am.AmIndexFunc(grtOpen),
+		"grt_close":        am.AmIndexFunc(grtClose),
+		"grt_beginscan":    am.AmScanFunc(grtBeginScan),
+		"grt_endscan":      am.AmScanFunc(grtEndScan),
+		"grt_rescan":       am.AmScanFunc(grtRescan),
+		"grt_getnext":      am.AmGetNextFunc(grtGetNext),
+		"grt_getmulti":     am.AmGetMultiFunc(grtGetMulti),
+		"grt_insert":       am.AmMutateFunc(grtInsert),
+		"grt_delete":       am.AmMutateFunc(grtDelete),
+		"grt_update":       am.AmUpdateFunc(grtUpdate),
+		"grt_scancost":     am.AmScanCostFunc(grtScanCost),
+		"grt_stats":        am.AmStatsFunc(grtStats),
+		"grt_check":        am.AmCheckFunc(grtCheck),
+		"grt_parallelscan": am.AmParallelScanFunc(grtParallelScan),
 
 		"Overlaps":    strategyUDR(e, grtree.OpOverlaps),
 		"Equal":       strategyUDR(e, grtree.OpEqual),
@@ -270,6 +271,7 @@ func grtBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
 	}
 	cur := st.tree.SearchMatcher(matcher, st.ct)
 	st.cursor = cur
+	st.matcher = matcher
 	sd.UserData = cur
 	// Negotiate the am_getmulti batch capacity: the server proposes one
 	// before am_beginscan; the blade caps it at its own maximum (a larger
@@ -322,20 +324,58 @@ func (m *dynamicMatcher) LeafMatch(r temporal.Region, ct chronon.Instant) bool {
 	return ok
 }
 
+// grtParallelScan implements am_parallelscan: offered a degree, it asks the
+// tree for a root fan-out partitioning and, when the tree accepts, returns
+// one partition ScanDesc per worker, each carrying its own PartCursor. The
+// parent descriptor's UserData is replaced by the ParallelScan itself so
+// grt_rescan can re-seed the shared work queue and grt_endscan tears the
+// whole partitioning down.
+func grtParallelScan(ctx *mi.Context, sd *am.ScanDesc, degree int) ([]*am.ScanDesc, error) {
+	st, err := state(sd.Index)
+	if err != nil {
+		return nil, err
+	}
+	if st.matcher == nil {
+		return nil, fmt.Errorf("grtblade: parallelscan without beginscan")
+	}
+	ps, err := st.tree.ParallelScan(st.matcher, st.ct, degree)
+	if err != nil || ps == nil {
+		return nil, err
+	}
+	workers := ps.Parts()
+	if workers > degree {
+		workers = degree
+	}
+	sd.UserData = ps
+	out := make([]*am.ScanDesc, workers)
+	for i := range out {
+		out[i] = &am.ScanDesc{
+			Index: sd.Index, Qual: sd.Qual,
+			BatchCap: sd.BatchCap, Obs: sd.Obs,
+			UserData: ps.Cursor(),
+		}
+	}
+	ctx.Tracer().Tracef("grt", 2, "grt_parallelscan %s: %d workers over %d subtrees", sd.Index.Name, workers, ps.Parts())
+	return out, nil
+}
+
 // grtRescan implements am_rescan: reset the cursor, and discard any
 // batched-but-undelivered entries — after a restart (Section 5.5's
 // restart-on-condense) buffered rowids may no longer qualify, and the reset
-// cursor will produce the qualifying ones again.
+// cursor will produce the qualifying ones again. Under a parallel scan the
+// descriptor holds the partitioning, and rescan re-seeds its work queue.
 func grtRescan(ctx *mi.Context, sd *am.ScanDesc) error {
-	cur, ok := sd.UserData.(*grtree.Cursor)
-	if !ok {
-		return fmt.Errorf("grtblade: rescan without a cursor")
-	}
 	if sd.Batch != nil {
 		sd.Batch.Reset()
 	}
-	cur.Reset()
-	return nil
+	switch cur := sd.UserData.(type) {
+	case *grtree.Cursor:
+		cur.Reset()
+		return nil
+	case *grtree.ParallelScan:
+		return cur.Reset()
+	}
+	return fmt.Errorf("grtblade: rescan without a cursor")
 }
 
 // grtGetNext implements am_getnext (Table 5, grt_getnext): fetch the next
@@ -366,7 +406,11 @@ func grtGetNext(ctx *mi.Context, sd *am.ScanDesc) (heap.RowID, []types.Datum, bo
 // into the server's batch buffer. Returning fewer entries than the batch
 // holds signals exhaustion.
 func grtGetMulti(ctx *mi.Context, sd *am.ScanDesc) (int, error) {
-	cur, ok := sd.UserData.(*grtree.Cursor)
+	// The descriptor holds either the serial cursor or, on a parallel
+	// partition descriptor, a PartCursor — both drain through NextBatch.
+	cur, ok := sd.UserData.(interface {
+		NextBatch([]grtree.Entry) (int, error)
+	})
 	if !ok {
 		return 0, fmt.Errorf("grtblade: getmulti without beginscan")
 	}
@@ -392,10 +436,12 @@ func grtGetMulti(ctx *mi.Context, sd *am.ScanDesc) (int, error) {
 	return b.N, nil
 }
 
-// grtEndScan implements am_endscan: delete the cursor.
+// grtEndScan implements am_endscan: delete the cursor (and, under a
+// parallel scan, the whole partitioning with it).
 func grtEndScan(ctx *mi.Context, sd *am.ScanDesc) error {
 	if st, err := state(sd.Index); err == nil {
 		st.cursor = nil
+		st.matcher = nil
 	}
 	sd.UserData = nil
 	return nil

@@ -112,3 +112,117 @@ func TestRescanDiscardsPartialBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestRescanResetsParallelScan extends the rescan coverage to the parallel
+// protocol: grt_rescan on the parent descriptor of an accepted
+// am_parallelscan offer must re-seed the shared subtree work-queue and
+// rewind every partition cursor, after which the partitions collectively
+// produce exactly the serial result set — including entries some worker had
+// already delivered before the rescan.
+func TestRescanResetsParallelScan(t *testing.T) {
+	cfg := grtree.DefaultConfig()
+	cfg.MaxEntries = 4
+	tr, err := grtree.Create(nodestore.NewMem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := chronon.Instant(500)
+	ext := func(i int64) temporal.Extent {
+		return temporal.Extent{
+			TTBegin: chronon.Instant(i), TTEnd: chronon.UC,
+			VTBegin: chronon.Instant(i), VTEnd: chronon.NOW,
+		}
+	}
+	const total = 120
+	for i := int64(1); i <= total; i++ {
+		if err := tr.Insert(ext(i), grtree.Payload(i), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred := grtree.Predicate{Op: grtree.OpOverlaps, Query: ext(1)}
+
+	// Serial baseline.
+	want := map[heap.RowID]bool{}
+	cur, err := tr.Search(pred, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]grtree.Entry, 16)
+	for {
+		n, err := cur.NextBatch(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			want[heap.RowID(buf[i].Ref)] = true
+		}
+		if n < len(buf) {
+			break
+		}
+	}
+	if len(want) != total {
+		t.Fatalf("serial baseline: %d entries, want %d", len(want), total)
+	}
+
+	ps, err := tr.ParallelScan(pred, ct, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps == nil {
+		t.Fatal("ParallelScan declined; the test needs root fan-out")
+	}
+	parent := &am.ScanDesc{
+		Index: &am.IndexDesc{
+			Name:     "par_ix",
+			ColTypes: []types.Type{{Kind: types.KOpaque, OpaqueID: 1}},
+		},
+		UserData: ps,
+	}
+	newPart := func() *am.ScanDesc {
+		return &am.ScanDesc{
+			Index:    parent.Index,
+			BatchCap: 8,
+			Batch:    am.NewScanBatch(8),
+			UserData: ps.Cursor(),
+		}
+	}
+	parts := []*am.ScanDesc{newPart(), newPart(), newPart(), newPart()}
+
+	// Partially drain one partition, then rescan the parent: the queue is
+	// re-seeded and the partial delivery forgotten.
+	if _, err := grtGetMulti(nil, parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := grtRescan(nil, parent); err != nil {
+		t.Fatal(err)
+	}
+
+	// A full drain of all partitions matches the serial baseline exactly.
+	seen := map[heap.RowID]int{}
+	for _, sd := range parts {
+		sd.Batch.Reset()
+		for {
+			n, err := grtGetMulti(nil, sd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				seen[sd.Batch.RowIDs[i]]++
+			}
+			if n < sd.Batch.Cap() {
+				break
+			}
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("parallel drain after rescan: %d distinct entries, want %d", len(seen), len(want))
+	}
+	for rid, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("entry %v returned %d times", rid, cnt)
+		}
+		if !want[rid] {
+			t.Fatalf("unexpected entry %v", rid)
+		}
+	}
+}

@@ -65,6 +65,7 @@ CREATE FUNCTION rst_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/r
 CREATE FUNCTION rst_scancost(pointer) RETURNING float EXTERNAL NAME 'usr/functions/rstree.bld(rst_scancost)' LANGUAGE c;
 CREATE FUNCTION rst_stats(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_stats)' LANGUAGE c;
 CREATE FUNCTION rst_check(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_check)' LANGUAGE c;
+CREATE FUNCTION rst_parallelscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_parallelscan)' LANGUAGE c;
 
 CREATE SECONDARY ACCESS_METHOD rstree_am (
 	am_create = rst_create,
@@ -82,6 +83,7 @@ CREATE SECONDARY ACCESS_METHOD rstree_am (
 	am_scancost = rst_scancost,
 	am_stats = rst_stats,
 	am_check = rst_check,
+	am_parallelscan = rst_parallelscan,
 	am_sptype = 'S'
 );
 
@@ -193,6 +195,7 @@ type openState struct {
 	ct    chronon.Instant
 	// scan state
 	cursor *rstar.Cursor
+	qr     rstar.Rect // the current scan's conservative query rectangle
 	// dynamic strategy dispatch (Section 5.2's extensible alternative):
 	// exact filtering happens through registered UDRs invoked per candidate.
 	qual   *am.Qual
@@ -212,21 +215,22 @@ func state(id *am.IndexDesc) (*openState, error) {
 // Library returns the blade's symbol table.
 func Library() am.Library {
 	return am.Library{
-		"rst_create":    am.AmIndexFunc(rstCreate),
-		"rst_drop":      am.AmIndexFunc(rstDrop),
-		"rst_open":      am.AmIndexFunc(rstOpen),
-		"rst_close":     am.AmIndexFunc(rstClose),
-		"rst_beginscan": am.AmScanFunc(rstBeginScan),
-		"rst_endscan":   am.AmScanFunc(rstEndScan),
-		"rst_rescan":    am.AmScanFunc(rstRescan),
-		"rst_getnext":   am.AmGetNextFunc(rstGetNext),
-		"rst_getmulti":  am.AmGetMultiFunc(rstGetMulti),
-		"rst_insert":    am.AmMutateFunc(rstInsert),
-		"rst_delete":    am.AmMutateFunc(rstDelete),
-		"rst_update":    am.AmUpdateFunc(rstUpdate),
-		"rst_scancost":  am.AmScanCostFunc(rstScanCost),
-		"rst_stats":     am.AmStatsFunc(rstStats),
-		"rst_check":     am.AmCheckFunc(rstCheck),
+		"rst_create":       am.AmIndexFunc(rstCreate),
+		"rst_drop":         am.AmIndexFunc(rstDrop),
+		"rst_open":         am.AmIndexFunc(rstOpen),
+		"rst_close":        am.AmIndexFunc(rstClose),
+		"rst_beginscan":    am.AmScanFunc(rstBeginScan),
+		"rst_endscan":      am.AmScanFunc(rstEndScan),
+		"rst_rescan":       am.AmScanFunc(rstRescan),
+		"rst_getnext":      am.AmGetNextFunc(rstGetNext),
+		"rst_getmulti":     am.AmGetMultiFunc(rstGetMulti),
+		"rst_insert":       am.AmMutateFunc(rstInsert),
+		"rst_delete":       am.AmMutateFunc(rstDelete),
+		"rst_update":       am.AmUpdateFunc(rstUpdate),
+		"rst_scancost":     am.AmScanCostFunc(rstScanCost),
+		"rst_stats":        am.AmStatsFunc(rstStats),
+		"rst_check":        am.AmCheckFunc(rstCheck),
+		"rst_parallelscan": am.AmParallelScanFunc(rstParallelScan),
 	}
 }
 
@@ -398,21 +402,55 @@ func rstBeginScan(ctx *mi.Context, sd *am.ScanDesc) error {
 	}
 	st.cursor = cur
 	st.qual = sd.Qual
+	st.qr = qr
 	sd.UserData = cur
 	ctx.Tracer().Tracef("rst", 2, "rst_beginscan %s: qual %s", sd.Index.Name, sd.Qual)
 	return nil
 }
 
-func rstRescan(ctx *mi.Context, sd *am.ScanDesc) error {
-	cur, ok := sd.UserData.(*rstar.Cursor)
-	if !ok {
-		return fmt.Errorf("rstblade: rescan without a cursor")
+// rstParallelScan implements am_parallelscan: a root fan-out partitioning
+// over the conservative query rectangle, mirroring grt_parallelscan.
+func rstParallelScan(ctx *mi.Context, sd *am.ScanDesc, degree int) ([]*am.ScanDesc, error) {
+	st, err := state(sd.Index)
+	if err != nil {
+		return nil, err
 	}
+	if st.qual == nil {
+		return nil, fmt.Errorf("rstblade: parallelscan without beginscan")
+	}
+	ps, err := st.tree.ParallelScan(rstar.OpOverlaps, st.qr, degree)
+	if err != nil || ps == nil {
+		return nil, err
+	}
+	workers := ps.Parts()
+	if workers > degree {
+		workers = degree
+	}
+	sd.UserData = ps
+	out := make([]*am.ScanDesc, workers)
+	for i := range out {
+		out[i] = &am.ScanDesc{
+			Index: sd.Index, Qual: sd.Qual,
+			BatchCap: sd.BatchCap, Obs: sd.Obs,
+			UserData: ps.Cursor(),
+		}
+	}
+	ctx.Tracer().Tracef("rst", 2, "rst_parallelscan %s: %d workers over %d subtrees", sd.Index.Name, workers, ps.Parts())
+	return out, nil
+}
+
+func rstRescan(ctx *mi.Context, sd *am.ScanDesc) error {
 	if sd.Batch != nil {
 		sd.Batch.Reset()
 	}
-	cur.Reset()
-	return nil
+	switch cur := sd.UserData.(type) {
+	case *rstar.Cursor:
+		cur.Reset()
+		return nil
+	case *rstar.ParallelScan:
+		return cur.Reset()
+	}
+	return fmt.Errorf("rstblade: rescan without a cursor")
 }
 
 func rstEndScan(ctx *mi.Context, sd *am.ScanDesc) error {
@@ -447,7 +485,11 @@ func rstGetNext(ctx *mi.Context, sd *am.ScanDesc) (heap.RowID, []types.Datum, bo
 // engine re-evaluating the WHERE clause per fetched row, as in
 // rstGetNext).
 func rstGetMulti(ctx *mi.Context, sd *am.ScanDesc) (int, error) {
-	cur, ok := sd.UserData.(*rstar.Cursor)
+	// Serial cursor or a parallel partition's PartCursor — both drain
+	// through NextBatch.
+	cur, ok := sd.UserData.(interface {
+		NextBatch([]rstar.Entry) (int, error)
+	})
 	if !ok {
 		return 0, fmt.Errorf("rstblade: getmulti without beginscan")
 	}

@@ -1,0 +1,64 @@
+package rstblade
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// forceParallel raises GOMAXPROCS for the test: SET PARALLEL caps the degree
+// at GOMAXPROCS and CI containers may expose a single CPU; the protocol's
+// correctness does not depend on real hardware parallelism.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= 4 {
+		return
+	}
+	old := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestParallelScanAgreesWithSerial: the R*-baseline's rst_parallelscan (root
+// fan-out over the conservative query rectangle) combined with the engine's
+// worker pool returns exactly the serial result set, with the residual
+// filter still fixing the substitution's overfetch and the rows-scanned
+// profile in agreement.
+func TestParallelScanAgreesWithSerial(t *testing.T) {
+	forceParallel(t)
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX rst_ix ON T(X rst_opclass) USING rstree_am (nowsub='max', maxentries=8) IN spc`)
+	for i := 0; i < 300; i++ {
+		m, y := i%12+1, 90+(i/12)%7 // 1/90 .. 12/96, all before the 9/97 current time
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES ('emp%d', '%d/%d, UC, %d/%d, NOW')`, i, m, y, m, y))
+	}
+	exec(t, s, `CHECK INDEX rst_ix`)
+
+	queries := []string{
+		`SELECT Name FROM T WHERE Overlaps(X, '1/90, UC, 1/90, NOW')`,
+		`SELECT Name FROM T WHERE Overlaps(X, '6/93, 7/95, 6/93, 7/95')`,
+		`SELECT Name FROM T WHERE ContainedIn(X, '1/92, UC, 1/92, NOW')`,
+	}
+	for i, q := range queries {
+		serial := exec(t, s, q)
+		exec(t, s, `SET PARALLEL 4`)
+		par := exec(t, s, q)
+		exec(t, s, `SET PARALLEL 0`)
+		if names(serial) != names(par) {
+			t.Fatalf("query %d: serial %q vs parallel %q", i, names(serial), names(par))
+		}
+		if serial.Stats.RowsScanned != par.Stats.RowsScanned {
+			t.Fatalf("query %d rows scanned: serial=%d parallel=%d", i, serial.Stats.RowsScanned, par.Stats.RowsScanned)
+		}
+	}
+
+	exec(t, s, `SET PARALLEL 4`)
+	ex := exec(t, s, `EXPLAIN SELECT Name FROM T WHERE Overlaps(X, '1/90, UC, 1/90, NOW')`)
+	if !strings.Contains(ex.Plan.String(), "workers=") {
+		t.Fatalf("EXPLAIN missing workers=N:\n%s", ex.Plan)
+	}
+}

@@ -407,7 +407,7 @@ func (s *Session) constantFor(ex sql.Expr, target types.Type) types.Datum {
 func (s *Session) scanRows(tb *catalog.Table, table *heap.Table, schema []types.Type, where sql.Expr,
 	path accessPath, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
 
-	it, err := s.openBatchScan(tb, table, schema, where, path)
+	it, err := s.openBatchScan(tb, table, schema, where, path, 1)
 	if err != nil {
 		return err
 	}
@@ -523,6 +523,7 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 		return nil, err
 	}
 	plan.Operation = "SELECT"
+	plan.Workers = s.scanDegree(path, plan, table)
 
 	// Projection.
 	countStar := len(t.Items) == 1 && t.Items[0].CountStar
@@ -553,7 +554,7 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 	// individually only in the client-facing Result.
 	res := &Result{Columns: cols, Plan: plan}
 	count := 0
-	it, err := s.openBatchScan(tb, table, schema, t.Where, path)
+	it, err := s.openBatchScan(tb, table, schema, t.Where, path, plan.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -76,6 +77,7 @@ type Engine struct {
 	obs        *obs.Registry
 	amCounters map[string]*obs.Counter
 	bpObs      storage.ObsCounters
+	parObs     parallelObs
 	tracer     *mi.Tracer
 
 	mu          sync.Mutex
@@ -185,6 +187,14 @@ func (e *Engine) registerCoreCounters() {
 	e.amCounters = make(map[string]*obs.Counter, len(am.PurposeSlots))
 	for _, slot := range am.PurposeSlots {
 		e.amCounters[slot] = e.obs.Counter("am." + slot)
+	}
+	e.parObs = parallelObs{
+		Scans:      e.obs.Counter("parallel.scans"),
+		Workers:    e.obs.Counter("parallel.workers"),
+		Batches:    e.obs.Counter("parallel.batches"),
+		Rows:       e.obs.Counter("parallel.rows"),
+		BusyNs:     e.obs.Counter("parallel.busy_ns"),
+		SendWaitNs: e.obs.Counter("parallel.send_wait_ns"),
 	}
 }
 
@@ -533,6 +543,12 @@ type Session struct {
 
 	tx       uint64 // 0 = idle
 	explicit bool
+
+	// parallel is the SET PARALLEL degree offered to SELECT scans (0/1 =
+	// serial); stmtCtx carries the caller's cancellation (ExecCtx) into the
+	// statement currently executing.
+	parallel int
+	stmtCtx  context.Context
 
 	// ec is the profile of the statement currently executing (nil between
 	// statements); ExecStmt installs it and hands the finished Profile to the

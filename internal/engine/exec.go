@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/am"
@@ -37,11 +39,17 @@ type Result struct {
 
 // Exec parses and executes one SQL statement.
 func (s *Session) Exec(src string) (*Result, error) {
+	return s.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx is Exec with a cancellation context: parallel scan workers watch
+// ctx, and the statement fails with ctx.Err() once it is cancelled.
+func (s *Session) ExecCtx(ctx context.Context, src string) (*Result, error) {
 	st, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(st)
+	return s.ExecStmtCtx(ctx, st)
 }
 
 // ExecScript executes a semicolon-separated script (registration scripts,
@@ -63,6 +71,16 @@ func (s *Session) ExecScript(src string) (*Result, error) {
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(st sql.Statement) (*Result, error) {
+	return s.ExecStmtCtx(context.Background(), st)
+}
+
+// ExecStmtCtx executes a parsed statement under a cancellation context.
+func (s *Session) ExecStmtCtx(ctx context.Context, st sql.Statement) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.stmtCtx = ctx
+	defer func() { s.stmtCtx = nil }()
 	switch t := st.(type) {
 	case *sql.Begin:
 		if err := s.beginTx(true); err != nil {
@@ -97,6 +115,16 @@ func (s *Session) ExecStmt(st sql.Statement) (*Result, error) {
 		}
 		s.e.tracer.SetLevel(t.Class, t.Level)
 		return &Result{Message: fmt.Sprintf("trace class %q set to level %d", t.Class, t.Level)}, nil
+	case *sql.SetParallel:
+		deg := t.Degree
+		if max := runtime.GOMAXPROCS(0); deg > max {
+			deg = max // never offer more workers than the host can run
+		}
+		s.parallel = deg
+		if deg < 2 {
+			return &Result{Message: "parallel scans disabled"}, nil
+		}
+		return &Result{Message: fmt.Sprintf("parallel degree set to %d", deg)}, nil
 	}
 
 	// Profile the statement. The ExecContext opens before the (possibly

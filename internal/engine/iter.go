@@ -84,6 +84,13 @@ func (s *Session) newIndexBatchIter(oi *openIndex, table *heap.Table, qual *am.Q
 			return nil, err
 		}
 	}
+	return s.wrapIndexIter(oi, table, sd), nil
+}
+
+// wrapIndexIter builds the serial iterator around a scan descriptor whose
+// am_beginscan has already run (the normal path, and the fallback when
+// am_parallelscan declines the degree offer).
+func (s *Session) wrapIndexIter(oi *openIndex, table *heap.Table, sd *am.ScanDesc) *indexBatchIter {
 	it := &indexBatchIter{s: s, oi: oi, table: table, sd: sd}
 	if oi.ps.GetMulti != nil {
 		it.native = true
@@ -96,7 +103,7 @@ func (s *Session) newIndexBatchIter(oi *openIndex, table *heap.Table, qual *am.Q
 			func() { s.amCall("am_getnext", oi.desc.Name) },
 			func() { s.ctx.EndFunction() })
 	}
-	return it, nil
+	return it
 }
 
 func (it *indexBatchIter) next() (*rowBatch, error) {
@@ -142,10 +149,16 @@ func (it *indexBatchIter) close() {
 		return
 	}
 	it.closed = true
-	if it.oi.ps.EndScan != nil {
-		it.s.amCall("am_endscan", it.oi.desc.Name)
-		it.oi.ps.EndScan(it.s.ctx, it.sd)
-		it.s.ctx.EndFunction()
+	it.s.endScan(it.oi, it.sd)
+}
+
+// endScan runs am_endscan on a descriptor (serial iterators and the parent
+// descriptor of a parallel scan after its workers have exited).
+func (s *Session) endScan(oi *openIndex, sd *am.ScanDesc) {
+	if oi.ps.EndScan != nil {
+		s.amCall("am_endscan", oi.desc.Name)
+		oi.ps.EndScan(s.ctx, sd)
+		s.ctx.EndFunction()
 	}
 }
 
@@ -192,17 +205,27 @@ func (it *filterBatchIter) next() (*rowBatch, error) {
 func (it *filterBatchIter) close() { it.src.close() }
 
 // openBatchScan assembles the pipeline for a planned access path: source
-// (virtual index or heap sequential scan) plus the WHERE re-filter.
+// (virtual index or heap sequential scan, fanned out to workers when the
+// statement was planned with a parallel degree > 1) plus the WHERE
+// re-filter.
 func (s *Session) openBatchScan(tb *catalog.Table, table *heap.Table, schema []types.Type,
-	where sql.Expr, path accessPath) (batchIterator, error) {
+	where sql.Expr, path accessPath, workers int) (batchIterator, error) {
 	batch := s.e.opts.ScanBatchSize
 	var src batchIterator
 	if path.index != nil {
-		it, err := s.newIndexBatchIter(path.index, table, path.qual, batch)
+		var it batchIterator
+		var err error
+		if workers > 1 {
+			it, err = s.newParallelIndexIter(path.index, table, path.qual, batch, workers)
+		} else {
+			it, err = s.newIndexBatchIter(path.index, table, path.qual, batch)
+		}
 		if err != nil {
 			return nil, err
 		}
 		src = it
+	} else if workers > 1 {
+		src = s.newParallelHeapIter(table, batch, workers)
 	} else {
 		src = newHeapBatchIter(table, batch, s.ec)
 	}

@@ -27,6 +27,11 @@ type Plan struct {
 	BatchCap int
 	// HasFilter reports whether a WHERE clause is re-checked per row.
 	HasFilter bool
+	// Workers is the degree of parallelism the executor will offer the scan
+	// (SET PARALLEL capped by GOMAXPROCS and the access path's support);
+	// <= 1 means a serial scan. The access method may still decline or
+	// reduce the offer at am_parallelscan time.
+	Workers int
 	// Choices are the candidate indexes considered (Section 4: a strategy
 	// function over an indexed column makes the optimizer consider the
 	// index; am_scancost arbitrates between applicable ones).
@@ -61,6 +66,9 @@ func (p *Plan) Lines() []string {
 	ch := p.Chosen()
 	if ch == nil {
 		out = append(out, fmt.Sprintf("  -> sequential heap scan (cost %.2f: heap pages)", p.SeqCost))
+		if p.Workers > 1 {
+			out = append(out, fmt.Sprintf("       parallel:    workers=%d (page-range partitions)", p.Workers))
+		}
 		if p.HasFilter {
 			out = append(out, "       filter:      WHERE re-checked per row")
 		}
@@ -80,6 +88,9 @@ func (p *Plan) Lines() []string {
 		out = append(out, fmt.Sprintf("       batch:       %d rows per am_getmulti", p.BatchCap))
 	} else {
 		out = append(out, "       batch:       row-at-a-time (am_getnext protocol)")
+	}
+	if p.Workers > 1 {
+		out = append(out, fmt.Sprintf("       parallel:    workers=%d (am_parallelscan offer)", p.Workers))
 	}
 	if p.HasFilter {
 		out = append(out, "       filter:      WHERE re-checked per row")
@@ -157,6 +168,9 @@ func (s *Session) explain(t *sql.Explain) (*Result, error) {
 	plan.Operation = op
 	if op == "DELETE" && path.index != nil {
 		plan.BatchCap = 1 // the interleaved DELETE stays row-at-a-time (Section 5.5)
+	}
+	if op == "SELECT" {
+		plan.Workers = s.scanDegree(path, plan, hp)
 	}
 	res := &Result{Columns: []string{"QUERY PLAN"}, Plan: plan}
 	for _, ln := range plan.Lines() {

@@ -278,6 +278,25 @@ func TestP6Runs(t *testing.T) {
 	}
 }
 
+// TestP8Runs smoke-tests the parallel-scan sweep at a tiny scale: every
+// degree must produce the same count (RunP8 fails internally on drift) and
+// the serial row anchors the speedup column at 1.0.
+func TestP8Runs(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunP8(&buf, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Workers != 1 || rows[0].Speedup != 1.0 {
+		t.Fatalf("P8 rows: %+v", rows)
+	}
+	for _, r := range rows[1:] {
+		if r.Utilization <= 0 {
+			t.Errorf("workers=%d: no busy time recorded (utilization %v)", r.Workers, r.Utilization)
+		}
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Run(&buf, "../..", true, "ZZ"); err == nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/blades/grtblade"
@@ -442,4 +443,98 @@ func RunP6(w io.Writer) error {
 	fmt.Fprintln(w, "  per-transaction: both statements agree (stable reads);")
 	fmt.Fprintln(w, "  per-statement:   the second statement sees the grown stair.")
 	return nil
+}
+
+// P8Row records one degree of the intra-query parallel-scan sweep.
+type P8Row struct {
+	Workers  int
+	PerQuery time.Duration
+	RowsPerS float64
+	Speedup  float64 // vs the workers=1 row
+	// Utilization is the fraction of worker wall-time spent producing
+	// batches (parallel.busy_ns / (workers * elapsed)); the rest is
+	// scheduling and send-side backpressure.
+	Utilization float64
+}
+
+// RunP8 measures intra-query parallel scans: one broad timeslice COUNT(*)
+// over a GR-tree index, swept over SET PARALLEL 1/2/4/8. The degree offered
+// to am_parallelscan is capped at GOMAXPROCS, so the sweep temporarily
+// raises it; on a host with a single schedulable CPU the workers interleave
+// and the numbers measure the pool's overhead rather than speedup (the
+// worker-utilization column makes this visible).
+func RunP8(w io.Writer, tuples, queries int) ([]P8Row, error) {
+	degrees := []int{1, 2, 4, 8}
+	if cur := runtime.GOMAXPROCS(0); cur < degrees[len(degrees)-1] {
+		old := runtime.GOMAXPROCS(degrees[len(degrees)-1])
+		defer runtime.GOMAXPROCS(old)
+	}
+	clock := chronon.NewVirtualClock(chronon.MustParse("9/97"))
+	e, err := engine.Open(engine.Options{Clock: clock, NoWAL: true})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	if err := grtblade.Register(e); err != nil {
+		return nil, err
+	}
+	s := e.NewSession()
+	defer s.Close()
+	if _, err := s.ExecScript(`CREATE SBSPACE spc;
+		CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t);
+		CREATE INDEX ix ON T(X) USING grtree_am (maxentries=16) IN spc`); err != nil {
+		return nil, err
+	}
+	for i := 0; i < tuples; i++ {
+		m, y := i%12+1, 90+(i/12)%7 // 1/90 .. 12/96, before the 9/97 current time
+		if _, err := s.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%d/%d, UC, %d/%d, NOW')`,
+			i, m, y, m, y)); err != nil {
+			return nil, err
+		}
+	}
+	q := `SELECT COUNT(*) FROM T WHERE Overlaps(X, '1/90, UC, 1/90, NOW')`
+	busy := e.Obs().Counter("parallel.busy_ns")
+
+	fmt.Fprintf(w, "P8: intra-query parallel scan (tuples=%d, %d queries per degree, GOMAXPROCS=%d, NumCPU=%d)\n",
+		tuples, queries, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	var rows []P8Row
+	var want any
+	var base time.Duration
+	for _, deg := range degrees {
+		if _, err := s.Exec(fmt.Sprintf(`SET PARALLEL %d`, deg)); err != nil {
+			return nil, err
+		}
+		busy0 := busy.Load()
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			res, err := s.Exec(q)
+			if err != nil {
+				return nil, err
+			}
+			if want == nil {
+				want = res.Rows[0][0]
+			} else if res.Rows[0][0] != want {
+				return nil, fmt.Errorf("P8: count drifted at workers=%d: %v != %v", deg, res.Rows[0][0], want)
+			}
+		}
+		elapsed := time.Since(start)
+		per := elapsed / time.Duration(queries)
+		if deg == 1 {
+			base = per
+		}
+		row := P8Row{
+			Workers:  deg,
+			PerQuery: per,
+			RowsPerS: float64(want.(int64)) * float64(queries) / elapsed.Seconds(),
+			Speedup:  float64(base) / float64(per),
+		}
+		if deg > 1 {
+			row.Utilization = float64(busy.Load()-busy0) / (float64(deg) * float64(elapsed.Nanoseconds()))
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  workers=%d %12v/query %12.0f rows/s  speedup %.2fx  utilization %.2f\n",
+			row.Workers, row.PerQuery, row.RowsPerS, row.Speedup, row.Utilization)
+	}
+	fmt.Fprintln(w, "  (speedup is bounded by schedulable CPUs; utilization near 1/workers means the host serialized the pool)")
+	return rows, nil
 }

@@ -63,6 +63,10 @@ func All(root string, quick bool) []Runner {
 			return err
 		}},
 		{"P6", "Current-time policy demonstration", RunP6},
+		{"P8", "Intra-query parallel scan sweep", func(w io.Writer) error {
+			_, err := RunP8(w, scale(4000, 800), scale(20, 5))
+			return err
+		}},
 	}
 }
 

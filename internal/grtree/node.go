@@ -127,8 +127,11 @@ func decodeNode(id nodestore.NodeID, buf []byte) (*node, error) {
 }
 
 func (t *Tree) readNode(id nodestore.NodeID) (*node, error) {
+	t.latches.RLock(id)
 	buf := make([]byte, nodestore.NodeSize)
-	if err := t.store.Read(id, buf); err != nil {
+	err := t.store.Read(id, buf)
+	t.latches.RUnlock(id)
+	if err != nil {
 		return nil, err
 	}
 	return decodeNode(id, buf)
@@ -137,7 +140,10 @@ func (t *Tree) readNode(id nodestore.NodeID) (*node, error) {
 func (t *Tree) writeNode(n *node) error {
 	buf := make([]byte, nodestore.NodeSize)
 	n.encode(buf)
-	return t.store.Write(n.id, buf)
+	t.latches.Lock(n.id)
+	err := t.store.Write(n.id, buf)
+	t.latches.Unlock(n.id)
+	return err
 }
 
 // regions returns the entries' regions (for bounding computations).

@@ -82,16 +82,19 @@ func (c *Config) normalise() {
 	}
 }
 
-// Tree is a GR-tree over a node store. It is not safe for concurrent use;
-// the engine serialises access through the sbspace large-object locks
-// (Section 5.3), exactly as the paper's DataBlade had to.
+// Tree is a GR-tree over a node store. Mutating methods are not safe for
+// concurrent use; the engine serialises access through the sbspace
+// large-object locks (Section 5.3), exactly as the paper's DataBlade had to.
+// Read-only traversal is additionally protected by a per-node latch table so
+// a parallel scan's workers may descend concurrently (ParallelScan).
 type Tree struct {
-	store  nodestore.Store
-	cfg    Config
-	root   nodestore.NodeID
-	height int // number of levels; a lone leaf root has height 1
-	size   int // live leaf entries
-	epoch  uint64
+	store   nodestore.Store
+	cfg     Config
+	latches *nodestore.LatchTable
+	root    nodestore.NodeID
+	height  int // number of levels; a lone leaf root has height 1
+	size    int // live leaf entries
+	epoch   uint64
 }
 
 const metaMagic = 0x47525452 // "GRTR"
@@ -99,7 +102,7 @@ const metaMagic = 0x47525452 // "GRTR"
 // Create initialises a new, empty GR-tree in the store.
 func Create(store nodestore.Store, cfg Config) (*Tree, error) {
 	cfg.normalise()
-	t := &Tree{store: store, cfg: cfg, height: 1}
+	t := &Tree{store: store, cfg: cfg, latches: nodestore.NewLatchTable(), height: 1}
 	rootID, err := store.Alloc()
 	if err != nil {
 		return nil, err
@@ -124,7 +127,7 @@ func Open(store nodestore.Store, cfg Config) (*Tree, error) {
 	if len(meta) < 32 || binary.BigEndian.Uint32(meta[0:4]) != metaMagic {
 		return nil, fmt.Errorf("grtree: store holds no GR-tree")
 	}
-	t := &Tree{store: store, cfg: cfg}
+	t := &Tree{store: store, cfg: cfg, latches: nodestore.NewLatchTable()}
 	t.root = nodestore.NodeID(binary.BigEndian.Uint64(meta[8:16]))
 	t.height = int(binary.BigEndian.Uint64(meta[16:24]))
 	t.size = int(binary.BigEndian.Uint64(meta[24:32]))

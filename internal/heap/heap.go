@@ -299,6 +299,21 @@ func (t *Table) NewScanner() *Scanner {
 	return &Scanner{t: t, next: 2, end: storage.PageID(t.bp.Pager().NumPages())}
 }
 
+// NewRangeScanner starts a sequential scan over the half-open data-page
+// range [start, end) — the partition unit of a parallel seqscan. Page ids
+// below the first data page (2) are clamped; end is capped at the current
+// page count. Distinct range scanners touch disjoint pages, so they are safe
+// to drive from distinct goroutines (the buffer pool is already sharded).
+func (t *Table) NewRangeScanner(start, end storage.PageID) *Scanner {
+	if start < 2 {
+		start = 2
+	}
+	if max := storage.PageID(t.bp.Pager().NumPages()); end > max {
+		end = max
+	}
+	return &Scanner{t: t, next: start, end: end}
+}
+
 // NextBatch returns up to maxRows tuples in storage order, or nil when the
 // scan is exhausted. A short batch does not imply exhaustion.
 func (sc *Scanner) NextBatch(maxRows int) (*RowBatch, error) {

@@ -2,6 +2,7 @@ package nodestore
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/lock"
 	"repro/internal/sbspace"
@@ -48,8 +49,12 @@ const (
 	dirOff       = groupSizeOff + 8
 )
 
-// LOStore is a node store backed by sbspace large objects.
+// LOStore is a node store backed by sbspace large objects. All operations
+// are serialised on an internal mutex: parallel scan workers read nodes
+// concurrently, and both the one-slot group-LO cache and the stats tallies
+// are shared state a per-node latch cannot protect.
 type LOStore struct {
+	mu        sync.Mutex
 	space     *sbspace.Space
 	tx        lock.TxID
 	iso       lock.IsolationLevel
@@ -141,6 +146,8 @@ func (s *LOStore) Handle() sbspace.Handle { return s.handle }
 // Close closes the anchor large object (grt_close step 2) and any cached
 // group object.
 func (s *LOStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.dropCache()
 	return s.anchor.Close()
 }
@@ -172,6 +179,8 @@ func (s *LOStore) openGroup(group int, mode sbspace.OpenMode) (*sbspace.LargeObj
 
 // Drop drops every large object used by the index (grt_drop step 2).
 func (s *LOStore) Drop() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.dropCache()
 	for _, h := range s.dir {
 		if h != sbspace.NilHandle {
@@ -205,6 +214,8 @@ func (s *LOStore) persistHeader() error {
 
 // Alloc implements Store.
 func (s *LOStore) Alloc() (NodeID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.NodeAllocs++
 	if s.freeHead != NilNode {
 		id := s.freeHead
@@ -255,18 +266,24 @@ func (s *LOStore) Alloc() (NodeID, error) {
 
 // Read implements Store.
 func (s *LOStore) Read(id NodeID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.NodeReads++
 	return s.readRaw(id, buf[:NodeSize], 0)
 }
 
 // Write implements Store.
 func (s *LOStore) Write(id NodeID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.NodeWrites++
 	return s.writeRaw(id, buf[:NodeSize])
 }
 
 // Free implements Store.
 func (s *LOStore) Free(id NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.NodeFrees++
 	var next [8]byte
 	putBE64(next[:], uint64(s.freeHead))
@@ -279,6 +296,8 @@ func (s *LOStore) Free(id NodeID) error {
 
 // Meta implements Store.
 func (s *LOStore) Meta() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	buf := make([]byte, MetaSize)
 	if _, err := s.anchor.ReadAt(buf, metaOff); err != nil {
 		return nil, err
@@ -288,6 +307,8 @@ func (s *LOStore) Meta() ([]byte, error) {
 
 // SetMeta implements Store.
 func (s *LOStore) SetMeta(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(b) > MetaSize {
 		return fmt.Errorf("nodestore: metadata too large (%d)", len(b))
 	}
@@ -298,10 +319,18 @@ func (s *LOStore) SetMeta(b []byte) error {
 }
 
 // Stats implements Store.
-func (s *LOStore) Stats() Stats { return s.stats }
+func (s *LOStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // ResetStats implements Store.
-func (s *LOStore) ResetStats() { s.stats = Stats{} }
+func (s *LOStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
 
 // readRaw reads len(buf) bytes from node id starting at off within the node.
 func (s *LOStore) readRaw(id NodeID, buf []byte, off int64) error {

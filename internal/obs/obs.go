@@ -213,17 +213,20 @@ func (s Snapshot) Delta(base Snapshot) Snapshot {
 
 // ExecContext accumulates one statement's execution profile. The engine
 // creates one per statement and threads it down to the access-method layer
-// (via ScanDesc) and the executor. It is owned by a single session goroutine;
-// the nil *ExecContext is a valid no-op receiver so instrumented code paths
-// never need to check whether a statement is being profiled.
+// (via ScanDesc) and the executor. It is safe for concurrent use: parallel
+// scan workers share the statement's ExecContext, so the row tallies are
+// atomics and the slot map is mutex-guarded. The nil *ExecContext is a valid
+// no-op receiver so instrumented code paths never need to check whether a
+// statement is being profiled.
 type ExecContext struct {
 	reg   *Registry
 	start time.Time
 	base  Snapshot
 
+	mu           sync.Mutex
 	slots        map[string]uint64 // purpose-function dispatch counts
-	rowsScanned  uint64
-	rowsReturned uint64
+	rowsScanned  atomic.Uint64
+	rowsReturned atomic.Uint64
 }
 
 // NewExecContext opens a statement profile against the registry.
@@ -241,7 +244,9 @@ func (ec *ExecContext) Slot(name string) {
 	if ec == nil {
 		return
 	}
+	ec.mu.Lock()
 	ec.slots[name]++
+	ec.mu.Unlock()
 }
 
 // AddScanned counts rows pulled from the access method or heap source,
@@ -250,7 +255,7 @@ func (ec *ExecContext) AddScanned(n int) {
 	if ec == nil || n <= 0 {
 		return
 	}
-	ec.rowsScanned += uint64(n)
+	ec.rowsScanned.Add(uint64(n))
 }
 
 // AddReturned counts rows surviving filtering, i.e. delivered to the client
@@ -259,7 +264,7 @@ func (ec *ExecContext) AddReturned(n int) {
 	if ec == nil || n <= 0 {
 		return
 	}
-	ec.rowsReturned += uint64(n)
+	ec.rowsReturned.Add(uint64(n))
 }
 
 // Finish closes the profile: elapsed time, the session-local tallies, and
@@ -268,11 +273,17 @@ func (ec *ExecContext) Finish() *Profile {
 	if ec == nil {
 		return nil
 	}
+	ec.mu.Lock()
+	slots := make(map[string]uint64, len(ec.slots))
+	for k, v := range ec.slots {
+		slots[k] = v
+	}
+	ec.mu.Unlock()
 	return &Profile{
 		Elapsed:      time.Since(ec.start),
-		RowsScanned:  ec.rowsScanned,
-		RowsReturned: ec.rowsReturned,
-		AmCalls:      ec.slots,
+		RowsScanned:  ec.rowsScanned.Load(),
+		RowsReturned: ec.rowsReturned.Load(),
+		AmCalls:      slots,
 		Counters:     ec.reg.Snapshot().Delta(ec.base),
 	}
 }

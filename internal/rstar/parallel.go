@@ -1,0 +1,188 @@
+package rstar
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/nodestore"
+)
+
+// ParallelScan partitions a query by root fan-out, mirroring the GR-tree's
+// parallel scan: matching root children form a shared work queue, and each
+// worker's PartCursor claims and drains subtrees with read-latch crabbing.
+// Partitions are disjoint (every leaf entry lives under exactly one root
+// child), so the union of the partitions equals the serial result set.
+type ParallelScan struct {
+	t     *Tree
+	op    Op
+	query Rect
+
+	mu    sync.Mutex
+	queue []nodestore.NodeID
+	epoch uint64
+
+	cursors []*PartCursor
+}
+
+// ParallelScan offers the query a root fan-out partitioning; nil (no error)
+// declines when the tree is too shallow or fewer than two root children
+// match.
+func (t *Tree) ParallelScan(op Op, query Rect, degree int) (*ParallelScan, error) {
+	if degree < 2 || t.height < 2 || query.Empty() {
+		return nil, nil
+	}
+	ps := &ParallelScan{t: t, op: op, query: query}
+	if err := ps.build(); err != nil {
+		return nil, err
+	}
+	if len(ps.queue) < 2 {
+		return nil, nil
+	}
+	return ps, nil
+}
+
+func (ps *ParallelScan) build() error {
+	root, err := ps.t.readNode(ps.t.root)
+	if err != nil {
+		return err
+	}
+	ps.queue = ps.queue[:0]
+	if root.level == 0 {
+		ps.queue = append(ps.queue, root.id)
+	} else {
+		for _, e := range root.entries {
+			if internalTest(ps.op, e.Rect, ps.query) {
+				ps.queue = append(ps.queue, e.Child())
+			}
+		}
+	}
+	ps.epoch = ps.t.epoch
+	return nil
+}
+
+// Parts returns the number of independent work units.
+func (ps *ParallelScan) Parts() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.queue)
+}
+
+// Cursor hands out one worker's partition cursor.
+func (ps *ParallelScan) Cursor() *PartCursor {
+	c := &PartCursor{ps: ps}
+	ps.mu.Lock()
+	ps.cursors = append(ps.cursors, c)
+	ps.mu.Unlock()
+	return c
+}
+
+func (ps *ParallelScan) claim() (nodestore.NodeID, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(ps.queue) == 0 {
+		return nodestore.NilNode, false
+	}
+	id := ps.queue[0]
+	ps.queue = ps.queue[1:]
+	return id, true
+}
+
+// Reset re-seeds the work queue and rewinds the partition cursors
+// (rst_rescan); the server guarantees all workers have stopped.
+func (ps *ParallelScan) Reset() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, c := range ps.cursors {
+		c.reset()
+	}
+	return ps.build()
+}
+
+// PartCursor drains subtrees claimed from the shared queue; one per worker.
+type PartCursor struct {
+	ps    *ParallelScan
+	stack []frame
+	held  nodestore.NodeID
+}
+
+func (c *PartCursor) push(id nodestore.NodeID) error {
+	lt := c.ps.t.latches
+	if c.held == nodestore.NilNode {
+		lt.RLock(id)
+	} else {
+		lt.Crab(c.held, id)
+	}
+	c.held = id
+	buf := make([]byte, nodestore.NodeSize)
+	if err := c.ps.t.store.Read(id, buf); err != nil {
+		c.unlatch()
+		return err
+	}
+	n, err := decodeNode(id, buf)
+	if err != nil {
+		c.unlatch()
+		return err
+	}
+	c.stack = append(c.stack, frame{entries: n.entries, level: n.level})
+	return nil
+}
+
+func (c *PartCursor) unlatch() {
+	if c.held != nodestore.NilNode {
+		c.ps.t.latches.RUnlock(c.held)
+		c.held = nodestore.NilNode
+	}
+}
+
+func (c *PartCursor) reset() {
+	c.unlatch()
+	c.stack = nil
+}
+
+// NextBatch fills dst with the next qualifying entries; fewer than len(dst)
+// means the shared queue is drained and the worker is done.
+func (c *PartCursor) NextBatch(dst []Entry) (int, error) {
+	if c.ps.t.epoch != c.ps.epoch {
+		c.unlatch()
+		return 0, fmt.Errorf("rstar: tree reorganised under a parallel scan")
+	}
+	n := 0
+	for n < len(dst) {
+		if len(c.stack) == 0 {
+			c.unlatch()
+			id, ok := c.ps.claim()
+			if !ok {
+				return n, nil
+			}
+			if err := c.push(id); err != nil {
+				return n, err
+			}
+			continue
+		}
+		fr := &c.stack[len(c.stack)-1]
+		if fr.idx >= len(fr.entries) {
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		if fr.level == 0 {
+			for fr.idx < len(fr.entries) && n < len(dst) {
+				e := fr.entries[fr.idx]
+				fr.idx++
+				if leafTest(c.ps.op, e.Rect, c.ps.query) {
+					dst[n] = e
+					n++
+				}
+			}
+			continue
+		}
+		e := fr.entries[fr.idx]
+		fr.idx++
+		if internalTest(c.ps.op, e.Rect, c.ps.query) {
+			if err := c.push(e.Child()); err != nil {
+				return n, err
+			}
+		}
+	}
+	c.unlatch()
+	return n, nil
+}

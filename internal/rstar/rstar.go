@@ -201,14 +201,17 @@ func (c *Config) normalise() {
 	}
 }
 
-// Tree is an R*-tree over a node store.
+// Tree is an R*-tree over a node store. Read-only traversal is protected by
+// a per-node latch table so a parallel scan's workers may descend
+// concurrently (ParallelScan); mutations stay single-goroutine.
 type Tree struct {
-	store  nodestore.Store
-	cfg    Config
-	root   nodestore.NodeID
-	height int
-	size   int
-	epoch  uint64
+	store   nodestore.Store
+	cfg     Config
+	latches *nodestore.LatchTable
+	root    nodestore.NodeID
+	height  int
+	size    int
+	epoch   uint64
 }
 
 const metaMagic = 0x52535452 // "RSTR"
@@ -216,7 +219,7 @@ const metaMagic = 0x52535452 // "RSTR"
 // Create initialises an empty tree.
 func Create(store nodestore.Store, cfg Config) (*Tree, error) {
 	cfg.normalise()
-	t := &Tree{store: store, cfg: cfg, height: 1}
+	t := &Tree{store: store, cfg: cfg, latches: nodestore.NewLatchTable(), height: 1}
 	id, err := store.Alloc()
 	if err != nil {
 		return nil, err
@@ -238,7 +241,7 @@ func Open(store nodestore.Store, cfg Config) (*Tree, error) {
 	if len(meta) < 32 || binary.BigEndian.Uint32(meta[0:4]) != metaMagic {
 		return nil, fmt.Errorf("rstar: store holds no R*-tree")
 	}
-	t := &Tree{store: store, cfg: cfg}
+	t := &Tree{store: store, cfg: cfg, latches: nodestore.NewLatchTable()}
 	t.root = nodestore.NodeID(binary.BigEndian.Uint64(meta[8:16]))
 	t.height = int(binary.BigEndian.Uint64(meta[16:24]))
 	t.size = int(binary.BigEndian.Uint64(meta[24:32]))
@@ -272,8 +275,11 @@ func (t *Tree) minFill() int {
 }
 
 func (t *Tree) readNode(id nodestore.NodeID) (*node, error) {
+	t.latches.RLock(id)
 	buf := make([]byte, nodestore.NodeSize)
-	if err := t.store.Read(id, buf); err != nil {
+	err := t.store.Read(id, buf)
+	t.latches.RUnlock(id)
+	if err != nil {
 		return nil, err
 	}
 	return decodeNode(id, buf)
@@ -282,7 +288,10 @@ func (t *Tree) readNode(id nodestore.NodeID) (*node, error) {
 func (t *Tree) writeNode(n *node) error {
 	buf := make([]byte, nodestore.NodeSize)
 	n.encode(buf)
-	return t.store.Write(n.id, buf)
+	t.latches.Lock(n.id)
+	err := t.store.Write(n.id, buf)
+	t.latches.Unlock(n.id)
+	return err
 }
 
 func boundOf(entries []Entry) Rect {

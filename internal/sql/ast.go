@@ -126,6 +126,11 @@ type SetTrace struct {
 	Level int
 }
 
+// SetParallel is SET PARALLEL [TO] n: the session's intra-query parallelism
+// knob. 0 disables parallel scans; n > 1 lets the server offer up to n scan
+// workers (capped by GOMAXPROCS) through the am_parallelscan slot.
+type SetParallel struct{ Degree int }
+
 // Explain is EXPLAIN stmt: plan the inner statement without executing it.
 type Explain struct{ Stmt Statement }
 
@@ -161,6 +166,7 @@ func (*Commit) stmt()             {}
 func (*Rollback) stmt()           {}
 func (*SetIsolation) stmt()       {}
 func (*SetTrace) stmt()           {}
+func (*SetParallel) stmt()        {}
 func (*Explain) stmt()            {}
 func (*CheckIndex) stmt()         {}
 func (*UpdateStatistics) stmt()   {}

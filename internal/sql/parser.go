@@ -147,6 +147,17 @@ func (p *parser) statement() (Statement, error) {
 			}
 			return &SetTrace{Class: class, Level: lvl}, nil
 		}
+		if p.acceptKw("PARALLEL") {
+			p.acceptKw("TO")
+			if p.peek().Kind != TNumber {
+				return nil, p.errf("expected parallel degree")
+			}
+			deg, err := strconv.Atoi(p.next().Text)
+			if err != nil || deg < 0 {
+				return nil, p.errf("bad parallel degree")
+			}
+			return &SetParallel{Degree: deg}, nil
+		}
 		if err := p.expectKw("ISOLATION"); err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/blades/grtblade"
@@ -366,4 +367,69 @@ func BenchmarkEngineSQL(b *testing.B) {
 		}
 		b.ReportMetric(float64(scanned)/float64(b.N), "rowsScanned/op")
 	})
+}
+
+// BenchmarkCommit sweeps the commit-path configuration space — writers ×
+// {SYNC, GROUP, ASYNC} — through the full engine against an on-disk WAL
+// (experiment P9). Each writer auto-commits single-row inserts into its own
+// table. SYNC pays one private fsync per commit; GROUP parks concurrent
+// committers on the flusher so one fsync covers the group (fsyncs/commit
+// drops below 1); ASYNC returns at append time (bounded loss). Coalescing
+// is an I/O-wait effect, so the GROUP win survives a single-CPU host.
+func BenchmarkCommit(b *testing.B) {
+	for _, mode := range []string{"SYNC", "GROUP", "ASYNC"} {
+		for _, writers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/writers=%d", mode, writers), func(b *testing.B) {
+				clock := chronon.NewVirtualClock(chronon.MustParse("1/97"))
+				e, err := engine.Open(engine.Options{Dir: b.TempDir(), Clock: clock})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				setup := e.NewSession()
+				for i := 0; i < writers; i++ {
+					if _, err := setup.Exec(fmt.Sprintf(`CREATE TABLE c%d (a INTEGER)`, i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				setup.Close()
+				sessions := make([]*engine.Session, writers)
+				for i := range sessions {
+					sessions[i] = e.NewSession()
+					defer sessions[i].Close()
+					if _, err := sessions[i].Exec("SET COMMIT " + mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+				flushes := e.Obs().Counter("wal.flushes")
+				per := b.N/writers + 1
+				total := per * writers
+				flushes0 := flushes.Load()
+				var wg sync.WaitGroup
+				errs := make([]error, writers)
+				b.ResetTimer()
+				for i := range sessions {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						for n := 0; n < per; n++ {
+							if _, err := sessions[i].Exec(fmt.Sprintf(`INSERT INTO c%d VALUES (%d)`, i, n)); err != nil {
+								errs[i] = err
+								return
+							}
+						}
+					}(i)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(flushes.Load()-flushes0)/float64(total), "fsyncs/commit")
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "commits/s")
+			})
+		}
+	}
 }

@@ -1,8 +1,8 @@
 // Command benchrunner regenerates every table and figure of the paper
 // reproduction (DESIGN.md's experiment index): the functional experiments
-// T1–T5 and F2–F6 plus the performance-shape experiments P1–P6 and the
-// parallel-scan sweep P8 (P7 is the BenchmarkScanBatchSize sweep; see
-// EXPERIMENTS.md).
+// T1–T5 and F2–F6 plus the performance-shape experiments P1–P6, the
+// parallel-scan sweep P8, and the group-commit sweep P9 (P7 is the
+// BenchmarkScanBatchSize sweep; see EXPERIMENTS.md).
 //
 // Usage:
 //
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids (T1,F2,...,P8) or 'all'")
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (T1,F2,...,P9) or 'all'")
 		quick = flag.Bool("quick", false, "run reduced workloads")
 		root  = flag.String("root", ".", "repository root for the T4 code inventory")
 	)

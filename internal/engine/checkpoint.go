@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Checkpoint takes a fuzzy checkpoint and truncates the log: it appends a
+// RecCheckpoint record carrying the active-transaction table (snapshotted
+// atomically with the append), forces every buffer pool's dirty pages to
+// their pagers, and rotates the log so the prefix recovery no longer needs
+// is dropped. The truncation cutoff is the minimum of the checkpoint LSN
+// and every live transaction's first record — computed at append time, so a
+// transaction whose page writes were still in flight when the checkpoint
+// was cut keeps its log suffix. Safe to call concurrently (checkpoints
+// serialise on cpMu) and alongside running transactions.
+func (e *Engine) Checkpoint() error {
+	if e.log == nil {
+		return nil
+	}
+	e.cpMu.Lock()
+	defer e.cpMu.Unlock()
+	_, cutoff, err := e.log.CheckpointCut()
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	pools := make([]*storage.BufferPool, 0, len(e.spacePools))
+	for _, bp := range e.spacePools {
+		pools = append(pools, bp)
+	}
+	e.mu.Unlock()
+	for _, bp := range pools {
+		if err := bp.FlushAll(); err != nil {
+			return err
+		}
+	}
+	if _, err := e.log.TruncateTo(cutoff); err != nil {
+		return err
+	}
+	e.walCheckpoints.Inc()
+	e.cpLast.Store(e.log.Size())
+	return nil
+}
+
+// startCheckpointer launches the background checkpoint daemon: every
+// CheckpointInterval it checks whether the log grew past
+// CheckpointThreshold since the last checkpoint and, if so, checkpoints. A
+// negative interval disables the daemon (tests drive Checkpoint directly).
+func (e *Engine) startCheckpointer() {
+	if e.opts.CheckpointInterval < 0 {
+		return
+	}
+	e.cpQuit = make(chan struct{})
+	e.cpDone = make(chan struct{})
+	go func() {
+		defer close(e.cpDone)
+		tick := time.NewTicker(e.opts.CheckpointInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.cpQuit:
+				return
+			case <-tick.C:
+			}
+			if e.log.Size()-e.cpLast.Load() >= e.opts.CheckpointThreshold {
+				// Errors here are sticky in the WAL and will surface to the
+				// next committing session; the daemon just keeps its cadence.
+				_ = e.Checkpoint()
+			}
+		}
+	}()
+}
+
+// stopCheckpointer stops the daemon and waits for it to exit. Idempotent.
+func (e *Engine) stopCheckpointer() {
+	if e.cpQuit == nil {
+		return
+	}
+	e.cpStop.Do(func() { close(e.cpQuit) })
+	<-e.cpDone
+}

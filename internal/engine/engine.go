@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/am"
 	"repro/internal/catalog"
@@ -49,6 +50,14 @@ type Options struct {
 	// NoWAL disables logging (benchmark configurations; rollback and crash
 	// recovery are then unavailable).
 	NoWAL bool
+	// CheckpointInterval is how often the background checkpointer wakes to
+	// decide whether to checkpoint (default 250ms; negative disables the
+	// daemon — tests drive Checkpoint explicitly).
+	CheckpointInterval time.Duration
+	// CheckpointThreshold is the log growth (bytes appended since the last
+	// checkpoint) that triggers a checkpoint at the next wakeup (default
+	// 1 MiB).
+	CheckpointThreshold int64
 	// Types, when set, is called with the fresh type registry before the
 	// catalogued storage opens — blades register their opaque types here so
 	// tables with opaque columns can be re-opened from the catalog.
@@ -80,6 +89,18 @@ type Engine struct {
 	parObs     parallelObs
 	tracer     *mi.Tracer
 
+	// Checkpointer state: cpMu serialises checkpoints (daemon, Close, and
+	// explicit calls), cpLast is the log size at the last checkpoint (the
+	// threshold baseline), walCheckpoints/commitLat feed SYSPROFILE.
+	cpMu           sync.Mutex
+	cpLast         atomic.Int64
+	cpQuit         chan struct{}
+	cpDone         chan struct{}
+	cpStop         sync.Once
+	walCheckpoints *obs.Counter
+	commitLat      *obs.Histogram
+	closed         atomic.Bool
+
 	mu          sync.Mutex
 	spaces      map[string]*sbspace.Space // by lower name
 	spacePools  map[uint32]*storage.BufferPool
@@ -105,6 +126,12 @@ func Open(opts Options) (*Engine, error) {
 	}
 	if opts.ScanBatchSize <= 0 {
 		opts.ScanBatchSize = am.DefaultBatchCap
+	}
+	if opts.CheckpointInterval == 0 {
+		opts.CheckpointInterval = 250 * time.Millisecond
+	}
+	if opts.CheckpointThreshold <= 0 {
+		opts.CheckpointThreshold = 1 << 20
 	}
 	e := &Engine{
 		opts:       opts,
@@ -148,7 +175,13 @@ func Open(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.log.SetObs(e.obs.Counter("wal.appends"), e.obs.Counter("wal.flushes"), e.obs.Counter("wal.bytes"))
+		e.log.SetObs(wal.Obs{
+			Appends:        e.obs.Counter("wal.appends"),
+			Flushes:        e.obs.Counter("wal.flushes"),
+			Bytes:          e.obs.Counter("wal.bytes"),
+			TruncatedBytes: e.obs.Counter("wal.truncated_bytes"),
+			GroupSize:      e.obs.Histogram("wal.group_size"),
+		})
 	}
 	if err := e.openStorage(); err != nil {
 		return nil, err
@@ -163,6 +196,10 @@ func Open(opts Options) (*Engine, error) {
 		if _, err := wal.Recover(e.log, stores); err != nil {
 			return nil, fmt.Errorf("engine: recovery: %w", err)
 		}
+	}
+	if e.log != nil {
+		e.cpLast.Store(e.log.Size())
+		e.startCheckpointer()
 	}
 	return e, nil
 }
@@ -181,9 +218,13 @@ func (e *Engine) registerCoreCounters() {
 	}
 	e.lm.SetObs(e.obs.Counter("lock.acquires"), e.obs.Counter("lock.waits"), e.obs.Counter("lock.deadlocks"))
 	for _, n := range []string{"wal.appends", "wal.flushes", "wal.bytes",
+		"wal.checkpoints", "wal.truncated_bytes",
 		"sbspace.lo_creates", "sbspace.lo_opens", "sbspace.lo_closes", "sbspace.lo_drops"} {
 		e.obs.Counter(n)
 	}
+	e.walCheckpoints = e.obs.Counter("wal.checkpoints")
+	e.commitLat = e.obs.Histogram("wal.commit_latency")
+	e.obs.Histogram("wal.group_size")
 	e.amCounters = make(map[string]*obs.Counter, len(am.PurposeSlots))
 	for _, slot := range am.PurposeSlots {
 		e.amCounters[slot] = e.obs.Counter("am." + slot)
@@ -303,15 +344,26 @@ func (e *Engine) tableSchema(tb *catalog.Table) ([]types.Type, error) {
 	return schema, nil
 }
 
-// Close flushes and closes all storage.
+// Close stops the background checkpointer and WAL flusher, takes a final
+// checkpoint (truncating the log to near-empty so the next Open scans
+// almost nothing), and flushes and closes all storage. Idempotent.
 func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.stopCheckpointer()
+	var first error
+	if e.log != nil {
+		if err := e.Checkpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
 	e.mu.Lock()
 	pools := make([]*storage.BufferPool, 0, len(e.spacePools))
 	for _, bp := range e.spacePools {
 		pools = append(pools, bp)
 	}
 	e.mu.Unlock()
-	var first error
 	for _, bp := range pools {
 		if err := bp.Close(); err != nil && first == nil {
 			first = err
@@ -334,8 +386,13 @@ func (e *Engine) Close() error {
 // CrashForTesting simulates a crash: every buffer pool is flushed (so dirty
 // pages of possibly-uncommitted transactions reach the pagers, the worst
 // case for recovery), the log and catalog are made durable, and the engine
-// is abandoned WITHOUT transaction cleanup. Only tests call this.
+// is abandoned WITHOUT transaction cleanup. The background daemons are
+// stopped so the abandoned engine does not keep flushing (or leak
+// goroutines), but no checkpoint is taken and no session state is cleaned
+// up. Only tests call this.
 func (e *Engine) CrashForTesting() {
+	e.closed.Store(true) // a later Close must not checkpoint the "dead" engine
+	e.stopCheckpointer()
 	e.mu.Lock()
 	for _, bp := range e.spacePools {
 		bp.FlushAll()
@@ -343,6 +400,7 @@ func (e *Engine) CrashForTesting() {
 	e.mu.Unlock()
 	if e.log != nil {
 		e.log.Flush()
+		e.log.Close()
 	}
 	e.cat.Save()
 }
@@ -550,6 +608,10 @@ type Session struct {
 	parallel int
 	stmtCtx  context.Context
 
+	// commit is the session's durability mode (SET COMMIT {SYNC|GROUP|ASYNC};
+	// default GROUP).
+	commit wal.CommitMode
+
 	// ec is the profile of the statement currently executing (nil between
 	// statements); ExecStmt installs it and hands the finished Profile to the
 	// Result.
@@ -561,7 +623,7 @@ type Session struct {
 // blade trace messages from any session.
 func (e *Engine) NewSession() *Session {
 	id := atomic.AddUint64(&e.nextSession, 1)
-	return &Session{e: e, id: id, ctx: mi.NewContext(id, e.tracer), iso: lock.CommittedRead}
+	return &Session{e: e, id: id, ctx: mi.NewContext(id, e.tracer), iso: lock.CommittedRead, commit: wal.CommitGroup}
 }
 
 // Tracer exposes the engine's mi tracer (SET TRACE's target).
@@ -600,9 +662,11 @@ func (s *Session) commitTx() error {
 		return errf(CodeNoActiveTx, "no transaction to commit")
 	}
 	if s.e.log != nil {
-		if _, err := s.e.log.Commit(s.tx); err != nil {
+		start := time.Now()
+		if _, err := s.e.log.CommitWith(s.tx, s.commit); err != nil {
 			return err
 		}
+		s.e.commitLat.Observe(time.Since(start))
 	}
 	s.ctx.EndTransaction(mi.TxCommit)
 	s.e.lm.ReleaseAll(lock.TxID(s.tx))

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sbspace"
 	"repro/internal/sql"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // StmtStats is the per-statement execution profile: elapsed time, rows
@@ -125,6 +126,13 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st sql.Statement) (*Result, e
 			return &Result{Message: "parallel scans disabled"}, nil
 		}
 		return &Result{Message: fmt.Sprintf("parallel degree set to %d", deg)}, nil
+	case *sql.SetCommit:
+		mode, ok := wal.ParseCommitMode(t.Mode)
+		if !ok {
+			return nil, errf(CodeInvalidParameter, "unknown commit mode %q (want SYNC, GROUP or ASYNC)", t.Mode)
+		}
+		s.commit = mode
+		return &Result{Message: "commit mode set to " + mode.String()}, nil
 	}
 
 	// Profile the statement. The ExecContext opens before the (possibly

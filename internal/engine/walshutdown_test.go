@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chronon"
+	"repro/internal/wal"
+)
+
+func TestSetCommitStatement(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	if s.commit != wal.CommitGroup {
+		t.Fatalf("default commit mode %v, want GROUP", s.commit)
+	}
+	exec(t, s, `SET COMMIT ASYNC`)
+	if s.commit != wal.CommitAsync {
+		t.Fatalf("commit mode %v after SET COMMIT ASYNC", s.commit)
+	}
+	res := exec(t, s, `SET COMMIT TO SYNC`)
+	if s.commit != wal.CommitSync || res.Message != "commit mode set to SYNC" {
+		t.Fatalf("mode=%v message=%q", s.commit, res.Message)
+	}
+	if _, err := s.Exec(`SET COMMIT EVENTUALLY`); err == nil {
+		t.Fatal("bogus commit mode must be rejected")
+	}
+	// The mode must actually reach the log: a SYNC commit flushes inline.
+	exec(t, s, `CREATE TABLE t (a INTEGER)`)
+	before := e.Obs().Snapshot().Get("wal.flushes")
+	exec(t, s, `INSERT INTO t VALUES (1)`)
+	if after := e.Obs().Snapshot().Get("wal.flushes"); after <= before {
+		t.Fatalf("SYNC commit did not flush: %d -> %d", before, after)
+	}
+}
+
+// TestEngineCloseStopsWALGoroutines pins the flusher and checkpointer
+// lifetimes: Close must stop both daemons (and be idempotent), leaving no
+// goroutines behind.
+func TestEngineCloseStopsWALGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e, err := Open(Options{
+		Dir:                t.TempDir(),
+		Clock:              chronon.NewVirtualClock(chronon.MustParse("9/97")),
+		CheckpointInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	exec(t, s, `CREATE TABLE t (a INTEGER)`)
+	for _, mode := range []string{"SYNC", "GROUP", "ASYNC"} {
+		exec(t, s, "SET COMMIT "+mode)
+		exec(t, s, `INSERT INTO t VALUES (1)`)
+	}
+	s.Close()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCommitStorm runs concurrent sessions in every commit mode against
+// their own tables while checkpoints fire underneath — the -race
+// configuration `make check` exercises. All committed rows must survive a
+// clean close and reopen.
+func TestCommitStorm(t *testing.T) {
+	dir := t.TempDir()
+	clock := chronon.NewVirtualClock(chronon.MustParse("9/97"))
+	e, err := Open(Options{Dir: dir, Clock: clock, CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := e.NewSession()
+	modes := []string{"SYNC", "GROUP", "GROUP", "ASYNC"}
+	for i := range modes {
+		exec(t, setup, fmt.Sprintf(`CREATE TABLE storm%d (a INTEGER)`, i))
+	}
+	setup.Close()
+
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(modes)+1)
+	for i, mode := range modes {
+		wg.Add(1)
+		go func(i int, mode string) {
+			defer wg.Done()
+			s := e.NewSession()
+			defer s.Close()
+			if _, err := s.Exec("SET COMMIT " + mode); err != nil {
+				errCh <- err
+				return
+			}
+			for n := 0; n < perWriter; n++ {
+				if _, err := s.Exec(fmt.Sprintf(`INSERT INTO storm%d VALUES (%d)`, i, n)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i, mode)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 5; n++ {
+			if err := e.Checkpoint(); err != nil {
+				errCh <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Options{Dir: dir, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	s := e2.NewSession()
+	defer s.Close()
+	for i := range modes {
+		res := exec(t, s, fmt.Sprintf(`SELECT COUNT(*) FROM storm%d`, i))
+		if res.Rows[0][0] != int64(perWriter) {
+			t.Fatalf("storm%d: %v rows survived, want %d", i, res.Rows[0][0], perWriter)
+		}
+	}
+}

@@ -67,6 +67,10 @@ func All(root string, quick bool) []Runner {
 			_, err := RunP8(w, scale(4000, 800), scale(20, 5))
 			return err
 		}},
+		{"P9", "Group commit: mode × writers sweep", func(w io.Writer) error {
+			_, err := RunP9(w, scale(400, 120))
+			return err
+		}},
 	}
 }
 

@@ -80,6 +80,23 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[b].Add(1)
 }
 
+// ObserveCount records a unit-less value v (e.g. a commit-group size) by
+// storing it as v microseconds: in a Snapshot the histogram then reads as
+// "<name>.n" = observations and "<name>.us" = sum of values, and the log2
+// buckets give the value distribution. The nil histogram is a no-op.
+func (h *Histogram) ObserveCount(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v * uint64(time.Microsecond))
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
 // Count returns how many durations were observed.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -19,6 +19,10 @@ func TestNilReceiversAreNoOps(t *testing.T) {
 	if h.Count() != 0 || h.Sum() != 0 {
 		t.Fatal("nil histogram must read 0")
 	}
+	h.ObserveCount(4)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram must ignore ObserveCount")
+	}
 	var ec *ExecContext
 	ec.Slot("am_getnext")
 	ec.AddScanned(3)
@@ -99,6 +103,25 @@ func TestSpanFeedsHistogram(t *testing.T) {
 	snap := r.Snapshot()
 	if snap.Get("engine.exec_statement.n") != 1 {
 		t.Fatalf("derived metrics: %v", snap)
+	}
+}
+
+func TestObserveCountRendersAsRawSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wal.group_size")
+	h.ObserveCount(3)
+	h.ObserveCount(5)
+	snap := r.Snapshot()
+	if n := snap.Get("wal.group_size.n"); n != 2 {
+		t.Fatalf("group_size.n = %d", n)
+	}
+	// ObserveCount stores v as v microseconds, so the .us metric is the
+	// plain sum of observed values.
+	if sum := snap.Get("wal.group_size.us"); sum != 8 {
+		t.Fatalf("group_size.us = %d, want 8", sum)
+	}
+	if h.Bucket(2) != 1 || h.Bucket(3) != 1 { // 3 -> bucket 2, 5 -> bucket 3
+		t.Fatalf("buckets: %d %d", h.Bucket(2), h.Bucket(3))
 	}
 }
 

@@ -131,6 +131,12 @@ type SetTrace struct {
 // workers (capped by GOMAXPROCS) through the am_parallelscan slot.
 type SetParallel struct{ Degree int }
 
+// SetCommit is SET COMMIT [TO] {SYNC|GROUP|ASYNC}: the session's commit
+// durability mode. SYNC forces a private log fsync per commit, GROUP
+// (default) coalesces concurrent commits into one fsync, ASYNC returns at
+// append time with bounded loss.
+type SetCommit struct{ Mode string }
+
 // Explain is EXPLAIN stmt: plan the inner statement without executing it.
 type Explain struct{ Stmt Statement }
 
@@ -167,6 +173,7 @@ func (*Rollback) stmt()           {}
 func (*SetIsolation) stmt()       {}
 func (*SetTrace) stmt()           {}
 func (*SetParallel) stmt()        {}
+func (*SetCommit) stmt()          {}
 func (*Explain) stmt()            {}
 func (*CheckIndex) stmt()         {}
 func (*UpdateStatistics) stmt()   {}

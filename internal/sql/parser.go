@@ -158,6 +158,14 @@ func (p *parser) statement() (Statement, error) {
 			}
 			return &SetParallel{Degree: deg}, nil
 		}
+		if p.acceptKw("COMMIT") {
+			p.acceptKw("TO")
+			mode, err := p.ident()
+			if err != nil {
+				return nil, p.errf("expected commit mode")
+			}
+			return &SetCommit{Mode: strings.ToUpper(mode)}, nil
+		}
 		if err := p.expectKw("ISOLATION"); err != nil {
 			return nil, err
 		}

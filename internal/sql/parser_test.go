@@ -178,6 +178,14 @@ func TestTransactionsAndMisc(t *testing.T) {
 	if iso.Level != "REPEATABLE READ" {
 		t.Fatalf("%+v", iso)
 	}
+	sc := mustParse(t, `SET COMMIT TO group`).(*SetCommit)
+	if sc.Mode != "GROUP" {
+		t.Fatalf("%+v", sc)
+	}
+	sc = mustParse(t, `SET COMMIT ASYNC`).(*SetCommit)
+	if sc.Mode != "ASYNC" {
+		t.Fatalf("%+v", sc)
+	}
 	ci := mustParse(t, `CHECK INDEX grt_index`).(*CheckIndex)
 	if ci.Name != "grt_index" {
 		t.Fatalf("%+v", ci)

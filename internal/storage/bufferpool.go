@@ -72,6 +72,12 @@ type BufferPool struct {
 	reads, writes, hits, fetches, evictions atomic.Uint64
 	obs                                     ObsCounters
 
+	// unsynced is set when a page write reached the pager without a
+	// following Sync (evictions write lazily); FlushAll uses it to skip the
+	// pager fsync when the pool is fully clean, which keeps the background
+	// checkpointer's sweep over idle pools free.
+	unsynced atomic.Bool
+
 	// FlushHook, when set, is called with (id, data) before a dirty page is
 	// written back; the WAL installs itself here to honour write-ahead
 	// ordering. Set it before the pool sees concurrent use.
@@ -286,10 +292,13 @@ func (bp *BufferPool) flushLocked(f *Frame) error {
 		return err
 	}
 	f.dirty = false
+	bp.unsynced.Store(true)
 	return nil
 }
 
-// FlushAll writes every dirty frame back to the pager.
+// FlushAll writes every dirty frame back to the pager and syncs it. The
+// sync is skipped when no write has reached the pager since the last
+// FlushAll, so sweeping a clean pool costs no I/O.
 func (bp *BufferPool) FlushAll() error {
 	for _, sh := range bp.shards {
 		sh.mu.Lock()
@@ -303,7 +312,14 @@ func (bp *BufferPool) FlushAll() error {
 		}
 		sh.mu.Unlock()
 	}
-	return bp.pager.Sync()
+	if !bp.unsynced.Swap(false) {
+		return nil
+	}
+	if err := bp.pager.Sync(); err != nil {
+		bp.unsynced.Store(true)
+		return err
+	}
+	return nil
 }
 
 // Free flushes nothing and returns the page to the pager's free list; the

@@ -45,9 +45,12 @@ func Recover(l *Log, spaces SpaceSet) (RecoveryReport, error) {
 	var rep RecoveryReport
 
 	// Analysis: find loser transactions (begun, neither committed nor
-	// aborted) and their last LSNs.
+	// aborted) and their last LSNs. done remembers finished transactions so
+	// a checkpoint's active table (stale by the time of a later COMMIT)
+	// cannot resurrect them as losers.
 	losers := make(map[uint64]LSN)
 	undoNext := make(map[uint64]LSN) // resume point per tx (CLR-aware)
+	done := make(map[uint64]bool)
 	err := l.Scan(func(r Record) error {
 		rep.RecordsScanned++
 		switch r.Type {
@@ -57,6 +60,7 @@ func Recover(l *Log, spaces SpaceSet) (RecoveryReport, error) {
 		case RecCommit, RecAbort:
 			delete(losers, r.Tx)
 			delete(undoNext, r.Tx)
+			done[r.Tx] = true
 		case RecUpdate:
 			losers[r.Tx] = r.LSN
 			undoNext[r.Tx] = r.LSN
@@ -65,7 +69,7 @@ func Recover(l *Log, spaces SpaceSet) (RecoveryReport, error) {
 			undoNext[r.Tx] = r.UndoNext
 		case RecCheckpoint:
 			for tx, lsn := range r.Active {
-				if _, known := losers[tx]; !known {
+				if _, known := losers[tx]; !known && !done[tx] {
 					losers[tx] = lsn
 					undoNext[tx] = lsn
 				}

@@ -7,6 +7,16 @@
 // manager: physical byte-range logging of page updates with redo-history
 // recovery (redo everything in log order, then undo loser transactions in
 // reverse order, writing compensation records).
+//
+// The write path is built for concurrency. Append encodes records into an
+// in-memory tail buffer (no syscall, one copy of the images, pooled buffers);
+// a dedicated flusher goroutine writes and fsyncs the tail in batches; and
+// committing sessions choose how to wait for durability (CommitMode): SYNC
+// forces a private flush, GROUP parks on the flusher so concurrent commits
+// coalesce into one fsync, ASYNC returns at append time with bounded loss.
+// Checkpoint records plus TruncateTo rotation keep the log prefix — and the
+// startup scan — bounded. See flush.go for the flusher, group commit, and
+// rotation.
 package wal
 
 import (
@@ -21,7 +31,9 @@ import (
 	"repro/internal/obs"
 )
 
-// LSN is a log sequence number: the byte offset of a record in the log.
+// LSN is a log sequence number: the logical byte offset of a record in the
+// log stream. LSNs are stable across truncation — rotating the log away
+// under a record does not renumber the survivors.
 type LSN uint64
 
 // NilLSN terminates undo chains.
@@ -82,66 +94,134 @@ type Record struct {
 	Active map[uint64]LSN
 }
 
+// Obs is the set of observability hooks a Log mirrors its activity into.
+// Nil fields are no-ops (the obs types are nil-safe); set before concurrent
+// use.
+type Obs struct {
+	// Appends counts appended records, Flushes counts fsyncs, Bytes counts
+	// appended bytes, TruncatedBytes counts log-prefix bytes dropped by
+	// rotation.
+	Appends, Flushes, Bytes, TruncatedBytes *obs.Counter
+	// GroupSize records, per fsync, how many parked commits it made durable
+	// (via Histogram.ObserveCount: .n = fsyncs that served commits, .us =
+	// total commits served).
+	GroupSize *obs.Histogram
+}
+
 // Log is an append-only write-ahead log backed by one file.
+//
+// Logical layout: LSNs [base, written) live in the file, [written,
+// written+len(writing)) are mid-write by the flusher, and the tail up to
+// size sits in the pending buffer. written and pending boundaries always
+// fall on record boundaries, so any record lives wholly in one region.
 type Log struct {
-	mu      sync.Mutex
-	f       *os.File
-	size    int64
-	flushed int64
-	lastLSN map[uint64]LSN // per-transaction undo chain heads
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast whenever flushed advances
 
-	obsAppends, obsFlushes, obsBytes *obs.Counter
+	base     LSN   // LSN of the first byte retained in the file
+	size     int64 // logical append point (next LSN)
+	written  int64 // records below this are in the file
+	flushed  int64 // records below this are durable
+	pending  []byte
+	writing  []byte // owned by an in-flight flush (ioMu holder)
+	lastLSN  map[uint64]LSN // per-transaction undo chain heads
+	firstLSN map[uint64]LSN // per-transaction first record (truncation floor)
+	nparked  int            // commits currently parked on the flusher
+	closed   bool
+	ioErr    error // sticky flusher I/O error, reported to waiters
+
+	// ioMu serialises the write+fsync and rotation sections so that at most
+	// one goroutine owns the file position and the writing buffer.
+	ioMu sync.Mutex
+	f    *os.File
+	path string
+
+	flushC chan struct{} // wakes the flusher (capacity 1)
+	quit   chan struct{}
+	done   chan struct{}
+
+	obs Obs
 }
 
-// SetObs attaches observability counters for appended records, fsyncs, and
-// appended bytes. Nil counters are no-ops; call before concurrent use.
-func (l *Log) SetObs(appends, flushes, bytes *obs.Counter) {
-	l.obsAppends, l.obsFlushes, l.obsBytes = appends, flushes, bytes
-}
+// SetObs attaches observability hooks; call before concurrent use.
+func (l *Log) SetObs(o Obs) { l.obs = o }
 
-const logHeaderSize = 8 // magic
+// Log file header: magic, format version, base LSN of the first record.
+const logHeaderSize = 16
 const logMagic = 0x47525457
+const logVersion = 2
+
+var errClosed = errors.New("wal: log closed")
+
+// encode buffers are pooled across flush cycles; oversized ones (a huge
+// checkpoint or image burst) are dropped rather than pinned forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
 
 // Open opens or creates the log at path and positions appends at its end
-// (discarding a torn tail, if any).
+// (discarding a torn tail, if any). The startup scan begins at the log's
+// base LSN, so a checkpointed-and-truncated log opens in time proportional
+// to the retained suffix, not total history.
 func Open(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	l := &Log{f: f, lastLSN: make(map[uint64]LSN)}
+	l := &Log{
+		f:        f,
+		path:     path,
+		lastLSN:  make(map[uint64]LSN),
+		firstLSN: make(map[uint64]LSN),
+		flushC:   make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	if st.Size() == 0 {
-		var hdr [logHeaderSize]byte
-		binary.BigEndian.PutUint32(hdr[:4], logMagic)
-		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		l.base = logHeaderSize
+		if err := writeHeader(f, l.base); err != nil {
 			f.Close()
 			return nil, err
 		}
-		l.size = logHeaderSize
-		l.flushed = logHeaderSize
-		return l, nil
-	}
-	var hdr [logHeaderSize]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if binary.BigEndian.Uint32(hdr[:4]) != logMagic {
-		f.Close()
-		return nil, fmt.Errorf("wal: %s is not a log file", path)
+	} else {
+		var hdr [logHeaderSize]byte
+		if _, err := io.ReadFull(io.NewSectionReader(f, 0, logHeaderSize), hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s: short header", path)
+		}
+		if binary.BigEndian.Uint32(hdr[:4]) != logMagic {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s is not a log file", path)
+		}
+		if v := binary.BigEndian.Uint32(hdr[4:8]); v != logVersion {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s: unsupported log version %d", path, v)
+		}
+		l.base = LSN(binary.BigEndian.Uint64(hdr[8:16]))
 	}
 	// Scan to the end of valid records to find the append point and rebuild
-	// per-transaction chains.
-	end := int64(logHeaderSize)
+	// per-transaction chains. The sentinel makes readAt treat the whole
+	// stream as file-resident while the logical bounds are still unknown.
+	l.size = 1 << 62
+	l.written = 1 << 62
+	end := int64(l.base)
 	err = l.scan(func(r Record) error {
+		if _, ok := l.firstLSN[r.Tx]; !ok && r.Type != RecCheckpoint {
+			l.firstLSN[r.Tx] = r.LSN
+		}
 		l.lastLSN[r.Tx] = r.LSN
 		if r.Type == RecCommit || r.Type == RecAbort {
 			delete(l.lastLSN, r.Tx)
+			delete(l.firstLSN, r.Tx)
 		}
 		end = int64(r.LSN) + int64(recordDiskSize(r))
 		return nil
@@ -151,19 +231,47 @@ func Open(path string) (*Log, error) {
 		return nil, err
 	}
 	l.size = end
+	l.written = end
 	l.flushed = end
+	go l.flusher()
 	return l, nil
 }
 
-// Close flushes and closes the log.
+func writeHeader(f *os.File, base LSN) error {
+	var hdr [logHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], logMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], logVersion)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(base))
+	_, err := f.WriteAt(hdr[:], 0)
+	return err
+}
+
+// fileOff maps a logical LSN to its offset in the current file. Caller
+// holds mu (or ioMu during a flush, which excludes rotation).
+func (l *Log) fileOff(lsn int64) int64 {
+	return logHeaderSize + (lsn - int64(l.base))
+}
+
+// Close stops the flusher (which drains and fsyncs the tail) and closes the
+// file. Safe to call twice.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		l.f.Close()
-		return err
+	if l.closed {
+		l.mu.Unlock()
+		return nil
 	}
-	return l.f.Close()
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	l.mu.Lock()
+	err := l.ioErr
+	l.cond.Broadcast() // release any stragglers; flushed covers them now
+	l.mu.Unlock()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LastLSN returns the head of tx's undo chain.
@@ -173,29 +281,89 @@ func (l *Log) LastLSN(tx uint64) LSN {
 	return l.lastLSN[tx]
 }
 
-// Append writes the record (filling in LSN and PrevLSN) and returns its LSN.
-// The record reaches durable storage on the next Flush (Commit flushes
-// implicitly).
+// Size returns the logical append point: total bytes ever appended plus the
+// header. Monotonic across truncation (the checkpointer thresholds on its
+// growth).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Base returns the LSN of the oldest retained byte (advances on TruncateTo).
+func (l *Log) Base() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// ActiveTxs returns a copy of the live-transaction table (tx -> last LSN).
+func (l *Log) ActiveTxs() map[uint64]LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[uint64]LSN, len(l.lastLSN))
+	for tx, lsn := range l.lastLSN {
+		out[tx] = lsn
+	}
+	return out
+}
+
+// OldestActive returns the smallest first-record LSN among live
+// transactions, or NilLSN when none are live. Truncation must not pass it.
+func (l *Log) OldestActive() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	min := NilLSN
+	for _, lsn := range l.firstLSN {
+		if min == NilLSN || lsn < min {
+			min = lsn
+		}
+	}
+	return min
+}
+
+// Append buffers the record (filling in LSN and PrevLSN) and returns its
+// LSN. No syscall happens here: the record reaches the file on the next
+// flush (the flusher's cadence, a commit, or an explicit Flush).
 func (l *Log) Append(r Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return NilLSN, errClosed
+	}
+	return l.appendLocked(r), nil
+}
+
+// appendLocked encodes r directly into the pooled tail buffer — the only
+// copy of the image bytes the log ever makes — and updates the
+// per-transaction chains. Caller holds mu.
+func (l *Log) appendLocked(r Record) LSN {
 	r.LSN = LSN(l.size)
 	if r.Type != RecCheckpoint {
 		r.PrevLSN = l.lastLSN[r.Tx]
 	}
-	buf := encodeRecord(r)
-	if _, err := l.f.WriteAt(buf, l.size); err != nil {
-		return NilLSN, err
+	if l.pending == nil {
+		l.pending = (*bufPool.Get().(*[]byte))[:0]
 	}
-	l.size += int64(len(buf))
-	l.obsAppends.Inc()
-	l.obsBytes.Add(uint64(len(buf)))
-	if r.Type == RecCommit || r.Type == RecAbort {
+	n0 := len(l.pending)
+	l.pending = appendRecord(l.pending, r)
+	n := len(l.pending) - n0
+	l.size += int64(n)
+	l.obs.Appends.Inc()
+	l.obs.Bytes.Add(uint64(n))
+	switch r.Type {
+	case RecCommit, RecAbort:
 		delete(l.lastLSN, r.Tx)
-	} else if r.Type != RecCheckpoint {
+		delete(l.firstLSN, r.Tx)
+	case RecCheckpoint:
+		// no chain bookkeeping
+	default:
 		l.lastLSN[r.Tx] = r.LSN
+		if _, ok := l.firstLSN[r.Tx]; !ok {
+			l.firstLSN[r.Tx] = r.LSN
+		}
 	}
-	return r.LSN, nil
+	return r.LSN
 }
 
 // Begin appends a BEGIN record for tx.
@@ -203,21 +371,20 @@ func (l *Log) Begin(tx uint64) (LSN, error) {
 	return l.Append(Record{Type: RecBegin, Tx: tx})
 }
 
-// Update appends a physical byte-range update record.
+// Update appends a physical byte-range update record. The images are copied
+// exactly once, into the tail buffer, before Update returns — callers may
+// reuse their slices immediately.
 func (l *Log) Update(tx uint64, space uint32, page uint64, offset uint16, before, after []byte) (LSN, error) {
 	return l.Append(Record{
 		Type: RecUpdate, Tx: tx, Space: space, Page: page, Offset: offset,
-		Before: append([]byte(nil), before...), After: append([]byte(nil), after...),
+		Before: before, After: after,
 	})
 }
 
-// Commit appends a COMMIT record and forces the log to durable storage.
+// Commit appends a COMMIT record and returns once it is durable, riding the
+// flusher's group commit (CommitGroup). Use CommitWith to pick the mode.
 func (l *Log) Commit(tx uint64) (LSN, error) {
-	lsn, err := l.Append(Record{Type: RecCommit, Tx: tx})
-	if err != nil {
-		return NilLSN, err
-	}
-	return lsn, l.Flush()
+	return l.CommitWith(tx, CommitGroup)
 }
 
 // Abort appends an ABORT record (the caller must already have applied the
@@ -227,29 +394,56 @@ func (l *Log) Abort(tx uint64) (LSN, error) {
 }
 
 // Checkpoint appends a checkpoint record carrying the active-transaction
-// table and flushes.
+// table and makes it durable. Pass nil to snapshot the log's own
+// live-transaction table atomically with the append (the engine's
+// checkpointer does; tests may pass an explicit table).
 func (l *Log) Checkpoint(active map[uint64]LSN) (LSN, error) {
+	lsn, _, err := l.checkpoint(active)
+	return lsn, err
+}
+
+// CheckpointCut appends a checkpoint record (snapshotting the live
+// transactions atomically) and also returns the truncation cutoff: the
+// oldest LSN recovery still needs, i.e. the minimum of the checkpoint LSN
+// and every live transaction's first record. Any transaction whose page
+// writes might still be in flight is live at the moment the record is
+// appended, so forcing dirty pages after this call and truncating to the
+// cutoff is safe.
+func (l *Log) CheckpointCut() (lsn, cutoff LSN, err error) {
+	return l.checkpoint(nil)
+}
+
+func (l *Log) checkpoint(active map[uint64]LSN) (lsn, cutoff LSN, err error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return NilLSN, NilLSN, errClosed
+	}
+	if active == nil {
+		active = l.lastLSN
+	}
 	cp := Record{Type: RecCheckpoint, Active: make(map[uint64]LSN, len(active))}
-	for tx, lsn := range active {
-		cp.Active[tx] = lsn
+	for tx, at := range active {
+		cp.Active[tx] = at
 	}
-	lsn, err := l.Append(cp)
-	if err != nil {
-		return NilLSN, err
+	lsn = l.appendLocked(cp)
+	cutoff = lsn
+	for _, first := range l.firstLSN {
+		if first < cutoff {
+			cutoff = first
+		}
 	}
-	return lsn, l.Flush()
+	target := l.size
+	l.mu.Unlock()
+	return lsn, cutoff, l.flushTo(target)
 }
 
 // Flush forces all appended records to durable storage.
 func (l *Log) Flush() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		return err
-	}
-	l.obsFlushes.Inc()
-	l.flushed = l.size
-	return nil
+	target := l.size
+	l.mu.Unlock()
+	return l.flushTo(target)
 }
 
 // FlushedTo reports whether the record at lsn is durable.
@@ -259,15 +453,17 @@ func (l *Log) FlushedTo(lsn LSN) bool {
 	return int64(lsn) < l.flushed
 }
 
-// ReadRecord reads the record at lsn.
+// ReadRecord reads the record at lsn (from the file or, for the unflushed
+// tail, from the in-memory buffers — rollback walks chains that may not
+// have hit disk yet).
 func (l *Log) ReadRecord(lsn LSN) (Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.readAt(int64(lsn))
 }
 
-// Scan iterates all valid records in log order. Iteration stops early if fn
-// returns an error.
+// Scan iterates all valid records in log order, starting at the base (the
+// truncated prefix is gone). Iteration stops early if fn returns an error.
 func (l *Log) Scan(fn func(Record) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -275,7 +471,7 @@ func (l *Log) Scan(fn func(Record) error) error {
 }
 
 func (l *Log) scan(fn func(Record) error) error {
-	off := int64(logHeaderSize)
+	off := int64(l.base)
 	for {
 		r, err := l.readAt(off)
 		if err != nil {
@@ -293,9 +489,25 @@ func (l *Log) scan(fn func(Record) error) error {
 
 var errTorn = errors.New("wal: torn record")
 
+// readAt resolves the record at logical offset off from whichever region
+// holds it: the file, the flusher's in-flight chunk, or the pending tail.
+// Caller holds mu.
 func (l *Log) readAt(off int64) (Record, error) {
+	if off < int64(l.base) {
+		return Record{}, fmt.Errorf("wal: LSN %d is below the truncated log base %d", off, l.base)
+	}
+	pendStart := l.written + int64(len(l.writing))
+	if off >= pendStart {
+		if off >= l.size {
+			return Record{}, io.EOF
+		}
+		return decodeBytes(l.pending[off-pendStart:], off)
+	}
+	if off >= l.written {
+		return decodeBytes(l.writing[off-l.written:], off)
+	}
 	var hdr [8]byte
-	n, err := l.f.ReadAt(hdr[:], off)
+	n, err := l.f.ReadAt(hdr[:], l.fileOff(off))
 	if err != nil || n < 8 {
 		if err == nil || errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
@@ -308,9 +520,31 @@ func (l *Log) readAt(off int64) (Record, error) {
 		return Record{}, errTorn
 	}
 	payload := make([]byte, length)
-	if _, err := io.ReadFull(io.NewSectionReader(l.f, off+8, int64(length)), payload); err != nil {
+	if _, err := io.ReadFull(io.NewSectionReader(l.f, l.fileOff(off)+8, int64(length)), payload); err != nil {
 		return Record{}, errTorn
 	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, errTorn
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, err
+	}
+	r.LSN = LSN(off)
+	return r, nil
+}
+
+// decodeBytes parses one record from an in-memory region.
+func decodeBytes(b []byte, off int64) (Record, error) {
+	if len(b) < 8 {
+		return Record{}, errTorn
+	}
+	length := binary.BigEndian.Uint32(b[:4])
+	sum := binary.BigEndian.Uint32(b[4:8])
+	if length == 0 || length > 1<<24 || len(b) < 8+int(length) {
+		return Record{}, errTorn
+	}
+	payload := b[8 : 8+length]
 	if crc32.ChecksumIEEE(payload) != sum {
 		return Record{}, errTorn
 	}
@@ -329,28 +563,33 @@ func payloadSize(r Record) int {
 	return n
 }
 
-func encodeRecord(r Record) []byte {
-	payload := make([]byte, 0, payloadSize(r))
-	payload = append(payload, byte(r.Type))
-	payload = binary.BigEndian.AppendUint64(payload, r.Tx)
-	payload = binary.BigEndian.AppendUint64(payload, uint64(r.PrevLSN))
-	payload = binary.BigEndian.AppendUint32(payload, r.Space)
-	payload = binary.BigEndian.AppendUint64(payload, r.Page)
-	payload = binary.BigEndian.AppendUint16(payload, r.Offset)
-	payload = binary.BigEndian.AppendUint32(payload, uint32(len(r.Before)))
-	payload = append(payload, r.Before...)
-	payload = binary.BigEndian.AppendUint32(payload, uint32(len(r.After)))
-	payload = append(payload, r.After...)
-	payload = binary.BigEndian.AppendUint64(payload, uint64(r.UndoNext))
-	payload = binary.BigEndian.AppendUint32(payload, uint32(len(r.Active)))
+// appendRecord encodes r (8-byte length+CRC header, then payload) directly
+// onto buf. This is the single copy the image bytes make on the append
+// path.
+func appendRecord(buf []byte, r Record) []byte {
+	hdrAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	pStart := len(buf)
+	buf = append(buf, byte(r.Type))
+	buf = binary.BigEndian.AppendUint64(buf, r.Tx)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.PrevLSN))
+	buf = binary.BigEndian.AppendUint32(buf, r.Space)
+	buf = binary.BigEndian.AppendUint64(buf, r.Page)
+	buf = binary.BigEndian.AppendUint16(buf, r.Offset)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Before)))
+	buf = append(buf, r.Before...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.After)))
+	buf = append(buf, r.After...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.UndoNext))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Active)))
 	for tx, lsn := range r.Active {
-		payload = binary.BigEndian.AppendUint64(payload, tx)
-		payload = binary.BigEndian.AppendUint64(payload, uint64(lsn))
+		buf = binary.BigEndian.AppendUint64(buf, tx)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(lsn))
 	}
-	out := make([]byte, 8, 8+len(payload))
-	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
-	return append(out, payload...)
+	payload := buf[pStart:]
+	binary.BigEndian.PutUint32(buf[hdrAt:hdrAt+4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[hdrAt+4:hdrAt+8], crc32.ChecksumIEEE(payload))
+	return buf
 }
 
 func decodePayload(p []byte) (Record, error) {

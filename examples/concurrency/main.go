@@ -1,9 +1,8 @@
-// Concurrency: Section 5.3's automatic two-phase locking at the
-// large-object level, observed from multiple sessions — readers share the
-// index's large object, a writer excludes them, and under REPEATABLE READ
-// even the shared lock survives the end of the statement until the
-// transaction commits ("it is not possible to unlock a large object ...
-// while traversing a tree").
+// Concurrency: snapshot-isolated readers beside Section 5.3's two-phase
+// locking for writers, observed from multiple sessions — readers scan a
+// stable MVCC read view without acquiring any lock, a writer commits
+// mid-transaction without waiting for them, and writers among themselves
+// still serialise under strict 2PL with deadlock detection.
 //
 //	go run ./examples/concurrency
 package main
@@ -46,8 +45,8 @@ func main() {
 	}
 	setup.Close()
 
-	// Two concurrent readers: shared LO locks coexist.
-	fmt.Println("1) two readers share the index's large object:")
+	// Two concurrent readers: each scans its own snapshot, lock-free.
+	fmt.Println("1) two concurrent snapshot readers:")
 	var wg sync.WaitGroup
 	for r := 1; r <= 2; r++ {
 		wg.Add(1)
@@ -61,15 +60,15 @@ func main() {
 	}
 	wg.Wait()
 
-	// A reader holding the index under REPEATABLE READ blocks a writer
-	// until its transaction commits.
-	fmt.Println("2) repeatable-read reader vs writer:")
+	// A snapshot-isolated reader's transaction pins its read view: a writer
+	// commits underneath it without blocking, invisibly to the open
+	// transaction, and a fresh statement afterwards sees the new row.
+	fmt.Println("2) snapshot reader vs committing writer:")
 	reader := e.NewSession()
-	mustIn(reader, `SET ISOLATION TO REPEATABLE READ`)
+	mustIn(reader, `SET ISOLATION TO SNAPSHOT`)
 	mustIn(reader, `BEGIN WORK`)
-	mustIn(reader, `SELECT COUNT(*) FROM T WHERE Overlaps(X, '1/97, UC, 1/97, NOW')`)
-	fmt.Println("   reader finished its statement but its transaction stays open;")
-	fmt.Println("   its shared LO lock persists past am_close (Section 5.3)")
+	before := mustIn(reader, `SELECT COUNT(*) FROM T`)
+	fmt.Printf("   reader's transaction pinned a snapshot: %v rows\n", before.Rows[0][0])
 
 	writerDone := make(chan time.Duration)
 	go func() {
@@ -79,14 +78,12 @@ func main() {
 		mustIn(s, `INSERT INTO T VALUES (99, '9/97, UC, 9/97, NOW')`)
 		writerDone <- time.Since(start)
 	}()
-	select {
-	case d := <-writerDone:
-		fmt.Printf("   UNEXPECTED: writer finished while the reader held the lock (%v)\n", d)
-	case <-time.After(150 * time.Millisecond):
-		fmt.Println("   writer is blocked on the large-object lock ... committing the reader")
-	}
+	fmt.Printf("   writer committed in %v without waiting for the reader\n", <-writerDone)
+	during := mustIn(reader, `SELECT COUNT(*) FROM T`)
+	fmt.Printf("   reader still sees %v rows inside its transaction\n", during.Rows[0][0])
 	mustIn(reader, `COMMIT`)
-	fmt.Printf("   writer completed %v after the reader committed\n", <-writerDone)
+	after := mustIn(reader, `SELECT COUNT(*) FROM T`)
+	fmt.Printf("   after commit a fresh statement sees %v rows\n", after.Rows[0][0])
 	reader.Close()
 
 	// Deadlock detection: two transactions locking two tables in opposite

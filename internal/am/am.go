@@ -112,6 +112,12 @@ type ScanDesc struct {
 	// not profiled). The framework counts rows delivered by the access
 	// method here; blades may additionally record their own slot counts.
 	Obs *obs.ExecContext
+
+	// Snapshot is the statement's MVCC read view. The server applies it when
+	// resolving the rowids the access method returns against the heap, so
+	// blades never consult it — it rides on the descriptor because the
+	// resolution happens per batch, including inside parallel scan workers.
+	Snapshot *heap.Snapshot
 }
 
 // ScanBatch is the am_getmulti output buffer: parallel slices of qualifying

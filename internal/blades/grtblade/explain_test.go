@@ -1,6 +1,7 @@
 package grtblade
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -33,6 +34,12 @@ func TestExplainGoldenIndexScan(t *testing.T) {
 	setupEmpDep(t, s)
 
 	res := exec(t, s, `EXPLAIN SELECT Name FROM Employees WHERE Overlaps(Time_Extent, '12/10/95, UC, 12/10/95, NOW')`)
+	// The snapshot cut is the WAL's append position at EXPLAIN time — not a
+	// constant — so the golden takes it from the structured plan after
+	// asserting a read view was captured at all.
+	if res.Plan == nil || res.Plan.SnapshotLSN == 0 {
+		t.Fatalf("EXPLAIN SELECT captured no MVCC snapshot: %+v", res.Plan)
+	}
 	want := strings.Join([]string{
 		"SELECT on Employees",
 		"  -> index scan on grt_index via grtree_am",
@@ -42,6 +49,7 @@ func TestExplainGoldenIndexScan(t *testing.T) {
 		"       am_scancost: 1.21 (seqscan cost 1.00)",
 		"       batch:       64 rows per am_getmulti",
 		"       filter:      WHERE re-checked per row",
+		fmt.Sprintf("       snapshot=%d", res.Plan.SnapshotLSN),
 	}, "\n")
 	if got := planText(t, res); got != want {
 		t.Fatalf("index plan mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
@@ -61,10 +69,14 @@ func TestExplainGoldenSeqscanFallback(t *testing.T) {
 	// No strategy function over the indexed column: the optimizer has no
 	// reason to consider the GR-tree and falls back to the heap.
 	res := exec(t, s, `EXPLAIN SELECT Name FROM Employees WHERE Name = 'Jane'`)
+	if res.Plan == nil || res.Plan.SnapshotLSN == 0 {
+		t.Fatalf("EXPLAIN SELECT captured no MVCC snapshot: %+v", res.Plan)
+	}
 	want := strings.Join([]string{
 		"SELECT on Employees",
 		"  -> sequential heap scan (cost 1.00: heap pages)",
 		"       filter:      WHERE re-checked per row",
+		fmt.Sprintf("       snapshot=%d", res.Plan.SnapshotLSN),
 	}, "\n")
 	if got := planText(t, res); got != want {
 		t.Fatalf("seqscan plan mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -121,6 +121,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.recordWrite(table, rid, heap.StampBegin)
 		for _, oi := range idxs {
 			if oi.ps.Insert == nil {
 				return nil, errf(CodeFeature, "access method %s cannot insert", oi.ix.AmName)
@@ -190,6 +191,7 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.recordWrite(table, rid, heap.StampBegin)
 		for _, oi := range idxs {
 			if oi.ps.Insert == nil {
 				return nil, errf(CodeFeature, "access method %s cannot insert", oi.ix.AmName)
@@ -405,9 +407,9 @@ func (s *Session) constantFor(ex sql.Expr, target types.Type) types.Datum {
 // individually. Index scans go through am_getmulti (or the am_getnext
 // adapter); heap scans through the batched sequential scanner.
 func (s *Session) scanRows(tb *catalog.Table, table *heap.Table, schema []types.Type, where sql.Expr,
-	path accessPath, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
+	path accessPath, snap *heap.Snapshot, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
 
-	it, err := s.openBatchScan(tb, table, schema, where, path, 1)
+	it, err := s.openBatchScan(tb, table, schema, where, path, 1, snap)
 	if err != nil {
 		return err
 	}
@@ -439,9 +441,9 @@ func (s *Session) scanRows(tb *catalog.Table, table *heap.Table, schema []types.
 // one through the same scan, so batching ahead of the deletes would hand
 // the cursor stale rowids whenever the tree condenses under it.
 func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []types.Type, where sql.Expr,
-	oi *openIndex, qual *am.Qual, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
+	oi *openIndex, qual *am.Qual, snap *heap.Snapshot, fn func(rid heap.RowID, row []types.Datum) (bool, error)) error {
 
-	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, Obs: s.ec}
+	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, Obs: s.ec, Snapshot: snap}
 	if oi.ps.BeginScan != nil {
 		s.amCall("am_beginscan", oi.desc.Name)
 		if err := oi.ps.BeginScan(s.ctx, sd); err != nil {
@@ -468,9 +470,12 @@ func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []t
 			return nil
 		}
 		s.ec.AddScanned(1)
-		row, err := table.Get(rid)
+		row, visible, err := table.GetVersion(rid, sd.Snapshot)
 		if err != nil {
 			return errf(CodeInternal, "index %s returned dangling %v: %w", oi.desc.Name, rid, err)
+		}
+		if !visible {
+			continue // version outside the scan's read view
 		}
 		if where != nil {
 			ok, err := s.evalBool(where, tb, schema, row)
@@ -503,9 +508,8 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 		}
 		return nil, err
 	}
-	if err := s.lockTable(tb, lock.Shared); err != nil {
-		return nil, err
-	}
+	// No shared lock: reads run against an MVCC snapshot, so a SELECT never
+	// touches the lock manager and never blocks (or is blocked by) writers.
 	table, err := s.e.Table(tb.Name)
 	if err != nil {
 		return nil, err
@@ -524,6 +528,9 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 	}
 	plan.Operation = "SELECT"
 	plan.Workers = s.scanDegree(path, plan, table)
+	snap := s.stmtSnapshot(false)
+	plan.SnapshotLSN = snap.ReadLSN
+	s.ec.SetSnapshot(snap.ReadLSN)
 
 	// Projection.
 	countStar := len(t.Items) == 1 && t.Items[0].CountStar
@@ -554,7 +561,7 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 	// individually only in the client-facing Result.
 	res := &Result{Columns: cols, Plan: plan}
 	count := 0
-	it, err := s.openBatchScan(tb, table, schema, t.Where, path, plan.Workers)
+	it, err := s.openBatchScan(tb, table, schema, t.Where, path, plan.Workers, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -622,12 +629,22 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 	if path.index != nil {
 		plan.BatchCap = 1 // the interleaved DELETE stays row-at-a-time (Section 5.5)
 	}
+	// Write statements scan under a fresh committed view captured after the
+	// X lock, so the versions they target are the latest committed ones.
+	snap := s.stmtSnapshot(true)
+	plan.SnapshotLSN = snap.ReadLSN
+	s.ec.SetSnapshot(snap.ReadLSN)
 
 	deleted := 0
 	deleteRow := func(rid heap.RowID, row []types.Datum) error {
-		if _, err := table.Delete(s.tx, rid); err != nil {
+		ended, err := table.Delete(s.tx, rid)
+		if err != nil {
 			return err
 		}
+		if !ended {
+			return nil // version already ended by this transaction
+		}
+		s.recordWrite(table, rid, heap.StampEnd)
 		for _, oi := range idxs {
 			if oi.ps.Delete == nil {
 				return errf(CodeFeature, "access method %s cannot delete", oi.ix.AmName)
@@ -647,7 +664,7 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 		// Interleaved scan-and-delete through the index, on the
 		// row-at-a-time am_getnext protocol (Section 5.5; see
 		// scanRowsTuple for why this path does not batch).
-		err = s.scanRowsTuple(tb, table, schema, t.Where, path.index, path.qual, func(rid heap.RowID, row []types.Datum) (bool, error) {
+		err = s.scanRowsTuple(tb, table, schema, t.Where, path.index, path.qual, snap, func(rid heap.RowID, row []types.Datum) (bool, error) {
 			return true, deleteRow(rid, row)
 		})
 		if err != nil {
@@ -661,7 +678,7 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 			row []types.Datum
 		}
 		var victims []victim
-		err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
+		err = s.scanRows(tb, table, schema, t.Where, path, snap, func(rid heap.RowID, row []types.Datum) (bool, error) {
 			victims = append(victims, victim{rid, row})
 			return true, nil
 		})
@@ -713,13 +730,17 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 		return nil, err
 	}
 	plan.Operation = "UPDATE"
+	// Fresh committed view after the X lock (see deleteStmt).
+	snap := s.stmtSnapshot(true)
+	plan.SnapshotLSN = snap.ReadLSN
+	s.ec.SetSnapshot(snap.ReadLSN)
 
 	type target struct {
 		rid heap.RowID
 		row []types.Datum
 	}
 	var targets []target
-	err = s.scanRows(tb, table, schema, t.Where, path, func(rid heap.RowID, row []types.Datum) (bool, error) {
+	err = s.scanRows(tb, table, schema, t.Where, path, snap, func(rid heap.RowID, row []types.Datum) (bool, error) {
 		targets = append(targets, target{rid, append([]types.Datum(nil), row...)})
 		return true, nil
 	})
@@ -744,6 +765,8 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.recordWrite(table, tg.rid, heap.StampEnd)
+		s.recordWrite(table, newRid, heap.StampBegin)
 		for _, oi := range idxs {
 			if oi.ps.Update == nil {
 				return nil, errf(CodeFeature, "access method %s cannot update", oi.ix.AmName)

@@ -58,6 +58,10 @@ type Options struct {
 	// checkpoint) that triggers a checkpoint at the next wakeup (default
 	// 1 MiB).
 	CheckpointThreshold int64
+	// VacuumInterval is how often the background version vacuum wakes to
+	// reclaim tuple versions no live snapshot can see (default 1s; negative
+	// disables the daemon — tests drive VacuumNow explicitly).
+	VacuumInterval time.Duration
 	// Types, when set, is called with the fresh type registry before the
 	// catalogued storage opens — blades register their opaque types here so
 	// tables with opaque columns can be re-opened from the catalog.
@@ -107,8 +111,28 @@ type Engine struct {
 	tables      map[string]*heap.Table // by lower name
 	libs        map[string]am.Library
 	amCache     map[string]*am.PurposeSet
-	nextTx      uint64
 	nextSession uint64
+
+	// MVCC state (see snapshot.go). mvccMu orders transaction-id
+	// allocation (nextTx), the active set, snapshot capture/release, and
+	// the vacuum horizon read against commit-time deactivation; mvccClock
+	// is the logical commit clock for NoWAL engines. nextTx is seeded from
+	// the WAL's logical size at Open so restarted engines never reuse a
+	// stamped transaction id (every transaction appends more than one log
+	// byte; a NoWAL engine over persistent files has no such guard and is
+	// not restart-safe — it was never crash-safe to begin with).
+	mvccMu      sync.Mutex
+	nextTx      uint64
+	mvccActive  map[uint64]struct{}
+	mvccSnaps   map[uint64]uint64 // registered snapshot id -> readLSN
+	mvccSnapSeq uint64
+	mvccClock   atomic.Uint64
+	mvccCreated, mvccSkipped, mvccVacuumed *obs.Counter
+
+	// Version-vacuum daemon state (mirrors the checkpointer's).
+	vacQuit chan struct{}
+	vacDone chan struct{}
+	vacStop sync.Once
 
 	traceOn     atomic.Bool
 	traceMu     sync.Mutex
@@ -133,6 +157,9 @@ func Open(opts Options) (*Engine, error) {
 	if opts.CheckpointThreshold <= 0 {
 		opts.CheckpointThreshold = 1 << 20
 	}
+	if opts.VacuumInterval == 0 {
+		opts.VacuumInterval = time.Second
+	}
 	e := &Engine{
 		opts:       opts,
 		mem:        opts.Dir == "",
@@ -145,6 +172,8 @@ func Open(opts Options) (*Engine, error) {
 		tables:     make(map[string]*heap.Table),
 		libs:       make(map[string]am.Library),
 		amCache:    make(map[string]*am.PurposeSet),
+		mvccActive: make(map[uint64]struct{}),
+		mvccSnaps:  make(map[uint64]uint64),
 	}
 	tw := opts.TraceWriter
 	if tw == nil {
@@ -200,7 +229,13 @@ func Open(opts Options) (*Engine, error) {
 	if e.log != nil {
 		e.cpLast.Store(e.log.Size())
 		e.startCheckpointer()
+		// Seed the transaction-id space above every id a previous
+		// incarnation can have stamped into version headers: each
+		// transaction appends at least one multi-byte record, so the old
+		// maximum id is strictly below the log's logical size.
+		e.nextTx = uint64(e.log.Size())
 	}
+	e.startVacuum()
 	return e, nil
 }
 
@@ -225,6 +260,9 @@ func (e *Engine) registerCoreCounters() {
 	e.walCheckpoints = e.obs.Counter("wal.checkpoints")
 	e.commitLat = e.obs.Histogram("wal.commit_latency")
 	e.obs.Histogram("wal.group_size")
+	e.mvccCreated = e.obs.Counter("mvcc.versions_created")
+	e.mvccSkipped = e.obs.Counter("mvcc.versions_skipped")
+	e.mvccVacuumed = e.obs.Counter("mvcc.vacuumed")
 	e.amCounters = make(map[string]*obs.Counter, len(am.PurposeSlots))
 	for _, slot := range am.PurposeSlots {
 		e.amCounters[slot] = e.obs.Counter("am." + slot)
@@ -300,6 +338,11 @@ func (e *Engine) attachTable(tb *catalog.Table, create bool) error {
 	if err != nil {
 		return err
 	}
+	t.SetObs(heap.Obs{
+		VersionsCreated: e.mvccCreated,
+		VersionsSkipped: e.mvccSkipped,
+		Vacuumed:        e.mvccVacuumed,
+	})
 	e.mu.Lock()
 	e.tables[strings.ToLower(tb.Name)] = t
 	e.spacePools[tb.SpaceID] = bp
@@ -351,6 +394,7 @@ func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
+	e.stopVacuum()
 	e.stopCheckpointer()
 	var first error
 	if e.log != nil {
@@ -392,6 +436,7 @@ func (e *Engine) Close() error {
 // up. Only tests call this.
 func (e *Engine) CrashForTesting() {
 	e.closed.Store(true) // a later Close must not checkpoint the "dead" engine
+	e.stopVacuum()
 	e.stopCheckpointer()
 	e.mu.Lock()
 	for _, bp := range e.spacePools {
@@ -548,13 +593,17 @@ func (j engineJournal) LogUpdate(tx uint64, space uint32, page uint64, off uint1
 // stay cache-coherent.
 type bufStore struct{ bp *storage.BufferPool }
 
-// ReadPage implements wal.PageStore.
+// ReadPage implements wal.PageStore. Frame latches keep rollback's page
+// reads coherent against lock-free snapshot scans of other tables' pages
+// sharing the pool machinery.
 func (b bufStore) ReadPage(id uint64, buf []byte) error {
 	f, err := b.bp.Fetch(storage.PageID(id))
 	if err != nil {
 		return err
 	}
+	f.RLatch()
 	copy(buf, f.Data)
+	f.RUnlatch()
 	b.bp.Unpin(f, false)
 	return nil
 }
@@ -565,7 +614,9 @@ func (b bufStore) WritePage(id uint64, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	f.Latch()
 	copy(f.Data, buf)
+	f.Unlatch()
 	b.bp.Unpin(f, true)
 	return nil
 }
@@ -616,6 +667,14 @@ type Session struct {
 	// statements); ExecStmt installs it and hands the finished Profile to the
 	// Result.
 	ec *obs.ExecContext
+
+	// MVCC read views (see snapshot.go): curSnap is statement-scoped,
+	// txSnap transaction-scoped (REPEATABLE READ / SNAPSHOT); writes lists
+	// the versions the open transaction created or ended, stamped with the
+	// commit LSN at commitTx.
+	curSnap *heldSnap
+	txSnap  *heldSnap
+	writes  []verStamp
 }
 
 // NewSession opens a session (default isolation: Committed Read). The
@@ -646,7 +705,7 @@ func (s *Session) beginTx(explicit bool) error {
 		}
 		return nil
 	}
-	s.tx = atomic.AddUint64(&s.e.nextTx, 1)
+	s.tx = s.e.mvccBegin()
 	s.explicit = explicit
 	if s.e.log != nil {
 		if _, err := s.e.log.Begin(s.tx); err != nil {
@@ -656,10 +715,23 @@ func (s *Session) beginTx(explicit bool) error {
 	return nil
 }
 
-// commitTx commits the current transaction.
+// commitTx commits the current transaction: every version it created or
+// ended is stamped with the commit LSN (WAL-logged page edits, appended
+// before the commit record), the commit record is made durable, and only
+// then is the transaction deactivated — the ordering that makes all of its
+// versions turn visible atomically (snapshots captured before deactivation
+// still carry it in Active and ignore the stamps).
 func (s *Session) commitTx() error {
 	if s.tx == 0 {
 		return errf(CodeNoActiveTx, "no transaction to commit")
+	}
+	if len(s.writes) > 0 {
+		stamp := s.e.nextStamp()
+		for _, w := range s.writes {
+			if err := w.table.StampVersion(s.tx, w.rid, w.kind, stamp); err != nil {
+				return err // transaction stays open; the caller rolls back
+			}
+		}
 	}
 	if s.e.log != nil {
 		start := time.Now()
@@ -668,10 +740,13 @@ func (s *Session) commitTx() error {
 		}
 		s.e.commitLat.Observe(time.Since(start))
 	}
+	s.e.mvccEnd(s.tx)
+	s.releaseTxSnap()
 	s.ctx.EndTransaction(mi.TxCommit)
 	s.e.lm.ReleaseAll(lock.TxID(s.tx))
 	s.tx = 0
 	s.explicit = false
+	s.writes = s.writes[:0]
 	return nil
 }
 
@@ -683,12 +758,20 @@ func (s *Session) rollbackTx() error {
 	}
 	var err error
 	if s.e.log != nil {
+		// Physical undo restores every version header and slot the
+		// transaction touched byte for byte, so the chains revert without
+		// MVCC-specific logic. (NoWAL engines leave the garbage versions
+		// behind: never stamped, they stay invisible to committed reads
+		// and the vacuum reclaims them.)
 		err = wal.Rollback(s.e.log, s.e.mapStores(), s.tx)
 	}
+	s.e.mvccEnd(s.tx)
+	s.releaseTxSnap()
 	s.ctx.EndTransaction(mi.TxAbort)
 	s.e.lm.ReleaseAll(lock.TxID(s.tx))
 	s.tx = 0
 	s.explicit = false
+	s.writes = s.writes[:0]
 	return err
 }
 

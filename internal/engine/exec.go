@@ -106,6 +106,8 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st sql.Statement) (*Result, e
 			s.iso = lock.CommittedRead
 		case "REPEATABLE READ":
 			s.iso = lock.RepeatableRead
+		case "SNAPSHOT":
+			s.iso = lock.Snapshot
 		default:
 			return nil, errf(CodeInvalidParameter, "unknown isolation level %q", t.Level)
 		}
@@ -142,6 +144,10 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st sql.Statement) (*Result, e
 	ec := obs.NewExecContext(s.e.obs)
 	s.ec = ec
 	defer func() { s.ec = nil }()
+	// The statement-scoped read view (if the statement captures one) is
+	// released after the statement — and its auto-commit — resolves, so it
+	// pins the vacuum horizon for exactly the statement's lifetime.
+	defer s.releaseStmtSnap()
 	attach := func(res *Result) *Result {
 		if res != nil {
 			res.Stats = ec.Finish()

@@ -38,8 +38,8 @@ type heapBatchIter struct {
 	ec    *obs.ExecContext
 }
 
-func newHeapBatchIter(table *heap.Table, batch int, ec *obs.ExecContext) *heapBatchIter {
-	return &heapBatchIter{sc: table.NewScanner(), batch: batch, ec: ec}
+func newHeapBatchIter(table *heap.Table, batch int, ec *obs.ExecContext, snap *heap.Snapshot) *heapBatchIter {
+	return &heapBatchIter{sc: table.NewScanner(snap), batch: batch, ec: ec}
 }
 
 func (it *heapBatchIter) next() (*rowBatch, error) {
@@ -71,11 +71,11 @@ type indexBatchIter struct {
 	closed bool
 }
 
-func (s *Session) newIndexBatchIter(oi *openIndex, table *heap.Table, qual *am.Qual, batch int) (*indexBatchIter, error) {
+func (s *Session) newIndexBatchIter(oi *openIndex, table *heap.Table, qual *am.Qual, batch int, snap *heap.Snapshot) (*indexBatchIter, error) {
 	if batch < 1 {
 		batch = 1
 	}
-	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, BatchCap: batch, Obs: s.ec}
+	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, BatchCap: batch, Obs: s.ec, Snapshot: snap}
 	if oi.ps.BeginScan != nil {
 		s.amCall("am_beginscan", oi.desc.Name)
 		err := oi.ps.BeginScan(s.ctx, sd)
@@ -130,16 +130,29 @@ func (it *indexBatchIter) next() (*rowBatch, error) {
 		return nil, nil
 	}
 	rb := &rowBatch{
-		rids: make([]heap.RowID, n),
-		rows: make([][]types.Datum, n),
+		rids: make([]heap.RowID, 0, n),
+		rows: make([][]types.Datum, 0, n),
 	}
-	copy(rb.rids, sd.Batch.RowIDs[:n])
+	// Resolve rowids against the heap under the scan's snapshot: versions
+	// the snapshot cannot see are dropped here (the index reflects write-time
+	// state; visibility is decided at rid→row resolution).
 	for i := 0; i < n; i++ {
-		row, err := it.table.Get(rb.rids[i])
+		rid := sd.Batch.RowIDs[i]
+		row, ok, err := it.table.GetVersion(rid, sd.Snapshot)
 		if err != nil {
-			return nil, errf(CodeInternal, "index %s returned dangling %v: %w", it.oi.desc.Name, rb.rids[i], err)
+			return nil, errf(CodeInternal, "index %s returned dangling %v: %w", it.oi.desc.Name, rid, err)
 		}
-		rb.rows[i] = row
+		if !ok {
+			continue
+		}
+		rb.rids = append(rb.rids, rid)
+		rb.rows = append(rb.rows, row)
+	}
+	if len(rb.rows) == 0 {
+		if it.done {
+			return nil, nil
+		}
+		return it.next() // whole batch invisible: pull the next one
 	}
 	return rb, nil
 }
@@ -209,25 +222,25 @@ func (it *filterBatchIter) close() { it.src.close() }
 // statement was planned with a parallel degree > 1) plus the WHERE
 // re-filter.
 func (s *Session) openBatchScan(tb *catalog.Table, table *heap.Table, schema []types.Type,
-	where sql.Expr, path accessPath, workers int) (batchIterator, error) {
+	where sql.Expr, path accessPath, workers int, snap *heap.Snapshot) (batchIterator, error) {
 	batch := s.e.opts.ScanBatchSize
 	var src batchIterator
 	if path.index != nil {
 		var it batchIterator
 		var err error
 		if workers > 1 {
-			it, err = s.newParallelIndexIter(path.index, table, path.qual, batch, workers)
+			it, err = s.newParallelIndexIter(path.index, table, path.qual, batch, workers, snap)
 		} else {
-			it, err = s.newIndexBatchIter(path.index, table, path.qual, batch)
+			it, err = s.newIndexBatchIter(path.index, table, path.qual, batch, snap)
 		}
 		if err != nil {
 			return nil, err
 		}
 		src = it
 	} else if workers > 1 {
-		src = s.newParallelHeapIter(table, batch, workers)
+		src = s.newParallelHeapIter(table, batch, workers, snap)
 	} else {
-		src = newHeapBatchIter(table, batch, s.ec)
+		src = newHeapBatchIter(table, batch, s.ec, snap)
 	}
 	if where == nil {
 		return src, nil

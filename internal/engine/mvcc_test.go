@@ -1,0 +1,406 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/lock"
+	"repro/internal/obs"
+)
+
+// MVCC acceptance tests: snapshot-isolated reads take zero locks, return the
+// pre-commit state while writers commit mid-scan (serial and parallel), the
+// isolation levels map to the right read views, version chains survive crash
+// recovery, and the vacuum reclaims only what no live snapshot can see.
+
+// lockAcquires reads the engine-global lock.acquires counter.
+func lockAcquires(e *Engine) uint64 {
+	return e.Obs().Counter("lock.acquires").Load()
+}
+
+// seedRows creates table mv(a INTEGER, pad VARCHAR(64)) with n committed rows.
+func seedRows(t *testing.T, s *Session, n int) {
+	t.Helper()
+	exec(t, s, `CREATE TABLE mv (a INTEGER, pad VARCHAR(64))`)
+	exec(t, s, `BEGIN WORK`)
+	for i := 0; i < n; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO mv VALUES (%d, 'padding-%d-abcdefghijklmnopqrstuvwxyz')`, i, i))
+	}
+	exec(t, s, `COMMIT WORK`)
+}
+
+// runMidScanCommit is the acceptance scenario: a reader opens a heap scan,
+// pulls the first batch, then a writer session inserts and deletes rows and
+// commits — all before the reader finishes. The reader must (a) never touch
+// the lock manager and (b) return exactly the pre-commit row count.
+func runMidScanCommit(t *testing.T, workers int) {
+	t.Helper()
+	e := memEngine(t)
+	w := e.NewSession()
+	defer w.Close()
+	const n = 600
+	seedRows(t, w, n)
+
+	r := e.NewSession()
+	defer r.Close()
+	tb, err := r.catTable("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := e.Table("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.ec = obs.NewExecContext(e.Obs())
+	defer func() { r.ec = nil }()
+	h := e.captureSnapshot(0, false)
+	defer e.releaseSnapshot(h)
+
+	before := lockAcquires(e)
+	it, err := r.openBatchScan(tb, table, table.Schema(), nil, accessPath{}, workers, h.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.close()
+	count := 0
+	rb, err := it.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb == nil {
+		t.Fatal("empty first batch")
+	}
+	count += len(rb.rows)
+	if got := lockAcquires(e); got != before {
+		t.Fatalf("reader acquired %d locks opening the scan", got-before)
+	}
+
+	// Writer commits mid-scan: new rows, and deletions inside the scanned
+	// range. Auto-commit statements, fully durable before the reader resumes.
+	exec(t, w, `INSERT INTO mv VALUES (10000, 'post-snapshot')`)
+	exec(t, w, `DELETE FROM mv WHERE a < 50`)
+	afterWriter := lockAcquires(e)
+
+	for {
+		rb, err := it.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb == nil {
+			break
+		}
+		count += len(rb.rows)
+	}
+	if count != n {
+		t.Fatalf("snapshot scan saw %d rows, want pre-commit %d", count, n)
+	}
+	if got := lockAcquires(e); got != afterWriter {
+		t.Fatalf("reader acquired %d locks finishing the scan", got-afterWriter)
+	}
+
+	// A fresh statement-level read observes the committed writes.
+	res := exec(t, w, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != n+1-50 {
+		t.Fatalf("post-commit count %d, want %d", got, n+1-50)
+	}
+}
+
+func TestSnapshotScanLockFreeSerial(t *testing.T) { runMidScanCommit(t, 1) }
+
+func TestSnapshotScanLockFreeParallel(t *testing.T) {
+	forceParallel(t)
+	runMidScanCommit(t, 4)
+}
+
+// TestSelectTakesNoLocks proves the SQL-level read path is lock-free: the
+// lock.acquires delta across SELECT statements is zero.
+func TestSelectTakesNoLocks(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	seedRows(t, s, 40)
+
+	before := lockAcquires(e)
+	for i := 0; i < 5; i++ {
+		res := exec(t, s, `SELECT COUNT(*) FROM mv WHERE a >= 0`)
+		if got := res.Rows[0][0].(int64); got != 40 {
+			t.Fatalf("count %d", got)
+		}
+	}
+	if got := lockAcquires(e); got != before {
+		t.Fatalf("SELECTs acquired %d locks, want 0", got-before)
+	}
+}
+
+// TestIsolationLevels exercises the level → read-view mapping end to end
+// through SQL on two sessions.
+func TestIsolationLevels(t *testing.T) {
+	e := memEngine(t)
+	w := e.NewSession()
+	defer w.Close()
+	seedRows(t, w, 10)
+	r := e.NewSession()
+	defer r.Close()
+
+	countR := func() int64 {
+		res := exec(t, r, `SELECT COUNT(*) FROM mv`)
+		return res.Rows[0][0].(int64)
+	}
+
+	// SNAPSHOT: the transaction's first read fixes the view for its whole
+	// lifetime, regardless of concurrent commits.
+	exec(t, r, `SET ISOLATION TO SNAPSHOT`)
+	if r.iso != lock.Snapshot {
+		t.Fatalf("iso = %v", r.iso)
+	}
+	exec(t, r, `BEGIN WORK`)
+	if got := countR(); got != 10 {
+		t.Fatalf("snapshot first read: %d", got)
+	}
+	exec(t, w, `INSERT INTO mv VALUES (100, 'new')`)
+	if got := countR(); got != 10 {
+		t.Fatalf("SNAPSHOT tx saw concurrent commit: %d", got)
+	}
+	exec(t, r, `COMMIT WORK`)
+	if got := countR(); got != 11 {
+		t.Fatalf("after SNAPSHOT tx end: %d", got)
+	}
+
+	// REPEATABLE READ behaves the same on the read side (one view per tx).
+	exec(t, r, `SET ISOLATION TO REPEATABLE READ`)
+	exec(t, r, `BEGIN WORK`)
+	if got := countR(); got != 11 {
+		t.Fatalf("rr first read: %d", got)
+	}
+	exec(t, w, `INSERT INTO mv VALUES (101, 'newer')`)
+	if got := countR(); got != 11 {
+		t.Fatalf("REPEATABLE READ tx saw concurrent commit: %d", got)
+	}
+	exec(t, r, `ROLLBACK WORK`)
+
+	// COMMITTED READ: each statement gets a fresh view, so the second read
+	// sees the commit; uncommitted writes stay invisible.
+	exec(t, r, `SET ISOLATION TO COMMITTED READ`)
+	if got := countR(); got != 12 {
+		t.Fatalf("committed read: %d", got)
+	}
+	exec(t, w, `BEGIN WORK`)
+	exec(t, w, `INSERT INTO mv VALUES (102, 'uncommitted')`)
+	if got := countR(); got != 12 {
+		t.Fatalf("COMMITTED READ saw uncommitted row: %d", got)
+	}
+
+	// DIRTY READ sees the uncommitted insert.
+	exec(t, r, `SET ISOLATION TO DIRTY READ`)
+	if got := countR(); got != 13 {
+		t.Fatalf("DIRTY READ missed uncommitted row: %d", got)
+	}
+	exec(t, w, `ROLLBACK WORK`)
+	exec(t, r, `SET ISOLATION TO COMMITTED READ`)
+	if got := countR(); got != 12 {
+		t.Fatalf("after rollback: %d", got)
+	}
+}
+
+// TestSnapshotWriteConflictVisibility: a SNAPSHOT transaction's own writes
+// are visible to itself before commit and stamped atomically at commit.
+func TestOwnWritesVisible(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	seedRows(t, s, 5)
+	other := e.NewSession()
+	defer other.Close()
+
+	exec(t, s, `SET ISOLATION TO SNAPSHOT`)
+	exec(t, s, `BEGIN WORK`)
+	exec(t, s, `INSERT INTO mv VALUES (50, 'mine')`)
+	exec(t, s, `UPDATE mv SET pad = 'changed' WHERE a = 0`)
+	res := exec(t, s, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != 6 {
+		t.Fatalf("own insert invisible: %d", got)
+	}
+	res = exec(t, s, `SELECT pad FROM mv WHERE a = 0`)
+	if len(res.Rows) != 1 || res.Rows[0][0].(string) != "changed" {
+		t.Fatalf("own update invisible: %+v", res.Rows)
+	}
+	// Another session sees nothing until commit.
+	res = exec(t, other, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != 5 {
+		t.Fatalf("uncommitted writes leaked: %d", got)
+	}
+	exec(t, s, `COMMIT WORK`)
+	res = exec(t, other, `SELECT pad FROM mv WHERE a = 0`)
+	if len(res.Rows) != 1 || res.Rows[0][0].(string) != "changed" {
+		t.Fatalf("committed update not visible: %+v", res.Rows)
+	}
+}
+
+// TestVersionChainCrashRecovery: committed version chains survive a crash;
+// an in-flight transaction's versions are rolled back by recovery.
+func TestVersionChainCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clock := chronon.NewVirtualClock(chronon.MustParse("9/97"))
+	e, err := Open(Options{Dir: dir, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	seedRows(t, s, 20)
+	exec(t, s, `UPDATE mv SET pad = 'v2' WHERE a < 5`)
+	exec(t, s, `DELETE FROM mv WHERE a >= 15`)
+	// Leave a transaction in flight at the crash: it must disappear.
+	exec(t, s, `BEGIN WORK`)
+	exec(t, s, `INSERT INTO mv VALUES (999, 'loser')`)
+	exec(t, s, `UPDATE mv SET pad = 'loser' WHERE a = 6`)
+	e.CrashForTesting()
+
+	e2, err := Open(Options{Dir: dir, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	s2 := e2.NewSession()
+	defer s2.Close()
+	res := exec(t, s2, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != 15 {
+		t.Fatalf("recovered count %d, want 15", got)
+	}
+	res = exec(t, s2, `SELECT COUNT(*) FROM mv WHERE pad = 'v2'`)
+	if got := res.Rows[0][0].(int64); got != 5 {
+		t.Fatalf("recovered updated rows %d, want 5", got)
+	}
+	res = exec(t, s2, `SELECT COUNT(*) FROM mv WHERE pad = 'loser'`)
+	if got := res.Rows[0][0].(int64); got != 0 {
+		t.Fatalf("loser transaction visible after recovery: %d", got)
+	}
+	// The recovered heap accepts new versions on the existing chains.
+	exec(t, s2, `UPDATE mv SET pad = 'v3' WHERE a = 0`)
+	res = exec(t, s2, `SELECT pad FROM mv WHERE a = 0`)
+	if len(res.Rows) != 1 || res.Rows[0][0].(string) != "v3" {
+		t.Fatalf("post-recovery update: %+v", res.Rows)
+	}
+}
+
+// TestVacuumReclaimsDeadVersions: the vacuum frees versions below the oldest
+// snapshot and leaves pinned ones alone.
+func TestVacuumReclaimsDeadVersions(t *testing.T) {
+	e := memEngine(t)
+	w := e.NewSession()
+	defer w.Close()
+	seedRows(t, w, 20)
+
+	// Pin a snapshot, then kill half the rows.
+	r := e.NewSession()
+	defer r.Close()
+	exec(t, r, `SET ISOLATION TO SNAPSHOT`)
+	exec(t, r, `BEGIN WORK`)
+	res := exec(t, r, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != 20 {
+		t.Fatalf("pinned count %d", got)
+	}
+	exec(t, w, `DELETE FROM mv WHERE a < 10`)
+
+	vacBase := e.Obs().Counter("mvcc.vacuumed").Load()
+	n, err := e.VacuumNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("vacuum reclaimed %d versions pinned by a live snapshot", n)
+	}
+	// The pinned snapshot still sees all 20 rows.
+	res = exec(t, r, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != 20 {
+		t.Fatalf("pinned snapshot after vacuum: %d", got)
+	}
+	exec(t, r, `COMMIT WORK`)
+
+	// Snapshot released: the dead versions fall below the horizon.
+	n, err = e.VacuumNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("vacuum reclaimed %d versions, want 10", n)
+	}
+	if got := e.Obs().Counter("mvcc.vacuumed").Load() - vacBase; got != 10 {
+		t.Fatalf("mvcc.vacuumed delta %d, want 10", got)
+	}
+	res = exec(t, w, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("post-vacuum count %d", got)
+	}
+	// Idempotent: nothing left to reclaim.
+	if n, _ := e.VacuumNow(); n != 0 {
+		t.Fatalf("second vacuum reclaimed %d", n)
+	}
+}
+
+// TestMvccCounters: versions_created moves on INSERT/UPDATE, versions_skipped
+// on snapshot scans over invisible versions.
+func TestMvccCounters(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	created := e.Obs().Counter("mvcc.versions_created")
+	base := created.Load()
+	seedRows(t, s, 8)
+	if got := created.Load() - base; got != 8 {
+		t.Fatalf("versions_created after seed: %d", got)
+	}
+	exec(t, s, `UPDATE mv SET pad = 'x' WHERE a = 1`)
+	if got := created.Load() - base; got != 9 {
+		t.Fatalf("versions_created after update: %d", got)
+	}
+
+	skipped := e.Obs().Counter("mvcc.versions_skipped")
+	sbase := skipped.Load()
+	exec(t, s, `DELETE FROM mv WHERE a = 2`)
+	exec(t, s, `SELECT COUNT(*) FROM mv`) // scans past the dead version
+	if got := skipped.Load() - sbase; got == 0 {
+		t.Fatal("versions_skipped did not move over a dead version")
+	}
+}
+
+// TestExplainSnapshotLine: EXPLAIN SELECT renders the read view's cut.
+func TestExplainSnapshotLine(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	seedRows(t, s, 3)
+	res := exec(t, s, `EXPLAIN SELECT a FROM mv WHERE a = 1`)
+	if res.Plan == nil || res.Plan.SnapshotLSN == 0 {
+		t.Fatalf("EXPLAIN captured no snapshot: %+v", res.Plan)
+	}
+	var text strings.Builder
+	for _, row := range res.Rows {
+		text.WriteString(row[0].(string))
+		text.WriteByte('\n')
+	}
+	want := fmt.Sprintf("snapshot=%d", res.Plan.SnapshotLSN)
+	if !strings.Contains(text.String(), want) {
+		t.Fatalf("EXPLAIN output missing %q:\n%s", want, text.String())
+	}
+}
+
+// TestSnapshotIsolationUnknownLevelRejected keeps the error path intact.
+func TestSetIsolationSnapshotRoundTrip(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	for stmt, want := range map[string]lock.IsolationLevel{
+		`SET ISOLATION TO DIRTY READ`:      lock.DirtyRead,
+		`SET ISOLATION TO COMMITTED READ`:  lock.CommittedRead,
+		`SET ISOLATION TO REPEATABLE READ`: lock.RepeatableRead,
+		`SET ISOLATION SNAPSHOT`:           lock.Snapshot,
+	} {
+		exec(t, s, stmt)
+		if s.iso != want {
+			t.Fatalf("%s: iso %v, want %v", stmt, s.iso, want)
+		}
+	}
+}

@@ -193,11 +193,11 @@ func (it *parallelBatchIter) close() {
 // degree through am_parallelscan, and fans the returned partitions out to
 // workers. A declined offer (nil or fewer than two partitions) falls back to
 // the serial batch protocol on the scan already begun.
-func (s *Session) newParallelIndexIter(oi *openIndex, table *heap.Table, qual *am.Qual, batch, workers int) (batchIterator, error) {
+func (s *Session) newParallelIndexIter(oi *openIndex, table *heap.Table, qual *am.Qual, batch, workers int, snap *heap.Snapshot) (batchIterator, error) {
 	if batch < 1 {
 		batch = 1
 	}
-	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, BatchCap: batch, Obs: s.ec}
+	sd := &am.ScanDesc{Index: oi.desc, Qual: qual, BatchCap: batch, Obs: s.ec, Snapshot: snap}
 	s.amCall("am_beginscan", oi.desc.Name)
 	err := oi.ps.BeginScan(s.ctx, sd)
 	s.ctx.EndFunction()
@@ -240,25 +240,33 @@ func (s *Session) runIndexWorker(it *parallelBatchIter, sd *am.ScanDesc, oi *ope
 		done := n < sd.Batch.Cap()
 		if n > 0 {
 			rb := &rowBatch{
-				rids: make([]heap.RowID, n),
-				rows: make([][]types.Datum, n),
+				rids: make([]heap.RowID, 0, n),
+				rows: make([][]types.Datum, 0, n),
 			}
-			copy(rb.rids, sd.Batch.RowIDs[:n])
+			// Workers share the statement's immutable snapshot: each rid the
+			// partition returns is resolved under it, invisible versions drop.
 			for i := 0; i < n; i++ {
-				row, err := table.Get(rb.rids[i])
+				rid := sd.Batch.RowIDs[i]
+				row, ok, err := table.GetVersion(rid, sd.Snapshot)
 				if err != nil {
-					return errf(CodeInternal, "index %s returned dangling %v: %w", oi.desc.Name, rb.rids[i], err)
+					return errf(CodeInternal, "index %s returned dangling %v: %w", oi.desc.Name, rid, err)
 				}
-				rb.rows[i] = row
+				if !ok {
+					continue
+				}
+				rb.rids = append(rb.rids, rid)
+				rb.rows = append(rb.rows, row)
 			}
 			po.BusyNs.Add(uint64(time.Since(t0)))
-			po.Rows.Add(uint64(n))
-			po.Batches.Inc()
-			ts := time.Now()
-			if !it.send(parMsg{rb: rb}) {
-				return nil
+			if len(rb.rows) > 0 {
+				po.Rows.Add(uint64(len(rb.rows)))
+				po.Batches.Inc()
+				ts := time.Now()
+				if !it.send(parMsg{rb: rb}) {
+					return nil
+				}
+				po.SendWaitNs.Add(uint64(time.Since(ts)))
 			}
-			po.SendWaitNs.Add(uint64(time.Since(ts)))
 		} else {
 			po.BusyNs.Add(uint64(time.Since(t0)))
 		}
@@ -271,14 +279,14 @@ func (s *Session) runIndexWorker(it *parallelBatchIter, sd *am.ScanDesc, oi *ope
 // newParallelHeapIter splits the table's data pages into one contiguous
 // range per worker (pages start at PageID 2; NewRangeScanner clamps the last
 // range to the current page count).
-func (s *Session) newParallelHeapIter(table *heap.Table, batch, workers int) batchIterator {
+func (s *Session) newParallelHeapIter(table *heap.Table, batch, workers int, snap *heap.Snapshot) batchIterator {
 	pages := table.Pages()
 	per := (pages + workers - 1) / workers
 	scanners := make([]*heap.Scanner, workers)
 	start := storage.PageID(2)
 	for w := range scanners {
 		end := start + storage.PageID(per)
-		scanners[w] = table.NewRangeScanner(start, end)
+		scanners[w] = table.NewRangeScanner(snap, start, end)
 		start = end
 	}
 	run := func(it *parallelBatchIter, w int, wctx *mi.Context) error {

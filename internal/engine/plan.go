@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/am"
 	"repro/internal/catalog"
-	"repro/internal/lock"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -32,6 +31,10 @@ type Plan struct {
 	// <= 1 means a serial scan. The access method may still decline or
 	// reduce the offer at am_parallelscan time.
 	Workers int
+	// SnapshotLSN is the MVCC read view's cut point: versions committed
+	// strictly below it are visible. Zero when the statement takes no
+	// snapshot (writes, or plans rendered without one).
+	SnapshotLSN uint64
 	// Choices are the candidate indexes considered (Section 4: a strategy
 	// function over an indexed column makes the optimizer consider the
 	// index; am_scancost arbitrates between applicable ones).
@@ -72,6 +75,9 @@ func (p *Plan) Lines() []string {
 		if p.HasFilter {
 			out = append(out, "       filter:      WHERE re-checked per row")
 		}
+		if p.SnapshotLSN > 0 {
+			out = append(out, fmt.Sprintf("       snapshot=%d", p.SnapshotLSN))
+		}
 		return out
 	}
 	out = append(out,
@@ -94,6 +100,9 @@ func (p *Plan) Lines() []string {
 	}
 	if p.HasFilter {
 		out = append(out, "       filter:      WHERE re-checked per row")
+	}
+	if p.SnapshotLSN > 0 {
+		out = append(out, fmt.Sprintf("       snapshot=%d", p.SnapshotLSN))
 	}
 	for i := range p.Choices {
 		c := &p.Choices[i]
@@ -149,9 +158,6 @@ func (s *Session) explain(t *sql.Explain) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.lockTable(tb, lock.Shared); err != nil {
-		return nil, err
-	}
 	hp, err := s.e.Table(tb.Name)
 	if err != nil {
 		return nil, err
@@ -171,6 +177,11 @@ func (s *Session) explain(t *sql.Explain) (*Result, error) {
 	}
 	if op == "SELECT" {
 		plan.Workers = s.scanDegree(path, plan, hp)
+		// EXPLAIN takes no locks (reads are snapshot-isolated); render the
+		// read view the statement would scan under.
+		snap := s.stmtSnapshot(false)
+		plan.SnapshotLSN = snap.ReadLSN
+		s.ec.SetSnapshot(snap.ReadLSN)
 	}
 	res := &Result{Columns: []string{"QUERY PLAN"}, Plan: plan}
 	for _, ln := range plan.Lines() {

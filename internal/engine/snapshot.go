@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/lock"
+	"repro/internal/wal"
+)
+
+// MVCC snapshot machinery. Commit stamps are the WAL's logical size (its
+// append position, monotone across truncation) or, without a WAL, a logical
+// clock. One mutex — mvccMu — orders the four operations whose interleaving
+// decides visibility: transaction-id allocation, snapshot capture,
+// commit-time deactivation, and the vacuum horizon read. The invariant it
+// buys: a snapshot's (ReadLSN, Active) pair is consistent — every
+// transaction that deactivated before capture has all of its commit stamps
+// strictly below ReadLSN (stamps are written to pages before the commit
+// record is appended, and deactivation happens after), and every
+// transaction still stamping at capture time is in Active, so its
+// partially-stamped versions stay invisible as a unit. That makes commit
+// visibility atomic without any read-side locking.
+
+// heldSnap is a registered read view: the snapshot plus its registry key.
+// Registered snapshots pin the vacuum horizon; a Dirty view reads page
+// heads only and is never registered (id 0).
+type heldSnap struct {
+	snap *heap.Snapshot
+	id   uint64
+}
+
+// verStamp is one version a transaction created or ended, remembered so
+// commitTx can write the commit stamp into it.
+type verStamp struct {
+	table *heap.Table
+	rid   heap.RowID
+	kind  uint8
+}
+
+// mvccBegin allocates a transaction id and marks it active. Allocation and
+// registration are one critical section so the vacuum horizon capture
+// (active set + max allocated id) can never miss a transaction in between.
+func (e *Engine) mvccBegin() uint64 {
+	e.mvccMu.Lock()
+	e.nextTx++
+	tx := e.nextTx
+	e.mvccActive[tx] = struct{}{}
+	e.mvccMu.Unlock()
+	return tx
+}
+
+// mvccEnd deactivates a transaction. For commits this must run after the
+// commit record is appended: from that point every stamp the transaction
+// wrote sits below any future snapshot's ReadLSN, so dropping it from
+// Active flips all of its versions visible atomically.
+func (e *Engine) mvccEnd(tx uint64) {
+	e.mvccMu.Lock()
+	delete(e.mvccActive, tx)
+	e.mvccMu.Unlock()
+}
+
+// readPointLocked returns the current snapshot cut. Caller holds mvccMu.
+func (e *Engine) readPointLocked() uint64 {
+	if e.log != nil {
+		return uint64(e.log.Size())
+	}
+	// Logical clock: the last committed stamp is Load(); +1 makes it
+	// strictly below the cut while the next commit (Add(1)) is not.
+	return e.mvccClock.Load() + 1
+}
+
+// captureSnapshot builds the read view for tx: the cut point and the
+// transactions active right now, atomically against commits. Registered
+// views pin the vacuum horizon until released. dirty selects the
+// unregistered DIRTY READ view (page heads, no stamps consulted).
+func (e *Engine) captureSnapshot(tx uint64, dirty bool) *heldSnap {
+	if dirty {
+		return &heldSnap{snap: &heap.Snapshot{Tx: tx, Dirty: true}}
+	}
+	e.mvccMu.Lock()
+	defer e.mvccMu.Unlock()
+	readLSN := e.readPointLocked()
+	act := make(map[uint64]struct{}, len(e.mvccActive))
+	for id := range e.mvccActive {
+		act[id] = struct{}{}
+	}
+	e.mvccSnapSeq++
+	id := e.mvccSnapSeq
+	e.mvccSnaps[id] = readLSN
+	return &heldSnap{snap: &heap.Snapshot{ReadLSN: readLSN, Active: act, Tx: tx}, id: id}
+}
+
+// releaseSnapshot unpins a read view from the vacuum horizon.
+func (e *Engine) releaseSnapshot(h *heldSnap) {
+	if h == nil || h.id == 0 {
+		return
+	}
+	e.mvccMu.Lock()
+	delete(e.mvccSnaps, h.id)
+	e.mvccMu.Unlock()
+}
+
+// nextStamp returns the commit stamp for a committing transaction. With a
+// WAL it is the log's current size: the stamping page updates and the
+// commit record append after it, so the stamp is strictly below the read
+// point of any snapshot captured after this commit deactivates.
+func (e *Engine) nextStamp() uint64 {
+	if e.log != nil {
+		return uint64(e.log.Size())
+	}
+	return e.mvccClock.Add(1)
+}
+
+// stmtSnapshot returns the read view for the statement being executed,
+// capturing it lazily. Write statements (UPDATE/DELETE target scans) always
+// get a fresh committed view captured after their table X lock — under any
+// isolation level — so they never act on data another transaction replaced
+// before the lock was granted (writers are serialised by 2PL; the
+// isolation levels govern readers only). Read statements follow the
+// session's level: DIRTY READ takes the unregistered head view, COMMITTED
+// READ a per-statement view, and REPEATABLE READ / SNAPSHOT one view per
+// transaction, captured at its first read.
+func (s *Session) stmtSnapshot(write bool) *heap.Snapshot {
+	if write {
+		if s.curSnap == nil {
+			s.curSnap = s.e.captureSnapshot(s.tx, false)
+		}
+		return s.curSnap.snap
+	}
+	switch s.iso {
+	case lock.DirtyRead:
+		if s.curSnap == nil {
+			s.curSnap = s.e.captureSnapshot(s.tx, true)
+		}
+		return s.curSnap.snap
+	case lock.RepeatableRead, lock.Snapshot:
+		if s.txSnap == nil {
+			s.txSnap = s.e.captureSnapshot(s.tx, false)
+		}
+		return s.txSnap.snap
+	default: // CommittedRead
+		if s.curSnap == nil {
+			s.curSnap = s.e.captureSnapshot(s.tx, false)
+		}
+		return s.curSnap.snap
+	}
+}
+
+// releaseStmtSnap drops the statement-scoped read view at statement end.
+func (s *Session) releaseStmtSnap() {
+	if s.curSnap != nil {
+		s.e.releaseSnapshot(s.curSnap)
+		s.curSnap = nil
+	}
+}
+
+// releaseTxSnap drops the transaction-scoped read view at commit/rollback.
+func (s *Session) releaseTxSnap() {
+	if s.txSnap != nil {
+		s.e.releaseSnapshot(s.txSnap)
+		s.txSnap = nil
+	}
+}
+
+// recordWrite remembers a version the transaction created or ended, for
+// commit-time stamping.
+func (s *Session) recordWrite(table *heap.Table, rid heap.RowID, kind uint8) {
+	s.writes = append(s.writes, verStamp{table: table, rid: rid, kind: kind})
+}
+
+// Version vacuum ------------------------------------------------------------
+
+// startVacuum launches the background version vacuum: a daemon that
+// periodically reclaims version cells no live snapshot can see (the MVCC
+// analogue of the checkpointer's log truncation).
+func (e *Engine) startVacuum() {
+	if e.opts.VacuumInterval < 0 {
+		return
+	}
+	e.vacQuit = make(chan struct{})
+	e.vacDone = make(chan struct{})
+	go func() {
+		defer close(e.vacDone)
+		t := time.NewTicker(e.opts.VacuumInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.vacQuit:
+				return
+			case <-t.C:
+				e.VacuumNow() // busy tables are skipped, errors retried next tick
+			}
+		}
+	}()
+}
+
+// stopVacuum stops the daemon and waits for it to exit. Idempotent.
+func (e *Engine) stopVacuum() {
+	if e.vacQuit == nil {
+		return
+	}
+	e.vacStop.Do(func() { close(e.vacQuit) })
+	<-e.vacDone
+}
+
+// VacuumNow runs one version-vacuum pass over every table and returns how
+// many version cells were reclaimed. The horizon is the oldest registered
+// snapshot's cut (or the current read point when none is live); the active
+// set is captured consistently with the maximum allocated transaction id,
+// so a transaction between allocation and its first write can never have a
+// fresh version judged as aborted garbage.
+func (e *Engine) VacuumNow() (int, error) {
+	e.mvccMu.Lock()
+	horizon := e.readPointLocked()
+	for _, lsn := range e.mvccSnaps {
+		if lsn < horizon {
+			horizon = lsn
+		}
+	}
+	active := make(map[uint64]struct{}, len(e.mvccActive))
+	for id := range e.mvccActive {
+		active[id] = struct{}{}
+	}
+	maxTx := e.nextTx
+	e.mvccMu.Unlock()
+	isActive := func(id uint64) bool {
+		if id > maxTx {
+			return true // allocated after the capture: treat as live
+		}
+		_, ok := active[id]
+		return ok
+	}
+	e.mu.Lock()
+	tables := make([]*heap.Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.mu.Unlock()
+	total := 0
+	for _, t := range tables {
+		n, err := e.vacuumTable(t, horizon, isActive)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// vacuumTable reclaims one table's dead versions under its own short
+// transaction: the table X lock keeps writers out (readers need nothing —
+// the horizon already proves no registered snapshot can see the victims,
+// and page latches keep concurrent decoding safe), and the page edits are
+// WAL-logged like any other mutation so recovery's physical redo stays
+// coherent. A busy table is skipped rather than waited on.
+func (e *Engine) vacuumTable(t *heap.Table, horizon uint64, isActive func(uint64) bool) (int, error) {
+	tx := e.mvccBegin()
+	defer e.mvccEnd(tx)
+	if !e.lm.TryAcquire(lock.TxID(tx), lock.Resource{Kind: lock.KindTable, A: uint64(t.SpaceID)}, lock.Exclusive) {
+		return 0, nil
+	}
+	defer e.lm.ReleaseAll(lock.TxID(tx))
+	if e.log != nil {
+		if _, err := e.log.Begin(tx); err != nil {
+			return 0, err
+		}
+	}
+	n, err := t.Vacuum(tx, horizon, isActive)
+	if e.log == nil {
+		return n, err
+	}
+	if err != nil {
+		wal.Rollback(e.log, e.mapStores(), tx)
+		return 0, err
+	}
+	if _, err := e.log.CommitWith(tx, wal.CommitGroup); err != nil {
+		return n, err
+	}
+	return n, nil
+}

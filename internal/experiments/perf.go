@@ -672,3 +672,166 @@ func runP9Cell(mode string, writers, commits int) (P9Row, error) {
 		FsyncsPerCommit: float64(flushes.Load()-flushes0) / float64(total),
 	}, nil
 }
+
+// P10Row records one cell of the MVCC readers-vs-writers sweep.
+type P10Row struct {
+	Readers    int
+	Writers    int
+	ReadsPerS  float64
+	WritesPerS float64
+	// ReaderLockAcquires is the lock.acquires movement not accounted for by
+	// the writers' own table X locks — under snapshot-isolated reads it must
+	// be exactly zero.
+	ReaderLockAcquires uint64
+	VersionsCreated    uint64
+	VersionsSkipped    uint64
+	Vacuumed           int
+}
+
+// RunP10 measures the MVCC read path: reader sessions running snapshot
+// SELECTs concurrently with writer sessions committing single-row UPDATEs.
+// Readers acquire no locks at all (the lock.acquires delta is fully
+// explained by the writers' table X locks), so reader throughput is not
+// serialised against the writers and writers are never blocked behind
+// readers. Each UPDATE appends a version to the row's chain; the
+// versions_skipped column shows readers stepping over versions outside
+// their read view, and the final vacuum reclaims every superseded version
+// once no snapshot can see it.
+func RunP10(w io.Writer, selects, updates int) ([]P10Row, error) {
+	cells := []struct{ readers, writers int }{
+		{1, 0}, {4, 0}, {2, 1}, {4, 2}, {4, 4},
+	}
+	fmt.Fprintf(w, "P10: MVCC readers vs writers (selects=%d/reader, updates=%d/writer, GOMAXPROCS=%d)\n",
+		selects, updates, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-8s %-8s %10s %10s %10s %10s %10s %9s\n",
+		"readers", "writers", "reads/s", "writes/s", "rdr-locks", "created", "skipped", "vacuumed")
+	var rows []P10Row
+	for _, c := range cells {
+		row, err := runP10Cell(c.readers, c.writers, selects, updates)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-8d %-8d %10.0f %10.0f %10d %10d %10d %9d\n",
+			row.Readers, row.Writers, row.ReadsPerS, row.WritesPerS,
+			row.ReaderLockAcquires, row.VersionsCreated, row.VersionsSkipped, row.Vacuumed)
+	}
+	fmt.Fprintln(w, "  (rdr-locks is lock.acquires minus the writers' own statement X locks: 0 = lock-free reads)")
+	return rows, nil
+}
+
+func runP10Cell(readers, writers, selects, updates int) (P10Row, error) {
+	// In-memory engine with the background vacuum disabled so the cell's
+	// lock arithmetic has exactly one source of acquisitions: the writers.
+	e, err := engine.Open(engine.Options{
+		Clock:          chronon.NewVirtualClock(chronon.MustParse("9/97")),
+		VacuumInterval: -1,
+	})
+	if err != nil {
+		return P10Row{}, err
+	}
+	defer e.Close()
+
+	const tableRows = 400
+	setup := e.NewSession()
+	if _, err := setup.Exec(`CREATE TABLE rw (a INTEGER, pad VARCHAR(64))`); err != nil {
+		setup.Close()
+		return P10Row{}, err
+	}
+	if _, err := setup.Exec(`BEGIN WORK`); err != nil {
+		setup.Close()
+		return P10Row{}, err
+	}
+	for i := 0; i < tableRows; i++ {
+		if _, err := setup.Exec(fmt.Sprintf(`INSERT INTO rw VALUES (%d, 'seed-%d')`, i, i)); err != nil {
+			setup.Close()
+			return P10Row{}, err
+		}
+	}
+	if _, err := setup.Exec(`COMMIT WORK`); err != nil {
+		setup.Close()
+		return P10Row{}, err
+	}
+	setup.Close()
+
+	acquires := e.Obs().Counter("lock.acquires")
+	created := e.Obs().Counter("mvcc.versions_created")
+	skipped := e.Obs().Counter("mvcc.versions_skipped")
+	acq0, cre0, skp0 := acquires.Load(), created.Load(), skipped.Load()
+
+	var wg sync.WaitGroup
+	errs := make([]error, readers+writers)
+	start := time.Now()
+	var readElapsed, writeElapsed time.Duration
+	var readMu sync.Mutex
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			s := e.NewSession()
+			defer s.Close()
+			t0 := time.Now()
+			for n := 0; n < selects; n++ {
+				if _, err := s.Exec(`SELECT COUNT(*) FROM rw WHERE a >= 0`); err != nil {
+					errs[slot] = err
+					return
+				}
+			}
+			readMu.Lock()
+			if d := time.Since(t0); d > readElapsed {
+				readElapsed = d
+			}
+			readMu.Unlock()
+		}(r)
+	}
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(slot, id int) {
+			defer wg.Done()
+			s := e.NewSession()
+			defer s.Close()
+			t0 := time.Now()
+			for n := 0; n < updates; n++ {
+				stmt := fmt.Sprintf(`UPDATE rw SET pad = 'w%d-%d' WHERE a = %d`, id, n, n%tableRows)
+				if _, err := s.Exec(stmt); err != nil {
+					errs[slot] = err
+					return
+				}
+			}
+			readMu.Lock()
+			if d := time.Since(t0); d > writeElapsed {
+				writeElapsed = d
+			}
+			readMu.Unlock()
+		}(readers+wr, wr)
+	}
+	wg.Wait()
+	_ = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return P10Row{}, err
+		}
+	}
+
+	writeStmts := uint64(writers * updates)
+	row := P10Row{
+		Readers:            readers,
+		Writers:            writers,
+		ReaderLockAcquires: acquires.Load() - acq0 - writeStmts,
+		VersionsCreated:    created.Load() - cre0,
+		VersionsSkipped:    skipped.Load() - skp0,
+	}
+	if readers > 0 && readElapsed > 0 {
+		row.ReadsPerS = float64(readers*selects) / readElapsed.Seconds()
+	}
+	if writers > 0 && writeElapsed > 0 {
+		row.WritesPerS = float64(writeStmts) / writeElapsed.Seconds()
+	}
+	// With every session closed no snapshot is live: the vacuum must
+	// reclaim exactly the superseded versions the updates created.
+	row.Vacuumed, err = e.VacuumNow()
+	if err != nil {
+		return P10Row{}, err
+	}
+	return row, nil
+}

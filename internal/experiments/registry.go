@@ -71,6 +71,10 @@ func All(root string, quick bool) []Runner {
 			_, err := RunP9(w, scale(400, 120))
 			return err
 		}},
+		{"P10", "MVCC: lock-free readers vs writers", func(w io.Writer) error {
+			_, err := RunP10(w, scale(300, 60), scale(200, 40))
+			return err
+		}},
 	}
 }
 

@@ -1,13 +1,26 @@
 // Package heap implements heap tables: slotted-page tuple storage with
-// rowids, WAL-logged mutations, and full scans. Rowids are the values index
-// leaf entries point at ("a pointer to the actual bitemporal data stored in
-// the database", Section 3); grt_getnext returns them to the server, which
-// fetches the tuple here.
+// rowids, WAL-logged mutations, multi-version tuples, and full scans. Rowids
+// are the values index leaf entries point at ("a pointer to the actual
+// bitemporal data stored in the database", Section 3); grt_getnext returns
+// them to the server, which fetches the tuple here.
 //
-// Concurrency: the engine serialises heap access with table-level locks
-// (strict two-phase); the paper's concurrency discussion concerns the index
-// side (large-object locks, Section 5.3), which is where the interesting
-// behaviour lives.
+// Versioning: every slot holds one tuple VERSION — a fixed header (creator
+// and deleter transaction ids, their commit stamps, and a link to the
+// successor version) followed by the encoded row. Insert appends a new
+// version; Delete stamps the deleter onto the version instead of removing
+// the slot; Update stamps the old version, appends the replacement at a new
+// rowid, and links old→new. Readers carry a Snapshot and apply one
+// visibility predicate, so scans never block on writers and never take
+// locks; the engine stamps commit LSNs at transaction commit and a vacuum
+// pass reclaims versions no live snapshot can see.
+//
+// Concurrency: writers are serialised by the engine's table-level exclusive
+// locks (strict two-phase), but readers take no locks at all — page bytes
+// are protected by per-frame latches (storage.Frame), and version headers
+// make torn logical states invisible. The paper's concurrency discussion
+// concerns the index side (large-object locks, Section 5.3); the heap's
+// version chains are deliberately the same machinery its transaction-time
+// dimension needs, so AS OF reads fall out of the stamp comparison.
 package heap
 
 import (
@@ -15,25 +28,29 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
 
-// RowID identifies a tuple: page number (high 48 bits) and slot (low 16).
-// The paper's rowids carry a fragment id as well; this engine keeps every
-// table in a single fragment.
+// RowID identifies a tuple version: page number (high 48 bits) and slot
+// (low 16). The paper's rowids carry a fragment id as well; this engine
+// keeps every table in a single fragment.
 type RowID uint64
+
+// maxSlot is the largest slot number a RowID can carry (16-bit field).
+const maxSlot = 0xFFFF
 
 // MakeRowID packs a page and slot.
 func MakeRowID(page storage.PageID, slot int) RowID {
-	return RowID(uint64(page)<<16 | uint64(slot)&0xFFFF)
+	return RowID(uint64(page)<<16 | uint64(slot)&maxSlot)
 }
 
 // Page returns the page number.
 func (r RowID) Page() storage.PageID { return storage.PageID(r >> 16) }
 
 // Slot returns the slot number.
-func (r RowID) Slot() int { return int(r & 0xFFFF) }
+func (r RowID) Slot() int { return int(r & maxSlot) }
 
 func (r RowID) String() string { return fmt.Sprintf("rid(%d:%d)", r.Page(), r.Slot()) }
 
@@ -45,10 +62,116 @@ type Journal interface {
 // ErrNoSuchRow is returned for missing rowids.
 var ErrNoSuchRow = errors.New("heap: no such row")
 
-// Table header page (page 1): magic, tuple count.
+// ErrSlotOverflow is returned when a page would hand out a slot number that
+// does not fit the RowID's 16-bit slot field. With 4 KiB pages this is
+// unreachable (a page holds at most ~1020 slots), but the guard keeps a
+// larger page size from silently corrupting page ids.
+var ErrSlotOverflow = errors.New("heap: slot number exceeds rowid slot field")
+
+// Table header page (page 1): magic, version format marker. The magic
+// changed ("HEAP" → "HEA2") when slots became version cells; pre-MVCC pages
+// are not readable.
 const (
-	tableMagic = 0x48454150 // "HEAP"
+	tableMagic = 0x48454132 // "HEA2"
 )
+
+// Version cell layout: a fixed header followed by the encoded row.
+//
+//	[0:8)   beginTx  — creator transaction id
+//	[8:16)  beginLSN — creator's commit stamp (0 while uncommitted)
+//	[16:24) endTx    — deleter transaction id (0 = not ended)
+//	[24:32) endLSN   — deleter's commit stamp (0 while uncommitted)
+//	[32:40) next     — RowID of the successor version (Update's old→new
+//	                   link; 0 = none)
+const verHeaderSize = 40
+
+// verHeader is a decoded version-cell header.
+type verHeader struct {
+	beginTx, beginLSN uint64
+	endTx, endLSN     uint64
+	next              RowID
+}
+
+func parseHeader(cell []byte) verHeader {
+	return verHeader{
+		beginTx:  binary.BigEndian.Uint64(cell[0:8]),
+		beginLSN: binary.BigEndian.Uint64(cell[8:16]),
+		endTx:    binary.BigEndian.Uint64(cell[16:24]),
+		endLSN:   binary.BigEndian.Uint64(cell[24:32]),
+		next:     RowID(binary.BigEndian.Uint64(cell[32:40])),
+	}
+}
+
+// Snapshot is an MVCC read view: every version whose creator committed
+// before ReadLSN (and is not in Active) and whose deleter did not is
+// visible. The engine captures ReadLSN and Active atomically against
+// commits, so a transaction's versions appear all-or-nothing. The nil
+// *Snapshot reads "latest" state: every version not yet ended, committed or
+// not (index builds and row counts under the writers' table lock).
+type Snapshot struct {
+	// ReadLSN is the cut point: stamps strictly below it are committed for
+	// this snapshot (the WAL's logical append position, monotone across
+	// truncation; a logical clock when the engine runs without a WAL).
+	ReadLSN uint64
+	// Active holds the transactions that were uncommitted at capture; their
+	// stamps are ignored even when below ReadLSN.
+	Active map[uint64]struct{}
+	// Tx is the reading transaction: its own uncommitted versions are
+	// visible, and versions it ended are not.
+	Tx uint64
+	// Dirty selects DIRTY READ semantics: the newest un-ended version wins,
+	// committed or not, and the stamp fields are ignored.
+	Dirty bool
+}
+
+// Visible reports whether the version is part of this read view.
+func (s *Snapshot) visible(h verHeader) bool {
+	if s == nil || s.Dirty {
+		return h.endTx == 0
+	}
+	// Begin side: own writes are always visible; otherwise the creator must
+	// have a commit stamp below the cut and must not have been active.
+	if h.beginTx != s.Tx {
+		if h.beginLSN == 0 || h.beginLSN >= s.ReadLSN {
+			return false
+		}
+		if _, act := s.Active[h.beginTx]; act {
+			return false
+		}
+	}
+	// End side: a version this transaction ended is gone for it; an end by
+	// another transaction counts only once committed below the cut.
+	if h.endTx != 0 {
+		if h.endTx == s.Tx {
+			return false
+		}
+		if h.endLSN != 0 && h.endLSN < s.ReadLSN {
+			if _, act := s.Active[h.endTx]; !act {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stamp targets for StampVersion.
+const (
+	// StampBegin sets the version's creator commit stamp.
+	StampBegin uint8 = 1 << iota
+	// StampEnd sets the version's deleter commit stamp.
+	StampEnd
+)
+
+// Obs mirrors version-chain activity into engine counters. Nil fields are
+// no-ops (obs.Counter is nil-safe).
+type Obs struct {
+	// VersionsCreated counts versions appended by Insert and Update.
+	VersionsCreated *obs.Counter
+	// VersionsSkipped counts versions a snapshot read rejected.
+	VersionsSkipped *obs.Counter
+	// Vacuumed counts versions reclaimed by Vacuum.
+	Vacuumed *obs.Counter
+}
 
 // Table is one heap table over its own pager.
 type Table struct {
@@ -59,6 +182,7 @@ type Table struct {
 	journal Journal
 	schema  []types.Type
 	last    storage.PageID // insertion hint
+	obs     Obs
 }
 
 // Create initialises a table in an empty buffer pool.
@@ -72,7 +196,9 @@ func Create(name string, spaceID uint32, bp *storage.BufferPool, schema []types.
 		bp.Unpin(f, false)
 		return nil, fmt.Errorf("heap: table pager not empty (header at %d)", f.ID)
 	}
+	f.Latch()
 	binary.BigEndian.PutUint32(f.Data[0:4], tableMagic)
+	f.Unlatch()
 	bp.Unpin(f, true)
 	return t, nil
 }
@@ -83,7 +209,9 @@ func Open(name string, spaceID uint32, bp *storage.BufferPool, schema []types.Ty
 	if err != nil {
 		return nil, fmt.Errorf("heap: open %s: %w", name, err)
 	}
+	f.RLatch()
 	magic := binary.BigEndian.Uint32(f.Data[0:4])
+	f.RUnlatch()
 	bp.Unpin(f, false)
 	if magic != tableMagic {
 		return nil, fmt.Errorf("heap: %s is not a heap table", name)
@@ -91,13 +219,16 @@ func Open(name string, spaceID uint32, bp *storage.BufferPool, schema []types.Ty
 	return &Table{Name: name, SpaceID: spaceID, bp: bp, journal: journal, schema: schema}, nil
 }
 
+// SetObs attaches version-chain counters. Call before concurrent use.
+func (t *Table) SetObs(o Obs) { t.obs = o }
+
 // Schema returns the column types.
 func (t *Table) Schema() []types.Type { return t.schema }
 
 // Pool exposes the buffer pool (statistics).
 func (t *Table) Pool() *storage.BufferPool { return t.bp }
 
-// Count returns the number of live tuples (by scanning).
+// Count returns the number of latest-state tuples (by scanning).
 func (t *Table) Count() (int, error) {
 	n := 0
 	err := t.Scan(func(RowID, []types.Datum) (bool, error) { n++; return true, nil })
@@ -105,17 +236,22 @@ func (t *Table) Count() (int, error) {
 }
 
 // modifyPage applies fn to the page under the WAL: the changed byte range
-// is logged with before/after images before the page is marked dirty.
+// is logged with before/after images before the page is marked dirty. The
+// frame's write latch is held across fn so lock-free snapshot readers never
+// observe a half-applied edit; it is released before the frame re-enters
+// the pool (no latch is ever held across a shard mutex).
 func (t *Table) modifyPage(tx uint64, id storage.PageID, fn func(buf []byte) error) error {
 	f, err := t.bp.Fetch(id)
 	if err != nil {
 		return err
 	}
+	f.Latch()
 	var before []byte
 	if t.journal != nil {
 		before = append([]byte(nil), f.Data...)
 	}
 	if err := fn(f.Data); err != nil {
+		f.Unlatch()
 		t.bp.Unpin(f, false)
 		return err
 	}
@@ -123,11 +259,13 @@ func (t *Table) modifyPage(tx uint64, id storage.PageID, fn func(buf []byte) err
 		lo, hi := diffRange(before, f.Data)
 		if lo < hi {
 			if err := t.journal.LogUpdate(tx, t.SpaceID, uint64(id), uint16(lo), before[lo:hi], f.Data[lo:hi]); err != nil {
+				f.Unlatch()
 				t.bp.Unpin(f, true)
 				return err
 			}
 		}
 	}
+	f.Unlatch()
 	t.bp.Unpin(f, true)
 	return nil
 }
@@ -144,27 +282,38 @@ func diffRange(a, b []byte) (int, int) {
 	return lo, hi
 }
 
-// Insert stores the row and returns its rowid.
+// Insert stores the row as a new version created by tx and returns its
+// rowid. The version's commit stamp stays zero until the engine stamps it
+// at commit (StampVersion).
 func (t *Table) Insert(tx uint64, row []types.Datum) (RowID, error) {
 	data, err := types.EncodeRow(t.schema, row)
 	if err != nil {
 		return 0, err
 	}
-	if len(data) > storage.PageSize/2 {
+	if len(data)+verHeaderSize > storage.PageSize/2 {
 		return 0, fmt.Errorf("heap: tuple of %d bytes exceeds page budget", len(data))
 	}
+	cell := make([]byte, verHeaderSize+len(data))
+	binary.BigEndian.PutUint64(cell[0:8], tx)
+	copy(cell[verHeaderSize:], data)
 	// Try the hint page, then newer pages, then allocate.
 	tryPage := func(id storage.PageID) (RowID, bool, error) {
 		var rid RowID
 		ok := false
 		err := t.modifyPage(tx, id, func(buf []byte) error {
 			p := storage.SlottedPage{Buf: buf}
-			if p.FreeSpace() < len(data) {
+			if p.FreeSpace() < len(cell) {
 				return nil
 			}
-			slot, err := p.Insert(data)
+			slot, err := p.Insert(cell)
 			if err != nil {
 				return nil // treat as full
+			}
+			if slot > maxSlot {
+				// Would not round-trip through the RowID's 16-bit slot
+				// field: undo and fail loudly instead of corrupting ids.
+				p.Delete(slot)
+				return ErrSlotOverflow
 			}
 			rid = MakeRowID(id, slot)
 			ok = true
@@ -178,6 +327,7 @@ func (t *Table) Insert(tx uint64, row []types.Datum) (RowID, error) {
 			return 0, err
 		}
 		if ok {
+			t.obs.VersionsCreated.Inc()
 			return rid, nil
 		}
 	}
@@ -192,6 +342,7 @@ func (t *Table) Insert(tx uint64, row []types.Datum) (RowID, error) {
 		}
 		if ok {
 			t.last = id
+			t.obs.VersionsCreated.Inc()
 			return rid, nil
 		}
 		break // only probe the most recent page before extending
@@ -201,7 +352,9 @@ func (t *Table) Insert(tx uint64, row []types.Datum) (RowID, error) {
 		return 0, err
 	}
 	id := f.ID
+	f.Latch()
 	storage.InitSlotted(f.Data)
+	f.Unlatch()
 	t.bp.Unpin(f, true)
 	t.last = id
 	rid, ok, err := tryPage(id)
@@ -211,67 +364,188 @@ func (t *Table) Insert(tx uint64, row []types.Datum) (RowID, error) {
 	if !ok {
 		return 0, fmt.Errorf("heap: fresh page rejected %d-byte tuple", len(data))
 	}
+	t.obs.VersionsCreated.Inc()
 	return rid, nil
 }
 
-// Get fetches the row at rid.
-func (t *Table) Get(rid RowID) ([]types.Datum, error) {
+// readCell fetches the raw version cell at rid under the read latch,
+// returning the parsed header and a private copy of the row bytes.
+func (t *Table) readCell(rid RowID) (verHeader, []byte, error) {
 	f, err := t.bp.Fetch(rid.Page())
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+		return verHeader{}, nil, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
 	}
+	f.RLatch()
 	p := storage.SlottedPage{Buf: f.Data}
 	raw, ok := p.Read(rid.Slot())
-	if !ok {
+	if !ok || len(raw) < verHeaderSize {
+		f.RUnlatch()
 		t.bp.Unpin(f, false)
-		return nil, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+		return verHeader{}, nil, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
 	}
-	row, err := types.DecodeRow(t.schema, raw)
+	h := parseHeader(raw)
+	row := append([]byte(nil), raw[verHeaderSize:]...)
+	f.RUnlatch()
 	t.bp.Unpin(f, false)
-	return row, err
+	return h, row, nil
 }
 
-// Delete removes the row at rid; it reports false when the row is missing.
+// GetVersion fetches the version at rid and applies the snapshot's
+// visibility predicate: ok reports whether the version is part of the read
+// view (a rowid obtained from an index may resolve to a version the
+// snapshot cannot see — too new, uncommitted, or deleted). A missing slot
+// is ErrNoSuchRow.
+func (t *Table) GetVersion(rid RowID, snap *Snapshot) ([]types.Datum, bool, error) {
+	h, raw, err := t.readCell(rid)
+	if err != nil {
+		return nil, false, err
+	}
+	if !snap.visible(h) {
+		t.obs.VersionsSkipped.Inc()
+		return nil, false, nil
+	}
+	row, err := types.DecodeRow(t.schema, raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// Get fetches the row at rid in latest state (nil-snapshot semantics: the
+// version must not be ended). Deleted rows report ErrNoSuchRow.
+func (t *Table) Get(rid RowID) ([]types.Datum, error) {
+	row, ok, err := t.GetVersion(rid, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+	}
+	return row, nil
+}
+
+// Delete ends the version at rid: the deleter's transaction id is stamped
+// onto the version (the slot stays until vacuum). It reports false when the
+// version is missing or already ended.
 func (t *Table) Delete(tx uint64, rid RowID) (bool, error) {
 	deleted := false
 	err := t.modifyPage(tx, rid.Page(), func(buf []byte) error {
 		p := storage.SlottedPage{Buf: buf}
-		deleted = p.Delete(rid.Slot())
+		raw, ok := p.Read(rid.Slot())
+		if !ok || len(raw) < verHeaderSize {
+			return nil
+		}
+		if binary.BigEndian.Uint64(raw[16:24]) != 0 {
+			return nil // already ended
+		}
+		binary.BigEndian.PutUint64(raw[16:24], tx)
+		deleted = true
 		return nil
 	})
 	return deleted, err
 }
 
-// Update replaces the row at rid. When the new tuple no longer fits in its
-// page, the row moves and the new rowid is returned (the engine then drives
-// am_update with distinct old and new rowids, per Table 5).
+// Update replaces the row at rid: the replacement is appended as a new
+// version (always at a new rowid — the engine drives am_update with
+// distinct old and new rowids, per Table 5), the old version is ended by
+// tx, and its next link points at the successor.
 func (t *Table) Update(tx uint64, rid RowID, row []types.Datum) (RowID, error) {
-	data, err := types.EncodeRow(t.schema, row)
+	h, _, err := t.readCell(rid)
 	if err != nil {
 		return 0, err
 	}
-	updated := false
+	if h.endTx != 0 {
+		return 0, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+	}
+	newRid, err := t.Insert(tx, row)
+	if err != nil {
+		return 0, err
+	}
 	err = t.modifyPage(tx, rid.Page(), func(buf []byte) error {
 		p := storage.SlottedPage{Buf: buf}
-		if _, ok := p.Read(rid.Slot()); !ok {
+		raw, ok := p.Read(rid.Slot())
+		if !ok || len(raw) < verHeaderSize {
 			return fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
 		}
-		if e := p.Update(rid.Slot(), data); e == nil {
-			updated = true
-		}
+		binary.BigEndian.PutUint64(raw[16:24], tx)
+		binary.BigEndian.PutUint64(raw[32:40], uint64(newRid))
 		return nil
 	})
 	if err != nil {
 		return 0, err
 	}
-	if updated {
-		return rid, nil
+	return newRid, nil
+}
+
+// StampVersion writes the commit stamp into the version's begin and/or end
+// fields (kind is a StampBegin|StampEnd mask). The engine calls it for
+// every version a committing transaction created or ended, before the
+// commit record is appended, so the stamps are WAL-protected under the same
+// transaction.
+func (t *Table) StampVersion(tx uint64, rid RowID, kind uint8, stamp uint64) error {
+	return t.modifyPage(tx, rid.Page(), func(buf []byte) error {
+		p := storage.SlottedPage{Buf: buf}
+		raw, ok := p.Read(rid.Slot())
+		if !ok || len(raw) < verHeaderSize {
+			return fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
+		}
+		if kind&StampBegin != 0 {
+			binary.BigEndian.PutUint64(raw[8:16], stamp)
+		}
+		if kind&StampEnd != 0 {
+			binary.BigEndian.PutUint64(raw[24:32], stamp)
+		}
+		return nil
+	})
+}
+
+// Vacuum reclaims version cells no snapshot at or above horizon can see:
+// versions ended with a commit stamp below horizon by a transaction that is
+// no longer active, and creations left behind by aborted transactions when
+// the engine runs without a WAL (beginLSN still zero, creator finished).
+// The caller serialises Vacuum against writers (table exclusive lock) and
+// guarantees horizon ≤ every live snapshot's ReadLSN; page edits run under
+// tx so they are WAL-logged like any other mutation.
+func (t *Table) Vacuum(tx uint64, horizon uint64, active func(uint64) bool) (int, error) {
+	removed := 0
+	n := storage.PageID(t.bp.Pager().NumPages())
+	for id := storage.PageID(2); id < n; id++ {
+		err := t.modifyPage(tx, id, func(buf []byte) error {
+			if binary.BigEndian.Uint16(buf[12:14]) == 0 {
+				return nil // never-initialised page
+			}
+			p := storage.SlottedPage{Buf: buf}
+			for s := 0; s < p.NumSlots(); s++ {
+				raw, ok := p.Read(s)
+				if !ok || len(raw) < verHeaderSize {
+					continue
+				}
+				h := parseHeader(raw)
+				dead := h.endTx != 0 && h.endLSN != 0 && h.endLSN < horizon && !active(h.endTx)
+				aborted := h.beginLSN == 0 && !active(h.beginTx)
+				if dead || aborted {
+					p.Delete(s)
+					removed++
+					continue
+				}
+				if h.endTx != 0 && h.endLSN == 0 && !active(h.endTx) {
+					// Abandoned end stamp: the deleter finished without a
+					// commit stamp (a NoWAL abort — WAL engines undo the
+					// stamp physically). Un-end the version so head reads
+					// see it again.
+					binary.BigEndian.PutUint64(raw[16:24], 0)
+					binary.BigEndian.PutUint64(raw[24:32], 0)
+					binary.BigEndian.PutUint64(raw[32:40], 0)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return removed, err
+		}
 	}
-	// Move: delete then insert elsewhere.
-	if _, err := t.Delete(tx, rid); err != nil {
-		return 0, err
-	}
-	return t.Insert(tx, row)
+	t.obs.Vacuumed.Add(uint64(removed))
+	return removed, nil
 }
 
 // RowBatch is one batch of sequentially scanned tuples (parallel slices).
@@ -280,13 +554,15 @@ type RowBatch struct {
 	Rows   [][]types.Datum
 }
 
-// Scanner is a pull-based sequential scan yielding tuples in batches — the
-// heap-side counterpart of am_getmulti. A page is decoded in one pinned
-// visit and its tuples buffered, so batch pulls never hold a page pin
-// across calls. The page count is snapshotted at creation (same visibility
-// as Scan).
+// Scanner is a pull-based sequential scan yielding the snapshot's visible
+// tuples in batches — the heap-side counterpart of am_getmulti. A page is
+// decoded in one latched visit and its tuples buffered, so batch pulls
+// never hold a page pin across calls. The page count is snapshotted at
+// creation; versions appended to earlier pages afterwards are rejected by
+// the snapshot's stamps, so a scan is stable against concurrent writers.
 type Scanner struct {
 	t        *Table
+	snap     *Snapshot
 	next     storage.PageID
 	end      storage.PageID
 	pendRids []RowID
@@ -294,24 +570,26 @@ type Scanner struct {
 	pos      int
 }
 
-// NewScanner starts a sequential scan at the first data page.
-func (t *Table) NewScanner() *Scanner {
-	return &Scanner{t: t, next: 2, end: storage.PageID(t.bp.Pager().NumPages())}
+// NewScanner starts a sequential scan at the first data page under the
+// given read view (nil = latest state).
+func (t *Table) NewScanner(snap *Snapshot) *Scanner {
+	return &Scanner{t: t, snap: snap, next: 2, end: storage.PageID(t.bp.Pager().NumPages())}
 }
 
 // NewRangeScanner starts a sequential scan over the half-open data-page
 // range [start, end) — the partition unit of a parallel seqscan. Page ids
 // below the first data page (2) are clamped; end is capped at the current
 // page count. Distinct range scanners touch disjoint pages, so they are safe
-// to drive from distinct goroutines (the buffer pool is already sharded).
-func (t *Table) NewRangeScanner(start, end storage.PageID) *Scanner {
+// to drive from distinct goroutines (the buffer pool is already sharded),
+// and partitions sharing one snapshot see one consistent cut.
+func (t *Table) NewRangeScanner(snap *Snapshot, start, end storage.PageID) *Scanner {
 	if start < 2 {
 		start = 2
 	}
 	if max := storage.PageID(t.bp.Pager().NumPages()); end > max {
 		end = max
 	}
-	return &Scanner{t: t, next: start, end: end}
+	return &Scanner{t: t, snap: snap, next: start, end: end}
 }
 
 // NextBatch returns up to maxRows tuples in storage order, or nil when the
@@ -348,8 +626,11 @@ func (sc *Scanner) NextBatch(maxRows int) (*RowBatch, error) {
 	return rb, nil
 }
 
-// fillPage decodes the next data page into the pending buffer (which may
-// stay empty for pages without live tuples).
+// fillPage decodes the next data page's visible versions into the pending
+// buffer (which may stay empty for pages without visible tuples). The page
+// is read under the frame's read latch, so concurrent writers never tear a
+// cell; the visibility predicate is the single point deciding what this
+// scan sees.
 func (sc *Scanner) fillPage() error {
 	id := sc.next
 	sc.next++
@@ -360,20 +641,27 @@ func (sc *Scanner) fillPage() error {
 	if err != nil {
 		return err
 	}
+	f.RLatch()
 	// Skip never-initialised pages (e.g., zero pages materialised by
 	// recovery): an initialised slotted page has a nonzero free end.
 	if binary.BigEndian.Uint16(f.Data[12:14]) == 0 {
+		f.RUnlatch()
 		sc.t.bp.Unpin(f, false)
 		return nil
 	}
 	p := storage.SlottedPage{Buf: f.Data}
 	var decodeErr error
+	skipped := 0
 	for s := 0; s < p.NumSlots(); s++ {
 		raw, ok := p.Read(s)
-		if !ok {
+		if !ok || len(raw) < verHeaderSize {
 			continue
 		}
-		row, err := types.DecodeRow(sc.t.schema, raw)
+		if !sc.snap.visible(parseHeader(raw)) {
+			skipped++
+			continue
+		}
+		row, err := types.DecodeRow(sc.t.schema, raw[verHeaderSize:])
 		if err != nil {
 			decodeErr = err
 			break
@@ -381,17 +669,21 @@ func (sc *Scanner) fillPage() error {
 		sc.pendRids = append(sc.pendRids, MakeRowID(id, s))
 		sc.pendRows = append(sc.pendRows, row)
 	}
+	f.RUnlatch()
 	sc.t.bp.Unpin(f, false)
+	if skipped > 0 {
+		sc.t.obs.VersionsSkipped.Add(uint64(skipped))
+	}
 	return decodeErr
 }
 
 // scanBatchRows is the internal batch size of the callback Scan.
 const scanBatchRows = 64
 
-// Scan iterates all live rows in storage order; fn returning false stops.
-// (A batched wrapper over Scanner — fn still sees one row at a time.)
+// Scan iterates all latest-state rows in storage order; fn returning false
+// stops. (A batched wrapper over Scanner — fn still sees one row at a time.)
 func (t *Table) Scan(fn func(RowID, []types.Datum) (bool, error)) error {
-	sc := t.NewScanner()
+	sc := t.NewScanner(nil)
 	for {
 		rb, err := sc.NextBatch(scanBatchRows)
 		if err != nil {

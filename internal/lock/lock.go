@@ -52,6 +52,11 @@ const (
 	// shared locks on large objects will be released only when a
 	// transaction commits").
 	RepeatableRead
+	// Snapshot reads from an MVCC snapshot captured at transaction start:
+	// readers take no locks at all (the heap's version chains provide the
+	// stable view), while writers keep two-phase exclusive locks. Not an
+	// Informix level; it is what the version-chained heap enables.
+	Snapshot
 )
 
 func (l IsolationLevel) String() string {
@@ -60,6 +65,8 @@ func (l IsolationLevel) String() string {
 		return "DIRTY READ"
 	case CommittedRead:
 		return "COMMITTED READ"
+	case Snapshot:
+		return "SNAPSHOT"
 	default:
 		return "REPEATABLE READ"
 	}
@@ -296,6 +303,23 @@ func (m *Manager) HeldCount(tx TxID) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.held[tx])
+}
+
+// WaiterCount returns the number of blocked requests across all resources
+// (zero in a quiesced manager — deadlock victims and released waiters must
+// not leak queue entries).
+func (m *Manager) WaiterCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, st := range m.locks {
+		for _, r := range st.queue {
+			if !r.granted {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func (m *Manager) recordLocked(tx TxID, res Resource, mode Mode) {

@@ -228,7 +228,7 @@ func TestConcurrentStress(t *testing.T) {
 }
 
 func TestIsolationLevelString(t *testing.T) {
-	for _, l := range []IsolationLevel{DirtyRead, CommittedRead, RepeatableRead} {
+	for _, l := range []IsolationLevel{DirtyRead, CommittedRead, RepeatableRead, Snapshot} {
 		if l.String() == "" {
 			t.Fatal("empty isolation string")
 		}
@@ -238,5 +238,62 @@ func TestIsolationLevelString(t *testing.T) {
 	}
 	if (Resource{Kind: KindRow, A: 1, B: 2}).String() == "" {
 		t.Fatal("resource string")
+	}
+}
+
+// TestUpgradeDeadlockStorm drives many S→X upgrade collisions concurrently:
+// per resource, two transactions both hold Shared and both request the
+// Exclusive upgrade at once. Exactly one of each pair must be chosen as the
+// deadlock victim, the survivor must obtain the upgrade once the victim
+// releases, and the manager must end fully drained — no leaked waiters, no
+// leaked queue entries. Run under -race this also exercises the
+// grant/victim handoff for data races.
+func TestUpgradeDeadlockStorm(t *testing.T) {
+	m := New()
+	const pairs = 32
+	var wg sync.WaitGroup
+	var victims, winners atomic.Int64
+	for p := 0; p < pairs; p++ {
+		res := Resource{Kind: KindNamed, A: uint64(p)}
+		a, b := TxID(2*p+1), TxID(2*p+2)
+		for _, tx := range []TxID{a, b} {
+			if err := m.Acquire(tx, res, Shared); err != nil {
+				t.Fatalf("shared acquire: %v", err)
+			}
+		}
+		for _, tx := range []TxID{a, b} {
+			wg.Add(1)
+			go func(tx TxID) {
+				defer wg.Done()
+				err := m.Acquire(tx, res, Exclusive)
+				switch err {
+				case nil:
+					if mode, ok := m.Holding(tx, res); !ok || mode != Exclusive {
+						t.Errorf("tx %d: winner does not hold X", tx)
+					}
+					winners.Add(1)
+					m.ReleaseAll(tx)
+				case ErrDeadlock:
+					victims.Add(1)
+					m.ReleaseAll(tx) // victim aborts: drop its shared lock
+				default:
+					t.Errorf("tx %d: unexpected error %v", tx, err)
+				}
+			}(tx)
+		}
+	}
+	wg.Wait()
+	if victims.Load() != pairs || winners.Load() != pairs {
+		t.Fatalf("victims=%d winners=%d, want %d each", victims.Load(), winners.Load(), pairs)
+	}
+	if n := m.WaiterCount(); n != 0 {
+		t.Fatalf("leaked waiters: %d", n)
+	}
+	for p := 0; p < pairs; p++ {
+		for _, tx := range []TxID{TxID(2*p + 1), TxID(2*p + 2)} {
+			if n := m.HeldCount(tx); n != 0 {
+				t.Fatalf("tx %d still holds %d locks", tx, n)
+			}
+		}
 	}
 }

@@ -244,6 +244,7 @@ type ExecContext struct {
 	slots        map[string]uint64 // purpose-function dispatch counts
 	rowsScanned  atomic.Uint64
 	rowsReturned atomic.Uint64
+	snapshotLSN  atomic.Uint64 // MVCC read view cut, 0 when none captured
 }
 
 // NewExecContext opens a statement profile against the registry.
@@ -284,6 +285,15 @@ func (ec *ExecContext) AddReturned(n int) {
 	ec.rowsReturned.Add(uint64(n))
 }
 
+// SetSnapshot records the statement's MVCC read view cut (the snapshot's
+// read LSN). Zero — no snapshot captured — is ignored.
+func (ec *ExecContext) SetSnapshot(lsn uint64) {
+	if ec == nil || lsn == 0 {
+		return
+	}
+	ec.snapshotLSN.Store(lsn)
+}
+
 // Finish closes the profile: elapsed time, the session-local tallies, and
 // the registry delta over the statement's window.
 func (ec *ExecContext) Finish() *Profile {
@@ -300,6 +310,7 @@ func (ec *ExecContext) Finish() *Profile {
 		Elapsed:      time.Since(ec.start),
 		RowsScanned:  ec.rowsScanned.Load(),
 		RowsReturned: ec.rowsReturned.Load(),
+		SnapshotLSN:  ec.snapshotLSN.Load(),
 		AmCalls:      slots,
 		Counters:     ec.reg.Snapshot().Delta(ec.base),
 	}
@@ -310,6 +321,7 @@ type Profile struct {
 	Elapsed      time.Duration
 	RowsScanned  uint64 // rows pulled from the source, pre-filter
 	RowsReturned uint64 // rows surviving the WHERE re-check
+	SnapshotLSN  uint64 // MVCC read view cut, 0 when the statement took none
 	// AmCalls counts purpose-function dispatches by slot name, session-local
 	// and therefore exact under concurrency.
 	AmCalls map[string]uint64

@@ -330,7 +330,13 @@ func (lo *LargeObject) Close() error {
 	s.stats.Closes++
 	s.mu.Unlock()
 	s.obs.Closes.Inc()
-	if lo.locked && lo.mode == ReadOnly && lo.iso < lock.RepeatableRead {
+	// Read locks release at close except under REPEATABLE READ, which keeps
+	// them to transaction end so a re-traversal sees the same tree
+	// (Section 5.3: "it is not possible to unlock a large object ... while
+	// traversing a tree"). SNAPSHOT releases here too: its read stability
+	// comes from MVCC visibility at rid resolution, and the LO lock only
+	// protects the physical traversal of the statement in progress.
+	if lo.locked && lo.mode == ReadOnly && lo.iso != lock.RepeatableRead {
 		s.locks.Release(lo.tx, lo.h.resource())
 	}
 	return nil

@@ -169,9 +169,7 @@ func (p *parser) statement() (Statement, error) {
 		if err := p.expectKw("ISOLATION"); err != nil {
 			return nil, err
 		}
-		if err := p.expectKw("TO"); err != nil {
-			return nil, err
-		}
+		p.acceptKw("TO") // SET ISOLATION [TO] level
 		var words []string
 		for p.peek().Kind == TIdent {
 			words = append(words, strings.ToUpper(p.next().Text))

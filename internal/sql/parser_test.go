@@ -178,6 +178,20 @@ func TestTransactionsAndMisc(t *testing.T) {
 	if iso.Level != "REPEATABLE READ" {
 		t.Fatalf("%+v", iso)
 	}
+	// Golden coverage for every level the engine accepts; the TO keyword is
+	// optional (Informix accepts both spellings).
+	for stmt, want := range map[string]string{
+		`SET ISOLATION TO DIRTY READ`:     "DIRTY READ",
+		`SET ISOLATION TO COMMITTED READ`: "COMMITTED READ",
+		`SET ISOLATION TO SNAPSHOT`:       "SNAPSHOT",
+		`SET ISOLATION SNAPSHOT`:          "SNAPSHOT",
+		`SET ISOLATION dirty read`:        "DIRTY READ",
+	} {
+		got := mustParse(t, stmt).(*SetIsolation)
+		if got.Level != want {
+			t.Fatalf("%s: level %q, want %q", stmt, got.Level, want)
+		}
+	}
 	sc := mustParse(t, `SET COMMIT TO group`).(*SetCommit)
 	if sc.Mode != "GROUP" {
 		t.Fatalf("%+v", sc)

@@ -41,13 +41,34 @@ func (s Stats) String() string {
 var ErrPoolFull = errors.New("storage: buffer pool exhausted (all frames pinned)")
 
 // Frame is a pinned page in the buffer pool. Data is valid until Unpin.
+//
+// The embedded latch protects Data for components whose readers run without
+// any higher-level lock: MVCC heap scans read pages concurrently with
+// writers, so heap mutators hold the write latch over their Data edits and
+// heap readers the read latch over decoding. Components that serialise page
+// access externally (the tree blades under their large-object locks) may
+// skip the latch; the pool's own flusher takes the read latch so eviction
+// and checkpoint writes never race a latching writer.
 type Frame struct {
 	ID    PageID
 	Data  []byte
 	pins  int
 	dirty bool
 	elem  *list.Element
+	latch sync.RWMutex
 }
+
+// Latch acquires the frame's write latch (exclusive access to Data).
+func (f *Frame) Latch() { f.latch.Lock() }
+
+// Unlatch releases the write latch.
+func (f *Frame) Unlatch() { f.latch.Unlock() }
+
+// RLatch acquires the frame's read latch (shared access to Data).
+func (f *Frame) RLatch() { f.latch.RLock() }
+
+// RUnlatch releases the read latch.
+func (f *Frame) RUnlatch() { f.latch.RUnlock() }
 
 // shard is one independently locked partition of the pool: its own frame
 // table, its own LRU list, its own mutex. Pages are assigned to shards by a
@@ -279,8 +300,13 @@ func (bp *BufferPool) ensureRoom(sh *shard) error {
 }
 
 // flushLocked writes one dirty frame back. Caller holds the frame's shard
-// mutex (stat counters are atomic, not shard state).
+// mutex (stat counters are atomic, not shard state). The frame's read latch
+// is taken around the write so a latching mutator never races the flush;
+// this cannot deadlock because latch holders release the latch before
+// re-entering the pool (Unpin).
 func (bp *BufferPool) flushLocked(f *Frame) error {
+	f.latch.RLock()
+	defer f.latch.RUnlock()
 	if bp.FlushHook != nil {
 		if err := bp.FlushHook(f.ID, f.Data); err != nil {
 			return err

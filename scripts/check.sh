@@ -1,9 +1,10 @@
 #!/bin/sh
 # Static checks plus the race-sensitive packages under the race detector:
-# the sharded buffer pool, the purpose-function framework, the batched
-# scan pipeline, and the WAL group-commit flusher. Tier-1 (`go build
-# ./... && go test ./...`) is assumed to run separately; this is the
-# concurrency-focused gate (`make check`).
+# the sharded buffer pool, the version-chained heap and its page latches,
+# the lock manager's deadlock detection, the purpose-function framework,
+# the batched scan pipeline, and the WAL group-commit flusher. Tier-1
+# (`go build ./... && go test ./...`) is assumed to run separately; this
+# is the concurrency-focused gate (`make check`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,7 +12,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (storage, wal, am, engine)"
-go test -race ./internal/storage/... ./internal/wal/... ./internal/am/... ./internal/engine/...
+echo "== go test -race (storage, heap, lock, wal, am, engine)"
+go test -race ./internal/storage/... ./internal/heap/... ./internal/lock/... ./internal/wal/... ./internal/am/... ./internal/engine/...
 
 echo "ok"

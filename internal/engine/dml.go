@@ -119,7 +119,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 		}
 		rid, err := table.Insert(s.tx, row)
 		if err != nil {
-			return nil, err
+			return nil, heapErr(err)
 		}
 		s.recordWrite(table, rid, heap.StampBegin)
 		for _, oi := range idxs {
@@ -189,7 +189,7 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 		}
 		rid, err := table.Insert(s.tx, row)
 		if err != nil {
-			return nil, err
+			return nil, heapErr(err)
 		}
 		s.recordWrite(table, rid, heap.StampBegin)
 		for _, oi := range idxs {
@@ -763,7 +763,7 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 		}
 		newRid, err := table.Update(s.tx, tg.rid, newRow)
 		if err != nil {
-			return nil, err
+			return nil, heapErr(err)
 		}
 		s.recordWrite(table, tg.rid, heap.StampEnd)
 		s.recordWrite(table, newRid, heap.StampBegin)

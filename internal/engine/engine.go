@@ -124,7 +124,7 @@ type Engine struct {
 	mvccMu      sync.Mutex
 	nextTx      uint64
 	mvccActive  map[uint64]struct{}
-	mvccSnaps   map[uint64]uint64 // registered snapshot id -> readLSN
+	mvccSnaps   map[uint64]*heap.Snapshot // registered snapshot id -> read view
 	mvccSnapSeq uint64
 	mvccClock   atomic.Uint64
 	mvccCreated, mvccSkipped, mvccVacuumed *obs.Counter
@@ -173,7 +173,7 @@ func Open(opts Options) (*Engine, error) {
 		libs:       make(map[string]am.Library),
 		amCache:    make(map[string]*am.PurposeSet),
 		mvccActive: make(map[uint64]struct{}),
-		mvccSnaps:  make(map[uint64]uint64),
+		mvccSnaps:  make(map[uint64]*heap.Snapshot),
 	}
 	tw := opts.TraceWriter
 	if tw == nil {
@@ -343,6 +343,7 @@ func (e *Engine) attachTable(tb *catalog.Table, create bool) error {
 		VersionsSkipped: e.mvccSkipped,
 		Vacuumed:        e.mvccVacuumed,
 	})
+	t.SetTxLive(e.txLive)
 	e.mu.Lock()
 	e.tables[strings.ToLower(tb.Name)] = t
 	e.spacePools[tb.SpaceID] = bp

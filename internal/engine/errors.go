@@ -3,6 +3,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/heap"
 )
 
 // Error is a typed engine error carrying an SQLSTATE-style code. The
@@ -56,6 +58,16 @@ const (
 func errf(code string, format string, args ...any) error {
 	err := fmt.Errorf(format, args...)
 	return &Error{Code: code, Msg: err.Error(), Err: errors.Unwrap(err)}
+}
+
+// heapErr maps heap-layer sentinels onto typed engine errors at the DML
+// boundary: a rowid slot-field overflow is an engine encoding invariant
+// (CodeInternal), not a user mistake. Other errors pass through unchanged.
+func heapErr(err error) error {
+	if errors.Is(err, heap.ErrSlotOverflow) {
+		return errf(CodeInternal, "rowid slot field overflow: %w", err)
+	}
+	return err
 }
 
 // ErrorCode extracts the SQLSTATE-style code from err, or "" when err

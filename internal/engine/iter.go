@@ -107,54 +107,55 @@ func (s *Session) wrapIndexIter(oi *openIndex, table *heap.Table, sd *am.ScanDes
 }
 
 func (it *indexBatchIter) next() (*rowBatch, error) {
-	if it.done {
-		return nil, nil
-	}
-	sd := it.sd
-	var n int
-	var err error
-	if it.native {
-		it.s.amCall("am_getmulti", it.oi.desc.Name)
-		n, err = am.FillFrom(it.s.ctx, sd, it.fill)
-		it.s.ctx.EndFunction()
-	} else {
-		n, err = am.FillFrom(it.s.ctx, sd, it.fill)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if n < sd.Batch.Cap() {
-		it.done = true // a short batch signals exhaustion
-	}
-	if n == 0 {
-		return nil, nil
-	}
-	rb := &rowBatch{
-		rids: make([]heap.RowID, 0, n),
-		rows: make([][]types.Datum, 0, n),
-	}
-	// Resolve rowids against the heap under the scan's snapshot: versions
-	// the snapshot cannot see are dropped here (the index reflects write-time
-	// state; visibility is decided at rid→row resolution).
-	for i := 0; i < n; i++ {
-		rid := sd.Batch.RowIDs[i]
-		row, ok, err := it.table.GetVersion(rid, sd.Snapshot)
+	// Loop until a batch yields visible rows or the scan is exhausted —
+	// a loop, not a tail call, so a long run of dead or out-of-snapshot
+	// index entries (heavily updated, not-yet-vacuumed table) cannot grow
+	// the stack.
+	for !it.done {
+		sd := it.sd
+		var n int
+		var err error
+		if it.native {
+			it.s.amCall("am_getmulti", it.oi.desc.Name)
+			n, err = am.FillFrom(it.s.ctx, sd, it.fill)
+			it.s.ctx.EndFunction()
+		} else {
+			n, err = am.FillFrom(it.s.ctx, sd, it.fill)
+		}
 		if err != nil {
-			return nil, errf(CodeInternal, "index %s returned dangling %v: %w", it.oi.desc.Name, rid, err)
+			return nil, err
 		}
-		if !ok {
-			continue
+		if n < sd.Batch.Cap() {
+			it.done = true // a short batch signals exhaustion
 		}
-		rb.rids = append(rb.rids, rid)
-		rb.rows = append(rb.rows, row)
-	}
-	if len(rb.rows) == 0 {
-		if it.done {
+		if n == 0 {
 			return nil, nil
 		}
-		return it.next() // whole batch invisible: pull the next one
+		rb := &rowBatch{
+			rids: make([]heap.RowID, 0, n),
+			rows: make([][]types.Datum, 0, n),
+		}
+		// Resolve rowids against the heap under the scan's snapshot: versions
+		// the snapshot cannot see are dropped here (the index reflects write-time
+		// state; visibility is decided at rid→row resolution).
+		for i := 0; i < n; i++ {
+			rid := sd.Batch.RowIDs[i]
+			row, ok, err := it.table.GetVersion(rid, sd.Snapshot)
+			if err != nil {
+				return nil, errf(CodeInternal, "index %s returned dangling %v: %w", it.oi.desc.Name, rid, err)
+			}
+			if !ok {
+				continue
+			}
+			rb.rids = append(rb.rids, rid)
+			rb.rows = append(rb.rows, row)
+		}
+		if len(rb.rows) > 0 {
+			return rb, nil
+		}
+		// Whole batch invisible: pull the next one.
 	}
-	return rb, nil
+	return nil, nil
 }
 
 func (it *indexBatchIter) close() {

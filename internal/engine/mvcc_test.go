@@ -6,8 +6,11 @@ import (
 	"testing"
 
 	"repro/internal/chronon"
+	"repro/internal/heap"
 	"repro/internal/lock"
 	"repro/internal/obs"
+	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // MVCC acceptance tests: snapshot-isolated reads take zero locks, return the
@@ -402,5 +405,106 @@ func TestSetIsolationSnapshotRoundTrip(t *testing.T) {
 		if s.iso != want {
 			t.Fatalf("%s: iso %v, want %v", stmt, s.iso, want)
 		}
+	}
+}
+
+// TestVacuumSparesSnapshotActiveWindow reproduces the commit-window race: a
+// snapshot captured after a deleter wrote its commit stamps (and its commit
+// record) but before its deactivation carries the deleter in Active, so it
+// still sees the deleted row even though the stamp sits below the snapshot's
+// ReadLSN. The vacuum must treat every transaction pinned in a registered
+// snapshot's Active set as live, or it reclaims the row out from under the
+// registered reader.
+func TestVacuumSparesSnapshotActiveWindow(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	seedRows(t, s, 1)
+	table, err := e.Table("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rid heap.RowID
+	if err := table.Scan(func(r heap.RowID, _ []types.Datum) (bool, error) { rid = r; return false, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deleter, driven through commitTx's exact sequence but paused inside
+	// the window between CommitWith and mvccEnd.
+	tx := e.mvccBegin()
+	if _, err := e.log.Begin(tx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := table.Delete(tx, rid); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if err := table.StampVersion(tx, rid, heap.StampEnd, e.nextStamp()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.log.CommitWith(tx, wal.CommitGroup); err != nil {
+		t.Fatal(err)
+	}
+	h := e.captureSnapshot(0, false) // captured inside the window
+	defer e.releaseSnapshot(h)
+	e.mvccEnd(tx)
+
+	if _, ok := h.snap.Active[tx]; !ok {
+		t.Fatal("setup: snapshot must carry the committing deleter in Active")
+	}
+	if _, ok, err := table.GetVersion(rid, h.snap); err != nil || !ok {
+		t.Fatalf("snapshot must still see the deleted row: %v %v", ok, err)
+	}
+	if n, err := e.VacuumNow(); err != nil || n != 0 {
+		t.Fatalf("vacuum reclaimed %d versions visible to a registered snapshot (err %v)", n, err)
+	}
+	if _, ok, err := table.GetVersion(rid, h.snap); err != nil || !ok {
+		t.Fatalf("row vanished under the registered snapshot: %v %v", ok, err)
+	}
+
+	// Released, the version falls below the horizon and is reclaimed.
+	e.releaseSnapshot(h)
+	if n, err := e.VacuumNow(); err != nil || n != 1 {
+		t.Fatalf("post-release vacuum reclaimed %d, want 1 (err %v)", n, err)
+	}
+}
+
+// TestNoWALRollbackStampRepair: a NoWAL ROLLBACK cannot physically undo the
+// aborted deleter's end stamp; a following DELETE/UPDATE must repair the
+// abandoned stamp inline instead of reading the row as "already ended" (a
+// silent 0-row DELETE, an ErrNoSuchRow UPDATE) until the next vacuum pass.
+func TestNoWALRollbackStampRepair(t *testing.T) {
+	e, err := Open(Options{
+		Clock:          chronon.NewVirtualClock(chronon.MustParse("9/97")),
+		NoWAL:          true,
+		VacuumInterval: -1, // no daemon: nothing repairs the stamps for us
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	s := e.NewSession()
+	defer s.Close()
+	seedRows(t, s, 2)
+
+	exec(t, s, `BEGIN WORK`)
+	exec(t, s, `DELETE FROM mv WHERE a = 0`)
+	exec(t, s, `UPDATE mv SET pad = 'doomed' WHERE a = 1`)
+	exec(t, s, `ROLLBACK WORK`)
+
+	// The rows are still visible...
+	res := exec(t, s, `SELECT COUNT(*) FROM mv`)
+	if got := res.Rows[0][0].(int64); got != 2 {
+		t.Fatalf("post-rollback count %d, want 2", got)
+	}
+	// ...and immediately writable again.
+	if res := exec(t, s, `UPDATE mv SET pad = 'second try' WHERE a = 0`); res.Affected != 1 {
+		t.Fatalf("update after rollback affected %d rows, want 1", res.Affected)
+	}
+	if res := exec(t, s, `DELETE FROM mv WHERE a = 1`); res.Affected != 1 {
+		t.Fatalf("delete after rollback affected %d rows, want 1", res.Affected)
+	}
+	res = exec(t, s, `SELECT pad FROM mv WHERE a = 0`)
+	if len(res.Rows) != 1 || res.Rows[0][0] != "second try" {
+		t.Fatalf("post-repair row: %+v", res.Rows)
 	}
 }

@@ -59,6 +59,17 @@ func (e *Engine) mvccEnd(tx uint64) {
 	e.mvccMu.Unlock()
 }
 
+// txLive reports whether tx is currently active — the heap's probe for
+// telling an in-flight end stamp from an aborted NoWAL transaction's
+// residue (heap.Table.SetTxLive). Safe under page latches: mvccMu holders
+// never touch frames.
+func (e *Engine) txLive(tx uint64) bool {
+	e.mvccMu.Lock()
+	_, ok := e.mvccActive[tx]
+	e.mvccMu.Unlock()
+	return ok
+}
+
 // readPointLocked returns the current snapshot cut. Caller holds mvccMu.
 func (e *Engine) readPointLocked() uint64 {
 	if e.log != nil {
@@ -86,8 +97,9 @@ func (e *Engine) captureSnapshot(tx uint64, dirty bool) *heldSnap {
 	}
 	e.mvccSnapSeq++
 	id := e.mvccSnapSeq
-	e.mvccSnaps[id] = readLSN
-	return &heldSnap{snap: &heap.Snapshot{ReadLSN: readLSN, Active: act, Tx: tx}, id: id}
+	snap := &heap.Snapshot{ReadLSN: readLSN, Active: act, Tx: tx}
+	e.mvccSnaps[id] = snap
+	return &heldSnap{snap: snap, id: id}
 }
 
 // releaseSnapshot unpins a read view from the vacuum horizon.
@@ -208,18 +220,26 @@ func (e *Engine) stopVacuum() {
 // snapshot's cut (or the current read point when none is live); the active
 // set is captured consistently with the maximum allocated transaction id,
 // so a transaction between allocation and its first write can never have a
-// fresh version judged as aborted garbage.
+// fresh version judged as aborted garbage. Transactions carried in a
+// registered snapshot's Active set count as live too: a deleter that
+// committed inside such a snapshot's capture window has its end stamp below
+// that snapshot's ReadLSN, yet the snapshot still sees the row — the
+// endLSN-vs-horizon comparison alone would reclaim it out from under the
+// registered reader.
 func (e *Engine) VacuumNow() (int, error) {
 	e.mvccMu.Lock()
 	horizon := e.readPointLocked()
-	for _, lsn := range e.mvccSnaps {
-		if lsn < horizon {
-			horizon = lsn
-		}
-	}
 	active := make(map[uint64]struct{}, len(e.mvccActive))
 	for id := range e.mvccActive {
 		active[id] = struct{}{}
+	}
+	for _, sn := range e.mvccSnaps {
+		if sn.ReadLSN < horizon {
+			horizon = sn.ReadLSN
+		}
+		for id := range sn.Active {
+			active[id] = struct{}{}
+		}
 	}
 	maxTx := e.nextTx
 	e.mvccMu.Unlock()

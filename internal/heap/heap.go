@@ -183,6 +183,7 @@ type Table struct {
 	schema  []types.Type
 	last    storage.PageID // insertion hint
 	obs     Obs
+	txLive  func(uint64) bool // engine's active-transaction probe (nil = unknown)
 }
 
 // Create initialises a table in an empty buffer pool.
@@ -221,6 +222,27 @@ func Open(name string, spaceID uint32, bp *storage.BufferPool, schema []types.Ty
 
 // SetObs attaches version-chain counters. Call before concurrent use.
 func (t *Table) SetObs(o Obs) { t.obs = o }
+
+// SetTxLive attaches the engine's active-transaction probe. Writers use it
+// to distinguish an in-flight end stamp from one abandoned by an aborted
+// NoWAL transaction (endTx set, endLSN zero, transaction finished): the
+// abandoned stamp is repaired inline instead of reading as "already ended"
+// until the next vacuum pass. Nil leaves abandoned stamps to the vacuum.
+// Call before concurrent use.
+func (t *Table) SetTxLive(fn func(uint64) bool) { t.txLive = fn }
+
+// endedFor reports how a version's end stamp reads to writer tx: ended
+// (a live or committed deleter), or abandoned (an aborted NoWAL deleter's
+// residue that the caller may repair and overwrite).
+func (t *Table) endedFor(tx uint64, endTx, endLSN uint64) (ended, abandoned bool) {
+	if endTx == 0 {
+		return false, false
+	}
+	if endTx != tx && endLSN == 0 && t.txLive != nil && !t.txLive(endTx) {
+		return false, true
+	}
+	return true, false
+}
 
 // Schema returns the column types.
 func (t *Table) Schema() []types.Type { return t.schema }
@@ -305,15 +327,15 @@ func (t *Table) Insert(tx uint64, row []types.Datum) (RowID, error) {
 			if p.FreeSpace() < len(cell) {
 				return nil
 			}
+			if p.NextSlot() > maxSlot {
+				// Would not round-trip through the RowID's 16-bit slot
+				// field: fail loudly before touching the page, so the
+				// error path leaves nothing for the WAL to miss.
+				return ErrSlotOverflow
+			}
 			slot, err := p.Insert(cell)
 			if err != nil {
 				return nil // treat as full
-			}
-			if slot > maxSlot {
-				// Would not round-trip through the RowID's 16-bit slot
-				// field: undo and fail loudly instead of corrupting ids.
-				p.Delete(slot)
-				return ErrSlotOverflow
 			}
 			rid = MakeRowID(id, slot)
 			ok = true
@@ -426,7 +448,10 @@ func (t *Table) Get(rid RowID) ([]types.Datum, error) {
 
 // Delete ends the version at rid: the deleter's transaction id is stamped
 // onto the version (the slot stays until vacuum). It reports false when the
-// version is missing or already ended.
+// version is missing or already ended. An end stamp abandoned by an aborted
+// NoWAL deleter is overwritten (the next link it may have left is cleared),
+// matching Vacuum's repair path, so ROLLBACK does not shadow the row from
+// writers until the next vacuum tick.
 func (t *Table) Delete(tx uint64, rid RowID) (bool, error) {
 	deleted := false
 	err := t.modifyPage(tx, rid.Page(), func(buf []byte) error {
@@ -435,8 +460,13 @@ func (t *Table) Delete(tx uint64, rid RowID) (bool, error) {
 		if !ok || len(raw) < verHeaderSize {
 			return nil
 		}
-		if binary.BigEndian.Uint64(raw[16:24]) != 0 {
-			return nil // already ended
+		h := parseHeader(raw)
+		ended, abandoned := t.endedFor(tx, h.endTx, h.endLSN)
+		if ended {
+			return nil
+		}
+		if abandoned {
+			binary.BigEndian.PutUint64(raw[32:40], 0)
 		}
 		binary.BigEndian.PutUint64(raw[16:24], tx)
 		deleted = true
@@ -454,7 +484,9 @@ func (t *Table) Update(tx uint64, rid RowID, row []types.Datum) (RowID, error) {
 	if err != nil {
 		return 0, err
 	}
-	if h.endTx != 0 {
+	if ended, _ := t.endedFor(tx, h.endTx, h.endLSN); ended {
+		// An abandoned end stamp (aborted NoWAL deleter) is not "ended":
+		// the writer overwrites it below, like Delete's repair path.
 		return 0, fmt.Errorf("%w: %v", ErrNoSuchRow, rid)
 	}
 	newRid, err := t.Insert(tx, row)

@@ -68,6 +68,18 @@ func (p SlottedPage) FreeSpace() int {
 	return free
 }
 
+// NextSlot returns the slot number Insert would assign — the first dead
+// slot when one exists, the fresh index otherwise — without mutating the
+// page. Callers with bounded slot-number encodings check it before Insert.
+func (p SlottedPage) NextSlot() int {
+	for i := 0; i < p.numSlots(); i++ {
+		if off, _ := p.slot(i); off == 0 {
+			return i
+		}
+	}
+	return p.numSlots()
+}
+
 // Insert stores data in the page and returns its slot number.
 func (p SlottedPage) Insert(data []byte) (int, error) {
 	if len(data) > p.FreeSpace() {

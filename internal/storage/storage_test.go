@@ -259,6 +259,34 @@ func TestSlottedPageBasics(t *testing.T) {
 	}
 }
 
+// TestSlottedPageNextSlot: NextSlot predicts Insert's slot choice — fresh
+// index, dead-slot reuse — without mutating the page.
+func TestSlottedPageNextSlot(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitSlotted(buf)
+	if got := p.NextSlot(); got != 0 {
+		t.Fatalf("empty page NextSlot %d", got)
+	}
+	before := append([]byte(nil), buf...)
+	p.NextSlot()
+	if !bytes.Equal(before, buf) {
+		t.Fatal("NextSlot mutated the page")
+	}
+	s0, _ := p.Insert([]byte("a"))
+	s1, _ := p.Insert([]byte("b"))
+	if got := p.NextSlot(); got != s1+1 {
+		t.Fatalf("NextSlot %d, want fresh %d", got, s1+1)
+	}
+	p.Delete(s0)
+	if got := p.NextSlot(); got != s0 {
+		t.Fatalf("NextSlot %d, want dead slot %d", got, s0)
+	}
+	s2, _ := p.Insert([]byte("c"))
+	if s2 != s0 {
+		t.Fatalf("Insert chose %d, NextSlot predicted %d", s2, s0)
+	}
+}
+
 func TestSlottedPageUpdate(t *testing.T) {
 	buf := make([]byte, PageSize)
 	p := InitSlotted(buf)

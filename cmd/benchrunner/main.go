@@ -1,7 +1,7 @@
 // Command benchrunner regenerates every table and figure of the paper
 // reproduction (DESIGN.md's experiment index): the functional experiments
 // T1–T5 and F2–F6 plus the performance-shape experiments P1–P6, the
-// parallel-scan sweep P8, and the group-commit sweep P9 (P7 is the
+// parallel-scan sweep P8, and the group-commit sweep P9, and the networked commit sweep P11 (P7 is the
 // BenchmarkScanBatchSize sweep; see EXPERIMENTS.md).
 //
 // Usage:

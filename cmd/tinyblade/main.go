@@ -22,7 +22,10 @@
 // their SQLSTATE-style code.
 //
 // Flags: -dir <path> opens a persistent database (default: in-memory);
-// -clock <date> sets the starting current time.
+// -clock <date> sets the starting current time; -connect <addr> attaches to
+// a running tinybladed over the wire protocol instead of embedding the
+// engine — same SQL, same rendering, but the clock lives server-side, so
+// .clock/.advance are unavailable remotely.
 package main
 
 import (
@@ -36,15 +39,26 @@ import (
 	"repro/internal/blades/grtblade"
 	"repro/internal/blades/rstblade"
 	"repro/internal/chronon"
+	"repro/internal/client"
 	"repro/internal/engine"
+	"repro/internal/types"
 )
 
 func main() {
 	var (
-		dir   = flag.String("dir", "", "database directory (empty = in-memory)")
-		start = flag.String("clock", "", "starting current time (default: today)")
+		dir     = flag.String("dir", "", "database directory (empty = in-memory)")
+		start   = flag.String("clock", "", "starting current time (default: today)")
+		connect = flag.String("connect", "", "tinybladed address to connect to (instead of embedding the engine)")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		if err := remoteShell(*connect); err != nil {
+			fmt.Fprintln(os.Stderr, "tinyblade:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	now := chronon.SystemClock{}.Now()
 	if *start != "" {
@@ -119,6 +133,82 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// remoteShell is the -connect REPL: the same loop against a tinybladed
+// server. The client registry carries the blade's type support functions,
+// so opaque extents decode and render exactly as they do embedded.
+func remoteShell(addr string) error {
+	reg := types.NewRegistry()
+	if err := grtblade.RegisterTypes(reg); err != nil {
+		return err
+	}
+	c, err := client.Dial(addr, reg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	fmt.Printf("connected to %s — %s\n", addr, c.Banner())
+	fmt.Println(`type SQL terminated by ';', or ".help" for meta commands`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	profile := false
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			switch strings.Fields(trimmed)[0] {
+			case ".quit", ".q", ".exit":
+				return nil
+			case ".help":
+				fmt.Println(".profile on|off | .quit  (.clock/.advance need an embedded shell: the clock is server-side)")
+			case ".profile":
+				profile = !profile
+				state := "off"
+				if profile {
+					state = "on"
+				}
+				fmt.Println("statement profiling", state)
+			case ".clock", ".advance":
+				fmt.Println("the current time lives in the server; restart tinybladed with -clock to change it")
+			default:
+				fmt.Println("unknown meta command; .help lists them")
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			src := pending.String()
+			pending.Reset()
+			res, err := c.Exec(src)
+			if err != nil {
+				if code := engine.ErrorCode(err); code != "" {
+					fmt.Printf("error [SQLSTATE %s]: %v\n", code, err)
+				} else {
+					fmt.Println("error:", err)
+				}
+			} else {
+				fmt.Print(c.Format(res))
+				if profile && res.Profile != "" {
+					fmt.Println("profile:", res.Profile)
+				}
+			}
+		}
+		prompt()
+	}
+	return nil
 }
 
 // meta handles dot-commands; it reports whether the shell should exit.

@@ -1,0 +1,111 @@
+// Command tinybladed serves the engine over TCP: the network face of the
+// GR-tree DataBlade. Each connection gets its own session (SET state, one
+// transaction slot); statement execution across all connections is
+// multiplexed over a bounded executor pool, the way Informix multiplexes
+// sessions over its VP pool. Clients speak the length-prefixed wire
+// protocol of internal/wire — use `tinyblade -connect <addr>` or the
+// internal/client library.
+//
+// Flags:
+//
+//	-addr            listen address (default 127.0.0.1:7497)
+//	-dir             database directory (empty = in-memory)
+//	-clock           starting current time (default: today)
+//	-max-executors   concurrent statement cap across all connections
+//
+// SIGTERM/SIGINT drains gracefully: stop accepting, let in-flight
+// statements finish (canceling whatever outlives the grace period), then
+// close the engine — which flushes the WAL. A second signal hard-stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/blades/grtblade"
+	"repro/internal/blades/rstblade"
+	"repro/internal/chronon"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7497", "listen address")
+		dir   = flag.String("dir", "", "database directory (empty = in-memory)")
+		start = flag.String("clock", "", "starting current time (default: today)")
+		maxEx = flag.Int("max-executors", 8, "concurrent statement cap across all connections")
+		grace = flag.Duration("grace", 10*time.Second, "drain grace period before in-flight statements are canceled")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *start, *maxEx, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "tinybladed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir, start string, maxEx int, grace time.Duration) error {
+	now := chronon.SystemClock{}.Now()
+	if start != "" {
+		t, err := chronon.Parse(start)
+		if err != nil {
+			return err
+		}
+		now = t
+	}
+	clock := chronon.NewVirtualClock(now)
+	e, err := engine.Open(engine.Options{Dir: dir, Clock: clock, Types: grtblade.RegisterTypes})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	if err := grtblade.Register(e); err != nil {
+		return err
+	}
+	if err := rstblade.Register(e); err != nil {
+		return err
+	}
+
+	srv := server.New(e, server.Options{
+		MaxExecutors: maxEx,
+		Banner:       fmt.Sprintf("tinybladed (current time %v)", clock.Now()),
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tinybladed listening on %v (executors %d, current time %v)\n",
+		ln.Addr(), maxEx, clock.Now())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("tinybladed: %v — draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	go func() {
+		<-sigc
+		cancel() // second signal: cancel in-flight statements now
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tinybladed: drain incomplete:", err)
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Println("tinybladed: drained; closing engine")
+	return nil // deferred e.Close flushes the WAL
+}

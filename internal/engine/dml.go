@@ -25,7 +25,7 @@ func (s *Session) catTable(name string) (*catalog.Table, error) {
 // lockTable takes a table-level lock for the statement (strict 2PL; held to
 // transaction end).
 func (s *Session) lockTable(tb *catalog.Table, mode lock.Mode) error {
-	if s.iso == lock.DirtyRead && mode == lock.Shared {
+	if s.vars.Isolation() == lock.DirtyRead && mode == lock.Shared {
 		return nil
 	}
 	return s.e.lm.Acquire(lock.TxID(s.tx), lock.Resource{Kind: lock.KindTable, A: uint64(tb.SpaceID)}, mode)
@@ -499,8 +499,7 @@ func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []t
 // SELECT -----------------------------------------------------------------------
 
 func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
-	tb, err := s.catTable(t.Table)
-	if err != nil {
+	if _, err := s.catTable(t.Table); err != nil {
 		// A real table shadows a virtual one; only unresolved names fall
 		// through to SYSPROFILE/SYSPTPROF.
 		if vtb, data, ok := s.virtualRows(t.Table); ok {
@@ -508,91 +507,24 @@ func (s *Session) selectStmt(t *sql.Select) (*Result, error) {
 		}
 		return nil, err
 	}
-	// No shared lock: reads run against an MVCC snapshot, so a SELECT never
-	// touches the lock manager and never blocks (or is blocked by) writers.
-	table, err := s.e.Table(tb.Name)
+	// Batch-pull execution through the streaming cursor (stream.go): Exec
+	// materialises what ExecStream hands out batch by batch.
+	cur, err := s.openSelectCursor(t)
 	if err != nil {
 		return nil, err
 	}
-	schema := table.Schema()
-
-	idxs, closeAll, err := s.openIndexes(tb.Name, true)
-	if err != nil {
-		return nil, err
-	}
-	defer closeAll()
-
-	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
-	if err != nil {
-		return nil, err
-	}
-	plan.Operation = "SELECT"
-	plan.Workers = s.scanDegree(path, plan, table)
-	snap := s.stmtSnapshot(false)
-	plan.SnapshotLSN = snap.ReadLSN
-	s.ec.SetSnapshot(snap.ReadLSN)
-
-	// Projection.
-	countStar := len(t.Items) == 1 && t.Items[0].CountStar
-	var projIdx []int
-	var cols []string
-	if !countStar {
-		for _, item := range t.Items {
-			switch {
-			case item.Star:
-				for i, c := range tb.Columns {
-					projIdx = append(projIdx, i)
-					cols = append(cols, c.Name)
-				}
-			case item.CountStar:
-				return nil, errf(CodeFeature, "COUNT(*) cannot be mixed with columns")
-			default:
-				i, err := tb.ColumnIndex(item.Column)
-				if err != nil {
-					return nil, errf(CodeUndefinedObject, "%w", err)
-				}
-				projIdx = append(projIdx, i)
-				cols = append(cols, tb.Columns[i].Name)
-			}
-		}
-	}
-
-	// Batch-pull execution: project over whole batches; rows materialise
-	// individually only in the client-facing Result.
-	res := &Result{Columns: cols, Plan: plan}
-	count := 0
-	it, err := s.openBatchScan(tb, table, schema, t.Where, path, plan.Workers, snap)
-	if err != nil {
-		return nil, err
-	}
-	defer it.close()
+	defer cur.close()
 	for {
-		rb, err := it.next()
+		rows, err := cur.nextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if rb == nil {
+		if rows == nil {
 			break
 		}
-		count += len(rb.rows)
-		s.ec.AddReturned(len(rb.rows))
-		if countStar {
-			continue
-		}
-		for _, row := range rb.rows {
-			out := make([]types.Datum, len(projIdx))
-			for j, i := range projIdx {
-				out[j] = row[i]
-			}
-			res.Rows = append(res.Rows, out)
-		}
+		cur.res.Rows = append(cur.res.Rows, rows...)
 	}
-	if countStar {
-		res.Columns = []string{"count"}
-		res.Rows = [][]types.Datum{{int64(count)}}
-	}
-	res.Affected = count
-	return res, nil
+	return cur.finishResult(), nil
 }
 
 // DELETE -----------------------------------------------------------------------

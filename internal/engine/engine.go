@@ -649,20 +649,23 @@ type Session struct {
 	e   *Engine
 	id  uint64
 	ctx *mi.Context
-	iso lock.IsolationLevel
+
+	// vars is the session's SET-able state (isolation, commit mode,
+	// parallel degree, trace levels) behind the uniform SessionVars API —
+	// shared by the REPL, the network server, and tests.
+	vars *SessionVars
 
 	tx       uint64 // 0 = idle
 	explicit bool
 
-	// parallel is the SET PARALLEL degree offered to SELECT scans (0/1 =
-	// serial); stmtCtx carries the caller's cancellation (ExecCtx) into the
+	// stmtCtx carries the caller's cancellation (ExecCtx) into the
 	// statement currently executing.
-	parallel int
-	stmtCtx  context.Context
+	stmtCtx context.Context
 
-	// commit is the session's durability mode (SET COMMIT {SYNC|GROUP|ASYNC};
-	// default GROUP).
-	commit wal.CommitMode
+	// stream is the in-flight ExecStream cursor, when one is open; a
+	// session runs one statement at a time, so a new statement cannot start
+	// until the stream is drained or closed.
+	stream *Stream
 
 	// ec is the profile of the statement currently executing (nil between
 	// statements); ExecStmt installs it and hands the finished Profile to the
@@ -683,7 +686,7 @@ type Session struct {
 // blade trace messages from any session.
 func (e *Engine) NewSession() *Session {
 	id := atomic.AddUint64(&e.nextSession, 1)
-	return &Session{e: e, id: id, ctx: mi.NewContext(id, e.tracer), iso: lock.CommittedRead, commit: wal.CommitGroup}
+	return &Session{e: e, id: id, ctx: mi.NewContext(id, e.tracer), vars: NewSessionVars()}
 }
 
 // Tracer exposes the engine's mi tracer (SET TRACE's target).
@@ -692,8 +695,11 @@ func (e *Engine) Tracer() *mi.Tracer { return e.tracer }
 // Context returns the session's DataBlade API context.
 func (s *Session) Context() *mi.Context { return s.ctx }
 
+// Vars exposes the session's SET-able state.
+func (s *Session) Vars() *SessionVars { return s.vars }
+
 // Isolation returns the session's isolation level.
-func (s *Session) Isolation() lock.IsolationLevel { return s.iso }
+func (s *Session) Isolation() lock.IsolationLevel { return s.vars.Isolation() }
 
 // InTx reports whether an explicit transaction is open.
 func (s *Session) InTx() bool { return s.tx != 0 && s.explicit }
@@ -736,7 +742,7 @@ func (s *Session) commitTx() error {
 	}
 	if s.e.log != nil {
 		start := time.Now()
-		if _, err := s.e.log.CommitWith(s.tx, s.commit); err != nil {
+		if _, err := s.e.log.CommitWith(s.tx, s.vars.Commit()); err != nil {
 			return err
 		}
 		s.e.commitLat.Observe(time.Since(start))
@@ -778,6 +784,9 @@ func (s *Session) rollbackTx() error {
 
 // Close ends the session, rolling back any open transaction.
 func (s *Session) Close() {
+	if s.stream != nil {
+		s.stream.Close()
+	}
 	if s.tx != 0 {
 		s.rollbackTx()
 	}

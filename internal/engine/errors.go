@@ -48,6 +48,10 @@ const (
 	CodeNoActiveTx = "25P01"
 	// CodeIOError (58030): an I/O failure reading external input.
 	CodeIOError = "58030"
+	// CodeSessionBusy (55006): a new statement was started while the
+	// session's previous result stream is still open (one statement at a
+	// time per session).
+	CodeSessionBusy = "55006"
 	// CodeInternal (XX000): an invariant violation (e.g. a dangling rowid
 	// returned by an index).
 	CodeInternal = "XX000"

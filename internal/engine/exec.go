@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
 
 	"repro/internal/am"
@@ -15,7 +14,6 @@ import (
 	"repro/internal/sbspace"
 	"repro/internal/sql"
 	"repro/internal/types"
-	"repro/internal/wal"
 )
 
 // StmtStats is the per-statement execution profile: elapsed time, rows
@@ -26,7 +24,11 @@ type StmtStats = obs.Profile
 
 // Result is the outcome of one statement.
 type Result struct {
-	Columns  []string
+	Columns []string
+	// ColTypes carries the typed column metadata alongside Columns (one
+	// entry per column) — the wire protocol encodes row batches against it,
+	// and clients learn result shapes without re-parsing the statement.
+	ColTypes []types.Type
 	Rows     [][]types.Datum
 	Affected int
 	Message  string
@@ -75,8 +77,29 @@ func (s *Session) ExecStmt(st sql.Statement) (*Result, error) {
 	return s.ExecStmtCtx(context.Background(), st)
 }
 
-// ExecStmtCtx executes a parsed statement under a cancellation context.
+// ExecStmtCtx executes a parsed statement under a cancellation context. A
+// SELECT over a real table runs through the streaming path and is drained —
+// Exec is a thin wrapper over ExecStream, so the two can never diverge.
 func (s *Session) ExecStmtCtx(ctx context.Context, st sql.Statement) (*Result, error) {
+	if s.stream != nil {
+		return nil, errf(CodeSessionBusy, "a result stream is already open on this session")
+	}
+	if sel, ok := st.(*sql.Select); ok {
+		if _, err := s.e.cat.TableByName(sel.Table); err == nil {
+			str, err := s.openStreamSelect(ctx, sel)
+			if err != nil {
+				return nil, err
+			}
+			return str.Drain()
+		}
+	}
+	return s.execFull(ctx, st)
+}
+
+// execFull executes a statement eagerly, materializing its whole result:
+// session-state statements short-circuit, everything else runs inside the
+// statement's profile window and (possibly automatic) transaction.
+func (s *Session) execFull(ctx context.Context, st sql.Statement) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -99,42 +122,33 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st sql.Statement) (*Result, e
 		}
 		return &Result{Message: "rolled back"}, nil
 	case *sql.SetIsolation:
-		switch t.Level {
-		case "DIRTY READ":
-			s.iso = lock.DirtyRead
-		case "COMMITTED READ":
-			s.iso = lock.CommittedRead
-		case "REPEATABLE READ":
-			s.iso = lock.RepeatableRead
-		case "SNAPSHOT":
-			s.iso = lock.Snapshot
-		default:
-			return nil, errf(CodeInvalidParameter, "unknown isolation level %q", t.Level)
+		if err := s.vars.Set("isolation", t.Level); err != nil {
+			return nil, err
 		}
 		return &Result{Message: "isolation set to " + t.Level}, nil
 	case *sql.SetTrace:
 		if t.Level < 0 {
 			return nil, errf(CodeInvalidParameter, "trace level %d is negative", t.Level)
 		}
+		s.vars.SetTrace(t.Class, t.Level)
+		// Trace output remains engine-wide: blade messages from any session
+		// honour the level (the tracer is shared), while the vars record
+		// what this session asked for.
 		s.e.tracer.SetLevel(t.Class, t.Level)
 		return &Result{Message: fmt.Sprintf("trace class %q set to level %d", t.Class, t.Level)}, nil
 	case *sql.SetParallel:
-		deg := t.Degree
-		if max := runtime.GOMAXPROCS(0); deg > max {
-			deg = max // never offer more workers than the host can run
-		}
-		s.parallel = deg
+		deg := s.vars.SetParallel(t.Degree)
 		if deg < 2 {
 			return &Result{Message: "parallel scans disabled"}, nil
 		}
 		return &Result{Message: fmt.Sprintf("parallel degree set to %d", deg)}, nil
 	case *sql.SetCommit:
-		mode, ok := wal.ParseCommitMode(t.Mode)
-		if !ok {
-			return nil, errf(CodeInvalidParameter, "unknown commit mode %q (want SYNC, GROUP or ASYNC)", t.Mode)
+		if err := s.vars.Set("commit", t.Mode); err != nil {
+			return nil, err
 		}
-		s.commit = mode
-		return &Result{Message: "commit mode set to " + mode.String()}, nil
+		return &Result{Message: "commit mode set to " + s.vars.Commit().String()}, nil
+	case *sql.Show:
+		return s.show(t)
 	}
 
 	// Profile the statement. The ExecContext opens before the (possibly
@@ -173,6 +187,28 @@ func (s *Session) ExecStmtCtx(ctx context.Context, st sql.Statement) (*Result, e
 		}
 	}
 	return attach(res), err
+}
+
+// show serves SHOW ALL / SHOW <var>: the session's SET state as rows —
+// the same inspection surface embedded and over the wire.
+func (s *Session) show(t *sql.Show) (*Result, error) {
+	res := &Result{
+		Columns:  []string{"name", "value"},
+		ColTypes: []types.Type{types.Builtin(types.KVarchar), types.Builtin(types.KVarchar)},
+	}
+	if t.All {
+		for _, kv := range s.vars.List() {
+			res.Rows = append(res.Rows, []types.Datum{kv.Name, kv.Value})
+		}
+	} else {
+		val, err := s.vars.Get(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []types.Datum{strings.ToLower(t.Name), val})
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
 }
 
 func (s *Session) run(st sql.Statement) (*Result, error) {
@@ -521,7 +557,7 @@ func (v services) Space(name string) (*sbspace.Space, error) { return v.s.e.Spac
 func (v services) TxID() lock.TxID { return lock.TxID(v.s.tx) }
 
 // Isolation implements am.Services.
-func (v services) Isolation() lock.IsolationLevel { return v.s.iso }
+func (v services) Isolation() lock.IsolationLevel { return v.s.vars.Isolation() }
 
 // Clock implements am.Services.
 func (v services) Clock() chronon.Clock { return v.s.e.clock }

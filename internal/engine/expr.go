@@ -245,6 +245,14 @@ func (s *Session) coerce(v types.Datum, target types.Type) (types.Datum, error) 
 
 // FormatResult renders a result as text (the shell's output).
 func (e *Engine) FormatResult(r *Result) string {
+	return FormatResultWith(e.reg, r)
+}
+
+// FormatResultWith renders a result against an arbitrary type registry. The
+// network client renders with its own registry (the server's is across the
+// wire), and the renderings must agree byte for byte — which is why this is
+// one function, not two implementations.
+func FormatResultWith(reg *types.Registry, r *Result) string {
 	if r == nil {
 		return ""
 	}
@@ -257,7 +265,7 @@ func (e *Engine) FormatResult(r *Result) string {
 		for _, row := range r.Rows {
 			parts := make([]string, len(row))
 			for i, d := range row {
-				txt, err := e.reg.Format(d)
+				txt, err := reg.Format(d)
 				if err != nil {
 					txt = fmt.Sprintf("<%v>", err)
 				}

@@ -156,8 +156,8 @@ func TestIsolationLevels(t *testing.T) {
 	// SNAPSHOT: the transaction's first read fixes the view for its whole
 	// lifetime, regardless of concurrent commits.
 	exec(t, r, `SET ISOLATION TO SNAPSHOT`)
-	if r.iso != lock.Snapshot {
-		t.Fatalf("iso = %v", r.iso)
+	if r.Isolation() != lock.Snapshot {
+		t.Fatalf("iso = %v", r.Isolation())
 	}
 	exec(t, r, `BEGIN WORK`)
 	if got := countR(); got != 10 {
@@ -402,8 +402,8 @@ func TestSetIsolationSnapshotRoundTrip(t *testing.T) {
 		`SET ISOLATION SNAPSHOT`:           lock.Snapshot,
 	} {
 		exec(t, s, stmt)
-		if s.iso != want {
-			t.Fatalf("%s: iso %v, want %v", stmt, s.iso, want)
+		if s.Isolation() != want {
+			t.Fatalf("%s: iso %v, want %v", stmt, s.Isolation(), want)
 		}
 	}
 }

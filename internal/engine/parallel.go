@@ -45,7 +45,7 @@ type parallelObs struct {
 // am_scancost must suggest enough work to amortise the fan-out; a heap scan
 // needs at least one data page per worker.
 func (s *Session) scanDegree(path accessPath, plan *Plan, table *heap.Table) int {
-	deg := s.parallel
+	deg := s.vars.Parallel()
 	if max := runtime.GOMAXPROCS(0); deg > max {
 		deg = max
 	}

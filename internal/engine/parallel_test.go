@@ -185,15 +185,15 @@ func TestSetParallelStatement(t *testing.T) {
 	s := e.NewSession()
 	defer s.Close()
 	res := exec(t, s, `SET PARALLEL 4`)
-	if s.parallel < 1 || s.parallel > 4 {
-		t.Fatalf("parallel knob: %d", s.parallel)
+	if s.Vars().Parallel() < 1 || s.Vars().Parallel() > 4 {
+		t.Fatalf("parallel knob: %d", s.Vars().Parallel())
 	}
 	if !strings.Contains(res.Message, "parallel") {
 		t.Fatalf("message: %q", res.Message)
 	}
 	res = exec(t, s, `SET PARALLEL TO 0`)
-	if s.parallel != 0 {
-		t.Fatalf("parallel knob after disable: %d", s.parallel)
+	if s.Vars().Parallel() != 0 {
+		t.Fatalf("parallel knob after disable: %d", s.Vars().Parallel())
 	}
 	if res.Message != "parallel scans disabled" {
 		t.Fatalf("message: %q", res.Message)

@@ -183,7 +183,11 @@ func (s *Session) explain(t *sql.Explain) (*Result, error) {
 		plan.SnapshotLSN = snap.ReadLSN
 		s.ec.SetSnapshot(snap.ReadLSN)
 	}
-	res := &Result{Columns: []string{"QUERY PLAN"}, Plan: plan}
+	res := &Result{
+		Columns:  []string{"QUERY PLAN"},
+		ColTypes: []types.Type{types.Builtin(types.KVarchar)},
+		Plan:     plan,
+	}
 	for _, ln := range plan.Lines() {
 		res.Rows = append(res.Rows, []types.Datum{ln})
 	}

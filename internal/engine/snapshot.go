@@ -139,7 +139,7 @@ func (s *Session) stmtSnapshot(write bool) *heap.Snapshot {
 		}
 		return s.curSnap.snap
 	}
-	switch s.iso {
+	switch s.vars.Isolation() {
 	case lock.DirtyRead:
 		if s.curSnap == nil {
 			s.curSnap = s.e.captureSnapshot(s.tx, true)

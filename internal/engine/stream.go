@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Streaming execution: ExecStream returns a Stream — a pull-based row
+// iterator over a SELECT's batch pipeline — so a client (the wire protocol
+// above all) can encode row batches as they are produced instead of
+// materializing Rows [][]types.Datum for the whole result. Exec remains a
+// thin wrapper that drains the stream. Statements with no row stream
+// (DML, DDL, SET, EXPLAIN, virtual-table reads) execute eagerly and the
+// Stream replays their materialized result, so callers handle every
+// statement uniformly.
+
+// selectCursor is an opened SELECT pipeline: planned access path, the
+// batch iterator chain, and the projection. It owns scan resources only —
+// transaction scope belongs to the Stream (or to selectStmt's caller).
+type selectCursor struct {
+	s         *Session
+	res       *Result // header: Columns, ColTypes, Plan (Affected set at finish)
+	it        batchIterator
+	closeIdx  func() // am_close over the statement's opened indexes
+	projIdx   []int
+	countStar bool
+	emitted   bool // countStar: the single count row was produced
+	count     int
+	closed    bool
+}
+
+// openSelectCursor plans and opens a SELECT over a real table — everything
+// selectStmt did up to its fetch loop. On error, every opened resource is
+// released before returning.
+func (s *Session) openSelectCursor(t *sql.Select) (*selectCursor, error) {
+	tb, err := s.catTable(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	// No shared lock: reads run against an MVCC snapshot, so a SELECT never
+	// touches the lock manager and never blocks (or is blocked by) writers.
+	table, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+
+	idxs, closeAll, err := s.openIndexes(tb.Name, true)
+	if err != nil {
+		return nil, err
+	}
+	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	plan.Operation = "SELECT"
+	plan.Workers = s.scanDegree(path, plan, table)
+	snap := s.stmtSnapshot(false)
+	plan.SnapshotLSN = snap.ReadLSN
+	s.ec.SetSnapshot(snap.ReadLSN)
+
+	// Projection, with typed column metadata alongside the names.
+	countStar := len(t.Items) == 1 && t.Items[0].CountStar
+	var projIdx []int
+	var cols []string
+	var colTypes []types.Type
+	if countStar {
+		cols = []string{"count"}
+		colTypes = []types.Type{types.Builtin(types.KInt)}
+	} else {
+		for _, item := range t.Items {
+			switch {
+			case item.Star:
+				for i, c := range tb.Columns {
+					projIdx = append(projIdx, i)
+					cols = append(cols, c.Name)
+					colTypes = append(colTypes, schema[i])
+				}
+			case item.CountStar:
+				closeAll()
+				return nil, errf(CodeFeature, "COUNT(*) cannot be mixed with columns")
+			default:
+				i, err := tb.ColumnIndex(item.Column)
+				if err != nil {
+					closeAll()
+					return nil, errf(CodeUndefinedObject, "%w", err)
+				}
+				projIdx = append(projIdx, i)
+				cols = append(cols, tb.Columns[i].Name)
+				colTypes = append(colTypes, schema[i])
+			}
+		}
+	}
+
+	it, err := s.openBatchScan(tb, table, schema, t.Where, path, plan.Workers, snap)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &selectCursor{
+		s:   s,
+		res: &Result{Columns: cols, ColTypes: colTypes, Plan: plan},
+		it:  it, closeIdx: closeAll,
+		projIdx: projIdx, countStar: countStar,
+	}, nil
+}
+
+// nextBatch produces the next projected row batch, or nil at exhaustion.
+// COUNT(*) drains the pipeline and emits its single count row as the final
+// batch, so streaming consumers need no special case.
+func (c *selectCursor) nextBatch() ([][]types.Datum, error) {
+	for {
+		rb, err := c.it.next()
+		if err != nil {
+			return nil, err
+		}
+		if rb == nil {
+			if c.countStar && !c.emitted {
+				c.emitted = true
+				return [][]types.Datum{{int64(c.count)}}, nil
+			}
+			return nil, nil
+		}
+		c.count += len(rb.rows)
+		c.s.ec.AddReturned(len(rb.rows))
+		if c.countStar {
+			continue
+		}
+		out := make([][]types.Datum, len(rb.rows))
+		for r, row := range rb.rows {
+			prow := make([]types.Datum, len(c.projIdx))
+			for j, i := range c.projIdx {
+				prow[j] = row[i]
+			}
+			out[r] = prow
+		}
+		return out, nil
+	}
+}
+
+// close releases the scan (iterator chain, then am_close). Idempotent.
+func (c *selectCursor) close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.it.close()
+	c.closeIdx()
+}
+
+// finishResult seals the header result's tallies.
+func (c *selectCursor) finishResult() *Result {
+	c.res.Affected = c.count
+	return c.res
+}
+
+// Stream ----------------------------------------------------------------------
+
+// Stream is an incremental statement result. For a SELECT over a real table
+// it pulls projected row batches straight from the batch pipeline; for any
+// other statement it replays the already-materialized result. The stream
+// owns the statement's scope: its profile window, its read snapshot, and —
+// outside an explicit transaction — the auto-commit, all of which resolve
+// when the stream is exhausted or closed. A session runs one statement at a
+// time: until the stream finishes, starting another statement fails with
+// CodeSessionBusy.
+type Stream struct {
+	s    *Session
+	cur  *selectCursor // nil = materialized replay
+	res  *Result
+	auto bool // the stream owns an auto-commit transaction
+
+	matDone bool // materialized rows were delivered
+	done    bool
+	aborted bool // the statement failed (vs finished, possibly with a commit error)
+	err     error
+}
+
+// ExecStream parses and executes one statement, returning its result as a
+// stream.
+func (s *Session) ExecStream(src string) (*Stream, error) {
+	return s.ExecStreamCtx(context.Background(), src)
+}
+
+// ExecStreamCtx is ExecStream with a cancellation context (see ExecCtx).
+func (s *Session) ExecStreamCtx(ctx context.Context, src string) (*Stream, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStreamStmtCtx(ctx, st)
+}
+
+// ExecStreamStmtCtx executes a parsed statement as a stream.
+func (s *Session) ExecStreamStmtCtx(ctx context.Context, st sql.Statement) (*Stream, error) {
+	if s.stream != nil {
+		return nil, errf(CodeSessionBusy, "a result stream is already open on this session")
+	}
+	if sel, ok := st.(*sql.Select); ok {
+		if _, err := s.e.cat.TableByName(sel.Table); err == nil {
+			return s.openStreamSelect(ctx, sel)
+		}
+	}
+	// No row stream for this statement: run it eagerly and replay.
+	res, err := s.execFull(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{res: res}, nil
+}
+
+// openStreamSelect opens the statement scope a streaming SELECT runs under:
+// the profile window, the (possibly auto-begun) transaction, and the
+// cursor. The Stream's finish path mirrors execFull's epilogue exactly —
+// EndStatement, auto-commit, stats attach, snapshot release — so a drained
+// stream is indistinguishable from Exec.
+func (s *Session) openStreamSelect(ctx context.Context, t *sql.Select) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.stmtCtx = ctx
+	s.ec = obs.NewExecContext(s.e.obs)
+	auto := s.tx == 0
+	if auto {
+		if err := s.beginTx(false); err != nil {
+			s.ec = nil
+			s.stmtCtx = nil
+			return nil, err
+		}
+	}
+	cur, err := s.openSelectCursor(t)
+	if err != nil {
+		s.ctx.EndStatement()
+		if auto {
+			s.rollbackTx()
+		}
+		s.releaseStmtSnap()
+		s.ec = nil
+		s.stmtCtx = nil
+		return nil, err
+	}
+	st := &Stream{s: s, cur: cur, res: cur.res, auto: auto}
+	s.stream = st
+	return st, nil
+}
+
+// Columns returns the result's column names (valid from open).
+func (st *Stream) Columns() []string { return st.res.Columns }
+
+// ColTypes returns the typed column metadata (valid from open).
+func (st *Stream) ColTypes() []types.Type { return st.res.ColTypes }
+
+// Plan returns the statement's access plan, when one was made.
+func (st *Stream) Plan() *Plan { return st.res.Plan }
+
+// Next returns the next batch of rows, or nil once the stream is
+// exhausted. Exhaustion finishes the statement (auto-commit included): an
+// error from that epilogue — or from the scan itself — is returned here.
+func (st *Stream) Next() ([][]types.Datum, error) {
+	if st.done {
+		return nil, nil
+	}
+	if st.cur == nil { // materialized replay
+		if !st.matDone {
+			st.matDone = true
+			if len(st.res.Rows) > 0 {
+				return st.res.Rows, nil
+			}
+		}
+		st.done = true
+		return nil, nil
+	}
+	rows, err := st.cur.nextBatch()
+	if err != nil {
+		st.fail(err)
+		return nil, err
+	}
+	if rows == nil {
+		st.finish()
+		return nil, st.err
+	}
+	return rows, nil
+}
+
+// Result returns the statement result. It is complete — tallies, stats,
+// and for COUNT(*) the count row — only after the stream finished (Next
+// returned nil, or Close was called).
+func (st *Stream) Result() *Result { return st.res }
+
+// Err returns the stream's terminal error, if any.
+func (st *Stream) Err() error { return st.err }
+
+// Close finishes the stream if it has not finished yet: an unread scan is
+// abandoned (tallies cover only the delivered rows) and the statement's
+// scope resolves exactly as if the stream had been drained. Idempotent; it
+// returns the stream's terminal error.
+func (st *Stream) Close() error {
+	if !st.done {
+		if st.cur == nil {
+			st.done = true
+		} else {
+			st.finish()
+		}
+	}
+	return st.err
+}
+
+// Drain pulls every remaining batch into the materialized result — Exec's
+// implementation.
+func (st *Stream) Drain() (*Result, error) {
+	if st.cur == nil {
+		st.done = true
+		return st.res, st.err
+	}
+	for {
+		rows, err := st.Next()
+		if err != nil {
+			if st.aborted {
+				return nil, err
+			}
+			// The statement finished but its epilogue (auto-commit) failed:
+			// hand back the result with the error, as execFull does.
+			return st.res, err
+		}
+		if rows == nil {
+			break
+		}
+		st.res.Rows = append(st.res.Rows, rows...)
+	}
+	return st.res, nil
+}
+
+// finish resolves the statement scope after a complete (or abandoned) scan:
+// close the cursor, end the statement window, resolve the auto-commit,
+// attach the profile (after the commit, so its WAL activity lands in the
+// statement), and release the read snapshot.
+func (st *Stream) finish() {
+	st.done = true
+	s := st.s
+	st.cur.close()
+	st.cur.finishResult()
+	s.ctx.EndStatement()
+	if st.auto {
+		if cerr := s.commitTx(); cerr != nil {
+			st.err = cerr
+		}
+	}
+	st.res.Stats = s.ec.Finish()
+	s.releaseStmtSnap()
+	s.ec = nil
+	s.stmtCtx = nil
+	s.stream = nil
+}
+
+// fail resolves the statement scope after a scan error: the auto
+// transaction rolls back, as execFull's error path does.
+func (st *Stream) fail(err error) {
+	st.done = true
+	st.aborted = true
+	st.err = err
+	s := st.s
+	st.cur.close()
+	s.ctx.EndStatement()
+	if st.auto {
+		s.rollbackTx()
+	}
+	st.res.Stats = s.ec.Finish()
+	s.releaseStmtSnap()
+	s.ec = nil
+	s.stmtCtx = nil
+	s.stream = nil
+}

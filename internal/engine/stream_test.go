@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func streamTable(t *testing.T, s *Session, rows int) {
+	t.Helper()
+	exec(t, s, `CREATE TABLE st (id INTEGER, name VARCHAR(20))`)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO st (id, name) VALUES `)
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'row%d')", i, i)
+	}
+	exec(t, s, sb.String())
+}
+
+// A drained stream must deliver exactly what Exec materializes, batches
+// concatenated in order, with the typed header available up front.
+func TestExecStreamMatchesExec(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	streamTable(t, s, 500)
+
+	want := exec(t, s, `SELECT id, name FROM st WHERE id >= 100`)
+
+	str, err := s.ExecStream(`SELECT id, name FROM st WHERE id >= 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := str.Columns(); len(got) != 2 || got[0] != "id" || got[1] != "name" {
+		t.Fatalf("stream columns: %v", got)
+	}
+	ct := str.ColTypes()
+	if len(ct) != 2 || ct[0].Kind != types.KInt || ct[1].Kind != types.KVarchar {
+		t.Fatalf("stream coltypes: %v", ct)
+	}
+	var rows [][]types.Datum
+	batches := 0
+	for {
+		b, err := str.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		batches++
+		rows = append(rows, b...)
+	}
+	if len(rows) != len(want.Rows) {
+		t.Fatalf("streamed %d rows, Exec returned %d", len(rows), len(want.Rows))
+	}
+	if batches < 2 {
+		t.Fatalf("expected multiple batches for 400 rows, got %d", batches)
+	}
+	for i := range rows {
+		if rows[i][0] != want.Rows[i][0] || rows[i][1] != want.Rows[i][1] {
+			t.Fatalf("row %d: stream %v, exec %v", i, rows[i], want.Rows[i])
+		}
+	}
+	res := str.Result()
+	if res.Stats == nil {
+		t.Fatal("finished stream must carry statement stats")
+	}
+	if res.Affected != len(rows) {
+		t.Fatalf("Affected = %d, want %d", res.Affected, len(rows))
+	}
+	// The session must be reusable afterwards (auto-commit resolved).
+	exec(t, s, `SELECT count(*) FROM st`)
+}
+
+// ColTypes must also surface through plain Exec (the thin wrapper).
+func TestExecFillsColTypes(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	streamTable(t, s, 3)
+
+	res := exec(t, s, `SELECT * FROM st`)
+	if len(res.ColTypes) != 2 || res.ColTypes[0].Kind != types.KInt || res.ColTypes[1].Kind != types.KVarchar {
+		t.Fatalf("ColTypes = %v", res.ColTypes)
+	}
+	res = exec(t, s, `SELECT count(*) FROM st`)
+	if len(res.ColTypes) != 1 || res.ColTypes[0].Kind != types.KInt {
+		t.Fatalf("count ColTypes = %v", res.ColTypes)
+	}
+	res = exec(t, s, `SELECT name FROM SYSPROFILE`)
+	if len(res.ColTypes) == 0 {
+		t.Fatalf("virtual table select has no ColTypes")
+	}
+	res = exec(t, s, `EXPLAIN SELECT * FROM st`)
+	if len(res.ColTypes) != 1 || res.ColTypes[0].Kind != types.KVarchar {
+		t.Fatalf("EXPLAIN ColTypes = %v", res.ColTypes)
+	}
+}
+
+// COUNT(*) streams its single row as the final batch.
+func TestExecStreamCountStar(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	streamTable(t, s, 42)
+
+	str, err := s.ExecStream(`SELECT count(*) FROM st`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]types.Datum
+	for {
+		b, err := str.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		rows = append(rows, b...)
+	}
+	if len(rows) != 1 || rows[0][0] != int64(42) {
+		t.Fatalf("count rows = %v", rows)
+	}
+}
+
+// Non-SELECT statements stream as a materialized replay, and a second Next
+// reports exhaustion.
+func TestExecStreamMaterialized(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+
+	str, err := s.ExecStream(`CREATE TABLE mt (id INTEGER)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := str.Next()
+	if err != nil || b != nil {
+		t.Fatalf("DDL stream Next: %v rows, err %v", b, err)
+	}
+	if str.Result().Message != "table created" {
+		t.Fatalf("message: %q", str.Result().Message)
+	}
+	if err := str.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SHOW streams its materialized rows in one batch.
+	str, err = s.ExecStream(`SHOW ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = str.Next()
+	if err != nil || len(b) == 0 {
+		t.Fatalf("SHOW ALL stream: %v, %v", b, err)
+	}
+	if b2, _ := str.Next(); b2 != nil {
+		t.Fatal("materialized stream must exhaust after one batch")
+	}
+	str.Close()
+}
+
+// Closing a stream early abandons the scan but fully resolves the statement
+// scope: the session accepts new statements, and no transaction leaks.
+func TestExecStreamEarlyClose(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	streamTable(t, s, 500)
+
+	str, err := s.ExecStream(`SELECT * FROM st`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := str.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// A second statement while the stream is open must be refused.
+	if _, err := s.Exec(`SELECT count(*) FROM st`); ErrorCode(err) != CodeSessionBusy {
+		t.Fatalf("statement during open stream: err %v, want CodeSessionBusy", err)
+	}
+	if err := str.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := str.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+	if s.tx != 0 {
+		t.Fatalf("auto transaction leaked: tx=%d", s.tx)
+	}
+	exec(t, s, `SELECT count(*) FROM st`)
+}
+
+// A streaming SELECT inside an explicit transaction must not commit it.
+func TestExecStreamInExplicitTx(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	streamTable(t, s, 10)
+
+	exec(t, s, `BEGIN WORK`)
+	str, err := s.ExecStream(`SELECT * FROM st`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := str.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if s.tx == 0 {
+		t.Fatal("explicit transaction was resolved by the stream")
+	}
+	exec(t, s, `COMMIT WORK`)
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/wal"
+)
+
+// SessionVars is a session's SET-able state — isolation level, commit
+// durability mode, parallel scan degree, and trace levels — behind one
+// uniform surface. Before the network server, each knob was a private
+// Session field with its own ad-hoc accessor; the wire protocol needs the
+// state to be enumerable (SHOW ALL) and settable by name, and the REPL, the
+// server, and tests now all go through this same API. The struct is
+// self-contained (no Session or Engine reference), so a server can
+// pre-build vars for a connection before its session exists.
+//
+// Methods are safe for concurrent use: a server's monitoring path may list
+// a session's vars while the session's own goroutine executes a SET.
+type SessionVars struct {
+	mu       sync.Mutex
+	iso      lock.IsolationLevel
+	commit   wal.CommitMode
+	parallel int
+	trace    map[string]int // by lower-cased trace class
+}
+
+// NewSessionVars returns the default session state: COMMITTED READ
+// isolation, GROUP commit, serial scans, no tracing.
+func NewSessionVars() *SessionVars {
+	return &SessionVars{iso: lock.CommittedRead, commit: wal.CommitGroup}
+}
+
+// Var is one name/value pair of the session state (SHOW ALL's row shape).
+type Var struct {
+	Name  string
+	Value string
+}
+
+// Isolation returns the session's isolation level.
+func (v *SessionVars) Isolation() lock.IsolationLevel {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.iso
+}
+
+// SetIsolation sets the isolation level.
+func (v *SessionVars) SetIsolation(l lock.IsolationLevel) {
+	v.mu.Lock()
+	v.iso = l
+	v.mu.Unlock()
+}
+
+// ParseIsolation maps a SET ISOLATION level name to its level.
+func ParseIsolation(name string) (lock.IsolationLevel, bool) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "DIRTY READ":
+		return lock.DirtyRead, true
+	case "COMMITTED READ":
+		return lock.CommittedRead, true
+	case "REPEATABLE READ":
+		return lock.RepeatableRead, true
+	case "SNAPSHOT":
+		return lock.Snapshot, true
+	}
+	return 0, false
+}
+
+// Commit returns the session's commit durability mode.
+func (v *SessionVars) Commit() wal.CommitMode {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.commit
+}
+
+// SetCommit sets the commit durability mode.
+func (v *SessionVars) SetCommit(m wal.CommitMode) {
+	v.mu.Lock()
+	v.commit = m
+	v.mu.Unlock()
+}
+
+// Parallel returns the SET PARALLEL degree (0/1 = serial scans).
+func (v *SessionVars) Parallel() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.parallel
+}
+
+// SetParallel sets the parallel scan degree, capped at GOMAXPROCS — the
+// session never offers more workers than the host can run. It returns the
+// effective degree.
+func (v *SessionVars) SetParallel(deg int) int {
+	if deg < 0 {
+		deg = 0
+	}
+	if max := runtime.GOMAXPROCS(0); deg > max {
+		deg = max
+	}
+	v.mu.Lock()
+	v.parallel = deg
+	v.mu.Unlock()
+	return deg
+}
+
+// TraceLevel returns the session's requested level for a trace class (0
+// when the class was never set).
+func (v *SessionVars) TraceLevel(class string) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.trace[strings.ToLower(class)]
+}
+
+// SetTrace records the session's requested level for a trace class. The
+// engine's mi tracer remains engine-wide (SET TRACE applies to blade trace
+// output from any session); the vars carry what this session asked for so
+// SHOW reports it.
+func (v *SessionVars) SetTrace(class string, level int) {
+	v.mu.Lock()
+	if v.trace == nil {
+		v.trace = make(map[string]int)
+	}
+	v.trace[strings.ToLower(class)] = level
+	v.mu.Unlock()
+}
+
+// Set assigns a variable by name: "isolation", "commit", "parallel", or
+// "trace.<class>". Values are the same spellings the SET statements accept.
+// This is the uniform mutation path under the SQL surface — SET statements,
+// the server's session bootstrap, and tests all resolve here.
+func (v *SessionVars) Set(name, value string) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case key == "isolation":
+		l, ok := ParseIsolation(value)
+		if !ok {
+			return errf(CodeInvalidParameter, "unknown isolation level %q", value)
+		}
+		v.SetIsolation(l)
+	case key == "commit":
+		m, ok := wal.ParseCommitMode(strings.ToUpper(strings.TrimSpace(value)))
+		if !ok {
+			return errf(CodeInvalidParameter, "unknown commit mode %q (want SYNC, GROUP or ASYNC)", value)
+		}
+		v.SetCommit(m)
+	case key == "parallel":
+		deg, err := strconv.Atoi(strings.TrimSpace(value))
+		if err != nil || deg < 0 {
+			return errf(CodeInvalidParameter, "bad parallel degree %q", value)
+		}
+		v.SetParallel(deg)
+	case strings.HasPrefix(key, "trace."):
+		lvl, err := strconv.Atoi(strings.TrimSpace(value))
+		if err != nil || lvl < 0 {
+			return errf(CodeInvalidParameter, "bad trace level %q", value)
+		}
+		v.SetTrace(strings.TrimPrefix(key, "trace."), lvl)
+	default:
+		return errf(CodeInvalidParameter, "unknown session variable %q", name)
+	}
+	return nil
+}
+
+// Get returns a variable's value by name (same names Set accepts).
+func (v *SessionVars) Get(name string) (string, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case key == "isolation":
+		return v.Isolation().String(), nil
+	case key == "commit":
+		return v.Commit().String(), nil
+	case key == "parallel":
+		return strconv.Itoa(v.Parallel()), nil
+	case strings.HasPrefix(key, "trace."):
+		return strconv.Itoa(v.TraceLevel(strings.TrimPrefix(key, "trace."))), nil
+	}
+	return "", errf(CodeInvalidParameter, "unknown session variable %q", name)
+}
+
+// List returns every variable as name/value pairs, sorted by name — the
+// fixed knobs first, then any trace classes the session touched. SHOW ALL
+// renders exactly this.
+func (v *SessionVars) List() []Var {
+	out := []Var{
+		{"commit", v.Commit().String()},
+		{"isolation", v.Isolation().String()},
+		{"parallel", strconv.Itoa(v.Parallel())},
+	}
+	v.mu.Lock()
+	classes := make([]string, 0, len(v.trace))
+	for c := range v.trace {
+		classes = append(classes, c)
+	}
+	v.mu.Unlock()
+	sort.Strings(classes)
+	for _, c := range classes {
+		out = append(out, Var{"trace." + c, strconv.Itoa(v.TraceLevel(c))})
+	}
+	return out
+}
+
+// String renders the state compactly (diagnostics).
+func (v *SessionVars) String() string {
+	parts := make([]string, 0, 4)
+	for _, kv := range v.List() {
+		parts = append(parts, fmt.Sprintf("%s=%s", kv.Name, kv.Value))
+	}
+	return strings.Join(parts, " ")
+}

@@ -100,13 +100,18 @@ func (s *Session) selectVirtual(t *sql.Select, tb *catalog.Table, data [][]types
 	countStar := len(t.Items) == 1 && t.Items[0].CountStar
 	var projIdx []int
 	var cols []string
-	if !countStar {
+	var colTypes []types.Type
+	if countStar {
+		cols = []string{"count"}
+		colTypes = []types.Type{types.Builtin(types.KInt)}
+	} else {
 		for _, item := range t.Items {
 			switch {
 			case item.Star:
 				for i, c := range tb.Columns {
 					projIdx = append(projIdx, i)
 					cols = append(cols, c.Name)
+					colTypes = append(colTypes, schema[i])
 				}
 			case item.CountStar:
 				return nil, errf(CodeFeature, "COUNT(*) cannot be mixed with columns")
@@ -117,10 +122,11 @@ func (s *Session) selectVirtual(t *sql.Select, tb *catalog.Table, data [][]types
 				}
 				projIdx = append(projIdx, i)
 				cols = append(cols, tb.Columns[i].Name)
+				colTypes = append(colTypes, schema[i])
 			}
 		}
 	}
-	res := &Result{Columns: cols}
+	res := &Result{Columns: cols, ColTypes: colTypes}
 	count := 0
 	for _, row := range data {
 		if t.Where != nil {
@@ -143,7 +149,6 @@ func (s *Session) selectVirtual(t *sql.Select, tb *catalog.Table, data [][]types
 		res.Rows = append(res.Rows, out)
 	}
 	if countStar {
-		res.Columns = []string{"count"}
 		res.Rows = [][]types.Datum{{int64(count)}}
 	}
 	res.Affected = count

@@ -15,16 +15,16 @@ func TestSetCommitStatement(t *testing.T) {
 	e := memEngine(t)
 	s := e.NewSession()
 	defer s.Close()
-	if s.commit != wal.CommitGroup {
-		t.Fatalf("default commit mode %v, want GROUP", s.commit)
+	if s.Vars().Commit() != wal.CommitGroup {
+		t.Fatalf("default commit mode %v, want GROUP", s.Vars().Commit())
 	}
 	exec(t, s, `SET COMMIT ASYNC`)
-	if s.commit != wal.CommitAsync {
-		t.Fatalf("commit mode %v after SET COMMIT ASYNC", s.commit)
+	if s.Vars().Commit() != wal.CommitAsync {
+		t.Fatalf("commit mode %v after SET COMMIT ASYNC", s.Vars().Commit())
 	}
 	res := exec(t, s, `SET COMMIT TO SYNC`)
-	if s.commit != wal.CommitSync || res.Message != "commit mode set to SYNC" {
-		t.Fatalf("mode=%v message=%q", s.commit, res.Message)
+	if s.Vars().Commit() != wal.CommitSync || res.Message != "commit mode set to SYNC" {
+		t.Fatalf("mode=%v message=%q", s.Vars().Commit(), res.Message)
 	}
 	if _, err := s.Exec(`SET COMMIT EVENTUALLY`); err == nil {
 		t.Fatal("bogus commit mode must be rejected")

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/chronon"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// P11Row records one cell of the networked commit sweep.
+type P11Row struct {
+	Mode            string
+	Writers         int
+	PerCommit       time.Duration
+	CommitsPerS     float64
+	FsyncsPerCommit float64
+	// SpeedupVsSync compares commits/s against the SYNC row at the same
+	// writer count (1.0 for the SYNC rows themselves).
+	SpeedupVsSync float64
+}
+
+// RunP11 is P9 through the network stack: N tinyblade clients over real TCP
+// connections to an in-process tinybladed, each auto-committing inserts
+// into its own table with its own SET COMMIT mode. It measures whether
+// group commit's fsync sharing survives the wire — remote writers arrive at
+// the WAL staggered by protocol round trips, so GROUP coalescing across
+// connections (fsyncs/commit < 1) is the interesting number, alongside the
+// per-commit cost of the added hop.
+//
+// Caveats (single-host loopback): the "network" is the kernel's loopback
+// path — no real latency, so round trips cost microseconds, not
+// milliseconds, and the commit-rate gap between embedded P9 and remote P11
+// understates a real deployment. Client goroutines, server executors, and
+// the WAL flusher also share this host's CPUs, so high writer counts
+// measure scheduling as much as protocol. Treat cross-mode ratios within
+// this table as meaningful and absolute rates as indicative only.
+func RunP11(w io.Writer, commits int) ([]P11Row, error) {
+	modes := []string{"SYNC", "GROUP", "ASYNC"}
+	writerCounts := []int{1, 2, 4, 8}
+	fmt.Fprintf(w, "P11: networked group commit (commits=%d per cell, on-disk WAL, loopback TCP, GOMAXPROCS=%d)\n",
+		commits, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-6s %-8s %14s %12s %14s %10s\n",
+		"mode", "writers", "per-commit", "commits/s", "fsyncs/commit", "vs SYNC")
+	var rows []P11Row
+	syncBase := map[int]float64{}
+	for _, mode := range modes {
+		for _, writers := range writerCounts {
+			row, err := runP11Cell(mode, writers, commits)
+			if err != nil {
+				return nil, err
+			}
+			if mode == "SYNC" {
+				syncBase[writers] = row.CommitsPerS
+			}
+			if base := syncBase[writers]; base > 0 {
+				row.SpeedupVsSync = row.CommitsPerS / base
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-6s %-8d %14v %12.0f %14.2f %9.2fx\n",
+				row.Mode, row.Writers, row.PerCommit, row.CommitsPerS,
+				row.FsyncsPerCommit, row.SpeedupVsSync)
+		}
+	}
+	fmt.Fprintln(w, "  (loopback TCP: protocol round trips cost microseconds, so embedded-vs-remote")
+	fmt.Fprintln(w, "   gaps understate a real network; compare modes within this table, not absolutes)")
+	return rows, nil
+}
+
+func runP11Cell(mode string, writers, commits int) (P11Row, error) {
+	dir, err := os.MkdirTemp("", "tinyblade-p11-*")
+	if err != nil {
+		return P11Row{}, err
+	}
+	defer os.RemoveAll(dir)
+	e, err := engine.Open(engine.Options{
+		Dir:   dir,
+		Clock: chronon.NewVirtualClock(chronon.MustParse("9/97")),
+	})
+	if err != nil {
+		return P11Row{}, err
+	}
+	defer e.Close()
+
+	srv := server.New(e, server.Options{MaxExecutors: writers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return P11Row{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	// One table per writer: heap tables serialise at the session level.
+	setup := e.NewSession()
+	for i := 0; i < writers; i++ {
+		if _, err := setup.Exec(fmt.Sprintf(`CREATE TABLE c%d (a INTEGER)`, i)); err != nil {
+			setup.Close()
+			return P11Row{}, err
+		}
+	}
+	setup.Close()
+
+	conns := make([]*client.Conn, writers)
+	for i := range conns {
+		c, err := client.Dial(ln.Addr().String(), nil)
+		if err != nil {
+			return P11Row{}, err
+		}
+		defer c.Close()
+		if _, err := c.Exec("SET COMMIT " + mode); err != nil {
+			return P11Row{}, err
+		}
+		conns[i] = c
+	}
+
+	// Untimed warm-up, as in P9: first-touch costs land outside the timed
+	// region so cells measure steady-state commit cost over the wire.
+	for i, c := range conns {
+		for n := 0; n < 16; n++ {
+			if _, err := c.Exec(fmt.Sprintf(`INSERT INTO c%d VALUES (-1)`, i)); err != nil {
+				return P11Row{}, err
+			}
+		}
+	}
+
+	per := commits / writers
+	flushes := e.Obs().Counter("wal.flushes")
+	flushes0 := flushes.Load()
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	start := time.Now()
+	for i := range conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := conns[i]
+			for n := 0; n < per; n++ {
+				if _, err := c.Exec(fmt.Sprintf(`INSERT INTO c%d VALUES (%d)`, i, n)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return P11Row{}, err
+		}
+	}
+	total := per * writers
+	return P11Row{
+		Mode:            mode,
+		Writers:         writers,
+		PerCommit:       elapsed / time.Duration(total),
+		CommitsPerS:     float64(total) / elapsed.Seconds(),
+		FsyncsPerCommit: float64(flushes.Load()-flushes0) / float64(total),
+	}, nil
+}

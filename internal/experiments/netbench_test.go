@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// The ISSUE's acceptance criterion for the networked sweep: GROUP commits
+// arriving over separate TCP connections still share fsyncs — below one
+// fsync per commit once enough remote writers overlap in the flush window.
+func TestP11GroupSharesFsyncs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked commit sweep")
+	}
+	row, err := runP11Cell("GROUP", 4, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.FsyncsPerCommit >= 1 {
+		t.Errorf("GROUP at 4 remote writers: %.2f fsyncs/commit, want < 1", row.FsyncsPerCommit)
+	}
+	if row.CommitsPerS <= 0 {
+		t.Fatalf("no commit throughput recorded: %+v", row)
+	}
+}

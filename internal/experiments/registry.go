@@ -75,6 +75,10 @@ func All(root string, quick bool) []Runner {
 			_, err := RunP10(w, scale(300, 60), scale(200, 40))
 			return err
 		}},
+		{"P11", "Networked group commit: remote writers over TCP", func(w io.Writer) error {
+			_, err := RunP11(w, scale(400, 120))
+			return err
+		}},
 	}
 }
 

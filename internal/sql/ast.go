@@ -137,6 +137,15 @@ type SetParallel struct{ Degree int }
 // append time with bounded loss.
 type SetCommit struct{ Mode string }
 
+// Show is SHOW ALL | SHOW <var> [<class>]: read back the session's SET
+// state (SessionVars) as rows — SHOW ISOLATION, SHOW COMMIT, SHOW PARALLEL,
+// SHOW TRACE <class>. Remote clients have no Session object to poke at, so
+// this is how per-connection state stays inspectable over the wire.
+type Show struct {
+	All  bool
+	Name string // lower-cased variable name ("isolation", "trace.grt", ...)
+}
+
 // Explain is EXPLAIN stmt: plan the inner statement without executing it.
 type Explain struct{ Stmt Statement }
 
@@ -174,6 +183,7 @@ func (*SetIsolation) stmt()       {}
 func (*SetTrace) stmt()           {}
 func (*SetParallel) stmt()        {}
 func (*SetCommit) stmt()          {}
+func (*Show) stmt()               {}
 func (*Explain) stmt()            {}
 func (*CheckIndex) stmt()         {}
 func (*UpdateStatistics) stmt()   {}

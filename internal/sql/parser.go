@@ -178,6 +178,20 @@ func (p *parser) statement() (Statement, error) {
 			return nil, p.errf("expected isolation level")
 		}
 		return &SetIsolation{Level: strings.Join(words, " ")}, nil
+	case p.acceptKw("SHOW"):
+		if p.acceptKw("ALL") {
+			return &Show{All: true}, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, p.errf("expected ALL or a session variable name")
+		}
+		name = strings.ToLower(name)
+		// SHOW TRACE <class> addresses one trace class's level.
+		if name == "trace" && p.peek().Kind == TIdent {
+			name += "." + strings.ToLower(p.next().Text)
+		}
+		return &Show{Name: name}, nil
 	case p.acceptKw("CHECK"):
 		if err := p.expectKw("INDEX"); err != nil {
 			return nil, err

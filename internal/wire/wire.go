@@ -1,0 +1,490 @@
+// Package wire is tinyblade's client/server protocol: length-prefixed
+// binary frames over a byte stream. A frame is
+//
+//	uint32 payload length (big-endian) | 1 byte message type | payload
+//
+// and a statement round trip is
+//
+//	C: Exec{sql}
+//	S: Header{columns, types, plan}        (on success)
+//	S: RowBatch{rows}...                   (zero or more)
+//	S: Done{affected, message, profile}
+//	S: Error{sqlstate, message}            (instead, at any point)
+//
+// Datums travel in a tagged binary form. Values of opaque (user-defined)
+// types go through the type's Send support function on the way out and
+// Receive on the way in — exactly the client/server transformation the
+// support-function table in the paper reserves send/receive for — plus the
+// Output-rendered text, so a client that has not loaded the type's blade
+// still gets a displayable value.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/chronon"
+	"repro/internal/types"
+)
+
+// Version is the protocol revision negotiated in Hello/Welcome.
+const Version = 1
+
+// MaxFrame bounds a frame payload (defense against corrupt length words).
+const MaxFrame = 64 << 20
+
+// MsgType tags a frame.
+type MsgType byte
+
+// Frame types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgWelcome
+	MsgExec
+	MsgHeader
+	MsgRowBatch
+	MsgDone
+	MsgError
+	MsgQuit
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgWelcome:
+		return "Welcome"
+	case MsgExec:
+		return "Exec"
+	case MsgHeader:
+		return "Header"
+	case MsgRowBatch:
+		return "RowBatch"
+	case MsgDone:
+		return "Done"
+	case MsgError:
+		return "Error"
+	case MsgQuit:
+		return "Quit"
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// Message is any frame payload.
+type Message interface{ msgType() MsgType }
+
+// Hello opens a connection (client → server).
+type Hello struct {
+	Version uint16
+	Banner  string
+}
+
+// Welcome acknowledges a Hello (server → client).
+type Welcome struct {
+	Version uint16
+	Banner  string
+}
+
+// Exec submits SQL text — one statement or a semicolon-separated script
+// (scripts execute like Session.ExecScript: the last statement's result
+// streams back).
+type Exec struct{ SQL string }
+
+// ColType is a column's type as it travels: the kind plus, for opaque
+// types, the registered type name the client resolves locally.
+type ColType struct {
+	Kind byte
+	Name string
+}
+
+// Header announces a statement's result shape before any rows.
+type Header struct {
+	Columns []string
+	Types   []ColType
+	Plan    string // rendered access plan ("" when the statement has none)
+}
+
+// RowBatch carries one batch of rows.
+type RowBatch struct{ Rows [][]types.Datum }
+
+// Done ends a successful statement.
+type Done struct {
+	Affected int64
+	Message  string
+	Profile  string // rendered statement profile ("" when absent)
+}
+
+// Error ends a failed statement (or refuses a connection): the engine's
+// SQLSTATE-style code rides along so clients dispatch on the class of the
+// failure exactly as embedded callers do with engine.ErrorCode.
+type Error struct {
+	Code    string
+	Message string
+}
+
+// Quit announces an orderly client disconnect.
+type Quit struct{}
+
+func (*Hello) msgType() MsgType    { return MsgHello }
+func (*Welcome) msgType() MsgType  { return MsgWelcome }
+func (*Exec) msgType() MsgType     { return MsgExec }
+func (*Header) msgType() MsgType   { return MsgHeader }
+func (*RowBatch) msgType() MsgType { return MsgRowBatch }
+func (*Done) msgType() MsgType     { return MsgDone }
+func (*Error) msgType() MsgType    { return MsgError }
+func (*Quit) msgType() MsgType     { return MsgQuit }
+
+// Conn frames messages over a byte stream. Reads and writes are buffered;
+// Send flushes after every frame. A Conn is not safe for concurrent use on
+// the same direction, matching the strictly alternating protocol.
+type Conn struct {
+	r   *bufio.Reader
+	w   *bufio.Writer
+	reg *types.Registry
+}
+
+// NewConn wraps a stream. The registry drives opaque-datum send/receive;
+// either side may pass a registry missing types the other has (decode then
+// falls back to the Output text).
+func NewConn(rw io.ReadWriter, reg *types.Registry) *Conn {
+	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw), reg: reg}
+}
+
+// Send encodes and flushes one message.
+func (c *Conn) Send(m Message) error {
+	var e enc
+	switch t := m.(type) {
+	case *Hello:
+		e.u16(t.Version)
+		e.str(t.Banner)
+	case *Welcome:
+		e.u16(t.Version)
+		e.str(t.Banner)
+	case *Exec:
+		e.str(t.SQL)
+	case *Header:
+		e.u32(uint32(len(t.Columns)))
+		for _, col := range t.Columns {
+			e.str(col)
+		}
+		e.u32(uint32(len(t.Types)))
+		for _, ct := range t.Types {
+			e.u8(ct.Kind)
+			e.str(ct.Name)
+		}
+		e.str(t.Plan)
+	case *RowBatch:
+		e.u32(uint32(len(t.Rows)))
+		for _, row := range t.Rows {
+			e.u32(uint32(len(row)))
+			for _, d := range row {
+				if err := e.datum(c.reg, d); err != nil {
+					return err
+				}
+			}
+		}
+	case *Done:
+		e.u64(uint64(t.Affected))
+		e.str(t.Message)
+		e.str(t.Profile)
+	case *Error:
+		e.str(t.Code)
+		e.str(t.Message)
+	case *Quit:
+	default:
+		return fmt.Errorf("wire: unsendable message %T", m)
+	}
+	if len(e.buf) > MaxFrame {
+		return fmt.Errorf("wire: %v frame exceeds %d bytes", m.msgType(), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(e.buf)))
+	hdr[4] = byte(m.msgType())
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(e.buf); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads and decodes the next message. io.EOF surfaces unchanged when
+// the peer closed between frames.
+func (c *Conn) Recv() (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, err
+	}
+	d := dec{buf: payload}
+	var m Message
+	switch MsgType(hdr[4]) {
+	case MsgHello:
+		m = &Hello{Version: d.u16(), Banner: d.str()}
+	case MsgWelcome:
+		m = &Welcome{Version: d.u16(), Banner: d.str()}
+	case MsgExec:
+		m = &Exec{SQL: d.str()}
+	case MsgHeader:
+		h := &Header{}
+		for n := d.u32(); n > 0 && d.err == nil; n-- {
+			h.Columns = append(h.Columns, d.str())
+		}
+		for n := d.u32(); n > 0 && d.err == nil; n-- {
+			h.Types = append(h.Types, ColType{Kind: d.u8(), Name: d.str()})
+		}
+		h.Plan = d.str()
+		m = h
+	case MsgRowBatch:
+		b := &RowBatch{}
+		for n := d.u32(); n > 0 && d.err == nil; n-- {
+			row := make([]types.Datum, 0, 4)
+			for k := d.u32(); k > 0 && d.err == nil; k-- {
+				row = append(row, d.datum(c.reg))
+			}
+			b.Rows = append(b.Rows, row)
+		}
+		m = b
+	case MsgDone:
+		m = &Done{Affected: int64(d.u64()), Message: d.str(), Profile: d.str()}
+	case MsgError:
+		m = &Error{Code: d.str(), Message: d.str()}
+	case MsgQuit:
+		m = &Quit{}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", hdr[4])
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: bad %v frame: %w", MsgType(hdr[4]), d.err)
+	}
+	return m, nil
+}
+
+// datum tags -------------------------------------------------------------------
+
+const (
+	tagNull byte = iota
+	tagInt
+	tagFloat
+	tagString
+	tagBool
+	tagDate
+	tagOpaque
+)
+
+// KindOf maps a types.Type to its wire ColType.
+func KindOf(t types.Type) ColType {
+	return ColType{Kind: byte(t.Kind), Name: t.Name}
+}
+
+// ResolveColTypes maps wire column types back to engine types against the
+// receiver's registry. An opaque type the receiver has not registered stays
+// KOpaque with a zero id — its datums arrive as display text anyway.
+func ResolveColTypes(reg *types.Registry, cts []ColType) []types.Type {
+	if len(cts) == 0 {
+		return nil
+	}
+	out := make([]types.Type, len(cts))
+	for i, ct := range cts {
+		t := types.Type{Kind: types.Kind(ct.Kind), Name: ct.Name}
+		if t.Kind == types.KOpaque && reg != nil {
+			if ot, ok := reg.Lookup(ct.Name); ok {
+				t.OpaqueID = ot.ID
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// encoder ----------------------------------------------------------------------
+
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v byte)     { e.buf = append(e.buf, v) }
+func (e *enc) u16(v uint16)  { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *enc) u32(v uint32)  { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *enc) str(s string)  { e.u32(uint32(len(s))); e.buf = append(e.buf, s...) }
+func (e *enc) blob(b []byte) { e.u32(uint32(len(b))); e.buf = append(e.buf, b...) }
+
+// datum encodes one tagged value. Opaque values carry the type name, the
+// Send-transformed wire bytes, and the Output text fallback.
+func (e *enc) datum(reg *types.Registry, d types.Datum) error {
+	switch v := d.(type) {
+	case nil:
+		e.u8(tagNull)
+	case int64:
+		e.u8(tagInt)
+		e.u64(uint64(v))
+	case float64:
+		e.u8(tagFloat)
+		e.u64(math.Float64bits(v))
+	case string:
+		e.u8(tagString)
+		e.str(v)
+	case bool:
+		e.u8(tagBool)
+		if v {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case chronon.Instant:
+		e.u8(tagDate)
+		e.u64(uint64(v))
+	case types.Opaque:
+		ot, ok := reg.LookupID(v.TypeID)
+		if !ok {
+			return fmt.Errorf("wire: unregistered opaque type id %d", v.TypeID)
+		}
+		w, err := ot.Support.Send(v.Data)
+		if err != nil {
+			return fmt.Errorf("wire: %s send: %w", ot.Name, err)
+		}
+		text, err := ot.Support.Output(v.Data)
+		if err != nil {
+			return fmt.Errorf("wire: %s output: %w", ot.Name, err)
+		}
+		e.u8(tagOpaque)
+		e.str(ot.Name)
+		e.blob(w)
+		e.str(text)
+	default:
+		return fmt.Errorf("wire: unencodable datum %T", d)
+	}
+	return nil
+}
+
+// decoder ----------------------------------------------------------------------
+
+type dec struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos+n > len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if !d.need(n) {
+		return ""
+	}
+	v := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return v
+}
+
+func (d *dec) blob() []byte {
+	n := int(d.u32())
+	if !d.need(n) {
+		return nil
+	}
+	v := append([]byte(nil), d.buf[d.pos:d.pos+n]...)
+	d.pos += n
+	return v
+}
+
+// datum decodes one tagged value. An opaque value resolves against the
+// local registry through Receive; if the type is not registered here the
+// Output text stands in as a plain string, so results stay displayable on
+// blade-less clients.
+func (d *dec) datum(reg *types.Registry) types.Datum {
+	switch tag := d.u8(); tag {
+	case tagNull:
+		return nil
+	case tagInt:
+		return int64(d.u64())
+	case tagFloat:
+		return math.Float64frombits(d.u64())
+	case tagString:
+		return d.str()
+	case tagBool:
+		return d.u8() != 0
+	case tagDate:
+		return chronon.Instant(d.u64())
+	case tagOpaque:
+		name := d.str()
+		w := d.blob()
+		text := d.str()
+		if d.err != nil {
+			return nil
+		}
+		if reg != nil {
+			if ot, ok := reg.Lookup(name); ok {
+				data, err := ot.Support.Receive(w)
+				if err != nil {
+					d.err = fmt.Errorf("%s receive: %w", name, err)
+					return nil
+				}
+				return types.Opaque{TypeID: ot.ID, Data: data}
+			}
+		}
+		return text
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("unknown datum tag %d", tag)
+		}
+		return nil
+	}
+}

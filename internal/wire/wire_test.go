@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/types"
+)
+
+// pipeConn is an in-memory bidirectional stream for framing tests.
+func pipeConn(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	c, s := net.Pipe()
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+// registerPair registers the same opaque type in two registries, with a
+// send/receive transform that actually changes the bytes (XOR), so the test
+// notices if either support function is skipped.
+func registerPair(t *testing.T) (srv, cli *types.Registry) {
+	t.Helper()
+	srv, cli = types.NewRegistry(), types.NewRegistry()
+	for _, reg := range []*types.Registry{srv, cli} {
+		_, err := reg.RegisterOpaque("period", types.SupportFuncs{
+			Input:  func(text string) ([]byte, error) { return []byte(text), nil },
+			Output: func(data []byte) (string, error) { return string(data), nil },
+			Send: func(data []byte) ([]byte, error) {
+				w := make([]byte, len(data))
+				for i, b := range data {
+					w[i] = b ^ 0x5a
+				}
+				return w, nil
+			},
+			Receive: func(w []byte) ([]byte, error) {
+				data := make([]byte, len(w))
+				for i, b := range w {
+					data[i] = b ^ 0x5a
+				}
+				return data, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv, cli
+}
+
+func roundTrip(t *testing.T, sendReg, recvReg *types.Registry, m Message) Message {
+	t.Helper()
+	cn, sn := pipeConn(t)
+	sender := NewConn(sn, sendReg)
+	receiver := NewConn(cn, recvReg)
+	errc := make(chan error, 1)
+	go func() { errc <- sender.Send(m) }()
+	got, err := receiver.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	return got
+}
+
+func TestControlFrames(t *testing.T) {
+	for _, m := range []Message{
+		&Hello{Version: Version, Banner: "tinyblade"},
+		&Welcome{Version: Version, Banner: "tinybladed 0.1"},
+		&Exec{SQL: "SELECT * FROM t; SELECT count(*) FROM t"},
+		&Header{
+			Columns: []string{"id", "p"},
+			Types:   []ColType{{Kind: byte(types.KInt), Name: "INTEGER"}, {Kind: byte(types.KOpaque), Name: "period"}},
+			Plan:    "SELECT heap scan",
+		},
+		&Done{Affected: -1, Message: "table created", Profile: "elapsed=1ms"},
+		&Error{Code: "42P01", Message: "no such table"},
+		&Quit{},
+	} {
+		got := roundTrip(t, nil, nil, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %T:\n got %#v\nwant %#v", m, got, m)
+		}
+	}
+}
+
+// Every datum kind must survive the trip; opaque values must pass through
+// Send on the way out and Receive on the way in.
+func TestRowBatchRoundTrip(t *testing.T) {
+	srv, cli := registerPair(t)
+	ot, _ := srv.Lookup("period")
+	cliOT, _ := cli.Lookup("period")
+
+	in := &RowBatch{Rows: [][]types.Datum{
+		{int64(-7), float64(2.5), "text", true, chronon.MustParse("9/97"), nil},
+		{types.Opaque{TypeID: ot.ID, Data: []byte("1/97-3/97")}},
+	}}
+	got := roundTrip(t, srv, cli, in).(*RowBatch)
+	if len(got.Rows) != 2 {
+		t.Fatalf("rows: %d", len(got.Rows))
+	}
+	want0 := in.Rows[0]
+	for i, d := range got.Rows[0] {
+		if d != want0[i] {
+			t.Fatalf("col %d: got %#v want %#v", i, d, want0[i])
+		}
+	}
+	op, ok := got.Rows[1][0].(types.Opaque)
+	if !ok {
+		t.Fatalf("opaque arrived as %T", got.Rows[1][0])
+	}
+	if op.TypeID != cliOT.ID || string(op.Data) != "1/97-3/97" {
+		t.Fatalf("opaque round trip: %+v", op)
+	}
+}
+
+// A client without the blade loaded still gets a displayable value: the
+// Output text stands in for the opaque datum.
+func TestOpaqueFallbackWithoutBlade(t *testing.T) {
+	srv, _ := registerPair(t)
+	ot, _ := srv.Lookup("period")
+	bare := types.NewRegistry() // no period type here
+
+	in := &RowBatch{Rows: [][]types.Datum{{types.Opaque{TypeID: ot.ID, Data: []byte("5/97-9/97")}}}}
+	got := roundTrip(t, srv, bare, in).(*RowBatch)
+	s, ok := got.Rows[0][0].(string)
+	if !ok || s != "5/97-9/97" {
+		t.Fatalf("fallback datum: %#v", got.Rows[0][0])
+	}
+}
+
+func TestResolveColTypes(t *testing.T) {
+	_, cli := registerPair(t)
+	cliOT, _ := cli.Lookup("period")
+	cts := []ColType{
+		{Kind: byte(types.KVarchar), Name: "VARCHAR"},
+		{Kind: byte(types.KOpaque), Name: "period"},
+		{Kind: byte(types.KOpaque), Name: "mystery"},
+	}
+	ts := ResolveColTypes(cli, cts)
+	if ts[0].Kind != types.KVarchar {
+		t.Fatalf("builtin: %v", ts[0])
+	}
+	if ts[1].Kind != types.KOpaque || ts[1].OpaqueID != cliOT.ID {
+		t.Fatalf("known opaque: %v", ts[1])
+	}
+	if ts[2].Kind != types.KOpaque || ts[2].OpaqueID != 0 {
+		t.Fatalf("unknown opaque: %v", ts[2])
+	}
+}
+
+// Corrupt frames must fail cleanly, not panic or block.
+func TestMalformedFrames(t *testing.T) {
+	// Truncated payload relative to the declared length: reader sees EOF.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 50, byte(MsgExec), 1, 2, 3})
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{&buf, io.Discard}, nil)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("truncated frame must error")
+	}
+
+	// Oversized length word is rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgExec)})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("oversized frame must error")
+	}
+
+	// Unknown frame type.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0, 99})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("unknown frame type must error")
+	}
+
+	// A declared row/column count larger than the payload must error out
+	// instead of looping: the sticky decoder error stops the loops.
+	var e enc
+	e.u32(1 << 30)
+	buf.Reset()
+	var hdr [5]byte
+	hdr[3] = byte(len(e.buf))
+	hdr[4] = byte(MsgRowBatch)
+	buf.Write(hdr[:])
+	buf.Write(e.buf)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("row count overflow must error")
+	}
+}

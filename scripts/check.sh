@@ -2,9 +2,10 @@
 # Static checks plus the race-sensitive packages under the race detector:
 # the sharded buffer pool, the version-chained heap and its page latches,
 # the lock manager's deadlock detection, the purpose-function framework,
-# the batched scan pipeline, and the WAL group-commit flusher. Tier-1
-# (`go build ./... && go test ./...`) is assumed to run separately; this
-# is the concurrency-focused gate (`make check`).
+# the batched scan pipeline, the WAL group-commit flusher, and the network
+# stack (wire framing, the session-multiplexing server, the client
+# library). Tier-1 (`go build ./... && go test ./...`) is assumed to run
+# separately; this is the concurrency-focused gate (`make check`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +13,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (storage, heap, lock, wal, am, engine)"
-go test -race ./internal/storage/... ./internal/heap/... ./internal/lock/... ./internal/wal/... ./internal/am/... ./internal/engine/...
+echo "== go test -race (storage, heap, lock, wal, am, engine, wire, server, client)"
+go test -race ./internal/storage/... ./internal/heap/... ./internal/lock/... ./internal/wal/... ./internal/am/... ./internal/engine/... ./internal/wire/... ./internal/server/... ./internal/client/...
 
 echo "ok"

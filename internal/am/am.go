@@ -299,6 +299,18 @@ type (
 	AmStatsFunc func(ctx *mi.Context, id *IndexDesc) (string, error)
 	// AmCheckFunc verifies index consistency.
 	AmCheckFunc func(ctx *mi.Context, id *IndexDesc) error
+	// AmBuildNext feeds an am_build bulk load: each call returns the next
+	// batch of rows to index (rowids plus indexed-column values, the same
+	// ScanBatch shape am_getmulti produces) or nil when the source scan is
+	// exhausted. The batch buffer is reused between calls; the access method
+	// must copy anything it keeps.
+	AmBuildNext func() (*ScanBatch, error)
+	// AmBuildFunc is the optional bulk-build slot: it loads a freshly created,
+	// empty index from the batches the feed supplies and returns the number of
+	// rows loaded. Access methods that bind it get the fast path at CREATE
+	// INDEX time (e.g. a sort-based bottom-up pack); methods without it are
+	// fed through batched am_insert calls instead.
+	AmBuildFunc func(ctx *mi.Context, id *IndexDesc, next AmBuildNext) (int, error)
 	// AmParallelScanFunc is the optional intra-query parallelism slot. The
 	// server calls it right after am_beginscan, offering a degree of
 	// parallelism; an access method that accepts returns one ScanDesc per
@@ -331,6 +343,9 @@ type PurposeSet struct {
 	ScanCost  AmScanCostFunc
 	Stats     AmStatsFunc
 	Check     AmCheckFunc
+	// Build is the optional am_build bulk-load slot (nil = populate via
+	// batched am_insert).
+	Build AmBuildFunc
 	// ParallelScan is the optional am_parallelscan slot (nil = the access
 	// method never accepts a parallel offer).
 	ParallelScan AmParallelScanFunc
@@ -341,7 +356,7 @@ type PurposeSet struct {
 var PurposeSlots = []string{
 	"am_create", "am_drop", "am_open", "am_close",
 	"am_beginscan", "am_endscan", "am_rescan", "am_getnext", "am_getmulti",
-	"am_insert", "am_delete", "am_update",
+	"am_insert", "am_delete", "am_update", "am_build",
 	"am_scancost", "am_stats", "am_check", "am_parallelscan",
 }
 
@@ -385,6 +400,8 @@ func Bind(slots map[string]string, resolve func(fname string) (any, error)) (*Pu
 			ps.Delete, ok = sym.(AmMutateFunc)
 		case "am_update":
 			ps.Update, ok = sym.(AmUpdateFunc)
+		case "am_build":
+			ps.Build, ok = sym.(AmBuildFunc)
 		case "am_scancost":
 			ps.ScanCost, ok = sym.(AmScanCostFunc)
 		case "am_stats":

@@ -138,6 +138,7 @@ CREATE FUNCTION grt_endscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/
 CREATE FUNCTION grt_rescan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_rescan)' LANGUAGE c;
 CREATE FUNCTION grt_getnext(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_getnext)' LANGUAGE c;
 CREATE FUNCTION grt_getmulti(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_getmulti)' LANGUAGE c;
+CREATE FUNCTION grt_build(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_build)' LANGUAGE c;
 CREATE FUNCTION grt_insert(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_insert)' LANGUAGE c;
 CREATE FUNCTION grt_delete(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_delete)' LANGUAGE c;
 CREATE FUNCTION grt_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_update)' LANGUAGE c;
@@ -168,6 +169,7 @@ CREATE SECONDARY ACCESS_METHOD grtree_am (
 	am_rescan = grt_rescan,
 	am_getnext = grt_getnext,
 	am_getmulti = grt_getmulti,
+	am_build = grt_build,
 	am_insert = grt_insert,
 	am_delete = grt_delete,
 	am_update = grt_update,

@@ -1,0 +1,203 @@
+package grtblade
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// buildExtent returns a deterministic extent valid at the test clock's 9/97,
+// cycling through the four tt/vt open/closed combinations of Figure 2.
+func buildExtent(i int) string {
+	m := i%9 + 1
+	switch i % 4 {
+	case 0: // growing stair: VTEnd = NOW requires VTBegin <= TTBegin
+		return fmt.Sprintf("%d/97, UC, %d/97, NOW", m, i%m+1)
+	case 1: // static rectangle: all bounds ground and <= current time
+		tt1, vt1 := i%5+1, i%6+1
+		return fmt.Sprintf("%d/97, %d/97, %d/97, %d/97", tt1, tt1+i%4, vt1, vt1+i%4)
+	case 2: // rectangle growing in transaction time
+		vt1 := i%7 + 1
+		return fmt.Sprintf("%d/97, UC, %d/97, %d/97", m, vt1, vt1+i%3)
+	default: // static stair
+		tt1 := i%5 + 2
+		return fmt.Sprintf("%d/97, %d/97, %d/97, NOW", tt1, tt1+i%3, i%tt1+1)
+	}
+}
+
+// qualMatrix is the agreement battery: one query per strategy plus the
+// composite forms.
+var qualMatrix = []string{
+	`SELECT Name FROM BT WHERE Overlaps(Time_Extent, '6/97, 7/97, 6/97, 7/97')`,
+	`SELECT Name FROM BT WHERE Overlaps(Time_Extent, '1/97, UC, 1/97, NOW')`,
+	`SELECT Name FROM BT WHERE Equal(Time_Extent, '3/97, UC, 3/97, NOW')`,
+	`SELECT Name FROM BT WHERE Contains(Time_Extent, '6/97, 6/97, 4/97, 4/97')`,
+	`SELECT Name FROM BT WHERE ContainedIn(Time_Extent, '1/97, UC, 1/97, NOW')`,
+	`SELECT Name FROM BT WHERE Overlaps(Time_Extent, '4/97, 4/97, 4/97, 4/97') OR Equal(Time_Extent, '3/97, 7/97, 6/97, 8/97')`,
+	`SELECT Name FROM BT WHERE Overlaps(Time_Extent, '6/97, 7/97, 6/97, 7/97') AND ContainedIn(Time_Extent, '1/97, UC, 1/97, NOW')`,
+}
+
+func runMatrix(t *testing.T, s *engine.Session) []string {
+	t.Helper()
+	out := make([]string, len(qualMatrix))
+	for i, q := range qualMatrix {
+		out[i] = strings.Join(names(exec(t, s, q)), ",")
+	}
+	return out
+}
+
+// TestBulkBuildEquivalence builds the same table once through the STR
+// am_build fast path and once through the forced row-at-a-time fallback,
+// and requires both indexes to pass CHECK INDEX and to agree with each
+// other and with a sequential scan on the whole qualification matrix.
+func TestBulkBuildEquivalence(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE BT (Name VARCHAR(16), Time_Extent GRT_TimeExtent_t)`)
+	for i := 0; i < 150; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO BT VALUES ('r%d', '%s')`, i, buildExtent(i)))
+	}
+
+	builds := e.Obs().Snapshot().Get("am.am_build")
+	exec(t, s, `CREATE INDEX bulk_ix ON BT(Time_Extent grt_opclass) USING grtree_am (build='bulk') IN spc`)
+	if e.Obs().Snapshot().Get("am.am_build") != builds+1 {
+		t.Fatal("build=bulk did not go through am_build")
+	}
+	exec(t, s, `CHECK INDEX bulk_ix`)
+	viaBulk := runMatrix(t, s)
+	exec(t, s, `DROP INDEX bulk_ix`)
+
+	exec(t, s, `CREATE INDEX ins_ix ON BT(Time_Extent grt_opclass) USING grtree_am (build='insert') IN spc`)
+	if e.Obs().Snapshot().Get("am.am_build") != builds+1 {
+		t.Fatal("build=insert must not call am_build")
+	}
+	exec(t, s, `CHECK INDEX ins_ix`)
+	viaInsert := runMatrix(t, s)
+	exec(t, s, `DROP INDEX ins_ix`)
+
+	seq := runMatrix(t, s)
+	for i := range qualMatrix {
+		if viaBulk[i] != seq[i] {
+			t.Fatalf("query %d: STR-built index %q vs seqscan %q", i, viaBulk[i], seq[i])
+		}
+		if viaInsert[i] != seq[i] {
+			t.Fatalf("query %d: insert-built index %q vs seqscan %q", i, viaInsert[i], seq[i])
+		}
+	}
+}
+
+// TestOnlineBuildConcurrentDML is the blade-level concurrency battery (run
+// under -race by make check): writer goroutines insert, update and delete
+// rows while CREATE INDEX is parked inside its lock-free bulk phase, so
+// their changes reach the GR-tree only through the side log. The published
+// index must pass CHECK INDEX and agree with a sequential scan everywhere.
+func TestOnlineBuildConcurrentDML(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE BT (Name VARCHAR(16), Time_Extent GRT_TimeExtent_t)`)
+	for i := 0; i < 100; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO BT VALUES ('r%d', '%s')`, i, buildExtent(i)))
+	}
+
+	const writers = 3
+	var wg sync.WaitGroup
+	writerErr := make(chan error, writers)
+	started := make(chan struct{})
+	e.SetBuildHookForTesting(func(stage string) error {
+		if stage == "bulk" {
+			close(started)
+			wg.Wait()
+		}
+		return nil
+	})
+	defer e.SetBuildHookForTesting(nil)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-started
+			ws := e.NewSession()
+			defer ws.Close()
+			for i := 0; i < 12; i++ {
+				n := 1000 + w*100 + i
+				if _, err := ws.Exec(fmt.Sprintf(`INSERT INTO BT VALUES ('w%d', '%s')`, n, buildExtent(n))); err != nil {
+					writerErr <- err
+					return
+				}
+				switch i % 3 {
+				case 0:
+					if _, err := ws.Exec(fmt.Sprintf(`DELETE FROM BT WHERE Name = 'w%d'`, n)); err != nil {
+						writerErr <- err
+						return
+					}
+				case 1:
+					if _, err := ws.Exec(fmt.Sprintf(`UPDATE BT SET Time_Extent = '%s' WHERE Name = 'w%d'`, buildExtent(n+7), n)); err != nil {
+						writerErr <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	replayed := e.Obs().Snapshot().Get("idxbuild.sidelog_replayed")
+	exec(t, s, `CREATE INDEX conc_ix ON BT(Time_Extent grt_opclass) USING grtree_am IN spc`)
+	e.SetBuildHookForTesting(nil)
+	close(writerErr)
+	for err := range writerErr {
+		t.Fatal(err)
+	}
+	if e.Obs().Snapshot().Get("idxbuild.sidelog_replayed") == replayed {
+		t.Fatal("no side-log ops replayed: writers did not overlap the build")
+	}
+
+	exec(t, s, `CHECK INDEX conc_ix`)
+	withIndex := runMatrix(t, s)
+	exec(t, s, `DROP INDEX conc_ix`)
+	seq := runMatrix(t, s)
+	for i := range qualMatrix {
+		if withIndex[i] != seq[i] {
+			t.Fatalf("query %d: online-built index %q vs seqscan %q", i, withIndex[i], seq[i])
+		}
+	}
+}
+
+// TestAlterIndexRebuildGRT rebuilds a churned GR-tree index online (the
+// Section 5.5 vacuum story: drop and bulk-recreate in one statement) and
+// verifies structure and agreement afterwards.
+func TestAlterIndexRebuildGRT(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE BT (Name VARCHAR(16), Time_Extent GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX rb_ix ON BT(Time_Extent grt_opclass) USING grtree_am IN spc`)
+	for i := 0; i < 120; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO BT VALUES ('r%d', '%s')`, i, buildExtent(i)))
+	}
+	for i := 0; i < 120; i += 3 {
+		exec(t, s, fmt.Sprintf(`DELETE FROM BT WHERE Name = 'r%d'`, i))
+	}
+
+	bulkBefore := e.Obs().Snapshot().Get("idxbuild.rows_bulk")
+	exec(t, s, `ALTER INDEX rb_ix REBUILD`)
+	if e.Obs().Snapshot().Get("idxbuild.rows_bulk") <= bulkBefore {
+		t.Fatal("rebuild did not bulk-load")
+	}
+	exec(t, s, `CHECK INDEX rb_ix`)
+	withIndex := runMatrix(t, s)
+	exec(t, s, `DROP INDEX rb_ix`)
+	seq := runMatrix(t, s)
+	for i := range qualMatrix {
+		if withIndex[i] != seq[i] {
+			t.Fatalf("query %d: rebuilt index %q vs seqscan %q", i, withIndex[i], seq[i])
+		}
+	}
+}

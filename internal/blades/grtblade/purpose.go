@@ -29,6 +29,7 @@ func Library(e *engine.Engine) am.Library {
 		"grt_rescan":       am.AmScanFunc(grtRescan),
 		"grt_getnext":      am.AmGetNextFunc(grtGetNext),
 		"grt_getmulti":     am.AmGetMultiFunc(grtGetMulti),
+		"grt_build":        am.AmBuildFunc(grtBuild),
 		"grt_insert":       am.AmMutateFunc(grtInsert),
 		"grt_delete":       am.AmMutateFunc(grtDelete),
 		"grt_update":       am.AmUpdateFunc(grtUpdate),
@@ -97,7 +98,9 @@ func grtCreate(ctx *mi.Context, id *am.IndexDesc) error {
 	if err := id.Services.AMRecordPut(AmName, id.Name, encodeAMRecord(handle)); err != nil {
 		return err
 	}
-	if err := id.Services.AMRecordPut(AmName, dupKey(id), []byte{1}); err != nil {
+	// The dup record carries the owning index's name so catalog recovery can
+	// purge it when a crash leaves a half-built index behind.
+	if err := id.Services.AMRecordPut(AmName, dupKey(id), []byte(strings.ToLower(id.Name))); err != nil {
 		return err
 	}
 	ct := currentTime(ctx, id.Services, cfg.perStmtCT)
@@ -445,6 +448,42 @@ func grtEndScan(ctx *mi.Context, sd *am.ScanDesc) error {
 	}
 	sd.UserData = nil
 	return nil
+}
+
+// grtBuild implements am_build, the optional bulk-load purpose slot: the
+// server feeds snapshot batches through next; the blade collects them and
+// packs the tree bottom-up with the sort-tile-recursive BulkLoad instead of
+// one grt_insert per row.
+func grtBuild(ctx *mi.Context, id *am.IndexDesc, next am.AmBuildNext) (int, error) {
+	st, err := state(id)
+	if err != nil {
+		return 0, err
+	}
+	var items []grtree.BulkItem
+	for {
+		b, err := next()
+		if err != nil {
+			return 0, err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			ext, err := extentArg(b.Rows[i][0])
+			if err != nil {
+				return 0, err
+			}
+			if !ext.ValidAt(st.ct) {
+				return 0, fmt.Errorf("grtblade: extent %v violates the transaction-time constraints at current time %v", ext, st.ct)
+			}
+			items = append(items, grtree.BulkItem{Extent: ext, Payload: grtree.Payload(b.RowIDs[i])})
+		}
+	}
+	if err := st.tree.BulkLoad(items, st.ct); err != nil {
+		return 0, err
+	}
+	ctx.Tracer().Tracef("grt", 1, "grt_build %s: bulk-loaded %d entries", id.Name, len(items))
+	return len(items), nil
 }
 
 // grtInsert implements am_insert (Table 5, grt_insert).

@@ -1,0 +1,154 @@
+package rstblade
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// bext returns a deterministic extent valid at the test clock's 9/97,
+// cycling through the open/closed tt and vt combinations.
+func bext(i int) string {
+	m := i%9 + 1
+	switch i % 4 {
+	case 0:
+		return fmt.Sprintf("%d/97, UC, %d/97, NOW", m, i%m+1)
+	case 1:
+		tt1, vt1 := i%5+1, i%6+1
+		return fmt.Sprintf("%d/97, %d/97, %d/97, %d/97", tt1, tt1+i%4, vt1, vt1+i%4)
+	case 2:
+		vt1 := i%7 + 1
+		return fmt.Sprintf("%d/97, UC, %d/97, %d/97", m, vt1, vt1+i%3)
+	default:
+		tt1 := i%5 + 2
+		return fmt.Sprintf("%d/97, %d/97, %d/97, NOW", tt1, tt1+i%3, i%tt1+1)
+	}
+}
+
+var buildQueries = []string{
+	`SELECT Name FROM T WHERE Overlaps(X, '6/97, 7/97, 6/97, 7/97')`,
+	`SELECT Name FROM T WHERE Overlaps(X, '1/97, UC, 1/97, NOW')`,
+	`SELECT Name FROM T WHERE Equal(X, '3/97, UC, 3/97, NOW')`,
+	`SELECT Name FROM T WHERE Contains(X, '6/97, 6/97, 4/97, 4/97')`,
+	`SELECT Name FROM T WHERE ContainedIn(X, '1/97, UC, 1/97, NOW')`,
+}
+
+// TestBulkBuildEquivalence checks the R*-tree STR fast path against the
+// row-at-a-time fallback and a sequential scan under nowsub='max' (the
+// exact-after-filtering substitution).
+func TestBulkBuildEquivalence(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	for i := 0; i < 150; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES ('r%d', '%s')`, i, bext(i)))
+	}
+
+	builds := e.Obs().Snapshot().Get("am.am_build")
+	exec(t, s, `CREATE INDEX bulk_ix ON T(X rst_opclass) USING rstree_am (nowsub='max', build='bulk') IN spc`)
+	if e.Obs().Snapshot().Get("am.am_build") != builds+1 {
+		t.Fatal("build=bulk did not go through am_build")
+	}
+	exec(t, s, `CHECK INDEX bulk_ix`)
+	viaBulk := make([]string, len(buildQueries))
+	for i, q := range buildQueries {
+		viaBulk[i] = names(exec(t, s, q))
+	}
+	exec(t, s, `DROP INDEX bulk_ix`)
+
+	exec(t, s, `CREATE INDEX ins_ix ON T(X rst_opclass) USING rstree_am (nowsub='max', build='insert') IN spc`)
+	if e.Obs().Snapshot().Get("am.am_build") != builds+1 {
+		t.Fatal("build=insert must not call am_build")
+	}
+	exec(t, s, `CHECK INDEX ins_ix`)
+	viaInsert := make([]string, len(buildQueries))
+	for i, q := range buildQueries {
+		viaInsert[i] = names(exec(t, s, q))
+	}
+	exec(t, s, `DROP INDEX ins_ix`)
+
+	for i, q := range buildQueries {
+		seq := names(exec(t, s, q))
+		if viaBulk[i] != seq {
+			t.Fatalf("query %d: STR-built index %q vs seqscan %q", i, viaBulk[i], seq)
+		}
+		if viaInsert[i] != seq {
+			t.Fatalf("query %d: insert-built index %q vs seqscan %q", i, viaInsert[i], seq)
+		}
+	}
+}
+
+// TestOnlineBuildConcurrentDML runs writer goroutines against the table
+// while CREATE INDEX is parked in its lock-free bulk phase, so their rows
+// reach the R*-tree only via side-log replay. Exercised under -race by
+// make check.
+func TestOnlineBuildConcurrentDML(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	for i := 0; i < 80; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES ('r%d', '%s')`, i, bext(i)))
+	}
+
+	const writers = 3
+	var wg sync.WaitGroup
+	writerErr := make(chan error, writers)
+	started := make(chan struct{})
+	e.SetBuildHookForTesting(func(stage string) error {
+		if stage == "bulk" {
+			close(started)
+			wg.Wait()
+		}
+		return nil
+	})
+	defer e.SetBuildHookForTesting(nil)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-started
+			ws := e.NewSession()
+			defer ws.Close()
+			for i := 0; i < 10; i++ {
+				n := 1000 + w*100 + i
+				if _, err := ws.Exec(fmt.Sprintf(`INSERT INTO T VALUES ('w%d', '%s')`, n, bext(n))); err != nil {
+					writerErr <- err
+					return
+				}
+				if i%3 == 0 {
+					if _, err := ws.Exec(fmt.Sprintf(`DELETE FROM T WHERE Name = 'w%d'`, n)); err != nil {
+						writerErr <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	replayed := e.Obs().Snapshot().Get("idxbuild.sidelog_replayed")
+	exec(t, s, `CREATE INDEX conc_ix ON T(X rst_opclass) USING rstree_am (nowsub='max') IN spc`)
+	e.SetBuildHookForTesting(nil)
+	close(writerErr)
+	for err := range writerErr {
+		t.Fatal(err)
+	}
+	if e.Obs().Snapshot().Get("idxbuild.sidelog_replayed") == replayed {
+		t.Fatal("no side-log ops replayed: writers did not overlap the build")
+	}
+
+	exec(t, s, `CHECK INDEX conc_ix`)
+	withIndex := make([]string, len(buildQueries))
+	for i, q := range buildQueries {
+		withIndex[i] = names(exec(t, s, q))
+	}
+	exec(t, s, `DROP INDEX conc_ix`)
+	for i, q := range buildQueries {
+		if seq := names(exec(t, s, q)); withIndex[i] != seq {
+			t.Fatalf("query %d: online-built index %q vs seqscan %q", i, withIndex[i], seq)
+		}
+	}
+}

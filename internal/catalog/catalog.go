@@ -66,6 +66,17 @@ type OpClass struct {
 	Default    bool
 }
 
+// Index states (SYSINDICES.State). An empty state means READY — catalogs
+// persisted before online builds existed carry no state field.
+const (
+	// IndexReady is a fully built, published index: the planner may use it
+	// and DML maintains it directly.
+	IndexReady = "READY"
+	// IndexBuilding is an index whose online build is in flight: invisible
+	// to the planner, maintained through the build's side log only.
+	IndexBuilding = "BUILDING"
+)
+
 // Index is a SYSINDICES entry.
 type Index struct {
 	Name      string
@@ -75,7 +86,13 @@ type Index struct {
 	AmName    string
 	SpaceName string
 	Params    map[string]string
+	// State is the index lifecycle state (IndexReady/IndexBuilding);
+	// "" is read as READY for back-compat.
+	State string `json:",omitempty"`
 }
+
+// Ready reports whether the index is published ("" is READY).
+func (ix *Index) Ready() bool { return ix.State == "" || ix.State == IndexReady }
 
 // Sbspace is a registered smart-blob space.
 type Sbspace struct {
@@ -347,6 +364,50 @@ func (c *Catalog) DropIndex(name string) error {
 	}
 	delete(c.Indices, key(name))
 	return nil
+}
+
+// PurgeBuildingIndexes removes every index left in the BUILDING state by a
+// crash, together with the access-method records that belong to it: the
+// "am|index" bookkeeping row plus any auxiliary record (e.g. a blade's
+// duplicate-suppression marker) whose value names the index. The on-disk
+// index storage itself is garbage the crashed build's transaction never
+// committed; recovery rolls it back. Returns the purged index names,
+// sorted.
+func (c *Catalog) PurgeBuildingIndexes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for k, ix := range c.Indices {
+		if !ix.Ready() {
+			names = append(names, ix.Name)
+			delete(c.Indices, k)
+		}
+	}
+	for _, name := range names {
+		c.purgeAMRecordsLocked(name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AMRecordsPurgeIndex removes every access-method record belonging to one
+// index: the "am|index" bookkeeping row plus any auxiliary record (e.g. a
+// blade's duplicate-suppression marker) whose value names the index. Failed
+// index builds use it to clean up after am_create has already persisted
+// records.
+func (c *Catalog) AMRecordsPurgeIndex(index string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeAMRecordsLocked(index)
+}
+
+func (c *Catalog) purgeAMRecordsLocked(index string) {
+	lk := key(index)
+	for rk, v := range c.AmRecords {
+		if strings.HasSuffix(rk, "|"+lk) || string(v) == lk {
+			delete(c.AmRecords, rk)
+		}
+	}
 }
 
 // IndexesOn lists the indexes on a table, name-sorted.

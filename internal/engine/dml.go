@@ -47,6 +47,11 @@ func (s *Session) openIndexes(table string, readOnly bool) ([]openIndex, func(),
 		}
 	}
 	for _, ix := range s.e.cat.IndexesOn(table) {
+		if !ix.Ready() {
+			// A BUILDING index is invisible: the planner cannot use it and
+			// DML maintenance flows through its side log only (idxbuild.go).
+			continue
+		}
 		desc, ps, err := s.indexDesc(ix)
 		if err != nil {
 			closeAll()
@@ -99,6 +104,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 		return nil, err
 	}
 	defer closeAll()
+	builds := s.e.activeBuilds(tb.Name)
 
 	inserted := 0
 	for _, exprRow := range t.Rows {
@@ -133,6 +139,7 @@ func (s *Session) insert(t *sql.Insert) (*Result, error) {
 				return nil, err
 			}
 		}
+		s.captureSide(builds, true, rid, row)
 		inserted++
 	}
 	return &Result{Affected: inserted, Message: fmt.Sprintf("%d row(s) inserted", inserted)}, nil
@@ -167,6 +174,7 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 		return nil, err
 	}
 	defer closeAll()
+	builds := s.e.activeBuilds(tb.Name)
 
 	loaded := 0
 	for lineNo, line := range strings.Split(string(raw), "\n") {
@@ -203,6 +211,7 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 				return nil, err
 			}
 		}
+		s.captureSide(builds, true, rid, row)
 		loaded++
 	}
 	return &Result{Affected: loaded, Message: fmt.Sprintf("%d row(s) loaded", loaded)}, nil
@@ -552,6 +561,7 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 		return nil, err
 	}
 	defer closeAll()
+	builds := s.e.activeBuilds(tb.Name)
 
 	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
 	if err != nil {
@@ -588,6 +598,7 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 				return err
 			}
 		}
+		s.captureSide(builds, false, rid, row)
 		deleted++
 		return nil
 	}
@@ -656,6 +667,7 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 		return nil, err
 	}
 	defer closeAll()
+	builds := s.e.activeBuilds(tb.Name)
 
 	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
 	if err != nil {
@@ -712,6 +724,10 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 				return nil, err
 			}
 		}
+		// Side-log capture: an update is a delete of the old projection plus
+		// an insert of the new one, at their respective row ids.
+		s.captureSide(builds, false, tg.rid, tg.row)
+		s.captureSide(builds, true, newRid, newRow)
 	}
 	return &Result{Affected: len(targets), Message: fmt.Sprintf("%d row(s) updated", len(targets)), Plan: plan}, nil
 }

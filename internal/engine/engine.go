@@ -134,6 +134,17 @@ type Engine struct {
 	vacDone chan struct{}
 	vacStop sync.Once
 
+	// Online index builds (see idxbuild.go): the registry writer statements
+	// consult (after their table X lock) to capture side-log ops, the
+	// idxbuild.* observability counters, and the test-only crash hook
+	// invoked at the build's named stages.
+	buildsMu     sync.Mutex
+	builds       []*indexBuild
+	idxRowsBulk  *obs.Counter
+	idxReplayed  *obs.Counter
+	idxPublishNs *obs.Counter
+	buildHook    func(stage string) error
+
 	traceOn     atomic.Bool
 	traceMu     sync.Mutex
 	traceEvents []string
@@ -189,6 +200,12 @@ func Open(opts Options) (*Engine, error) {
 	var err error
 	e.cat, err = catalog.Load(opts.Dir)
 	if err != nil {
+		return nil, err
+	}
+	// A crashed online build leaves its index in the BUILDING state; purge
+	// it (and its AM records) before anything can see it. The storage the
+	// build wrote is uncommitted — recovery below rolls it back.
+	if err := e.purgeBuildingIndexes(); err != nil {
 		return nil, err
 	}
 	if !opts.NoWAL {
@@ -263,6 +280,9 @@ func (e *Engine) registerCoreCounters() {
 	e.mvccCreated = e.obs.Counter("mvcc.versions_created")
 	e.mvccSkipped = e.obs.Counter("mvcc.versions_skipped")
 	e.mvccVacuumed = e.obs.Counter("mvcc.vacuumed")
+	e.idxRowsBulk = e.obs.Counter("idxbuild.rows_bulk")
+	e.idxReplayed = e.obs.Counter("idxbuild.sidelog_replayed")
+	e.idxPublishNs = e.obs.Counter("idxbuild.publish_latch_ns")
 	e.amCounters = make(map[string]*obs.Counter, len(am.PurposeSlots))
 	for _, slot := range am.PurposeSlots {
 		e.amCounters[slot] = e.obs.Counter("am." + slot)
@@ -679,6 +699,11 @@ type Session struct {
 	curSnap *heldSnap
 	txSnap  *heldSnap
 	writes  []verStamp
+
+	// pendingSide holds side-log entries this transaction captured for
+	// in-flight online index builds: flushed to the builds' logs at commit,
+	// dropped at rollback (see idxbuild.go).
+	pendingSide []pendingSideOp
 }
 
 // NewSession opens a session (default isolation: Committed Read). The
@@ -749,6 +774,13 @@ func (s *Session) commitTx() error {
 	}
 	s.e.mvccEnd(s.tx)
 	s.releaseTxSnap()
+	// Committed: hand captured index-build side ops to their logs while the
+	// table X locks are still held, so side logs receive whole transactions
+	// in commit order (and a build snapshot captured under a later latch
+	// already sees everything this transaction wrote).
+	if len(s.pendingSide) > 0 {
+		s.flushSideOps()
+	}
 	s.ctx.EndTransaction(mi.TxCommit)
 	s.e.lm.ReleaseAll(lock.TxID(s.tx))
 	s.tx = 0
@@ -774,6 +806,7 @@ func (s *Session) rollbackTx() error {
 	}
 	s.e.mvccEnd(s.tx)
 	s.releaseTxSnap()
+	s.pendingSide = s.pendingSide[:0] // rolled back: captured side ops never happened
 	s.ctx.EndTransaction(mi.TxAbort)
 	s.e.lm.ReleaseAll(lock.TxID(s.tx))
 	s.tx = 0

@@ -8,7 +8,6 @@ import (
 	"repro/internal/am"
 	"repro/internal/catalog"
 	"repro/internal/chronon"
-	"repro/internal/heap"
 	"repro/internal/lock"
 	"repro/internal/obs"
 	"repro/internal/sbspace"
@@ -229,6 +228,8 @@ func (s *Session) run(st sql.Statement) (*Result, error) {
 		return s.createIndex(t)
 	case *sql.DropIndex:
 		return s.dropIndex(t)
+	case *sql.AlterIndexRebuild:
+		return s.alterIndexRebuild(t)
 	case *sql.Insert:
 		return s.insert(t)
 	case *sql.Select:
@@ -376,46 +377,18 @@ func (s *Session) createIndex(t *sql.CreateIndex) (*Result, error) {
 		}
 		ix.OpClasses = append(ix.OpClasses, oc)
 	}
-	desc, ps, err := s.indexDesc(ix)
+	mode, err := stripBuildMode(ix.Params)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.callIndexFn("am_create", ps.Create, desc); err != nil {
-		return nil, err
+	// CREATE INDEX manages its own transactions (the online publish commits
+	// mid-statement) and the catalog is not transactional: inside an
+	// explicit transaction a rollback would revert the index pages but keep
+	// the catalog entry. Reject rather than corrupt.
+	if s.explicit {
+		return nil, errf(CodeActiveTx, "CREATE INDEX cannot run inside a transaction")
 	}
-	// The server invokes am_open right after am_create (grt_open step 1
-	// no-ops in that case) and then builds the index from existing rows.
-	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
-		return nil, err
-	}
-	table, err := s.e.Table(tb.Name)
-	if err != nil {
-		return nil, err
-	}
-	buildErr := table.Scan(func(rid heap.RowID, row []types.Datum) (bool, error) {
-		vals := projectIndexed(desc, row)
-		if ps.Insert == nil {
-			return false, errf(CodeFeature, "access method %s cannot insert", t.AmName)
-		}
-		s.amCall("am_insert", desc.Name)
-		err := ps.Insert(s.ctx, desc, vals, rid)
-		s.ctx.EndFunction()
-		return err == nil, err
-	})
-	if cerr := s.callIndexFn("am_close", ps.Close, desc); cerr != nil && buildErr == nil {
-		buildErr = cerr
-	}
-	if buildErr != nil {
-		// Clean up the half-built index.
-		if ps.Drop != nil {
-			ps.Drop(s.ctx, desc)
-		}
-		return nil, buildErr
-	}
-	if err := s.e.cat.AddIndex(ix); err != nil {
-		return nil, err
-	}
-	if err := s.e.cat.Save(); err != nil {
+	if err := s.buildIndexOnline(tb, ix, mode, false); err != nil {
 		return nil, err
 	}
 	return &Result{Message: "index created"}, nil
@@ -425,6 +398,9 @@ func (s *Session) dropIndex(t *sql.DropIndex) (*Result, error) {
 	ix, err := s.e.cat.IndexByName(t.Name)
 	if err != nil {
 		return nil, err
+	}
+	if !ix.Ready() {
+		return nil, errf(CodeActiveTx, "index %s is being built", ix.Name)
 	}
 	desc, ps, err := s.indexDesc(ix)
 	if err != nil {
@@ -450,6 +426,9 @@ func (s *Session) checkIndex(t *sql.CheckIndex) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !ix.Ready() {
+		return nil, errf(CodeActiveTx, "index %s is being built", ix.Name)
+	}
 	desc, ps, err := s.indexDesc(ix)
 	if err != nil {
 		return nil, err
@@ -472,6 +451,9 @@ func (s *Session) updateStatistics(t *sql.UpdateStatistics) (*Result, error) {
 	ix, err := s.e.cat.IndexByName(t.Index)
 	if err != nil {
 		return nil, err
+	}
+	if !ix.Ready() {
+		return nil, errf(CodeActiveTx, "index %s is being built", ix.Name)
 	}
 	desc, ps, err := s.indexDesc(ix)
 	if err != nil {

@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestP12BuildCells: both build modes index the same table successfully;
+// only the bulk cell moves idxbuild.rows_bulk through am_build, and both
+// report a positive build time.
+func TestP12BuildCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index build sweep")
+	}
+	ins, err := runP12BuildCell("insert", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := runP12BuildCell("bulk", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.BuildTime <= 0 || bulk.BuildTime <= 0 {
+		t.Fatalf("non-positive build times: %v / %v", ins.BuildTime, bulk.BuildTime)
+	}
+	if bulk.RowsBulk != 300 {
+		t.Fatalf("bulk cell loaded %d rows via the bulk counter, want 300", bulk.RowsBulk)
+	}
+}
+
+// TestP12OnlineWriters: the concurrent cell must capture and replay the
+// writers' side-log traffic and record a publish latch.
+func TestP12OnlineWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index build sweep")
+	}
+	row, err := runP12Writers(200, 60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.DuringBuildPerS <= 0 {
+		t.Fatal("no writer throughput measured during the build")
+	}
+	if row.SideReplayed == 0 {
+		t.Fatal("no side-log ops replayed: the writers did not overlap the build")
+	}
+	if row.PublishLatch <= 0 {
+		t.Fatal("publish latch time not recorded")
+	}
+}

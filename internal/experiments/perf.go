@@ -835,3 +835,209 @@ func runP10Cell(readers, writers, selects, updates int) (P10Row, error) {
 	}
 	return row, nil
 }
+
+// P12Row records one cell of the online index build experiment.
+type P12Row struct {
+	Mode      string // "bulk" (STR am_build) or "insert" (row-at-a-time)
+	Rows      int
+	BuildTime time.Duration
+	RowsPerS  float64
+	RowsBulk  uint64 // idxbuild.rows_bulk movement for the build
+}
+
+// P12Online records the concurrent-writer cell: writer throughput with an
+// online build holding its side log open versus the idle baseline.
+type P12Online struct {
+	Inserts         int
+	IdlePerS        float64 // writers alone, no build in flight
+	DuringBuildPerS float64 // writers racing an online build's bulk phase
+	SideReplayed    uint64  // idxbuild.sidelog_replayed movement
+	PublishLatch    time.Duration
+}
+
+// p12Extent cycles through the valid Figure 2 tt/vt combinations at the
+// virtual clock's 9/97.
+func p12Extent(i int) string {
+	m := i%9 + 1
+	switch i % 4 {
+	case 0:
+		return fmt.Sprintf("%d/97, UC, %d/97, NOW", m, i%m+1)
+	case 1:
+		tt1, vt1 := i%5+1, i%6+1
+		return fmt.Sprintf("%d/97, %d/97, %d/97, %d/97", tt1, tt1+i%4, vt1, vt1+i%4)
+	case 2:
+		vt1 := i%7 + 1
+		return fmt.Sprintf("%d/97, UC, %d/97, %d/97", m, vt1, vt1+i%3)
+	default:
+		tt1 := i%5 + 2
+		return fmt.Sprintf("%d/97, %d/97, %d/97, NOW", tt1, tt1+i%3, i%tt1+1)
+	}
+}
+
+func p12Engine(rows int) (*engine.Engine, error) {
+	e, err := engine.Open(engine.Options{Clock: chronon.NewVirtualClock(chronon.MustParse("9/97"))})
+	if err != nil {
+		return nil, err
+	}
+	if err := grtblade.Register(e); err != nil {
+		e.Close()
+		return nil, err
+	}
+	s := e.NewSession()
+	defer s.Close()
+	for _, stmt := range []string{
+		`CREATE SBSPACE spc`,
+		`CREATE TABLE emp (name VARCHAR(16), ext GRT_TimeExtent_t)`,
+		`BEGIN WORK`,
+	} {
+		if _, err := s.Exec(stmt); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := s.Exec(fmt.Sprintf(`INSERT INTO emp VALUES ('r%d', '%s')`, i, p12Extent(i))); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	if _, err := s.Exec(`COMMIT WORK`); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+func runP12BuildCell(mode string, rows int) (P12Row, error) {
+	e, err := p12Engine(rows)
+	if err != nil {
+		return P12Row{}, err
+	}
+	defer e.Close()
+	s := e.NewSession()
+	defer s.Close()
+	bulk0 := e.Obs().Snapshot().Get("idxbuild.rows_bulk")
+	start := time.Now()
+	_, err = s.Exec(fmt.Sprintf(
+		`CREATE INDEX ix ON emp(ext grt_opclass) USING grtree_am (build='%s') IN spc`, mode))
+	elapsed := time.Since(start)
+	if err != nil {
+		return P12Row{}, err
+	}
+	if _, err := s.Exec(`CHECK INDEX ix`); err != nil {
+		return P12Row{}, err
+	}
+	return P12Row{
+		Mode:      mode,
+		Rows:      rows,
+		BuildTime: elapsed,
+		RowsPerS:  float64(rows) / elapsed.Seconds(),
+		RowsBulk:  e.Obs().Snapshot().Get("idxbuild.rows_bulk") - bulk0,
+	}, nil
+}
+
+// runP12Writers measures auto-commit insert throughput for one writer
+// session, optionally while an online CREATE INDEX is parked in its
+// lock-free bulk phase (so every insert is captured by the side log).
+func runP12Writers(rows, inserts int, duringBuild bool) (P12Online, error) {
+	e, err := p12Engine(rows)
+	if err != nil {
+		return P12Online{}, err
+	}
+	defer e.Close()
+
+	res := P12Online{Inserts: inserts}
+	runWriters := func() (float64, error) {
+		s := e.NewSession()
+		defer s.Close()
+		start := time.Now()
+		for i := 0; i < inserts; i++ {
+			n := rows + i
+			if _, err := s.Exec(fmt.Sprintf(`INSERT INTO emp VALUES ('w%d', '%s')`, n, p12Extent(n))); err != nil {
+				return 0, err
+			}
+		}
+		return float64(inserts) / time.Since(start).Seconds(), nil
+	}
+
+	if !duringBuild {
+		perS, err := runWriters()
+		if err != nil {
+			return P12Online{}, err
+		}
+		res.IdlePerS = perS
+		return res, nil
+	}
+
+	side0 := e.Obs().Snapshot().Get("idxbuild.sidelog_replayed")
+	latch0 := e.Obs().Snapshot().Get("idxbuild.publish_latch_ns")
+	writerDone := make(chan struct{})
+	var writerPerS float64
+	var writerErr error
+	e.SetBuildHookForTesting(func(stage string) error {
+		if stage == "bulk" {
+			writerPerS, writerErr = runWriters()
+			close(writerDone)
+		}
+		return nil
+	})
+	defer e.SetBuildHookForTesting(nil)
+	b := e.NewSession()
+	defer b.Close()
+	if _, err := b.Exec(`CREATE INDEX ix ON emp(ext grt_opclass) USING grtree_am IN spc`); err != nil {
+		return P12Online{}, err
+	}
+	<-writerDone
+	if writerErr != nil {
+		return P12Online{}, writerErr
+	}
+	if _, err := b.Exec(`CHECK INDEX ix`); err != nil {
+		return P12Online{}, err
+	}
+	res.DuringBuildPerS = writerPerS
+	res.SideReplayed = e.Obs().Snapshot().Get("idxbuild.sidelog_replayed") - side0
+	res.PublishLatch = time.Duration(e.Obs().Snapshot().Get("idxbuild.publish_latch_ns") - latch0)
+	return res, nil
+}
+
+// RunP12 measures the online index build: the STR bulk-load fast path
+// versus row-at-a-time loading across table sizes, then writer throughput
+// while a build is in flight (the point of building online: DML is not
+// blocked for the duration, only captured and replayed).
+func RunP12(w io.Writer, rows int) ([]P12Row, error) {
+	fmt.Fprintf(w, "P12: online index build (grtree_am, GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-8s %-8s %14s %12s %10s\n", "mode", "rows", "build-time", "rows/s", "rows_bulk")
+	var out []P12Row
+	for _, n := range []int{rows / 4, rows} {
+		var bulk, ins P12Row
+		var err error
+		if ins, err = runP12BuildCell("insert", n); err != nil {
+			return nil, err
+		}
+		if bulk, err = runP12BuildCell("bulk", n); err != nil {
+			return nil, err
+		}
+		for _, row := range []P12Row{ins, bulk} {
+			fmt.Fprintf(w, "%-8s %-8d %14v %12.0f %10d\n",
+				row.Mode, row.Rows, row.BuildTime, row.RowsPerS, row.RowsBulk)
+			out = append(out, row)
+		}
+		fmt.Fprintf(w, "  (STR bulk vs insert at %d rows: %.2fx)\n", n,
+			ins.BuildTime.Seconds()/bulk.BuildTime.Seconds())
+	}
+
+	inserts := rows / 4
+	idle, err := runP12Writers(rows, inserts, false)
+	if err != nil {
+		return nil, err
+	}
+	during, err := runP12Writers(rows, inserts, true)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "  writer throughput (%d auto-commit inserts): idle %.0f/s, during online build %.0f/s (%.2fx)\n",
+		inserts, idle.IdlePerS, during.DuringBuildPerS, during.DuringBuildPerS/idle.IdlePerS)
+	fmt.Fprintf(w, "  side-log ops replayed: %d; publish latch held: %v\n",
+		during.SideReplayed, during.PublishLatch)
+	return out, nil
+}

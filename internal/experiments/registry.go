@@ -79,6 +79,10 @@ func All(root string, quick bool) []Runner {
 			_, err := RunP11(w, scale(400, 120))
 			return err
 		}},
+		{"P12", "Online index build: STR bulk-load vs row-at-a-time, writer throughput", func(w io.Writer) error {
+			_, err := RunP12(w, scale(4000, 600))
+			return err
+		}},
 	}
 }
 

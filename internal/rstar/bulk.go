@@ -1,0 +1,123 @@
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BulkItem is one (rectangle, payload) pair for bulk loading.
+type BulkItem struct {
+	Rect    Rect
+	Payload Payload
+}
+
+// BulkLoad builds the tree from scratch using sort-tile-recursive packing:
+// entries are sorted by X centre, tiled into √n vertical slabs, each slab
+// sorted by Y centre and cut into node-sized runs. The tree must be empty.
+func (t *Tree) BulkLoad(items []BulkItem) error {
+	if t.size != 0 {
+		return fmt.Errorf("rstar: bulk load into non-empty tree (%d entries)", t.size)
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	fill := t.cfg.MaxEntries * 4 / 5 // pack to ~80%; even runs stay above min fill
+	if fill < 2 {
+		fill = 2
+	}
+
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		if it.Rect.Empty() {
+			return fmt.Errorf("rstar: bulk item %d has empty rectangle %v", i, it.Rect)
+		}
+		entries[i] = Entry{Rect: it.Rect, Ref: uint64(it.Payload)}
+	}
+
+	oldRoot := t.root
+	level := 0
+	for {
+		nodes, err := t.packLevel(entries, level, fill)
+		if err != nil {
+			return err
+		}
+		if len(nodes) == 1 {
+			t.root = nodes[0].Child()
+			t.height = level + 1
+			t.size = len(items)
+			t.epoch++
+			if err := t.store.Free(oldRoot); err != nil {
+				return err
+			}
+			return t.saveMeta()
+		}
+		entries = nodes
+		level++
+	}
+}
+
+// evenPartition splits n items into runs of at most maxRun, with run sizes
+// as equal as possible (so no run falls below half of maxRun).
+func evenPartition(n, maxRun int) []int {
+	k := (n + maxRun - 1) / maxRun
+	if k < 1 {
+		k = 1
+	}
+	base := n / k
+	extra := n % k
+	runs := make([]int, k)
+	for i := range runs {
+		runs[i] = base
+		if i < extra {
+			runs[i]++
+		}
+	}
+	return runs
+}
+
+// packLevel tiles the entries into nodes of the given level and returns the
+// parent entries for the next level up (sort-tile-recursive).
+func (t *Tree) packLevel(entries []Entry, level, fill int) ([]Entry, error) {
+	centres := make([][2]float64, len(entries))
+	for i, e := range entries {
+		centres[i] = [2]float64{
+			float64(e.Rect.XMin+e.Rect.XMax) / 2,
+			float64(e.Rect.YMin+e.Rect.YMax) / 2,
+		}
+	}
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return centres[order[a]][0] < centres[order[b]][0] })
+
+	nNodes := (len(entries) + fill - 1) / fill
+	nSlabs := int(math.Ceil(math.Sqrt(float64(nNodes))))
+	slabSizes := evenPartition(len(entries), (len(entries)+nSlabs-1)/nSlabs)
+
+	var parents []Entry
+	pos := 0
+	for _, slabLen := range slabSizes {
+		slab := append([]int(nil), order[pos:pos+slabLen]...)
+		pos += slabLen
+		sort.SliceStable(slab, func(a, b int) bool { return centres[slab[a]][1] < centres[slab[b]][1] })
+		r := 0
+		for _, runLen := range evenPartition(len(slab), fill) {
+			id, err := t.store.Alloc()
+			if err != nil {
+				return nil, err
+			}
+			n := &node{id: id, leaf: level == 0, level: level}
+			for _, ix := range slab[r : r+runLen] {
+				n.entries = append(n.entries, entries[ix])
+			}
+			r += runLen
+			if err := t.writeNode(n); err != nil {
+				return nil, err
+			}
+			parents = append(parents, Entry{Rect: boundOf(n.entries), Ref: uint64(id)})
+		}
+	}
+	return parents, nil
+}

@@ -1,0 +1,121 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBulkLoad packs a tree via sort-tile-recursive loading and requires
+// exact agreement with a brute-force model (and with an insert-loaded twin)
+// across every operator, plus structural invariants via Check.
+func TestBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var items []BulkItem
+	model := make(map[Payload]Rect)
+	for i := 0; i < 500; i++ {
+		r := randomRect(rng, 1000)
+		p := Payload(i + 1)
+		items = append(items, BulkItem{Rect: r, Payload: p})
+		model[p] = r
+	}
+	bulk := newTestTree(t, smallConfig())
+	if err := bulk.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Size() != 500 {
+		t.Fatalf("size %d", bulk.Size())
+	}
+	if err := bulk.Check(); err != nil {
+		t.Fatalf("check after bulk load: %v", err)
+	}
+	ins := newTestTree(t, smallConfig())
+	for _, it := range items {
+		if err := ins.Insert(it.Rect, it.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		q := randomRect(rng, 1000)
+		for _, op := range []Op{OpOverlaps, OpEqual, OpContains, OpContainedIn} {
+			want := bruteForce(model, op, q)
+			got, err := bulk.SearchAll(op, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalSets(got, want) {
+				t.Fatalf("%s trial %d: bulk tree disagrees with model", op, trial)
+			}
+			viaInsert, err := ins.SearchAll(op, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalSets(viaInsert, want) {
+				t.Fatalf("%s trial %d: insert tree disagrees with model", op, trial)
+			}
+		}
+	}
+	// A bulk-loaded tree remains mutable: delete and re-insert keep agreeing.
+	for i := 0; i < 50; i++ {
+		p := Payload(i + 1)
+		removed, _, err := bulk.Delete(model[p], p)
+		if err != nil || !removed {
+			t.Fatalf("delete %d: removed=%v err=%v", p, removed, err)
+		}
+		delete(model, p)
+	}
+	if err := bulk.Check(); err != nil {
+		t.Fatalf("check after deletes: %v", err)
+	}
+	got, err := bulk.SearchAll(OpOverlaps, Rect{XMin: 0, XMax: 1 << 40, YMin: 0, YMax: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(got, bruteForce(model, OpOverlaps, Rect{XMin: 0, XMax: 1 << 40, YMin: 0, YMax: 1 << 40})) {
+		t.Fatal("post-delete agreement")
+	}
+
+	// Bulk load into a non-empty tree fails; the empty load is a no-op.
+	if err := bulk.BulkLoad(items); err == nil {
+		t.Fatal("bulk load into non-empty tree must fail")
+	}
+	empty := newTestTree(t, smallConfig())
+	if err := empty.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Size() != 0 {
+		t.Fatalf("empty bulk load changed size: %d", empty.Size())
+	}
+}
+
+// TestBulkLoadSizes sweeps awkward cardinalities (single item, exactly one
+// node, one over, big) and checks structure and content each time.
+func TestBulkLoadSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fill := smallConfig().MaxEntries * 4 / 5
+	for _, n := range []int{1, 2, fill, fill + 1, fill * fill, fill*fill + 1, 1000} {
+		var items []BulkItem
+		model := make(map[Payload]Rect)
+		for i := 0; i < n; i++ {
+			r := randomRect(rng, 500)
+			items = append(items, BulkItem{Rect: r, Payload: Payload(i + 1)})
+			model[Payload(i+1)] = r
+		}
+		tr := newTestTree(t, smallConfig())
+		if err := tr.BulkLoad(items); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Size() != n {
+			t.Fatalf("n=%d: size %d", n, tr.Size())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: check: %v", n, err)
+		}
+		all, err := tr.SearchAll(OpOverlaps, Rect{XMin: 0, XMax: 1 << 40, YMin: 0, YMax: 1 << 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSets(all, bruteForce(model, OpOverlaps, Rect{XMin: 0, XMax: 1 << 40, YMin: 0, YMax: 1 << 40})) {
+			t.Fatalf("n=%d: content mismatch", n)
+		}
+	}
+}

@@ -67,6 +67,10 @@ type CreateIndex struct {
 // DropIndex is DROP INDEX name.
 type DropIndex struct{ Name string }
 
+// AlterIndexRebuild is ALTER INDEX name REBUILD: rebuild the index storage
+// online, reusing the two-phase build machinery.
+type AlterIndexRebuild struct{ Name string }
+
 // Insert is INSERT INTO table [(cols)] VALUES (...), (...).
 type Insert struct {
 	Table   string
@@ -172,6 +176,7 @@ func (*CreateOpClass) stmt()      {}
 func (*CreateSbspace) stmt()      {}
 func (*CreateIndex) stmt()        {}
 func (*DropIndex) stmt()          {}
+func (*AlterIndexRebuild) stmt()  {}
 func (*Insert) stmt()             {}
 func (*Select) stmt()             {}
 func (*Delete) stmt()             {}

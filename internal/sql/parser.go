@@ -108,6 +108,18 @@ func (p *parser) statement() (Statement, error) {
 		return p.create()
 	case p.acceptKw("DROP"):
 		return p.drop()
+	case p.acceptKw("ALTER"):
+		if !p.acceptKw("INDEX") {
+			return nil, p.errf("expected INDEX after ALTER")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("REBUILD") {
+			return nil, p.errf("expected REBUILD after ALTER INDEX %s", name)
+		}
+		return &AlterIndexRebuild{Name: name}, nil
 	case p.acceptKw("INSERT"):
 		return p.insert()
 	case p.acceptKw("SELECT"):

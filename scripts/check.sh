@@ -2,10 +2,12 @@
 # Static checks plus the race-sensitive packages under the race detector:
 # the sharded buffer pool, the version-chained heap and its page latches,
 # the lock manager's deadlock detection, the purpose-function framework,
-# the batched scan pipeline, the WAL group-commit flusher, and the network
+# the batched scan pipeline, the WAL group-commit flusher, the network
 # stack (wire framing, the session-multiplexing server, the client
-# library). Tier-1 (`go build ./... && go test ./...`) is assumed to run
-# separately; this is the concurrency-focused gate (`make check`).
+# library), and the online index build (side-log capture, the tree blades'
+# STR bulk loaders, and the concurrent-DML/crash battery). Tier-1
+# (`go build ./... && go test ./...`) is assumed to run separately; this
+# is the concurrency-focused gate (`make check`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,7 +15,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (storage, heap, lock, wal, am, engine, wire, server, client)"
-go test -race ./internal/storage/... ./internal/heap/... ./internal/lock/... ./internal/wal/... ./internal/am/... ./internal/engine/... ./internal/wire/... ./internal/server/... ./internal/client/...
+echo "== go test -race (storage, heap, lock, wal, am, engine, grtree, rstar, blades, wire, server, client)"
+go test -race ./internal/storage/... ./internal/heap/... ./internal/lock/... ./internal/wal/... ./internal/am/... ./internal/engine/... ./internal/grtree/... ./internal/rstar/... ./internal/blades/... ./internal/wire/... ./internal/server/... ./internal/client/...
 
 echo "ok"

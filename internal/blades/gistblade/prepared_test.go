@@ -1,0 +1,77 @@
+package gistblade
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Prepared-vs-unprepared agreement through the generic access method, for
+// both key classes it ships: intervals (IntvOverlaps) and bitemporal GR
+// extents (Overlaps/Equal/ContainedIn/Contains). Every template runs twice
+// so the second execution exercises the shared plan cache.
+func TestPreparedAgreementQualMatrix(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+
+	exec(t, s, `CREATE TABLE Spans (N INTEGER, R Interval_t)`)
+	exec(t, s, `CREATE INDEX span_ix ON Spans(R gist_interval_ops) USING gist_am IN spc`)
+	for i := 0; i < 120; i++ {
+		lo := (i * 13) % 900
+		exec(t, s, fmt.Sprintf(`INSERT INTO Spans VALUES (%d, '%d..%d')`, i, lo, lo+25))
+	}
+
+	exec(t, s, `CREATE TABLE T (N INTEGER, X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX gix ON T(X gist_grt_ops) USING gist_am IN spc`)
+	for i := 0; i < 80; i++ {
+		m := i%9 + 1
+		var ext string
+		if i%2 == 0 {
+			ext = fmt.Sprintf("%d/97, UC, %d/97, NOW", m, m)
+		} else {
+			ext = fmt.Sprintf("%d/96, %d/96, %d/95, %d/96", m, m+2, m, m)
+		}
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES (%d, '%s')`, i, ext))
+	}
+
+	cases := []struct {
+		name string
+		tmpl string
+		lit  string
+		arg  string
+	}{
+		{"intv-overlaps", `SELECT N FROM Spans WHERE IntvOverlaps(R, $1)`,
+			`SELECT N FROM Spans WHERE IntvOverlaps(R, '%s')`, `100..130`},
+		{"intv-overlaps-wide", `SELECT N FROM Spans WHERE IntvOverlaps(R, $1)`,
+			`SELECT N FROM Spans WHERE IntvOverlaps(R, '%s')`, `0..900`},
+		{"grt-overlaps", `SELECT N FROM T WHERE Overlaps(X, $1)`,
+			`SELECT N FROM T WHERE Overlaps(X, '%s')`, `5/97, 6/97, 5/97, 6/97`},
+		{"grt-equal", `SELECT N FROM T WHERE Equal(X, $1)`,
+			`SELECT N FROM T WHERE Equal(X, '%s')`, `3/97, UC, 3/97, NOW`},
+		{"grt-containedin", `SELECT N FROM T WHERE ContainedIn(X, $1)`,
+			`SELECT N FROM T WHERE ContainedIn(X, '%s')`, `1/97, UC, 1/96, NOW`},
+		{"grt-contains", `SELECT N FROM T WHERE Contains(X, $1)`,
+			`SELECT N FROM T WHERE Contains(X, '%s')`, `6/15/97, 6/16/97, 5/97, 5/97`},
+	}
+	for i, tc := range cases {
+		stmt := fmt.Sprintf("gq%d", i)
+		exec(t, s, fmt.Sprintf(`PREPARE %s AS %s`, stmt, tc.tmpl))
+		want := strings.Join(rowInts(t, exec(t, s, fmt.Sprintf(tc.lit, tc.arg))), ",")
+		for pass := 0; pass < 2; pass++ {
+			res, err := s.ExecutePrepared(nil, stmt, []types.Datum{tc.arg})
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", tc.name, pass, err)
+			}
+			if got := strings.Join(rowInts(t, res), ","); got != want {
+				t.Fatalf("%s pass %d: prepared %q vs literal %q", tc.name, pass, got, want)
+			}
+		}
+	}
+	if e.Obs().Counter("plan_cache.hits").Load() == 0 {
+		t.Fatal("the matrix never hit the plan cache")
+	}
+}

@@ -49,6 +49,7 @@ func TestExplainGoldenIndexScan(t *testing.T) {
 		"       am_scancost: 1.21 (seqscan cost 1.00)",
 		"       batch:       64 rows per am_getmulti",
 		"       filter:      WHERE re-checked per row",
+		"       plan:        fresh",
 		fmt.Sprintf("       snapshot=%d", res.Plan.SnapshotLSN),
 	}, "\n")
 	if got := planText(t, res); got != want {
@@ -76,6 +77,7 @@ func TestExplainGoldenSeqscanFallback(t *testing.T) {
 		"SELECT on Employees",
 		"  -> sequential heap scan (cost 1.00: heap pages)",
 		"       filter:      WHERE re-checked per row",
+		"       plan:        fresh",
 		fmt.Sprintf("       snapshot=%d", res.Plan.SnapshotLSN),
 	}, "\n")
 	if got := planText(t, res); got != want {

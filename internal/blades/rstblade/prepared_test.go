@@ -1,0 +1,57 @@
+package rstblade
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Prepared-vs-unprepared agreement over the R*-tree qual matrix under
+// nowsub='max'. Each template executes twice (second run is a plan-cache
+// hit) and must agree with the literal ad-hoc SELECT every time.
+func TestPreparedAgreementQualMatrix(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX rst_ix ON T(X rst_opclass) USING rstree_am (nowsub='max') IN spc`)
+	for _, r := range [][2]string{
+		{"John", "4/97, UC, 3/97, 5/97"},
+		{"Tom", "3/97, 7/97, 6/97, 8/97"},
+		{"Jane", "5/97, UC, 5/97, NOW"},
+		{"Julie", "3/97, 7/97, 3/97, NOW"},
+		{"Michelle", "5/97, UC, 3/97, NOW"},
+	} {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES ('%s', '%s')`, r[0], r[1]))
+	}
+
+	cases := []struct {
+		fn  string
+		arg string
+	}{
+		{"Overlaps", "6/97, 7/97, 6/97, 7/97"},
+		{"Overlaps", "12/10/95, UC, 12/10/95, NOW"},
+		{"Contains", "6/97, 6/97, 4/97, 4/97"},
+		{"ContainedIn", "1/97, UC, 1/97, NOW"},
+		{"Equal", "3/97, 7/97, 6/97, 8/97"},
+	}
+	for i, tc := range cases {
+		stmt := fmt.Sprintf("rq%d", i)
+		exec(t, s, fmt.Sprintf(`PREPARE %s AS SELECT Name FROM T WHERE %s(X, $1)`, stmt, tc.fn))
+		want := names(exec(t, s, fmt.Sprintf(`SELECT Name FROM T WHERE %s(X, '%s')`, tc.fn, tc.arg)))
+		for pass := 0; pass < 2; pass++ {
+			res, err := s.ExecutePrepared(nil, stmt, []types.Datum{tc.arg})
+			if err != nil {
+				t.Fatalf("%s(%s) pass %d: %v", tc.fn, tc.arg, pass, err)
+			}
+			if got := names(res); got != want {
+				t.Fatalf("%s(%s) pass %d: prepared %q vs literal %q", tc.fn, tc.arg, pass, got, want)
+			}
+		}
+	}
+	if e.Obs().Counter("plan_cache.hits").Load() == 0 {
+		t.Fatal("the matrix never hit the plan cache")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column is one table column.
@@ -104,6 +105,12 @@ type Sbspace struct {
 type Catalog struct {
 	mu sync.RWMutex
 
+	// gen counts catalog mutations. Every DDL bump invalidates shared-plan
+	// -cache entries stamped with an older generation. Deliberately not
+	// persisted: the plan cache is process-local and starts empty, so a
+	// restart resetting the counter to zero is safe.
+	gen atomic.Uint64
+
 	Tables   map[string]*Table
 	Procs    map[string]*Procedure
 	Ams      map[string]*AccessMethod
@@ -180,6 +187,18 @@ func (c *Catalog) Save() error {
 
 func key(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
 
+// generation ----------------------------------------------------------------
+
+// Generation returns the current catalog generation. Plans cache it at plan
+// time; a mismatch at lookup time marks the plan stale.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
+
+// BumpGeneration advances the catalog generation. Every mutating DDL path
+// calls it (directly or through the Add/Drop helpers); the engine also
+// bumps it for in-place state flips such as an online build publishing an
+// index or UPDATE STATISTICS refreshing am_stats.
+func (c *Catalog) BumpGeneration() { c.gen.Add(1) }
+
 // errors -------------------------------------------------------------------
 
 func exists(kind, name string) error  { return fmt.Errorf("catalog: %s %q already exists", kind, name) }
@@ -195,6 +214,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		return exists("table", t.Name)
 	}
 	c.Tables[key(t.Name)] = t
+	c.gen.Add(1)
 	return nil
 }
 
@@ -222,6 +242,7 @@ func (c *Catalog) DropTable(name string) error {
 		}
 	}
 	delete(c.Tables, key(name))
+	c.gen.Add(1)
 	return nil
 }
 
@@ -245,6 +266,7 @@ func (c *Catalog) AddProcedure(p *Procedure) error {
 		return exists("function", p.Name)
 	}
 	c.Procs[key(p.Name)] = p
+	c.gen.Add(1)
 	return nil
 }
 
@@ -269,6 +291,7 @@ func (c *Catalog) AddAccessMethod(a *AccessMethod) error {
 		return exists("access method", a.Name)
 	}
 	c.Ams[key(a.Name)] = a
+	c.gen.Add(1)
 	return nil
 }
 
@@ -305,6 +328,7 @@ func (c *Catalog) AddOpClass(o *OpClass) error {
 	}
 	o.Default = def
 	c.OpCls[key(o.Name)] = o
+	c.gen.Add(1)
 	return nil
 }
 
@@ -341,6 +365,7 @@ func (c *Catalog) AddIndex(ix *Index) error {
 		return exists("index", ix.Name)
 	}
 	c.Indices[key(ix.Name)] = ix
+	c.gen.Add(1)
 	return nil
 }
 
@@ -363,6 +388,7 @@ func (c *Catalog) DropIndex(name string) error {
 		return missing("index", name)
 	}
 	delete(c.Indices, key(name))
+	c.gen.Add(1)
 	return nil
 }
 
@@ -385,6 +411,9 @@ func (c *Catalog) PurgeBuildingIndexes() []string {
 	}
 	for _, name := range names {
 		c.purgeAMRecordsLocked(name)
+	}
+	if len(names) > 0 {
+		c.gen.Add(1)
 	}
 	sort.Strings(names)
 	return names
@@ -471,6 +500,7 @@ func (c *Catalog) AddSbspace(name string) (*Sbspace, error) {
 	s := &Sbspace{Name: name, ID: c.NextSpaceID}
 	c.NextSpaceID++
 	c.Sbspaces[key(name)] = s
+	c.gen.Add(1)
 	return s, nil
 }
 

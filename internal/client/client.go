@@ -37,6 +37,7 @@ type Conn struct {
 	wc     *wire.Conn
 	reg    *types.Registry
 	banner string
+	caps   uint32
 	rows   *Rows // open streaming result, if any
 }
 
@@ -61,6 +62,7 @@ func Dial(addr string, reg *types.Registry) (*Conn, error) {
 	switch t := m.(type) {
 	case *wire.Welcome:
 		c.banner = t.Banner
+		c.caps = t.Caps // zero against a version-1 server
 		return c, nil
 	case *wire.Error:
 		nc.Close()
@@ -72,6 +74,10 @@ func Dial(addr string, reg *types.Registry) (*Conn, error) {
 
 // Banner returns the server identification from the handshake.
 func (c *Conn) Banner() string { return c.banner }
+
+// Caps returns the server's capability bitmask from the handshake (zero
+// against a version-1 server).
+func (c *Conn) Caps() uint32 { return c.caps }
 
 // Close sends Quit and closes the socket.
 func (c *Conn) Close() error {
@@ -112,6 +118,11 @@ func (c *Conn) Query(src string) (*Rows, error) {
 	if err := c.wc.Send(&wire.Exec{SQL: src}); err != nil {
 		return nil, err
 	}
+	return c.awaitHeader()
+}
+
+// awaitHeader reads a statement's opening reply and returns the stream.
+func (c *Conn) awaitHeader() (*Rows, error) {
 	m, err := c.wc.Recv()
 	if err != nil {
 		return nil, err
@@ -131,7 +142,130 @@ func (c *Conn) Query(src string) (*Rows, error) {
 	case *wire.Error:
 		return nil, wireErr(t)
 	}
-	return nil, errors.New("client: unexpected reply to Exec")
+	return nil, errors.New("client: unexpected reply to statement")
+}
+
+// Prepare registers a named prepared statement on the server and returns a
+// handle for executing it with bound arguments — the network analogue of
+// PREPARE ... AS. Requires a server advertising wire.CapPrepared; against an
+// older server it fails client-side with CodeFeature.
+func (c *Conn) Prepare(name, src string) (*Stmt, error) {
+	if c.rows != nil {
+		return nil, &engine.Error{Code: engine.CodeSessionBusy, Msg: "a result stream is already open on this connection"}
+	}
+	if c.caps&wire.CapPrepared == 0 {
+		return nil, &engine.Error{Code: engine.CodeFeature, Msg: "server does not support prepared statements (protocol version 1)"}
+	}
+	if err := c.wc.Send(&wire.Parse{Name: name, SQL: src}); err != nil {
+		return nil, err
+	}
+	m, err := c.wc.Recv()
+	if err != nil {
+		return nil, err
+	}
+	switch t := m.(type) {
+	case *wire.Prepared:
+		return &Stmt{c: c, name: t.Name, nparams: int(t.NParams)}, nil
+	case *wire.Error:
+		return nil, wireErr(t)
+	}
+	return nil, errors.New("client: unexpected reply to Parse")
+}
+
+// Stmt is a prepared statement handle. Executing it ships only the name and
+// the argument datums — no SQL text, no server-side parsing.
+type Stmt struct {
+	c       *Conn
+	name    string
+	nparams int
+	bound   bool
+}
+
+// Name returns the statement's registered name.
+func (s *Stmt) Name() string { return s.name }
+
+// NumParams returns the statement's parameter count.
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// Bind stores an argument vector server-side, so subsequent zero-argument
+// Query/Exec calls re-execute the same binding without re-shipping datums.
+func (s *Stmt) Bind(args ...types.Datum) error {
+	c := s.c
+	if c.rows != nil {
+		return &engine.Error{Code: engine.CodeSessionBusy, Msg: "a result stream is already open on this connection"}
+	}
+	if err := c.wc.Send(&wire.Bind{Name: s.name, Args: args}); err != nil {
+		return err
+	}
+	m, err := c.wc.Recv()
+	if err != nil {
+		return err
+	}
+	switch t := m.(type) {
+	case *wire.Done:
+		s.bound = true
+		return nil
+	case *wire.Error:
+		return wireErr(t)
+	}
+	return errors.New("client: unexpected reply to Bind")
+}
+
+// Query executes the prepared statement and returns a streaming result.
+// With no args and a prior Bind, the server substitutes the stored vector.
+func (s *Stmt) Query(args ...types.Datum) (*Rows, error) {
+	c := s.c
+	if c.rows != nil {
+		return nil, &engine.Error{Code: engine.CodeSessionBusy, Msg: "a result stream is already open on this connection"}
+	}
+	ep := &wire.ExecutePrepared{Name: s.name, Args: args, UseBound: len(args) == 0 && s.bound}
+	if err := c.wc.Send(ep); err != nil {
+		return nil, err
+	}
+	return c.awaitHeader()
+}
+
+// Exec executes the prepared statement and materializes the result.
+func (s *Stmt) Exec(args ...types.Datum) (*Result, error) {
+	rows, err := s.Query(args...)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		rows.res.Rows = append(rows.res.Rows, b...)
+	}
+	return rows.Result(), nil
+}
+
+// Close deallocates the statement server-side. The handle is unusable
+// afterwards.
+func (s *Stmt) Close() error {
+	c := s.c
+	if c.rows != nil {
+		return &engine.Error{Code: engine.CodeSessionBusy, Msg: "a result stream is already open on this connection"}
+	}
+	if err := c.wc.Send(&wire.CloseStmt{Name: s.name}); err != nil {
+		return err
+	}
+	m, err := c.wc.Recv()
+	if err != nil {
+		return err
+	}
+	switch t := m.(type) {
+	case *wire.Done:
+		s.bound = false
+		return nil
+	case *wire.Error:
+		return wireErr(t)
+	}
+	return errors.New("client: unexpected reply to CloseStmt")
 }
 
 // Format renders a result through the shared engine renderer, against the

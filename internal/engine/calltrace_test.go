@@ -34,6 +34,14 @@ type memScan struct {
 // withGetMulti the method also binds a native am_getmulti.
 func registerMemAM(t *testing.T, e *Engine, amName, prefix string, withGetMulti bool) {
 	t.Helper()
+	registerMemAMCosted(t, e, amName, prefix, withGetMulti, false)
+}
+
+// registerMemAMCosted is registerMemAM with an optional am_scancost binding
+// (a flat cheap estimate), for tests that pin how often the optimizer
+// consults the cost function.
+func registerMemAMCosted(t *testing.T, e *Engine, amName, prefix string, withGetMulti, withScanCost bool) {
+	t.Helper()
 	store := map[string][]memEntry{}
 
 	lib := am.Library{
@@ -104,6 +112,11 @@ func registerMemAM(t *testing.T, e *Engine, amName, prefix string, withGetMulti 
 			return b.N, nil
 		})
 	}
+	if withScanCost {
+		lib[prefix+"_scancost"] = am.AmScanCostFunc(func(ctx *mi.Context, id *am.IndexDesc, q *am.Qual) (float64, error) {
+			return 0.1, nil
+		})
+	}
 	path := "usr/functions/" + prefix + ".bld"
 	e.LoadLibrary(path, lib)
 
@@ -113,11 +126,18 @@ func registerMemAM(t *testing.T, e *Engine, amName, prefix string, withGetMulti 
 	if withGetMulti {
 		slots = append(slots, "getmulti")
 	}
+	if withScanCost {
+		slots = append(slots, "scancost")
+	}
 	var b strings.Builder
 	assigns := make([]string, 0, len(slots)+1)
 	for _, slot := range slots {
-		fmt.Fprintf(&b, "CREATE FUNCTION %s_%s(pointer) RETURNING int EXTERNAL NAME '%s(%s_%s)' LANGUAGE c;\n",
-			prefix, slot, path, prefix, slot)
+		ret := "int"
+		if slot == "scancost" {
+			ret = "float"
+		}
+		fmt.Fprintf(&b, "CREATE FUNCTION %s_%s(pointer) RETURNING %s EXTERNAL NAME '%s(%s_%s)' LANGUAGE c;\n",
+			prefix, slot, ret, path, prefix, slot)
 		assigns = append(assigns, fmt.Sprintf("am_%s = %s_%s", slot, prefix, slot))
 	}
 	assigns = append(assigns, "am_sptype = 'S'")

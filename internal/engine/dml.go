@@ -219,10 +219,14 @@ func (s *Session) load(t *sql.Load) (*Result, error) {
 
 // access-path planning -----------------------------------------------------------
 
-// accessPath is the chosen plan for a filtered table access.
+// accessPath is the chosen plan for a filtered table access. tmpl is the
+// qualification template the qual was instantiated from — the shared plan
+// cache stores it so later executions can rebind with new parameter values
+// (see prepared.go).
 type accessPath struct {
 	index *openIndex // nil = sequential scan
 	qual  *am.Qual
+	tmpl  *qualTmpl
 }
 
 // planAccess decides between a sequential scan and a virtual-index scan: it
@@ -256,8 +260,15 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 		if err != nil {
 			continue
 		}
-		qual := s.extractQual(where, tb, schema, oi, oc)
-		if qual == nil {
+		tmpl := s.extractQual(where, tb, schema, oi, oc)
+		if tmpl == nil {
+			continue
+		}
+		// Instantiate the template with the current binding. A bind failure
+		// (unbound or NULL parameter, coercion mismatch) just makes this
+		// index inapplicable, exactly as a non-constant argument always has.
+		qual, err := s.bindQual(tmpl, oi.desc.ColTypes)
+		if err != nil || qual == nil {
 			continue
 		}
 		cost := 1.0
@@ -282,7 +293,7 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 		// applicable indexes. (SeqCost remains in the plan for diagnostics; a
 		// cost-based index-vs-heap choice would sit here.)
 		if best.index == nil || cost < bestCost {
-			best = accessPath{index: oi, qual: qual}
+			best = accessPath{index: oi, qual: qual, tmpl: tmpl}
 			bestCost = cost
 			bestIdx = len(plan.Choices) - 1
 		}
@@ -294,9 +305,10 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 }
 
 // extractQual converts the WHERE clause (or its largest top-level AND
-// subset) into a qualification descriptor for the index, or nil when
-// nothing is indexable.
-func (s *Session) extractQual(where sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) *am.Qual {
+// subset) into a qualification template for the index, or nil when nothing
+// is indexable. Constants are evaluated and coerced here; parameter slots
+// stay symbolic and are bound per execution (prepared.go).
+func (s *Session) extractQual(where sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) *qualTmpl {
 	if q := s.exprToQual(where, tb, schema, oi, oc); q != nil {
 		return q
 	}
@@ -307,7 +319,7 @@ func (s *Session) extractQual(where sql.Expr, tb *catalog.Table, schema []types.
 		r := s.extractQual(b.R, tb, schema, oi, oc)
 		switch {
 		case l != nil && r != nil:
-			return am.NewBoolQual(am.QAnd, l, r)
+			return &qualTmpl{op: am.QAnd, children: []*qualTmpl{l, r}}
 		case l != nil:
 			return l
 		case r != nil:
@@ -317,8 +329,8 @@ func (s *Session) extractQual(where sql.Expr, tb *catalog.Table, schema []types.
 	return nil
 }
 
-// exprToQual converts a whole expression to a qualification, or nil.
-func (s *Session) exprToQual(ex sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) *am.Qual {
+// exprToQual converts a whole expression to a qualification template, or nil.
+func (s *Session) exprToQual(ex sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) *qualTmpl {
 	switch t := ex.(type) {
 	case *sql.Binary:
 		if t.Op != "AND" && t.Op != "OR" {
@@ -333,11 +345,12 @@ func (s *Session) exprToQual(ex sql.Expr, tb *catalog.Table, schema []types.Type
 		if t.Op == "OR" {
 			op = am.QOr
 		}
-		return am.NewBoolQual(op, l, r)
+		return &qualTmpl{op: op, children: []*qualTmpl{l, r}}
 	case *sql.FuncCall:
 		if !strategyDeclared(oc, t.Name) {
 			return nil
 		}
+		fn := strings.ToLower(t.Name)
 		// The qualification descriptor accommodates only single-column
 		// predicates: f(column, constant), f(constant, column), f(column)
 		// (Section 5.1).
@@ -347,21 +360,16 @@ func (s *Session) exprToQual(ex sql.Expr, tb *catalog.Table, schema []types.Type
 			if colPos < 0 {
 				return nil
 			}
-			return am.NewFuncQual(t.Name, colPos, nil, true)
+			return &qualTmpl{op: am.QFunc, fn: fn, colPos: colPos, colFirst: true}
 		case 2:
 			if colPos := s.indexedColumn(t.Args[0], tb, oi); colPos >= 0 {
-				c := s.constantFor(t.Args[1], oi.desc.ColTypes[colPos])
-				if c == nil {
-					return nil
+				if leaf := s.constantTmpl(t.Args[1], fn, colPos, true, oi.desc.ColTypes[colPos]); leaf != nil {
+					return leaf
 				}
-				return am.NewFuncQual(t.Name, colPos, c, true)
+				return nil
 			}
 			if colPos := s.indexedColumn(t.Args[1], tb, oi); colPos >= 0 {
-				c := s.constantFor(t.Args[0], oi.desc.ColTypes[colPos])
-				if c == nil {
-					return nil
-				}
-				return am.NewFuncQual(t.Name, colPos, c, false)
+				return s.constantTmpl(t.Args[0], fn, colPos, false, oi.desc.ColTypes[colPos])
 			}
 		}
 	}
@@ -392,9 +400,14 @@ func (s *Session) indexedColumn(ex sql.Expr, tb *catalog.Table, oi *openIndex) i
 	return -1
 }
 
-// constantFor evaluates a constant expression to the column's type, or nil
-// when the expression is not constant.
-func (s *Session) constantFor(ex sql.Expr, target types.Type) types.Datum {
+// constantTmpl builds a leaf template for the predicate's constant argument:
+// literals evaluate and coerce to the column's type now; parameter
+// placeholders stay symbolic (bound per execution). A non-constant argument
+// yields nil — the index is not applicable.
+func (s *Session) constantTmpl(ex sql.Expr, fn string, colPos int, colFirst bool, target types.Type) *qualTmpl {
+	if p, ok := ex.(*sql.Param); ok {
+		return &qualTmpl{op: am.QFunc, fn: fn, colPos: colPos, colFirst: colFirst, paramOrd: p.Ord}
+	}
 	switch ex.(type) {
 	case *sql.Literal, *sql.Null:
 	default:
@@ -408,7 +421,7 @@ func (s *Session) constantFor(ex sql.Expr, target types.Type) types.Datum {
 	if err != nil {
 		return nil
 	}
-	return cv
+	return &qualTmpl{op: am.QFunc, fn: fn, colPos: colPos, colFirst: colFirst, constVal: cv}
 }
 
 // scanRows pulls the batched pipeline (source → WHERE filter, see iter.go)
@@ -563,11 +576,10 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 	defer closeAll()
 	builds := s.e.activeBuilds(tb.Name)
 
-	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
+	path, plan, err := s.planStmt("DELETE", t, tb, schema, t.Where, idxs)
 	if err != nil {
 		return nil, err
 	}
-	plan.Operation = "DELETE"
 	if path.index != nil {
 		plan.BatchCap = 1 // the interleaved DELETE stays row-at-a-time (Section 5.5)
 	}
@@ -669,11 +681,10 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 	defer closeAll()
 	builds := s.e.activeBuilds(tb.Name)
 
-	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
+	path, plan, err := s.planStmt("UPDATE", t, tb, schema, t.Where, idxs)
 	if err != nil {
 		return nil, err
 	}
-	plan.Operation = "UPDATE"
 	// Fresh committed view after the X lock (see deleteStmt).
 	snap := s.stmtSnapshot(true)
 	plan.SnapshotLSN = snap.ReadLSN

@@ -25,7 +25,9 @@ import (
 	"repro/internal/lock"
 	"repro/internal/mi"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/sbspace"
+	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/wal"
@@ -69,6 +71,10 @@ type Options struct {
 	// TraceWriter receives mi trace output (SET TRACE; Section 6.4). Nil
 	// discards traces.
 	TraceWriter io.Writer
+	// PlanCacheSize bounds the shared plan cache (entries; default
+	// plancache.DefaultCap). The cache is engine-wide: prepared statements
+	// and auto-parameterized ad-hoc statements from every session share it.
+	PlanCacheSize int
 }
 
 // Engine is one database instance.
@@ -92,6 +98,17 @@ type Engine struct {
 	bpObs      storage.ObsCounters
 	parObs     parallelObs
 	tracer     *mi.Tracer
+
+	// planCache is the engine-wide shared plan cache, keyed by normalized
+	// (deparsed, $n-parameterized) SQL text and stamped with the catalog
+	// generation that planned each entry. sqlParses/sqlParseNs count parser
+	// invocations and time; planNs counts planning time (fresh and cached
+	// bind alike) — the P13 benchmark reads planning cost per statement from
+	// these.
+	planCache  *plancache.Cache
+	sqlParses  *obs.Counter
+	sqlParseNs *obs.Counter
+	planNs     *obs.Counter
 
 	// Checkpointer state: cpMu serialises checkpoints (daemon, Close, and
 	// explicit calls), cpLast is the log size at the last checkpoint (the
@@ -295,6 +312,14 @@ func (e *Engine) registerCoreCounters() {
 		BusyNs:     e.obs.Counter("parallel.busy_ns"),
 		SendWaitNs: e.obs.Counter("parallel.send_wait_ns"),
 	}
+	e.sqlParses = e.obs.Counter("sql.parses")
+	e.sqlParseNs = e.obs.Counter("sql.parse_ns")
+	e.planNs = e.obs.Counter("sql.plan_ns")
+	e.planCache = plancache.New(e.opts.PlanCacheSize, plancache.Stats{
+		Hit:        e.obs.Counter("plan_cache.hits").Inc,
+		Miss:       e.obs.Counter("plan_cache.misses").Inc,
+		Invalidate: e.obs.Counter("plan_cache.invalidations").Inc,
+	})
 }
 
 // Obs exposes the engine-wide metrics registry (SYSPROFILE's source;
@@ -704,6 +729,21 @@ type Session struct {
 	// in-flight online index builds: flushed to the builds' logs at commit,
 	// dropped at rollback (see idxbuild.go).
 	pendingSide []pendingSideOp
+
+	// Prepared-statement state (see prepared.go): prepared is the session's
+	// PREPARE registry by lower-cased name; boundArgs holds the parameter
+	// values of the statement currently executing ($n evaluates to
+	// boundArgs[n-1]); curPrep points at the prepared entry an EXECUTE is
+	// running, so the planner can key the shared cache by its text.
+	prepared  map[string]*prepared
+	boundArgs []types.Datum
+	curPrep   *prepared
+
+	// fcMemos, when non-nil, caches resolved WHERE-tree call sites (UDR
+	// symbol, argument types, coerced row-invariant arguments) for the
+	// statement's re-filter. Owned by filterBatchIter, which installs it
+	// around each batch (see iter.go and evalFuncCall).
+	fcMemos map[*sql.FuncCall]*fcMemo
 }
 
 // NewSession opens a session (default isolation: Committed Read). The

@@ -64,6 +64,13 @@ func errf(code string, format string, args ...any) error {
 	return &Error{Code: code, Msg: err.Error(), Err: errors.Unwrap(err)}
 }
 
+// Errf builds a typed engine error for callers outside the package — the
+// network server raises protocol-level failures under the same SQLSTATE
+// convention so clients dispatch uniformly.
+func Errf(code string, format string, args ...any) error {
+	return errf(code, format, args...)
+}
+
 // heapErr maps heap-layer sentinels onto typed engine errors at the DML
 // boundary: a rowid slot-field overflow is an engine encoding invariant
 // (CodeInternal), not a user mistake. Other errors pass through unchanged.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/am"
 	"repro/internal/catalog"
@@ -47,17 +48,43 @@ func (s *Session) Exec(src string) (*Result, error) {
 // ExecCtx is Exec with a cancellation context: parallel scan workers watch
 // ctx, and the statement fails with ctx.Err() once it is cancelled.
 func (s *Session) ExecCtx(ctx context.Context, src string) (*Result, error) {
-	st, err := sql.Parse(src)
+	st, err := s.e.ParseSQL(src)
 	if err != nil {
 		return nil, err
 	}
 	return s.ExecStmtCtx(ctx, st)
 }
 
+// ParseSQL parses one statement, counting the parser's work in the engine's
+// sql.parses / sql.parse_ns counters — every textual entry point (embedded
+// Exec, the network server, PREPARE) funnels through here so "EXECUTE does
+// zero parses" is observable, not asserted.
+func (e *Engine) ParseSQL(src string) (sql.Statement, error) {
+	start := time.Now()
+	st, err := sql.Parse(src)
+	e.sqlParses.Inc()
+	e.sqlParseNs.Add(uint64(time.Since(start)))
+	return st, err
+}
+
+// ParseScript is ParseSQL for a semicolon-separated script; each parsed
+// statement counts.
+func (e *Engine) ParseScript(src string) ([]sql.Statement, error) {
+	start := time.Now()
+	stmts, err := sql.ParseScript(src)
+	if n := len(stmts); n > 0 {
+		e.sqlParses.Add(uint64(n))
+	} else {
+		e.sqlParses.Inc()
+	}
+	e.sqlParseNs.Add(uint64(time.Since(start)))
+	return stmts, err
+}
+
 // ExecScript executes a semicolon-separated script (registration scripts,
 // Section 6.1), returning the last result.
 func (s *Session) ExecScript(src string) (*Result, error) {
-	stmts, err := sql.ParseScript(src)
+	stmts, err := s.e.ParseScript(src)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +175,23 @@ func (s *Session) execFull(ctx context.Context, st sql.Statement) (*Result, erro
 		return &Result{Message: "commit mode set to " + s.vars.Commit().String()}, nil
 	case *sql.Show:
 		return s.show(t)
+	case *sql.SetPlanCache:
+		s.vars.SetPlanCache(t.On)
+		if t.On {
+			return &Result{Message: "plan cache on"}, nil
+		}
+		return &Result{Message: "plan cache off"}, nil
+	case *sql.Prepare:
+		p, err := s.registerPrepared(t.Name, t.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("prepared %q (%d parameter(s))", p.name, p.nparams)}, nil
+	case *sql.Deallocate:
+		if err := s.Deallocate(t.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("deallocated %q", strings.ToLower(t.Name))}, nil
 	}
 
 	// Profile the statement. The ExecContext opens before the (possibly
@@ -246,6 +290,8 @@ func (s *Session) run(st sql.Statement) (*Result, error) {
 		return s.load(t)
 	case *sql.Explain:
 		return s.explain(t)
+	case *sql.Execute:
+		return s.execExecute(t)
 	}
 	return nil, errf(CodeFeature, "unsupported statement %T", st)
 }
@@ -471,6 +517,9 @@ func (s *Session) updateStatistics(t *sql.UpdateStatistics) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fresh statistics can change am_scancost's answer: cached plans that
+	// skipped costing are stale now.
+	s.e.cat.BumpGeneration()
 	return &Result{Message: msg}, nil
 }
 

@@ -52,6 +52,11 @@ func (s *Session) evalExpr(ex sql.Expr, tb *catalog.Table, schema []types.Type, 
 			return nil, err
 		}
 		return row[i], nil
+	case *sql.Param:
+		if t.Ord < 1 || t.Ord > len(s.boundArgs) {
+			return nil, errf(CodeInvalidParameter, "parameter $%d is not bound (%d argument(s) given)", t.Ord, len(s.boundArgs))
+		}
+		return s.boundArgs[t.Ord-1], nil
 	case *sql.FuncCall:
 		return s.evalFuncCall(t, tb, schema, row)
 	case *sql.Binary:
@@ -66,10 +71,22 @@ func (s *Session) evalExpr(ex sql.Expr, tb *catalog.Table, schema []types.Type, 
 	return nil, fmt.Errorf("engine: unsupported expression %T", ex)
 }
 
-// evalFuncCall resolves the UDR from SYSPROCEDURES, coerces arguments to
-// the declared parameter types (string literals become opaque values via
-// the type's Input support function), and invokes it.
-func (s *Session) evalFuncCall(fc *sql.FuncCall, tb *catalog.Table, schema []types.Type, row []types.Datum) (types.Datum, error) {
+// fcMemo caches everything row-invariant about one call site in a
+// statement's WHERE tree: the resolved procedure, its UDR symbol, the
+// declared argument types, and any coerced literal/parameter argument
+// values. The WHERE re-filter resolves each of these per row otherwise,
+// and for opaque types re-running the Input parser on the same literal per
+// row dominates a UDR-heavy residual filter.
+type fcMemo struct {
+	proc    *catalog.Procedure
+	fn      am.UDRFunc
+	targets []types.Type
+	args    []types.Datum // coerced row-invariant arguments, per have[i]
+	have    []bool
+}
+
+// resolveFuncCall builds the row-invariant half of a call site.
+func (s *Session) resolveFuncCall(fc *sql.FuncCall) (*fcMemo, error) {
 	proc, err := s.e.cat.ProcByName(fc.Name)
 	if err != nil {
 		return nil, err
@@ -77,23 +94,74 @@ func (s *Session) evalFuncCall(fc *sql.FuncCall, tb *catalog.Table, schema []typ
 	if len(proc.ArgTypes) != len(fc.Args) {
 		return nil, fmt.Errorf("engine: %s expects %d arguments, got %d", proc.Name, len(proc.ArgTypes), len(fc.Args))
 	}
+	m := &fcMemo{
+		proc:    proc,
+		targets: make([]types.Type, len(fc.Args)),
+		args:    make([]types.Datum, len(fc.Args)),
+		have:    make([]bool, len(fc.Args)),
+	}
+	for i := range fc.Args {
+		if m.targets[i], err = s.e.reg.TypeByName(proc.ArgTypes[i]); err != nil {
+			return nil, err
+		}
+	}
+	sym, err := s.e.resolveSymbol(proc.Name)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := sym.(am.UDRFunc)
+	if !ok {
+		return nil, errf(CodeDatatype, "%s is not callable from SQL (%T)", proc.Name, sym)
+	}
+	m.fn = fn
+	return m, nil
+}
+
+// evalFuncCall resolves the UDR from SYSPROCEDURES, coerces arguments to
+// the declared parameter types (string literals become opaque values via
+// the type's Input support function), and invokes it.
+//
+// When s.fcMemos is set (the per-statement WHERE re-filter, see iter.go),
+// the resolution and the coerced literal/parameter arguments are cached
+// across rows: they cannot vary within a statement. UDRs treat their
+// arguments as read-only, so sharing one coerced datum across invocations
+// is safe.
+func (s *Session) evalFuncCall(fc *sql.FuncCall, tb *catalog.Table, schema []types.Type, row []types.Datum) (types.Datum, error) {
+	m := s.fcMemos[fc] // nil map or missing entry both yield nil
+	if m == nil {
+		var err error
+		if m, err = s.resolveFuncCall(fc); err != nil {
+			return nil, err
+		}
+		if s.fcMemos != nil {
+			s.fcMemos[fc] = m
+		}
+	}
 	args := make([]types.Datum, len(fc.Args))
 	for i, a := range fc.Args {
+		if m.have[i] {
+			args[i] = m.args[i]
+			continue
+		}
 		v, err := s.evalExpr(a, tb, schema, row)
 		if err != nil {
 			return nil, err
 		}
-		target, err := s.e.reg.TypeByName(proc.ArgTypes[i])
+		cv, err := s.coerce(v, m.targets[i])
 		if err != nil {
-			return nil, err
-		}
-		cv, err := s.coerce(v, target)
-		if err != nil {
-			return nil, fmt.Errorf("engine: %s argument %d: %w", proc.Name, i+1, err)
+			return nil, fmt.Errorf("engine: %s argument %d: %w", m.proc.Name, i+1, err)
 		}
 		args[i] = cv
+		if s.fcMemos != nil {
+			switch a.(type) {
+			case *sql.Literal, *sql.Param:
+				m.args[i], m.have[i] = cv, true
+			}
+		}
 	}
-	return services{s}.InvokeUDR(proc.Name, args)
+	out, err := m.fn(s.ctx, args)
+	s.ctx.EndFunction()
+	return out, err
 }
 
 func (s *Session) evalBinary(b *sql.Binary, tb *catalog.Table, schema []types.Type, row []types.Datum) (types.Datum, error) {

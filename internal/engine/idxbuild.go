@@ -459,6 +459,8 @@ func (s *Session) buildIndexOnline(tb *catalog.Table, ix *catalog.Index, mode bu
 		return err
 	}
 	ix.State = catalog.IndexReady
+	// A new READY index must retire cached plans planned without it.
+	s.e.cat.BumpGeneration()
 	if err = s.e.cat.Save(); err != nil {
 		s.beginTx(false)
 		return err

@@ -186,9 +186,21 @@ type filterBatchIter struct {
 	tb     *catalog.Table
 	schema []types.Type
 	where  sql.Expr
+	// memo caches resolved call sites and coerced row-invariant UDR
+	// arguments (literals, bound parameters) across the statement's rows —
+	// the residual filter would otherwise re-resolve each UDR and re-run
+	// each opaque type's Input parser per row. The map lives on the
+	// iterator so its lifetime is exactly one statement.
+	memo map[*sql.FuncCall]*fcMemo
 }
 
 func (it *filterBatchIter) next() (*rowBatch, error) {
+	if it.memo == nil {
+		it.memo = make(map[*sql.FuncCall]*fcMemo)
+	}
+	prev := it.s.fcMemos
+	it.s.fcMemos = it.memo
+	defer func() { it.s.fcMemos = prev }()
 	for {
 		rb, err := it.src.next()
 		if err != nil || rb == nil {

@@ -39,6 +39,11 @@ type Plan struct {
 	// function over an indexed column makes the optimizer consider the
 	// index; am_scancost arbitrates between applicable ones).
 	Choices []PlanChoice
+	// Cached reports the plan was served from the shared plan cache (bound
+	// with the current parameters, no qualification extraction and no
+	// am_scancost call). EXPLAIN prints it as "plan: cached" vs "plan:
+	// fresh".
+	Cached bool
 }
 
 // PlanChoice is one candidate index the planner considered.
@@ -75,6 +80,7 @@ func (p *Plan) Lines() []string {
 		if p.HasFilter {
 			out = append(out, "       filter:      WHERE re-checked per row")
 		}
+		out = append(out, "       plan:        "+p.cacheLine())
 		if p.SnapshotLSN > 0 {
 			out = append(out, fmt.Sprintf("       snapshot=%d", p.SnapshotLSN))
 		}
@@ -101,6 +107,7 @@ func (p *Plan) Lines() []string {
 	if p.HasFilter {
 		out = append(out, "       filter:      WHERE re-checked per row")
 	}
+	out = append(out, "       plan:        "+p.cacheLine())
 	if p.SnapshotLSN > 0 {
 		out = append(out, fmt.Sprintf("       snapshot=%d", p.SnapshotLSN))
 	}
@@ -114,6 +121,13 @@ func (p *Plan) Lines() []string {
 }
 
 func (p *Plan) String() string { return strings.Join(p.Lines(), "\n") }
+
+func (p *Plan) cacheLine() string {
+	if p.Cached {
+		return "cached (shared plan cache)"
+	}
+	return "fresh"
+}
 
 // declaredStrategies maps the qualification's (lower-cased) strategy
 // functions back to their declared casing in the operator class, for
@@ -141,10 +155,33 @@ func declaredStrategies(oc *catalog.OpClass, qual *am.Qual) []string {
 // locks, am_open, qualification extraction, am_scancost — and renders the
 // resulting plan instead of executing the scan.
 func (s *Session) explain(t *sql.Explain) (*Result, error) {
+	st := t.Stmt
+	// EXPLAIN EXECUTE name (args): plan the prepared statement under the
+	// given binding, reporting whether the plan came from the shared cache.
+	if ex, ok := st.(*sql.Execute); ok {
+		p, err := s.lookupPrepared(ex.Name)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]types.Datum, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := s.evalExpr(a, nil, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		prevA, prevP := s.boundArgs, s.curPrep
+		if err := s.bindPrepared(p, args); err != nil {
+			return nil, err
+		}
+		defer func() { s.boundArgs, s.curPrep = prevA, prevP }()
+		st = p.stmt
+	}
 	var table string
 	var where sql.Expr
 	var op string
-	switch inner := t.Stmt.(type) {
+	switch inner := st.(type) {
 	case *sql.Select:
 		table, where, op = inner.Table, inner.Where, "SELECT"
 	case *sql.Delete:
@@ -152,7 +189,7 @@ func (s *Session) explain(t *sql.Explain) (*Result, error) {
 	case *sql.Update:
 		table, where, op = inner.Table, inner.Where, "UPDATE"
 	default:
-		return nil, errf(CodeFeature, "EXPLAIN supports SELECT, DELETE, and UPDATE, not %T", t.Stmt)
+		return nil, errf(CodeFeature, "EXPLAIN supports SELECT, DELETE, UPDATE, and EXECUTE, not %T", t.Stmt)
 	}
 	tb, err := s.catTable(table)
 	if err != nil {
@@ -162,16 +199,11 @@ func (s *Session) explain(t *sql.Explain) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	idxs, closeAll, err := s.openIndexes(tb.Name, true)
+	_, closeAll, path, plan, err := s.planStmtRead(op, st, tb, hp.Schema(), where)
 	if err != nil {
 		return nil, err
 	}
 	defer closeAll()
-	path, plan, err := s.planAccess(tb, hp.Schema(), where, idxs)
-	if err != nil {
-		return nil, err
-	}
-	plan.Operation = op
 	if op == "DELETE" && path.index != nil {
 		plan.BatchCap = 1 // the interleaved DELETE stays row-at-a-time (Section 5.5)
 	}

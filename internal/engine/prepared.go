@@ -1,0 +1,522 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"repro/internal/am"
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Prepared statements and the shared plan cache ------------------------------
+//
+// PREPARE parses a statement once and pins its AST in the session's registry;
+// EXECUTE binds parameter values into the qualification descriptor and runs
+// the statement without touching the parser. Planning results — index choice,
+// strategy set, am_scancost verdict — live in the engine-wide shared plan
+// cache (internal/plancache), keyed by the statement's normalized text (the
+// deparser's output, placeholders spelled $n) and stamped with the catalog
+// generation that planned them. Ad-hoc statements join in via
+// auto-parameterization: a literal-only WHERE clause is rewritten to
+// placeholders for keying, so repeated point queries with different constants
+// share one plan too.
+//
+// Invalidation is two-tier. The fast tier is the generation stamp: every DDL
+// (CREATE/DROP TABLE/INDEX, REBUILD, UPDATE STATISTICS) bumps the catalog
+// generation, and a Get against a newer generation evicts the entry. The
+// safety tier is bind-time resolution: a cached plan stores only the *name*
+// (and opclass) of its chosen index, and every execution re-resolves that
+// name against the indexes just opened from the live catalog — so even a
+// plan cached inside the race window between a Get and a concurrent DROP
+// can never scan a dropped index; the bind simply fails and the statement
+// replans fresh.
+
+// prepared is one entry of a session's PREPARE registry: the parsed AST, the
+// parameter count, and the normalized text that keys its resolved plan in
+// the shared cache.
+type prepared struct {
+	name    string
+	text    string // normalized (deparsed) statement text — the plan-cache key
+	stmt    sql.Statement
+	nparams int
+}
+
+// qualTmpl is a qualification template: the shape of an am.Qual with each
+// constant either fixed at plan time or deferred to a parameter slot.
+// EXECUTE instantiates it with the bound arguments, which is what lets a
+// cached plan skip qualification extraction and am_scancost entirely.
+type qualTmpl struct {
+	op       am.QualOp
+	children []*qualTmpl
+
+	// Leaf fields (QFunc):
+	fn       string
+	colPos   int
+	colFirst bool
+	constVal types.Datum // fixed constant, already coerced (paramOrd == 0)
+	paramOrd int         // > 0: bind boundArgs[paramOrd-1], coerced at bind time
+}
+
+// cachedPlan is a shared-plan-cache entry: everything planAccess decided,
+// minus anything tied to a session or an open index handle. The index is
+// recorded by name (plus opclass as a sanity stamp) and re-resolved against
+// the live catalog at every bind — see the invalidation note above.
+type cachedPlan struct {
+	op         string // SELECT / DELETE / UPDATE
+	index      string // "" = sequential scan
+	amName     string
+	opClass    string
+	strategies []string
+	qual       *qualTmpl
+	seqCost    float64
+	cost       float64
+	costed     bool
+	hasFilter  bool
+}
+
+// registerPrepared validates and registers a statement under name. Only DML
+// and SELECT are preparable (the Informix/PostgreSQL rule); PREPARE of DDL
+// or session statements is refused.
+func (s *Session) registerPrepared(name string, st sql.Statement) (*prepared, error) {
+	switch st.(type) {
+	case *sql.Select, *sql.Insert, *sql.Delete, *sql.Update:
+	default:
+		return nil, errf(CodeFeature, "cannot PREPARE this statement type (SELECT, INSERT, DELETE, UPDATE only)")
+	}
+	key := strings.ToLower(name)
+	if _, ok := s.prepared[key]; ok {
+		return nil, errf(CodeInvalidParameter, "prepared statement %q already exists (DEALLOCATE it first)", name)
+	}
+	p := &prepared{name: key, text: sql.Deparse(st), stmt: st, nparams: sql.NumParams(st)}
+	if s.prepared == nil {
+		s.prepared = make(map[string]*prepared)
+	}
+	s.prepared[key] = p
+	return p, nil
+}
+
+func (s *Session) lookupPrepared(name string) (*prepared, error) {
+	p, ok := s.prepared[strings.ToLower(name)]
+	if !ok {
+		return nil, errf(CodeUndefinedObject, "prepared statement %q does not exist", name)
+	}
+	return p, nil
+}
+
+// bindPrepared checks the argument count and installs the binding the
+// statement's $n references read.
+func (s *Session) bindPrepared(p *prepared, args []types.Datum) error {
+	if len(args) != p.nparams {
+		return errf(CodeCardinality, "prepared statement %q wants %d argument(s), got %d", p.name, p.nparams, len(args))
+	}
+	s.boundArgs = args
+	s.curPrep = p
+	return nil
+}
+
+func (s *Session) clearBinding() {
+	s.boundArgs, s.curPrep = nil, nil
+}
+
+// Prepare parses src (one statement) and registers it under name, returning
+// the statement's parameter count. This is the embedded/network entry point;
+// the SQL-level PREPARE ... AS arrives pre-parsed through execFull.
+func (s *Session) Prepare(name, src string) (int, error) {
+	st, err := s.e.ParseSQL(src)
+	if err != nil {
+		return 0, err
+	}
+	p, err := s.registerPrepared(name, st)
+	if err != nil {
+		return 0, err
+	}
+	return p.nparams, nil
+}
+
+// PreparedParams reports a prepared statement's parameter count. The server
+// uses it to reject a Bind against an unknown name or a wrong-arity vector
+// before storing it.
+func (s *Session) PreparedParams(name string) (int, error) {
+	p, err := s.lookupPrepared(name)
+	if err != nil {
+		return 0, err
+	}
+	return p.nparams, nil
+}
+
+// Deallocate drops a prepared statement. The shared cache entry (if any)
+// stays — other sessions may share it; LRU or DDL retires it.
+func (s *Session) Deallocate(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := s.prepared[key]; !ok {
+		return errf(CodeUndefinedObject, "prepared statement %q does not exist", name)
+	}
+	delete(s.prepared, key)
+	return nil
+}
+
+// ExecutePrepared runs a prepared statement with args bound to its $n slots
+// and materializes the result. No parsing happens on this path; with a plan
+// cache hit, no qualification extraction or am_scancost either.
+func (s *Session) ExecutePrepared(ctx context.Context, name string, args []types.Datum) (*Result, error) {
+	p, err := s.lookupPrepared(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.bindPrepared(p, args); err != nil {
+		return nil, err
+	}
+	res, err := s.ExecStmtCtx(ctx, p.stmt)
+	s.clearBinding()
+	return res, err
+}
+
+// ExecutePreparedStream is ExecutePrepared with streaming delivery: a
+// prepared SELECT's rows flow through the cursor protocol (the network
+// server's fast path). The parameter binding stays live until the stream
+// finishes, which clears it.
+func (s *Session) ExecutePreparedStream(ctx context.Context, name string, args []types.Datum) (*Stream, error) {
+	p, err := s.lookupPrepared(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.bindPrepared(p, args); err != nil {
+		return nil, err
+	}
+	str, err := s.ExecStreamStmtCtx(ctx, p.stmt)
+	if err != nil {
+		s.clearBinding()
+		return nil, err
+	}
+	if str.cur == nil {
+		// Materialized replay (non-SELECT or virtual table): execution is
+		// already complete, so the binding has no further reader.
+		s.clearBinding()
+	}
+	return str, nil
+}
+
+// streamExecute opens the streaming path for a SQL-level EXECUTE of a
+// prepared SELECT. false means "not streamable here" — the caller falls
+// through to the eager path, which re-raises whatever failed (argument
+// evaluation, arity) with the standard error shape.
+func (s *Session) streamExecute(ctx context.Context, p *prepared, ex *sql.Execute) (*Stream, bool) {
+	if len(ex.Args) != p.nparams {
+		return nil, false
+	}
+	args := make([]types.Datum, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := s.evalExpr(a, nil, nil, nil)
+		if err != nil {
+			return nil, false
+		}
+		args[i] = v
+	}
+	s.boundArgs, s.curPrep = args, p
+	str, err := s.openStreamSelect(ctx, p.stmt.(*sql.Select))
+	if err != nil {
+		s.clearBinding()
+		return nil, false
+	}
+	return str, true
+}
+
+// execExecute is the SQL-level EXECUTE: evaluate the argument expressions,
+// bind, and run the prepared statement through the normal dispatch. The
+// previous binding is restored on exit so EXECUTE composes with any caller
+// state.
+func (s *Session) execExecute(t *sql.Execute) (*Result, error) {
+	p, err := s.lookupPrepared(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]types.Datum, len(t.Args))
+	for i, a := range t.Args {
+		v, err := s.evalExpr(a, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	prevA, prevP := s.boundArgs, s.curPrep
+	if err := s.bindPrepared(p, args); err != nil {
+		return nil, err
+	}
+	defer func() { s.boundArgs, s.curPrep = prevA, prevP }()
+	return s.run(p.stmt)
+}
+
+// planStmt is the planner entry for SELECT/DELETE/UPDATE: consult the shared
+// plan cache, bind on a hit, plan fresh (and publish) on a miss. op names
+// the statement kind; st is the statement being planned (used to derive the
+// auto-parameterization key for ad-hoc text).
+func (s *Session) planStmt(op string, st sql.Statement, tb *catalog.Table, schema []types.Type, where sql.Expr, idxs []openIndex) (accessPath, *Plan, error) {
+	start := time.Now()
+	defer func() { s.e.planNs.Add(uint64(time.Since(start))) }()
+
+	key, autoArgs, pWhere, isAuto := s.planIntent(st, where)
+	if isAuto {
+		// Plan against the parameterized WHERE with the displaced literals
+		// bound, so the extracted template carries parameter slots — the
+		// cached plan then rebinds for any constants, not just today's.
+		where = pWhere
+		prev := s.boundArgs
+		s.boundArgs = autoArgs
+		defer func() { s.boundArgs = prev }()
+	}
+	gen := s.e.cat.Generation()
+	if key != "" {
+		if v, ok := s.e.planCache.Get(key, gen); ok {
+			if path, plan, ok := s.bindCached(v.(*cachedPlan), tb, idxs); ok {
+				plan.Operation = op
+				return path, plan, nil
+			}
+			// The entry survived the generation check but failed to bind
+			// against the just-opened indexes (DDL inside the Get→bind
+			// window, or an unbindable argument): replan fresh below; the
+			// Put overwrites the stale entry.
+		}
+	}
+	path, plan, err := s.planAccess(tb, schema, where, idxs)
+	if err != nil {
+		return accessPath{}, nil, err
+	}
+	plan.Operation = op
+	// Publish only if no DDL ran while we planned — a stale publish would
+	// stamp an old plan with a generation it never saw.
+	if key != "" && s.e.cat.Generation() == gen {
+		s.e.planCache.Put(key, gen, s.cacheEntry(op, path, plan))
+	}
+	return path, plan, nil
+}
+
+// planStmtRead is the read-path planner entry (SELECT and EXPLAIN): unlike
+// planStmt it defers am_open until it knows which indexes the statement
+// scans. On a plan-cache hit only the chosen index is opened — none at all
+// for a cached sequential scan — so a hot point query pays one am_open
+// instead of one per candidate index. Only a miss (or a stale entry) opens
+// the full candidate set and plans fresh. The write paths keep planStmt:
+// DELETE and UPDATE open every index regardless, for maintenance.
+func (s *Session) planStmtRead(op string, st sql.Statement, tb *catalog.Table, schema []types.Type, where sql.Expr) ([]openIndex, func(), accessPath, *Plan, error) {
+	start := time.Now()
+	defer func() { s.e.planNs.Add(uint64(time.Since(start))) }()
+
+	key, autoArgs, pWhere, isAuto := s.planIntent(st, where)
+	if isAuto {
+		where = pWhere
+		prev := s.boundArgs
+		s.boundArgs = autoArgs
+		defer func() { s.boundArgs = prev }()
+	}
+	gen := s.e.cat.Generation()
+	if key != "" {
+		if v, ok := s.e.planCache.Get(key, gen); ok {
+			cp := v.(*cachedPlan)
+			if idxs, closeIdx, err := s.openPlanIndexes(tb.Name, cp); err == nil {
+				if path, plan, ok := s.bindCached(cp, tb, idxs); ok {
+					plan.Operation = op
+					return idxs, closeIdx, path, plan, nil
+				}
+				closeIdx()
+			}
+			// The entry survived the generation check but its index is gone
+			// or no longer binds: replan against the full candidate set; the
+			// Put below overwrites the stale entry.
+		}
+	}
+	idxs, closeAll, err := s.openIndexes(tb.Name, true)
+	if err != nil {
+		return nil, nil, accessPath{}, nil, err
+	}
+	path, plan, err := s.planAccess(tb, schema, where, idxs)
+	if err != nil {
+		closeAll()
+		return nil, nil, accessPath{}, nil, err
+	}
+	plan.Operation = op
+	if key != "" && s.e.cat.Generation() == gen {
+		s.e.planCache.Put(key, gen, s.cacheEntry(op, path, plan))
+	}
+	return idxs, closeAll, path, plan, nil
+}
+
+// openPlanIndexes opens exactly the indexes a cached plan scans: the chosen
+// one, or none for a cached sequential scan. An error means the plan cannot
+// be honoured against the live catalog (its index vanished inside the
+// cache-probe window) and the caller must replan fresh.
+func (s *Session) openPlanIndexes(table string, cp *cachedPlan) ([]openIndex, func(), error) {
+	if cp.index == "" {
+		return nil, func() {}, nil
+	}
+	for _, ix := range s.e.cat.IndexesOn(table) {
+		if !ix.Ready() || !strings.EqualFold(ix.Name, cp.index) {
+			continue
+		}
+		desc, ps, err := s.indexDesc(ix)
+		if err != nil {
+			return nil, nil, err
+		}
+		desc.ReadOnly = true
+		if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
+			return nil, nil, err
+		}
+		closer := func() { s.callIndexFn("am_close", ps.Close, desc) }
+		return []openIndex{{ix: ix, desc: desc, ps: ps}}, closer, nil
+	}
+	return nil, nil, errf(CodeInternal, "cached plan's index %q is gone", cp.index)
+}
+
+// planIntent derives the shared-cache key for the current statement: the
+// prepared statement's normalized text when an EXECUTE is running, or the
+// auto-parameterized deparse of an ad-hoc statement with a literal-only
+// WHERE. An empty key means the cache is not consulted (caching disabled,
+// no WHERE clause, or unparameterizable text).
+func (s *Session) planIntent(st sql.Statement, where sql.Expr) (key string, autoArgs []types.Datum, pWhere sql.Expr, isAuto bool) {
+	if !s.vars.PlanCache() {
+		return "", nil, nil, false
+	}
+	if s.curPrep != nil {
+		return s.curPrep.text, nil, nil, false
+	}
+	if st == nil || where == nil || sql.HasParams(st) {
+		return "", nil, nil, false
+	}
+	k, argExprs, pw, ok := paramizedKey(st)
+	if !ok {
+		return "", nil, nil, false
+	}
+	args := make([]types.Datum, len(argExprs))
+	for i, a := range argExprs {
+		v, err := s.evalExpr(a, nil, nil, nil)
+		if err != nil {
+			return "", nil, nil, false
+		}
+		args[i] = v
+	}
+	return k, args, pw, true
+}
+
+// paramizedKey rewrites the statement's WHERE literals to placeholders and
+// returns the deparsed normal form, the displaced literal expressions, and
+// the rewritten WHERE (the tree planning runs against). Only
+// SELECT/DELETE/UPDATE participate; everything else is unkeyed.
+func paramizedKey(st sql.Statement) (string, []sql.Expr, sql.Expr, bool) {
+	switch t := st.(type) {
+	case *sql.Select:
+		pw, args := sql.ParamizeWhere(t.Where)
+		cl := *t
+		cl.Where = pw
+		return sql.Deparse(&cl), args, pw, true
+	case *sql.Delete:
+		pw, args := sql.ParamizeWhere(t.Where)
+		cl := *t
+		cl.Where = pw
+		return sql.Deparse(&cl), args, pw, true
+	case *sql.Update:
+		pw, args := sql.ParamizeWhere(t.Where)
+		cl := *t
+		cl.Where = pw
+		return sql.Deparse(&cl), args, pw, true
+	}
+	return "", nil, nil, false
+}
+
+// bindQual instantiates a qualification template with the session's bound
+// arguments, coercing each parameter to its indexed column's type. A nil
+// error with a non-nil qual means the template bound cleanly; any failure
+// (unbound slot, NULL argument, coercion mismatch, column out of range after
+// an index was rebuilt differently) makes the caller fall back to a fresh
+// plan or a sequential scan.
+func (s *Session) bindQual(t *qualTmpl, colTypes []types.Type) (*am.Qual, error) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.op != am.QFunc {
+		kids := make([]*am.Qual, len(t.children))
+		for i, c := range t.children {
+			q, err := s.bindQual(c, colTypes)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = q
+		}
+		return am.NewBoolQual(t.op, kids...), nil
+	}
+	if t.colPos < 0 || t.colPos >= len(colTypes) {
+		return nil, errf(CodeInternal, "qualification column %d out of range", t.colPos)
+	}
+	c := t.constVal
+	if t.paramOrd > 0 {
+		if t.paramOrd > len(s.boundArgs) {
+			return nil, errf(CodeInvalidParameter, "parameter $%d is not bound (%d argument(s) given)", t.paramOrd, len(s.boundArgs))
+		}
+		v := s.boundArgs[t.paramOrd-1]
+		if v == nil {
+			return nil, errf(CodeInvalidParameter, "parameter $%d is NULL: not indexable", t.paramOrd)
+		}
+		cv, err := s.coerce(v, colTypes[t.colPos])
+		if err != nil {
+			return nil, err
+		}
+		c = cv
+	}
+	return am.NewFuncQual(t.fn, t.colPos, c, t.colFirst), nil
+}
+
+// bindCached instantiates a cached plan against the indexes the statement
+// just opened from the live catalog. false means the plan no longer binds
+// (its index is gone, was rebuilt under a different opclass, or an argument
+// refuses to coerce) and the caller replans fresh.
+func (s *Session) bindCached(cp *cachedPlan, tb *catalog.Table, idxs []openIndex) (accessPath, *Plan, bool) {
+	plan := &Plan{
+		Table:     tb.Name,
+		SeqCost:   cp.seqCost,
+		BatchCap:  s.e.opts.ScanBatchSize,
+		HasFilter: cp.hasFilter,
+		Cached:    true,
+	}
+	if cp.index == "" {
+		return accessPath{}, plan, true
+	}
+	for i := range idxs {
+		oi := &idxs[i]
+		if !strings.EqualFold(oi.desc.Name, cp.index) || !strings.EqualFold(oi.desc.OpClass, cp.opClass) {
+			continue
+		}
+		qual, err := s.bindQual(cp.qual, oi.desc.ColTypes)
+		if err != nil || qual == nil {
+			return accessPath{}, nil, false
+		}
+		plan.Choices = []PlanChoice{{
+			Index: oi.desc.Name, AmName: oi.desc.AmName, OpClass: oi.desc.OpClass,
+			Strategies: cp.strategies, Qual: qual.String(),
+			Cost: cp.cost, Costed: cp.costed, Chosen: true,
+		}}
+		return accessPath{index: oi, qual: qual, tmpl: cp.qual}, plan, true
+	}
+	return accessPath{}, nil, false
+}
+
+// cacheEntry converts a freshly planned access path into its shared-cache
+// form.
+func (s *Session) cacheEntry(op string, path accessPath, plan *Plan) *cachedPlan {
+	cp := &cachedPlan{op: op, seqCost: plan.SeqCost, hasFilter: plan.HasFilter}
+	if path.index != nil {
+		cp.index = path.index.desc.Name
+		cp.opClass = path.index.desc.OpClass
+		cp.amName = path.index.desc.AmName
+		cp.qual = path.tmpl
+		for _, ch := range plan.Choices {
+			if ch.Chosen {
+				cp.strategies = ch.Strategies
+				cp.cost = ch.Cost
+				cp.costed = ch.Costed
+				break
+			}
+		}
+	}
+	return cp
+}

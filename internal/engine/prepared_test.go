@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// The SQL surface: PREPARE registers, EXECUTE binds and runs, DEALLOCATE
+// drops — with typed errors for every misuse.
+func TestPrepareExecuteDeallocateSQL(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE emp (id INTEGER, name VARCHAR(16), pay FLOAT)`)
+	exec(t, s, `INSERT INTO emp VALUES (1, 'ann', 100), (2, 'bob', 200), (3, 'cid', 300)`)
+
+	res := exec(t, s, `PREPARE byid AS SELECT name FROM emp WHERE id = $1`)
+	if !strings.Contains(res.Message, "prepared") || !strings.Contains(res.Message, "1 parameter") {
+		t.Fatalf("PREPARE message: %q", res.Message)
+	}
+	res = exec(t, s, `EXECUTE byid (2)`)
+	if len(res.Rows) != 1 || res.Rows[0][0] != "bob" {
+		t.Fatalf("EXECUTE rows: %v", res.Rows)
+	}
+	// Re-execution with a different argument binds fresh.
+	res = exec(t, s, `EXECUTE byid (3)`)
+	if len(res.Rows) != 1 || res.Rows[0][0] != "cid" {
+		t.Fatalf("EXECUTE rebind: %v", res.Rows)
+	}
+
+	// `?` placeholders get ordinals left to right and behave like $n.
+	exec(t, s, `PREPARE rng AS SELECT name FROM emp WHERE id >= ? AND pay <= ?`)
+	res = exec(t, s, `EXECUTE rng (2, 250)`)
+	if len(res.Rows) != 1 || res.Rows[0][0] != "bob" {
+		t.Fatalf("?-placeholder EXECUTE: %v", res.Rows)
+	}
+
+	// Prepared DML: INSERT, UPDATE, DELETE.
+	exec(t, s, `PREPARE ins AS INSERT INTO emp VALUES ($1, $2, $3)`)
+	res = exec(t, s, `EXECUTE ins (4, 'dee', 400)`)
+	if res.Affected != 1 {
+		t.Fatalf("prepared INSERT affected %d", res.Affected)
+	}
+	exec(t, s, `PREPARE raise AS UPDATE emp SET pay = $1 WHERE name = $2`)
+	res = exec(t, s, `EXECUTE raise (450, 'dee')`)
+	if res.Affected != 1 {
+		t.Fatalf("prepared UPDATE affected %d", res.Affected)
+	}
+	exec(t, s, `PREPARE del AS DELETE FROM emp WHERE id = $1`)
+	res = exec(t, s, `EXECUTE del (4)`)
+	if res.Affected != 1 {
+		t.Fatalf("prepared DELETE affected %d", res.Affected)
+	}
+
+	// Error matrix.
+	for _, bad := range []struct {
+		sql  string
+		code string
+	}{
+		{`EXECUTE nosuch`, CodeUndefinedObject},
+		{`EXECUTE byid`, CodeCardinality},
+		{`EXECUTE byid (1, 2)`, CodeCardinality},
+		{`PREPARE byid AS SELECT id FROM emp`, CodeInvalidParameter},
+		{`PREPARE ddl AS CREATE TABLE x (id INTEGER)`, CodeFeature},
+		{`DEALLOCATE nosuch`, CodeUndefinedObject},
+	} {
+		if _, err := s.Exec(bad.sql); ErrorCode(err) != bad.code {
+			t.Fatalf("%s: %v, want %s", bad.sql, err, bad.code)
+		}
+	}
+
+	res = exec(t, s, `DEALLOCATE byid`)
+	if !strings.Contains(res.Message, "deallocated") {
+		t.Fatalf("DEALLOCATE message: %q", res.Message)
+	}
+	if _, err := s.Exec(`EXECUTE byid (1)`); ErrorCode(err) != CodeUndefinedObject {
+		t.Fatalf("EXECUTE after DEALLOCATE: %v", err)
+	}
+
+	// Prepared statements are session-local.
+	s2 := e.NewSession()
+	defer s2.Close()
+	if _, err := s2.Exec(`EXECUTE rng (1, 2)`); ErrorCode(err) != CodeUndefinedObject {
+		t.Fatalf("cross-session EXECUTE: %v", err)
+	}
+}
+
+// The headline property: a cached EXECUTE calls the parser zero times and
+// am_scancost zero times — the whole point of the plan cache. Counters pin
+// it.
+func TestExecuteZeroParseZeroScancost(t *testing.T) {
+	e := memEngine(t)
+	registerMemEq(t, e)
+	registerMemAMCosted(t, e, "costmem_am", "cm", true, true)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE ct (a INTEGER, b VARCHAR(16))`)
+	exec(t, s, `CREATE INDEX ct_ix ON ct(a) USING costmem_am`)
+	for i := 0; i < 20; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO ct VALUES (%d, 'row%d')`, i%10, i))
+	}
+
+	if n, err := s.Prepare("byA", `SELECT b FROM ct WHERE MemEq(a, $1)`); err != nil || n != 1 {
+		t.Fatalf("Prepare: n=%d err=%v", n, err)
+	}
+	// Warm-up execution plans fresh (cache miss) — scancost runs here.
+	scBefore := e.Obs().Counter("am.am_scancost").Load()
+	if _, err := s.ExecutePrepared(nil, "byA", []types.Datum{int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Obs().Counter("am.am_scancost").Load() == scBefore {
+		t.Fatal("fresh plan consulted am_scancost zero times — test premise broken")
+	}
+
+	parses := e.Obs().Counter("sql.parses").Load()
+	scancost := e.Obs().Counter("am.am_scancost").Load()
+	hits := e.Obs().Counter("plan_cache.hits").Load()
+	const n = 10
+	for i := 0; i < n; i++ {
+		res, err := s.ExecutePrepared(nil, "byA", []types.Datum{int64(i % 10)})
+		if err != nil {
+			t.Fatalf("execute %d: %v", i, err)
+		}
+		if len(res.Rows) != 2 {
+			t.Fatalf("execute key %d: %d rows, want 2", i%10, len(res.Rows))
+		}
+	}
+	if got := e.Obs().Counter("sql.parses").Load() - parses; got != 0 {
+		t.Fatalf("cached EXECUTEs parsed %d times, want 0", got)
+	}
+	if got := e.Obs().Counter("am.am_scancost").Load() - scancost; got != 0 {
+		t.Fatalf("cached EXECUTEs called am_scancost %d times, want 0", got)
+	}
+	if got := e.Obs().Counter("plan_cache.hits").Load() - hits; got != n {
+		t.Fatalf("plan_cache.hits advanced %d, want %d", got, n)
+	}
+}
+
+// Ad-hoc statements with literal-only WHERE clauses share plans through
+// auto-parameterization — and, because the cache key is the deparser's
+// normal form, they share the *same* entry a prepared statement of the same
+// shape uses.
+func TestAutoParameterizationSharesPlans(t *testing.T) {
+	e := memEngine(t)
+	registerMemEq(t, e)
+	registerMemAMCosted(t, e, "apmem_am", "ap", true, true)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE ap (a INTEGER, b VARCHAR(16))`)
+	exec(t, s, `CREATE INDEX ap_ix ON ap(a) USING apmem_am`)
+	for i := 0; i < 10; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO ap VALUES (%d, 'row%d')`, i, i))
+	}
+
+	hits := e.Obs().Counter("plan_cache.hits").Load()
+	exec(t, s, `SELECT b FROM ap WHERE MemEq(a, 1)`) // miss: populates
+	for k := 2; k <= 5; k++ {
+		res := exec(t, s, fmt.Sprintf(`SELECT b FROM ap WHERE MemEq(a, %d)`, k))
+		if len(res.Rows) != 1 || res.Rows[0][0] != fmt.Sprintf("row%d", k) {
+			t.Fatalf("key %d: %v", k, res.Rows)
+		}
+	}
+	if got := e.Obs().Counter("plan_cache.hits").Load() - hits; got != 4 {
+		t.Fatalf("auto-param hits: %d, want 4", got)
+	}
+
+	// A prepared statement of the same shape lands on the same entry: its
+	// first execution is already a hit.
+	if _, err := s.Prepare("ap1", `SELECT b FROM ap WHERE MemEq(a, $1)`); err != nil {
+		t.Fatal(err)
+	}
+	hits = e.Obs().Counter("plan_cache.hits").Load()
+	if _, err := s.ExecutePrepared(nil, "ap1", []types.Datum{int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Obs().Counter("plan_cache.hits").Load() - hits; got != 1 {
+		t.Fatalf("prepared statement missed the auto-param entry (hits %d)", got)
+	}
+}
+
+// SET PLAN_CACHE OFF bypasses the cache entirely; SHOW reads the toggle
+// back; SYSPROFILE serves the cache counters.
+func TestPlanCacheToggleAndCounters(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE pt (id INTEGER)`)
+	exec(t, s, `INSERT INTO pt VALUES (1), (2)`)
+
+	res := exec(t, s, `SHOW PLAN_CACHE`)
+	if res.Rows[0][1] != "ON" {
+		t.Fatalf("default SHOW PLAN_CACHE: %v", res.Rows)
+	}
+	exec(t, s, `SET PLAN_CACHE OFF`)
+	res = exec(t, s, `SHOW PLAN_CACHE`)
+	if res.Rows[0][1] != "OFF" {
+		t.Fatalf("SHOW PLAN_CACHE after OFF: %v", res.Rows)
+	}
+
+	hits := e.Obs().Counter("plan_cache.hits").Load()
+	misses := e.Obs().Counter("plan_cache.misses").Load()
+	for i := 0; i < 5; i++ {
+		exec(t, s, `SELECT id FROM pt WHERE id = 1`)
+	}
+	if h, m := e.Obs().Counter("plan_cache.hits").Load()-hits, e.Obs().Counter("plan_cache.misses").Load()-misses; h != 0 || m != 0 {
+		t.Fatalf("cache touched while OFF: hits+%d misses+%d", h, m)
+	}
+
+	exec(t, s, `SET PLAN_CACHE ON`)
+	exec(t, s, `SELECT id FROM pt WHERE id = 1`)
+	exec(t, s, `SELECT id FROM pt WHERE id = 2`)
+	if got := e.Obs().Counter("plan_cache.hits").Load() - hits; got == 0 {
+		t.Fatal("no cache hits after SET PLAN_CACHE ON")
+	}
+
+	// The counters surface through SYSPROFILE like any other.
+	res = exec(t, s, `SELECT name, value FROM SYSPROFILE WHERE name = 'plan_cache.hits'`)
+	if len(res.Rows) != 1 || res.Rows[0][1].(int64) < 1 {
+		t.Fatalf("SYSPROFILE plan_cache.hits: %v", res.Rows)
+	}
+}
+
+// DDL retires cached plans: after DROP INDEX an EXECUTE must not touch the
+// dead index (it replans to a seqscan), and after CREATE INDEX it must pick
+// the index back up. The invalidation counter records the retirements.
+func TestPlanCacheInvalidationOnDDL(t *testing.T) {
+	e := memEngine(t)
+	registerMemEq(t, e)
+	registerMemAMCosted(t, e, "ddlmem_am", "dd", true, true)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE dt (a INTEGER, b VARCHAR(16))`)
+	exec(t, s, `CREATE INDEX dt_ix ON dt(a) USING ddlmem_am`)
+	for i := 0; i < 8; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO dt VALUES (%d, 'row%d')`, i, i))
+	}
+	if _, err := s.Prepare("q", `SELECT b FROM dt WHERE MemEq(a, $1)`); err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int64) *Result {
+		t.Helper()
+		res, err := s.ExecutePrepared(nil, "q", []types.Datum{k})
+		if err != nil {
+			t.Fatalf("execute(%d): %v", k, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != fmt.Sprintf("row%d", k) {
+			t.Fatalf("execute(%d): %v", k, res.Rows)
+		}
+		return res
+	}
+	run(1) // populate
+	run(2) // hit, via the index
+	scans := e.Obs().Counter("am.am_beginscan").Load()
+	run(3)
+	if e.Obs().Counter("am.am_beginscan").Load() == scans {
+		t.Fatal("cached plan did not scan the index — test premise broken")
+	}
+
+	inval := e.Obs().Counter("plan_cache.invalidations").Load()
+	exec(t, s, `DROP INDEX dt_ix`)
+	scans = e.Obs().Counter("am.am_beginscan").Load()
+	run(4) // must fall back to the heap — no index left to scan
+	if got := e.Obs().Counter("am.am_beginscan").Load(); got != scans {
+		t.Fatalf("EXECUTE after DROP INDEX still ran %d index scan(s)", got-scans)
+	}
+	if e.Obs().Counter("plan_cache.invalidations").Load() == inval {
+		t.Fatal("DROP INDEX retired no cached plan")
+	}
+
+	exec(t, s, `CREATE INDEX dt_ix ON dt(a) USING ddlmem_am`)
+	run(5) // replan: back on the index
+	scans = e.Obs().Counter("am.am_beginscan").Load()
+	run(6)
+	if e.Obs().Counter("am.am_beginscan").Load() == scans {
+		t.Fatal("EXECUTE after index re-creation is not using the index")
+	}
+}
+
+// DDL churning concurrently with EXECUTE must never error and never lose
+// rows: the generation stamp plus bind-time name resolution guarantee a
+// dropped index is never scanned. Run under -race this also proves the
+// cache's internal locking.
+func TestPlanCacheDDLRace(t *testing.T) {
+	e := memEngine(t)
+	registerMemEq(t, e)
+	registerMemAMCosted(t, e, "racemem_am", "rc", true, true)
+	setup := e.NewSession()
+	exec(t, setup, `CREATE TABLE rt (a INTEGER, b VARCHAR(16))`)
+	exec(t, setup, `CREATE INDEX rt_ix ON rt(a) USING racemem_am`)
+	for i := 0; i < 8; i++ {
+		exec(t, setup, fmt.Sprintf(`INSERT INTO rt VALUES (%d, 'row%d')`, i, i))
+	}
+	setup.Close()
+
+	const iters = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+
+	// Two executors hammering the prepared statement.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := e.NewSession()
+			defer s.Close()
+			if _, err := s.Prepare("q", `SELECT b FROM rt WHERE MemEq(a, $1)`); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < iters; i++ {
+				k := int64(i % 8)
+				res, err := s.ExecutePrepared(nil, "q", []types.Datum{k})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: %w", w, i, err)
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0] != fmt.Sprintf("row%d", k) {
+					errs <- fmt.Errorf("worker %d iter %d: rows %v", w, i, res.Rows)
+					return
+				}
+			}
+		}(w)
+	}
+	// One DDL churner dropping and re-creating the index.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := e.NewSession()
+		defer s.Close()
+		for i := 0; i < 30; i++ {
+			if _, err := s.Exec(`DROP INDEX rt_ix`); err != nil {
+				errs <- fmt.Errorf("drop %d: %w", i, err)
+				return
+			}
+			if _, err := s.Exec(`CREATE INDEX rt_ix ON rt(a) USING racemem_am`); err != nil {
+				errs <- fmt.Errorf("create %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if e.Obs().Counter("plan_cache.invalidations").Load() == 0 {
+		t.Error("the churn invalidated nothing — the race never happened")
+	}
+}
+
+// EXPLAIN distinguishes a fresh plan from a shared-cache one, and EXPLAIN
+// EXECUTE explains the prepared statement's plan with its arguments bound.
+func TestExplainCachedVsFresh(t *testing.T) {
+	e := memEngine(t)
+	registerMemEq(t, e)
+	registerMemAMCosted(t, e, "exmem_am", "ex", true, true)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE et (a INTEGER, b VARCHAR(16))`)
+	exec(t, s, `CREATE INDEX et_ix ON et(a) USING exmem_am`)
+	exec(t, s, `INSERT INTO et VALUES (1, 'one'), (2, 'two')`)
+
+	planOf := func(sql string) string {
+		t.Helper()
+		res := exec(t, s, sql)
+		lines := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			lines[i] = r[0].(string)
+		}
+		return strings.Join(lines, "\n")
+	}
+
+	// EXPLAIN itself plans (and publishes) without executing: the first look
+	// is fresh, the second finds the published entry.
+	got := planOf(`EXPLAIN SELECT b FROM et WHERE MemEq(a, 1)`)
+	if !strings.Contains(got, "plan:        fresh") {
+		t.Fatalf("first EXPLAIN not fresh:\n%s", got)
+	}
+	got = planOf(`EXPLAIN SELECT b FROM et WHERE MemEq(a, 2)`)
+	if !strings.Contains(got, "plan:        cached (shared plan cache)") {
+		t.Fatalf("second EXPLAIN not cached:\n%s", got)
+	}
+
+	exec(t, s, `PREPARE pe AS SELECT b FROM et WHERE MemEq(a, $1)`)
+	got = planOf(`EXPLAIN EXECUTE pe (1)`)
+	if !strings.Contains(got, "index scan on et_ix") || !strings.Contains(got, "cached (shared plan cache)") {
+		t.Fatalf("EXPLAIN EXECUTE:\n%s", got)
+	}
+
+	// With the cache off, every plan is fresh again.
+	exec(t, s, `SET PLAN_CACHE OFF`)
+	got = planOf(`EXPLAIN SELECT b FROM et WHERE MemEq(a, 2)`)
+	if !strings.Contains(got, "plan:        fresh") {
+		t.Fatalf("EXPLAIN with cache off:\n%s", got)
+	}
+}

@@ -48,16 +48,10 @@ func (s *Session) openSelectCursor(t *sql.Select) (*selectCursor, error) {
 	}
 	schema := table.Schema()
 
-	idxs, closeAll, err := s.openIndexes(tb.Name, true)
+	_, closeAll, path, plan, err := s.planStmtRead("SELECT", t, tb, schema, t.Where)
 	if err != nil {
 		return nil, err
 	}
-	path, plan, err := s.planAccess(tb, schema, t.Where, idxs)
-	if err != nil {
-		closeAll()
-		return nil, err
-	}
-	plan.Operation = "SELECT"
 	plan.Workers = s.scanDegree(path, plan, table)
 	snap := s.stmtSnapshot(false)
 	plan.SnapshotLSN = snap.ReadLSN
@@ -188,7 +182,7 @@ func (s *Session) ExecStream(src string) (*Stream, error) {
 
 // ExecStreamCtx is ExecStream with a cancellation context (see ExecCtx).
 func (s *Session) ExecStreamCtx(ctx context.Context, src string) (*Stream, error) {
-	st, err := sql.Parse(src)
+	st, err := s.e.ParseSQL(src)
 	if err != nil {
 		return nil, err
 	}
@@ -203,6 +197,20 @@ func (s *Session) ExecStreamStmtCtx(ctx context.Context, st sql.Statement) (*Str
 	if sel, ok := st.(*sql.Select); ok {
 		if _, err := s.e.cat.TableByName(sel.Table); err == nil {
 			return s.openStreamSelect(ctx, sel)
+		}
+	}
+	// EXECUTE of a prepared SELECT over a real table streams like the SELECT
+	// itself would; any lookup or binding problem falls through to the eager
+	// path, which raises it with the standard error shape.
+	if ex, ok := st.(*sql.Execute); ok {
+		if p, err := s.lookupPrepared(ex.Name); err == nil {
+			if sel, ok := p.stmt.(*sql.Select); ok {
+				if _, err := s.e.cat.TableByName(sel.Table); err == nil {
+					if str, ok := s.streamExecute(ctx, p, ex); ok {
+						return str, nil
+					}
+				}
+			}
 		}
 	}
 	// No row stream for this statement: run it eagerly and replay.
@@ -351,6 +359,7 @@ func (st *Stream) finish() {
 	}
 	st.res.Stats = s.ec.Finish()
 	s.releaseStmtSnap()
+	s.clearBinding()
 	s.ec = nil
 	s.stmtCtx = nil
 	s.stream = nil
@@ -370,6 +379,7 @@ func (st *Stream) fail(err error) {
 	}
 	st.res.Stats = s.ec.Finish()
 	s.releaseStmtSnap()
+	s.clearBinding()
 	s.ec = nil
 	s.stmtCtx = nil
 	s.stream = nil

@@ -24,17 +24,18 @@ import (
 // Methods are safe for concurrent use: a server's monitoring path may list
 // a session's vars while the session's own goroutine executes a SET.
 type SessionVars struct {
-	mu       sync.Mutex
-	iso      lock.IsolationLevel
-	commit   wal.CommitMode
-	parallel int
-	trace    map[string]int // by lower-cased trace class
+	mu        sync.Mutex
+	iso       lock.IsolationLevel
+	commit    wal.CommitMode
+	parallel  int
+	planCache bool
+	trace     map[string]int // by lower-cased trace class
 }
 
 // NewSessionVars returns the default session state: COMMITTED READ
-// isolation, GROUP commit, serial scans, no tracing.
+// isolation, GROUP commit, serial scans, plan cache on, no tracing.
 func NewSessionVars() *SessionVars {
-	return &SessionVars{iso: lock.CommittedRead, commit: wal.CommitGroup}
+	return &SessionVars{iso: lock.CommittedRead, commit: wal.CommitGroup, planCache: true}
 }
 
 // Var is one name/value pair of the session state (SHOW ALL's row shape).
@@ -109,6 +110,22 @@ func (v *SessionVars) SetParallel(deg int) int {
 	return deg
 }
 
+// PlanCache reports whether plan caching is enabled for the session.
+func (v *SessionVars) PlanCache() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.planCache
+}
+
+// SetPlanCache switches plan caching. OFF makes the session bypass the
+// shared plan cache and replan every EXECUTE — the A/B knob for measuring
+// planning cost.
+func (v *SessionVars) SetPlanCache(on bool) {
+	v.mu.Lock()
+	v.planCache = on
+	v.mu.Unlock()
+}
+
 // TraceLevel returns the session's requested level for a trace class (0
 // when the class was never set).
 func (v *SessionVars) TraceLevel(class string) int {
@@ -155,6 +172,15 @@ func (v *SessionVars) Set(name, value string) error {
 			return errf(CodeInvalidParameter, "bad parallel degree %q", value)
 		}
 		v.SetParallel(deg)
+	case key == "plan_cache":
+		switch strings.ToUpper(strings.TrimSpace(value)) {
+		case "ON":
+			v.SetPlanCache(true)
+		case "OFF":
+			v.SetPlanCache(false)
+		default:
+			return errf(CodeInvalidParameter, "bad plan_cache value %q (want ON or OFF)", value)
+		}
 	case strings.HasPrefix(key, "trace."):
 		lvl, err := strconv.Atoi(strings.TrimSpace(value))
 		if err != nil || lvl < 0 {
@@ -177,6 +203,11 @@ func (v *SessionVars) Get(name string) (string, error) {
 		return v.Commit().String(), nil
 	case key == "parallel":
 		return strconv.Itoa(v.Parallel()), nil
+	case key == "plan_cache":
+		if v.PlanCache() {
+			return "ON", nil
+		}
+		return "OFF", nil
 	case strings.HasPrefix(key, "trace."):
 		return strconv.Itoa(v.TraceLevel(strings.TrimPrefix(key, "trace."))), nil
 	}
@@ -187,10 +218,15 @@ func (v *SessionVars) Get(name string) (string, error) {
 // fixed knobs first, then any trace classes the session touched. SHOW ALL
 // renders exactly this.
 func (v *SessionVars) List() []Var {
+	pc := "OFF"
+	if v.PlanCache() {
+		pc = "ON"
+	}
 	out := []Var{
 		{"commit", v.Commit().String()},
 		{"isolation", v.Isolation().String()},
 		{"parallel", strconv.Itoa(v.Parallel())},
+		{"plan_cache", pc},
 	}
 	v.mu.Lock()
 	classes := make([]string, 0, len(v.trace))

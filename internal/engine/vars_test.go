@@ -58,14 +58,14 @@ func TestSessionVarsList(t *testing.T) {
 	v := NewSessionVars()
 	v.SetTrace("GRT", 2)
 	kvs := v.List()
-	if len(kvs) != 4 {
+	if len(kvs) != 5 {
 		t.Fatalf("List: %v", kvs)
 	}
 	names := make([]string, len(kvs))
 	for i, kv := range kvs {
 		names[i] = kv.Name
 	}
-	want := "commit isolation parallel trace.grt"
+	want := "commit isolation parallel plan_cache trace.grt"
 	if strings.Join(names, " ") != want {
 		t.Fatalf("List order %q, want %q", strings.Join(names, " "), want)
 	}

@@ -83,6 +83,10 @@ func All(root string, quick bool) []Runner {
 			_, err := RunP12(w, scale(4000, 600))
 			return err
 		}},
+		{"P13", "Prepared statements vs per-statement parse/plan", func(w io.Writer) error {
+			_, err := RunP13(w, scale(2000, 400))
+			return err
+		}},
 	}
 }
 

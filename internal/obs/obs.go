@@ -137,9 +137,29 @@ func (s Span) End() time.Duration {
 // Registry holds the engine's named counters and histograms. Reads and
 // get-or-create lookups are lock-free (sync.Map); hot paths cache the
 // *Counter once and touch only its atomic afterwards.
+//
+// Snapshot runs twice per statement (ExecContext base + Finish), so it must
+// not pay a sync.Map.Range plus sort each time: the metric name set is
+// stable once the engine warms up, and the registry caches the sorted
+// source list, invalidated only when a new counter or histogram is created.
 type Registry struct {
 	counters sync.Map // string -> *Counter
 	hists    sync.Map // string -> *Histogram
+
+	gen    atomic.Uint64 // bumped when a counter or histogram is created
+	srcMu  sync.Mutex
+	srcGen uint64
+	src    []metricSource
+}
+
+// metricSource is one snapshot row's live value source: a counter, or one
+// of a histogram's two derived metrics (count when us is false, total
+// microseconds when true).
+type metricSource struct {
+	name string
+	c    *Counter
+	h    *Histogram
+	us   bool
 }
 
 // NewRegistry returns an empty registry.
@@ -154,7 +174,10 @@ func (r *Registry) Counter(name string) *Counter {
 	if v, ok := r.counters.Load(name); ok {
 		return v.(*Counter)
 	}
-	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	v, loaded := r.counters.LoadOrStore(name, &Counter{})
+	if !loaded {
+		r.gen.Add(1)
+	}
 	return v.(*Counter)
 }
 
@@ -166,7 +189,10 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if v, ok := r.hists.Load(name); ok {
 		return v.(*Histogram)
 	}
-	v, _ := r.hists.LoadOrStore(name, &Histogram{})
+	v, loaded := r.hists.LoadOrStore(name, &Histogram{})
+	if !loaded {
+		r.gen.Add(1)
+	}
 	return v.(*Histogram)
 }
 
@@ -186,24 +212,54 @@ type Metric struct {
 // "<name>.us" (total microseconds).
 type Snapshot []Metric
 
+// sources returns the sorted metric source list, rebuilding it only when a
+// counter or histogram was created since the last build. The returned slice
+// is shared and must not be mutated. A metric created concurrently with a
+// rebuild may be included early or picked up on the next call — either way
+// every later Snapshot sees it.
+func (r *Registry) sources() []metricSource {
+	gen := r.gen.Load()
+	r.srcMu.Lock()
+	defer r.srcMu.Unlock()
+	if r.src != nil && r.srcGen == gen {
+		return r.src
+	}
+	var src []metricSource
+	r.counters.Range(func(k, v any) bool {
+		src = append(src, metricSource{name: k.(string), c: v.(*Counter)})
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		src = append(src,
+			metricSource{name: k.(string) + ".n", h: h},
+			metricSource{name: k.(string) + ".us", h: h, us: true})
+		return true
+	})
+	sort.Slice(src, func(i, j int) bool { return src[i].name < src[j].name })
+	r.src, r.srcGen = src, gen
+	return src
+}
+
 // Snapshot captures all counters and histograms.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return nil
 	}
-	var out Snapshot
-	r.counters.Range(func(k, v any) bool {
-		out = append(out, Metric{Name: k.(string), Value: v.(*Counter).Load()})
-		return true
-	})
-	r.hists.Range(func(k, v any) bool {
-		h := v.(*Histogram)
-		out = append(out,
-			Metric{Name: k.(string) + ".n", Value: h.Count()},
-			Metric{Name: k.(string) + ".us", Value: uint64(h.Sum() / time.Microsecond)})
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	src := r.sources()
+	out := make(Snapshot, len(src))
+	for i, s := range src {
+		var v uint64
+		switch {
+		case s.c != nil:
+			v = s.c.Load()
+		case s.us:
+			v = uint64(s.h.Sum() / time.Microsecond)
+		default:
+			v = s.h.Count()
+		}
+		out[i] = Metric{Name: s.name, Value: v}
+	}
 	return out
 }
 
@@ -217,11 +273,21 @@ func (s Snapshot) Get(name string) uint64 {
 }
 
 // Delta returns s - base, keeping only metrics that moved. Metrics absent
-// from base count from zero (they were created during the window).
+// from base count from zero (they were created during the window). The
+// common case — both snapshots taken from an unchanged metric set, so the
+// names align index for index — subtracts without any searching.
 func (s Snapshot) Delta(base Snapshot) Snapshot {
 	var out Snapshot
-	for _, m := range s {
-		if d := m.Value - base.Get(m.Name); d != 0 {
+	aligned := len(s) == len(base)
+	for i, m := range s {
+		var b uint64
+		if aligned && base[i].Name == m.Name {
+			b = base[i].Value
+		} else {
+			aligned = false
+			b = base.Get(m.Name)
+		}
+		if d := m.Value - b; d != 0 {
 			out = append(out, Metric{Name: m.Name, Value: d})
 		}
 	}

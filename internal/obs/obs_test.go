@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -150,5 +151,37 @@ func TestExecContextProfile(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("String() missing %q: %s", want, s)
 		}
+	}
+}
+
+// The cached source list must pick up metrics created after a snapshot, and
+// Delta must agree whether or not the two snapshots' name sets align.
+func TestSnapshotSeesLateMetricsAndDeltaAlignment(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.one").Add(5)
+	base := r.Snapshot()
+
+	r.Counter("a.one").Add(2)
+	r.Counter("b.two").Add(7) // created after base — breaks alignment
+	r.Histogram("c.lat").Observe(3 * time.Microsecond)
+	cur := r.Snapshot()
+
+	if !sort.SliceIsSorted(cur, func(i, j int) bool { return cur[i].Name < cur[j].Name }) {
+		t.Fatalf("snapshot not sorted: %v", cur)
+	}
+	if cur.Get("b.two") != 7 || cur.Get("c.lat.n") != 1 {
+		t.Fatalf("late metrics missing: %v", cur)
+	}
+	d := cur.Delta(base)
+	if d.Get("a.one") != 2 || d.Get("b.two") != 7 {
+		t.Fatalf("unaligned delta wrong: %v", d)
+	}
+
+	// Aligned case: same metric set on both sides.
+	base2 := r.Snapshot()
+	r.Counter("a.one").Add(11)
+	d2 := r.Snapshot().Delta(base2)
+	if len(d2) != 1 || d2[0].Name != "a.one" || d2[0].Value != 11 {
+		t.Fatalf("aligned delta wrong: %v", d2)
 	}
 }

@@ -12,11 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
-	"repro/internal/sql"
+	"repro/internal/types"
 	"repro/internal/wire"
 )
 
@@ -162,13 +163,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // conn is one client connection: its socket, its framing, its session, and
 // the in-flight statement's cancel hook.
 type conn struct {
-	srv *Server
-	nc  net.Conn
-	wc  *wire.Conn
+	srv   *Server
+	nc    net.Conn
+	wc    *wire.Conn
+	proto uint16 // negotiated protocol version (set by handshake)
 
 	mu        sync.Mutex
 	executing bool
 	cancel    context.CancelFunc
+
+	// bound holds argument vectors stored by Bind frames, keyed by the
+	// lower-cased prepared-statement name. Only the handler goroutine
+	// touches it.
+	bound map[string][]types.Datum
 }
 
 // interruptIfIdle closes the socket when no statement is executing, kicking
@@ -217,7 +224,26 @@ func (c *conn) serve() {
 		}
 		switch t := m.(type) {
 		case *wire.Exec:
-			if !c.execute(sess, t.SQL) {
+			if !c.execute(func(ctx context.Context) bool { return c.runExec(sess, ctx, t.SQL) }) {
+				return
+			}
+		case *wire.Parse:
+			if !c.requireV2(m) || !c.parse(sess, t) {
+				return
+			}
+		case *wire.Bind:
+			if !c.requireV2(m) || !c.bind(sess, t) {
+				return
+			}
+		case *wire.ExecutePrepared:
+			if !c.requireV2(m) {
+				return
+			}
+			if !c.execute(func(ctx context.Context) bool { return c.runPrepared(sess, ctx, t) }) {
+				return
+			}
+		case *wire.CloseStmt:
+			if !c.requireV2(m) || !c.closeStmt(sess, t) {
 				return
 			}
 		case *wire.Quit:
@@ -237,22 +263,79 @@ func (c *conn) handshake() bool {
 		return false
 	}
 	h, ok := m.(*wire.Hello)
-	if !ok || h.Version != wire.Version {
+	if !ok || h.Version < 1 || h.Version > wire.Version {
 		c.srv.c.refused.Inc()
 		c.wc.Send(&wire.Error{
 			Code:    engine.CodeFeature,
-			Message: fmt.Sprintf("unsupported protocol (server speaks version %d)", wire.Version),
+			Message: fmt.Sprintf("unsupported protocol (server speaks versions 1..%d)", wire.Version),
 		})
 		return false
 	}
-	return c.wc.Send(&wire.Welcome{Version: wire.Version, Banner: c.srv.opts.Banner}) == nil
+	// Speak the client's version. Prepared-statement frames are only
+	// advertised — and only accepted — on version 2; a v1 client never sees
+	// the Caps word (its decoder ignores the trailing bytes).
+	c.proto = h.Version
+	w := &wire.Welcome{Version: h.Version, Banner: c.srv.opts.Banner}
+	if h.Version >= 2 {
+		w.Caps = wire.CapPrepared
+	}
+	return c.wc.Send(w) == nil
 }
 
-// execute runs one Exec payload — a statement or a script — under an
-// executor slot and streams the last statement's result back. It returns
-// false when the connection is no longer usable (send failure, or the
-// server is draining).
-func (c *conn) execute(sess *engine.Session, src string) bool {
+// requireV2 rejects prepared-statement frames on a version-1 connection:
+// the capability was never advertised there, so receiving one is a protocol
+// violation and the connection closes after the Error frame.
+func (c *conn) requireV2(m wire.Message) bool {
+	if c.proto >= 2 {
+		return true
+	}
+	c.wc.Send(&wire.Error{Code: engine.CodeFeature,
+		Message: fmt.Sprintf("%T requires protocol version 2 (connection negotiated %d)", m, c.proto)})
+	return false
+}
+
+// parse registers a named prepared statement on the session and acks with
+// its parameter count.
+func (c *conn) parse(sess *engine.Session, t *wire.Parse) bool {
+	n, err := sess.Prepare(t.Name, t.SQL)
+	if err != nil {
+		return c.sendErr(err)
+	}
+	return c.wc.Send(&wire.Prepared{Name: t.Name, NParams: uint16(n)}) == nil
+}
+
+// bind stores an argument vector for later ExecutePrepared{UseBound} frames,
+// rejecting unknown names and wrong arity up front.
+func (c *conn) bind(sess *engine.Session, t *wire.Bind) bool {
+	n, err := sess.PreparedParams(t.Name)
+	if err != nil {
+		return c.sendErr(err)
+	}
+	if len(t.Args) != n {
+		return c.sendErr(engine.Errf(engine.CodeCardinality,
+			"prepared statement %q wants %d argument(s), got %d", t.Name, n, len(t.Args)))
+	}
+	if c.bound == nil {
+		c.bound = make(map[string][]types.Datum)
+	}
+	c.bound[strings.ToLower(t.Name)] = t.Args
+	return c.wc.Send(&wire.Done{Message: fmt.Sprintf("bound %d argument(s)", len(t.Args))}) == nil
+}
+
+// closeStmt deallocates a prepared statement and its stored binding.
+func (c *conn) closeStmt(sess *engine.Session, t *wire.CloseStmt) bool {
+	if err := sess.Deallocate(t.Name); err != nil {
+		return c.sendErr(err)
+	}
+	delete(c.bound, strings.ToLower(t.Name))
+	return c.wc.Send(&wire.Done{Message: fmt.Sprintf("deallocated %q", strings.ToLower(t.Name))}) == nil
+}
+
+// execute runs one statement payload — an Exec script or an
+// ExecutePrepared — under an executor slot and streams its result back. It
+// returns false when the connection is no longer usable (send failure, or
+// the server is draining).
+func (c *conn) execute(run func(ctx context.Context) bool) bool {
 	select {
 	case c.srv.slots <- struct{}{}:
 	default:
@@ -266,7 +349,7 @@ func (c *conn) execute(sess *engine.Session, src string) bool {
 	c.mu.Lock()
 	c.executing, c.cancel = true, cancel
 	c.mu.Unlock()
-	ok := c.runExec(sess, ctx, src)
+	ok := run(ctx)
 	c.mu.Lock()
 	c.executing, c.cancel = false, nil
 	c.mu.Unlock()
@@ -285,7 +368,7 @@ func (c *conn) execute(sess *engine.Session, src string) bool {
 // until the first error; the last statement's result streams back.
 func (c *conn) runExec(sess *engine.Session, ctx context.Context, src string) bool {
 	c.srv.c.stmts.Inc()
-	stmts, err := sql.ParseScript(src)
+	stmts, err := c.srv.e.ParseScript(src)
 	if err != nil {
 		return c.sendErr(err)
 	}
@@ -301,6 +384,27 @@ func (c *conn) runExec(sess *engine.Session, ctx context.Context, src string) bo
 	if err != nil {
 		return c.sendErr(err)
 	}
+	return c.streamResult(str)
+}
+
+// runPrepared executes a prepared statement — the zero-parse hot path. With
+// UseBound set the stored Bind vector substitutes for inline args.
+func (c *conn) runPrepared(sess *engine.Session, ctx context.Context, t *wire.ExecutePrepared) bool {
+	c.srv.c.stmts.Inc()
+	args := t.Args
+	if t.UseBound {
+		args = c.bound[strings.ToLower(t.Name)]
+	}
+	str, err := sess.ExecutePreparedStream(ctx, t.Name, args)
+	if err != nil {
+		return c.sendErr(err)
+	}
+	return c.streamResult(str)
+}
+
+// streamResult drains a statement stream to the client as
+// Header/RowBatch.../Done.
+func (c *conn) streamResult(str *engine.Stream) bool {
 	defer str.Close()
 
 	hdr := &wire.Header{Columns: str.Columns()}

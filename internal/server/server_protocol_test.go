@@ -1,0 +1,191 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// rawDial opens a wire-level connection without the client library, so
+// tests can impersonate peers speaking other protocol revisions.
+func rawDial(t *testing.T, h *harness) *wire.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return wire.NewConn(nc, h.e.Types())
+}
+
+func recvMsg(t *testing.T, wc *wire.Conn) wire.Message {
+	t.Helper()
+	m, err := wc.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	return m
+}
+
+// A version-1 client still gets full service from the upgraded server: the
+// handshake succeeds at version 1 with no capabilities, and plain Exec
+// round-trips exactly as before the protocol bump.
+func TestServerAcceptsV1Client(t *testing.T) {
+	h := startServer(t, Options{})
+	wc := rawDial(t, h)
+
+	if err := wc.Send(&wire.Hello{Version: 1, Banner: "old client"}); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := recvMsg(t, wc).(*wire.Welcome)
+	if !ok {
+		t.Fatalf("handshake reply: %T", w)
+	}
+	if w.Version != 1 || w.Caps != 0 {
+		t.Fatalf("v1 Welcome: version=%d caps=%#x", w.Version, w.Caps)
+	}
+
+	if err := wc.Send(&wire.Exec{SQL: `CREATE TABLE v1t (id INTEGER); INSERT INTO v1t VALUES (7); SELECT id FROM v1t`}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMsg(t, wc).(*wire.Header); !ok {
+		t.Fatal("no Header for v1 Exec")
+	}
+	rows := 0
+	for {
+		switch m := recvMsg(t, wc).(type) {
+		case *wire.RowBatch:
+			rows += len(m.Rows)
+		case *wire.Done:
+			if rows != 1 {
+				t.Fatalf("v1 Exec rows: %d", rows)
+			}
+			return
+		case *wire.Error:
+			t.Fatalf("v1 Exec error: %s %s", m.Code, m.Message)
+		}
+	}
+}
+
+// Prepared-statement frames on a version-1 connection are a protocol
+// violation: the capability was never advertised, so the server answers a
+// CodeFeature error and closes the connection.
+func TestServerRejectsPreparedFramesOnV1(t *testing.T) {
+	h := startServer(t, Options{})
+	wc := rawDial(t, h)
+
+	if err := wc.Send(&wire.Hello{Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMsg(t, wc).(*wire.Welcome); !ok {
+		t.Fatal("handshake failed")
+	}
+	if err := wc.Send(&wire.Parse{Name: "q", SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := recvMsg(t, wc).(*wire.Error)
+	if !ok || e.Code != engine.CodeFeature {
+		t.Fatalf("Parse on v1 conn: %#v", e)
+	}
+	if _, err := wc.Recv(); err == nil {
+		t.Fatal("connection must close after the protocol violation")
+	}
+}
+
+// A client from the future is refused with an Error frame naming the range
+// the server speaks.
+func TestServerRefusesUnknownVersion(t *testing.T) {
+	h := startServer(t, Options{})
+	wc := rawDial(t, h)
+
+	if err := wc.Send(&wire.Hello{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := recvMsg(t, wc).(*wire.Error)
+	if !ok || e.Code != engine.CodeFeature {
+		t.Fatalf("v99 handshake reply: %#v", e)
+	}
+}
+
+// The full prepared-statement conversation at the frame level: Parse acks
+// with the parameter count, Bind stores a vector, ExecutePrepared with
+// UseBound substitutes it, CloseStmt drops the statement, and running it
+// afterwards reports CodeUndefinedObject — with the connection surviving.
+func TestServerPreparedFrameConversation(t *testing.T) {
+	h := startServer(t, Options{})
+	c := dial(t, h)
+	mustExec(t, c, `CREATE TABLE pf (id INTEGER, name VARCHAR(8))`)
+	mustExec(t, c, `INSERT INTO pf VALUES (1, 'a'), (2, 'b')`)
+
+	wc := rawDial(t, h)
+	if err := wc.Send(&wire.Hello{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	w := recvMsg(t, wc).(*wire.Welcome)
+	if w.Caps&wire.CapPrepared == 0 {
+		t.Fatalf("v2 Welcome caps: %#x", w.Caps)
+	}
+
+	if err := wc.Send(&wire.Parse{Name: "byid", SQL: `SELECT name FROM pf WHERE id = $1`}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := recvMsg(t, wc).(*wire.Prepared)
+	if !ok || p.NParams != 1 {
+		t.Fatalf("Parse ack: %#v", p)
+	}
+
+	if err := wc.Send(&wire.Bind{Name: "byid", Args: []types.Datum{int64(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMsg(t, wc).(*wire.Done); !ok {
+		t.Fatal("Bind not acked with Done")
+	}
+
+	if err := wc.Send(&wire.ExecutePrepared{Name: "byid", UseBound: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMsg(t, wc).(*wire.Header); !ok {
+		t.Fatal("no Header for ExecutePrepared")
+	}
+	var got []types.Datum
+loop:
+	for {
+		switch m := recvMsg(t, wc).(type) {
+		case *wire.RowBatch:
+			for _, r := range m.Rows {
+				got = append(got, r[0])
+			}
+		case *wire.Done:
+			break loop
+		case *wire.Error:
+			t.Fatalf("ExecutePrepared error: %s %s", m.Code, m.Message)
+		}
+	}
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("bound execute rows: %#v", got)
+	}
+
+	if err := wc.Send(&wire.CloseStmt{Name: "byid"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMsg(t, wc).(*wire.Done); !ok {
+		t.Fatal("CloseStmt not acked with Done")
+	}
+	if err := wc.Send(&wire.ExecutePrepared{Name: "byid", Args: []types.Datum{int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := recvMsg(t, wc).(*wire.Error)
+	if !ok || e.Code != engine.CodeUndefinedObject {
+		t.Fatalf("execute after close: %#v", e)
+	}
+	// Statement errors don't kill the connection.
+	if err := wc.Send(&wire.Exec{SQL: `SELECT count(*) FROM pf`}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMsg(t, wc).(*wire.Header); !ok {
+		t.Fatal("connection dead after prepared-statement error")
+	}
+}

@@ -141,6 +141,30 @@ type SetParallel struct{ Degree int }
 // append time with bounded loss.
 type SetCommit struct{ Mode string }
 
+// SetPlanCache is SET PLAN_CACHE {ON|OFF}: the session's shared-plan-cache
+// switch. OFF bypasses the engine-wide plan cache and forces EXECUTE to
+// replan on every invocation, so planning cost can be A/B measured.
+type SetPlanCache struct{ On bool }
+
+// Prepare is PREPARE name AS <stmt>: parse once, register the statement
+// under name in the session, and plan it lazily at first EXECUTE. Text
+// carries the statement's source for diagnostics and cache keying.
+type Prepare struct {
+	Name string
+	Stmt Statement
+	Text string
+}
+
+// Execute is EXECUTE name [(args...)]: bind the argument expressions to the
+// prepared statement's parameter slots and run its cached plan.
+type Execute struct {
+	Name string
+	Args []Expr
+}
+
+// Deallocate is DEALLOCATE [PREPARE] name: drop a prepared statement.
+type Deallocate struct{ Name string }
+
 // Show is SHOW ALL | SHOW <var> [<class>]: read back the session's SET
 // state (SessionVars) as rows — SHOW ISOLATION, SHOW COMMIT, SHOW PARALLEL,
 // SHOW TRACE <class>. Remote clients have no Session object to poke at, so
@@ -188,6 +212,10 @@ func (*SetIsolation) stmt()       {}
 func (*SetTrace) stmt()           {}
 func (*SetParallel) stmt()        {}
 func (*SetCommit) stmt()          {}
+func (*SetPlanCache) stmt()       {}
+func (*Prepare) stmt()            {}
+func (*Execute) stmt()            {}
+func (*Deallocate) stmt()         {}
 func (*Show) stmt()               {}
 func (*Explain) stmt()            {}
 func (*CheckIndex) stmt()         {}
@@ -225,9 +253,14 @@ type Binary struct {
 // Not is NOT x.
 type Not struct{ X Expr }
 
+// Param is a parameter placeholder: `?` (ordinal assigned left to right) or
+// `$n` (explicit 1-based ordinal). Bound to a datum at EXECUTE/Bind time.
+type Param struct{ Ord int }
+
 func (*Literal) expr()   {}
 func (*Null) expr()      {}
 func (*ColumnRef) expr() {}
 func (*FuncCall) expr()  {}
 func (*Binary) expr()    {}
 func (*Not) expr()       {}
+func (*Param) expr()     {}

@@ -99,8 +99,17 @@ func lex(src string) ([]Token, error) {
 				i += 2
 				continue
 			}
+			if c == '$' && i+1 < n && unicode.IsDigit(rune(src[i+1])) {
+				start := i
+				i++
+				for i < n && unicode.IsDigit(rune(src[i])) {
+					i++
+				}
+				toks = append(toks, Token{TPunct, src[start:i], start})
+				continue
+			}
 			switch c {
-			case '(', ')', ',', ';', '=', '<', '>', '*', '+', '-', '.':
+			case '(', ')', ',', ';', '=', '<', '>', '*', '+', '-', '.', '?':
 				toks = append(toks, Token{TPunct, string(c), i})
 				i++
 			default:

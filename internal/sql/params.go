@@ -1,0 +1,99 @@
+package sql
+
+// walkExpr calls f on e and every sub-expression.
+func walkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch t := e.(type) {
+	case *FuncCall:
+		for _, a := range t.Args {
+			walkExpr(a, f)
+		}
+	case *Binary:
+		walkExpr(t.L, f)
+		walkExpr(t.R, f)
+	case *Not:
+		walkExpr(t.X, f)
+	}
+}
+
+// walkStmtExprs calls f on every expression appearing in st.
+func walkStmtExprs(st Statement, f func(Expr)) {
+	switch t := st.(type) {
+	case *Insert:
+		for _, row := range t.Rows {
+			for _, e := range row {
+				walkExpr(e, f)
+			}
+		}
+	case *Select:
+		walkExpr(t.Where, f)
+	case *Delete:
+		walkExpr(t.Where, f)
+	case *Update:
+		for _, sc := range t.Sets {
+			walkExpr(sc.Value, f)
+		}
+		walkExpr(t.Where, f)
+	case *Execute:
+		for _, a := range t.Args {
+			walkExpr(a, f)
+		}
+	case *Explain:
+		walkStmtExprs(t.Stmt, f)
+	case *Prepare:
+		walkStmtExprs(t.Stmt, f)
+	}
+}
+
+// NumParams returns the number of parameter slots st requires: the highest
+// placeholder ordinal appearing anywhere in the statement (0 if none).
+func NumParams(st Statement) int {
+	max := 0
+	walkStmtExprs(st, func(e Expr) {
+		if p, ok := e.(*Param); ok && p.Ord > max {
+			max = p.Ord
+		}
+	})
+	return max
+}
+
+// HasParams reports whether any placeholder appears in st.
+func HasParams(st Statement) bool { return NumParams(st) > 0 }
+
+// ParamizeWhere rewrites a WHERE tree replacing every literal constant
+// (Literal and Null leaves) with sequential placeholders, returning the
+// rewritten copy and the extracted constant expressions in ordinal order.
+// Two statements that differ only in their qualification constants
+// paramize to identical trees — the shape the shared plan cache keys on.
+// The input tree is not modified; already-present Params are kept (their
+// ordinals shifted after the extracted constants would clash), so the
+// rewrite is only applied to literal-only trees by the caller.
+func ParamizeWhere(e Expr) (Expr, []Expr) {
+	var args []Expr
+	var rewrite func(Expr) Expr
+	rewrite = func(e Expr) Expr {
+		switch t := e.(type) {
+		case nil:
+			return nil
+		case *Literal, *Null:
+			args = append(args, t)
+			return &Param{Ord: len(args)}
+		case *FuncCall:
+			out := &FuncCall{Name: t.Name, Args: make([]Expr, len(t.Args))}
+			for i, a := range t.Args {
+				out.Args[i] = rewrite(a)
+			}
+			return out
+		case *Binary:
+			return &Binary{Op: t.Op, L: rewrite(t.L), R: rewrite(t.R)}
+		case *Not:
+			return &Not{X: rewrite(t.X)}
+		default:
+			return t // ColumnRef, Param: unchanged
+		}
+	}
+	return rewrite(e), args
+}

@@ -33,6 +33,7 @@ func ParseScript(src string) ([]Statement, error) {
 		if p.peek().Kind == TEOF {
 			return out, nil
 		}
+		p.nextParam = 0 // `?` ordinals restart per statement
 		st, err := p.statement()
 		if err != nil {
 			return nil, err
@@ -45,8 +46,9 @@ func ParseScript(src string) ([]Statement, error) {
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks      []Token
+	pos       int
+	nextParam int // ordinal counter for `?` placeholders
 }
 
 func (p *parser) peek() Token { return p.toks[p.pos] }
@@ -143,6 +145,55 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return &Explain{Stmt: inner}, nil
+	case p.acceptKw("PREPARE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case *Prepare, *Execute, *Deallocate:
+			return nil, fmt.Errorf("sql: cannot PREPARE a %T statement", inner)
+		}
+		return &Prepare{Name: name, Stmt: inner, Text: Deparse(inner)}, nil
+	case p.acceptKw("EXECUTE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st := &Execute{Name: name}
+		if p.acceptPunct("(") {
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					st.Args = append(st.Args, a)
+					if p.acceptPunct(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return st, nil
+	case p.acceptKw("DEALLOCATE"):
+		p.acceptKw("PREPARE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Deallocate{Name: name}, nil
 	case p.acceptKw("SET"):
 		if p.acceptKw("TRACE") {
 			class, err := p.ident()
@@ -177,6 +228,20 @@ func (p *parser) statement() (Statement, error) {
 				return nil, p.errf("expected commit mode")
 			}
 			return &SetCommit{Mode: strings.ToUpper(mode)}, nil
+		}
+		if p.acceptKw("PLAN_CACHE") {
+			p.acceptKw("TO")
+			mode, err := p.ident()
+			if err != nil {
+				return nil, p.errf("expected ON or OFF")
+			}
+			switch strings.ToUpper(mode) {
+			case "ON":
+				return &SetPlanCache{On: true}, nil
+			case "OFF":
+				return &SetPlanCache{On: false}, nil
+			}
+			return nil, p.errf("expected ON or OFF, got %q", mode)
 		}
 		if err := p.expectKw("ISOLATION"); err != nil {
 			return nil, err
@@ -818,6 +883,22 @@ func (p *parser) primary() (Expr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.Text == "?" {
+			p.pos++
+			p.nextParam++
+			return &Param{Ord: p.nextParam}, nil
+		}
+		if strings.HasPrefix(t.Text, "$") {
+			p.pos++
+			ord, err := strconv.Atoi(t.Text[1:])
+			if err != nil || ord < 1 {
+				return nil, p.errf("bad parameter ordinal %q", t.Text)
+			}
+			if ord > p.nextParam {
+				p.nextParam = ord
+			}
+			return &Param{Ord: ord}, nil
 		}
 		if t.Text == "-" { // negative number literal
 			p.pos++

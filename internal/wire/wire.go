@@ -30,8 +30,19 @@ import (
 	"repro/internal/types"
 )
 
-// Version is the protocol revision negotiated in Hello/Welcome.
-const Version = 1
+// Version is the protocol revision negotiated in Hello/Welcome. Version 2
+// added the prepared-statement frames (Parse/Bind/ExecutePrepared/CloseStmt)
+// and the Welcome capability bitmask; a version-1 peer interoperates — the
+// server accepts v1 Hellos, and a v1 client ignores the Welcome's trailing
+// capability bytes.
+const Version = 2
+
+// Capability bits advertised in Welcome.Caps.
+const (
+	// CapPrepared: the server accepts Parse, Bind, ExecutePrepared, and
+	// CloseStmt frames.
+	CapPrepared uint32 = 1 << 0
+)
 
 // MaxFrame bounds a frame payload (defense against corrupt length words).
 const MaxFrame = 64 << 20
@@ -49,6 +60,12 @@ const (
 	MsgDone
 	MsgError
 	MsgQuit
+	// Protocol version 2 (prepared statements):
+	MsgParse
+	MsgPrepared
+	MsgBind
+	MsgExecutePrepared
+	MsgCloseStmt
 )
 
 func (t MsgType) String() string {
@@ -69,6 +86,16 @@ func (t MsgType) String() string {
 		return "Error"
 	case MsgQuit:
 		return "Quit"
+	case MsgParse:
+		return "Parse"
+	case MsgPrepared:
+		return "Prepared"
+	case MsgBind:
+		return "Bind"
+	case MsgExecutePrepared:
+		return "ExecutePrepared"
+	case MsgCloseStmt:
+		return "CloseStmt"
 	}
 	return fmt.Sprintf("MsgType(%d)", byte(t))
 }
@@ -82,10 +109,14 @@ type Hello struct {
 	Banner  string
 }
 
-// Welcome acknowledges a Hello (server → client).
+// Welcome acknowledges a Hello (server → client). Caps advertises optional
+// protocol features; it travels after the version-1 fields, so a version-1
+// client simply never reads it (decoders ignore trailing payload bytes) and
+// a version-1 server's Welcome decodes here with Caps == 0.
 type Welcome struct {
 	Version uint16
 	Banner  string
+	Caps    uint32
 }
 
 // Exec submits SQL text — one statement or a semicolon-separated script
@@ -128,14 +159,55 @@ type Error struct {
 // Quit announces an orderly client disconnect.
 type Quit struct{}
 
-func (*Hello) msgType() MsgType    { return MsgHello }
-func (*Welcome) msgType() MsgType  { return MsgWelcome }
-func (*Exec) msgType() MsgType     { return MsgExec }
-func (*Header) msgType() MsgType   { return MsgHeader }
-func (*RowBatch) msgType() MsgType { return MsgRowBatch }
-func (*Done) msgType() MsgType     { return MsgDone }
-func (*Error) msgType() MsgType    { return MsgError }
-func (*Quit) msgType() MsgType     { return MsgQuit }
+// Parse asks the server to parse and register a named prepared statement
+// (client → server, requires CapPrepared). The server answers Prepared or
+// Error.
+type Parse struct {
+	Name string
+	SQL  string
+}
+
+// Prepared acknowledges a Parse with the statement's parameter count.
+type Prepared struct {
+	Name    string
+	NParams uint16
+}
+
+// Bind stores an argument vector against a prepared statement on the
+// server's connection state, so repeated executions of the same binding
+// need not re-ship the datums. The server answers Done or Error.
+type Bind struct {
+	Name string
+	Args []types.Datum
+}
+
+// ExecutePrepared runs a prepared statement. With UseBound set the server
+// substitutes the argument vector last Bind-ed for this statement name;
+// otherwise the inline Args bind positionally. The reply stream is the same
+// Header/RowBatch.../Done shape Exec produces.
+type ExecutePrepared struct {
+	Name     string
+	UseBound bool
+	Args     []types.Datum
+}
+
+// CloseStmt deallocates a prepared statement and drops any stored binding.
+// The server answers Done or Error.
+type CloseStmt struct{ Name string }
+
+func (*Hello) msgType() MsgType           { return MsgHello }
+func (*Welcome) msgType() MsgType         { return MsgWelcome }
+func (*Exec) msgType() MsgType            { return MsgExec }
+func (*Header) msgType() MsgType          { return MsgHeader }
+func (*RowBatch) msgType() MsgType        { return MsgRowBatch }
+func (*Done) msgType() MsgType            { return MsgDone }
+func (*Error) msgType() MsgType           { return MsgError }
+func (*Quit) msgType() MsgType            { return MsgQuit }
+func (*Parse) msgType() MsgType           { return MsgParse }
+func (*Prepared) msgType() MsgType        { return MsgPrepared }
+func (*Bind) msgType() MsgType            { return MsgBind }
+func (*ExecutePrepared) msgType() MsgType { return MsgExecutePrepared }
+func (*CloseStmt) msgType() MsgType       { return MsgCloseStmt }
 
 // Conn frames messages over a byte stream. Reads and writes are buffered;
 // Send flushes after every frame. A Conn is not safe for concurrent use on
@@ -163,8 +235,32 @@ func (c *Conn) Send(m Message) error {
 	case *Welcome:
 		e.u16(t.Version)
 		e.str(t.Banner)
+		e.u32(t.Caps)
 	case *Exec:
 		e.str(t.SQL)
+	case *Parse:
+		e.str(t.Name)
+		e.str(t.SQL)
+	case *Prepared:
+		e.str(t.Name)
+		e.u16(t.NParams)
+	case *Bind:
+		e.str(t.Name)
+		if err := e.args(c.reg, t.Args); err != nil {
+			return err
+		}
+	case *ExecutePrepared:
+		e.str(t.Name)
+		if t.UseBound {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		if err := e.args(c.reg, t.Args); err != nil {
+			return err
+		}
+	case *CloseStmt:
+		e.str(t.Name)
 	case *Header:
 		e.u32(uint32(len(t.Columns)))
 		for _, col := range t.Columns {
@@ -236,9 +332,24 @@ func (c *Conn) Recv() (Message, error) {
 	case MsgHello:
 		m = &Hello{Version: d.u16(), Banner: d.str()}
 	case MsgWelcome:
-		m = &Welcome{Version: d.u16(), Banner: d.str()}
+		w := &Welcome{Version: d.u16(), Banner: d.str()}
+		// Caps is absent from a version-1 peer's Welcome; default zero.
+		if d.err == nil && d.pos < len(d.buf) {
+			w.Caps = d.u32()
+		}
+		m = w
 	case MsgExec:
 		m = &Exec{SQL: d.str()}
+	case MsgParse:
+		m = &Parse{Name: d.str(), SQL: d.str()}
+	case MsgPrepared:
+		m = &Prepared{Name: d.str(), NParams: d.u16()}
+	case MsgBind:
+		m = &Bind{Name: d.str(), Args: d.args(c.reg)}
+	case MsgExecutePrepared:
+		m = &ExecutePrepared{Name: d.str(), UseBound: d.u8() != 0, Args: d.args(c.reg)}
+	case MsgCloseStmt:
+		m = &CloseStmt{Name: d.str()}
 	case MsgHeader:
 		h := &Header{}
 		for n := d.u32(); n > 0 && d.err == nil; n-- {
@@ -370,6 +481,17 @@ func (e *enc) datum(reg *types.Registry, d types.Datum) error {
 	return nil
 }
 
+// args encodes an argument vector as a count plus tagged datums.
+func (e *enc) args(reg *types.Registry, args []types.Datum) error {
+	e.u32(uint32(len(args)))
+	for _, a := range args {
+		if err := e.datum(reg, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // decoder ----------------------------------------------------------------------
 
 type dec struct {
@@ -443,6 +565,19 @@ func (d *dec) blob() []byte {
 	v := append([]byte(nil), d.buf[d.pos:d.pos+n]...)
 	d.pos += n
 	return v
+}
+
+// args decodes an argument vector.
+func (d *dec) args(reg *types.Registry) []types.Datum {
+	n := d.u32()
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	out := make([]types.Datum, 0, n)
+	for ; n > 0 && d.err == nil; n-- {
+		out = append(out, d.datum(reg))
+	}
+	return out
 }
 
 // datum decodes one tagged value. An opaque value resolves against the

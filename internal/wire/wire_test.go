@@ -89,6 +89,94 @@ func TestControlFrames(t *testing.T) {
 	}
 }
 
+// The version-2 prepared-statement frames round-trip, argument vectors
+// included.
+func TestPreparedFrames(t *testing.T) {
+	for _, m := range []Message{
+		&Parse{Name: "q1", SQL: "SELECT * FROM t WHERE id = $1"},
+		&Prepared{Name: "q1", NParams: 3},
+		&Bind{Name: "q1", Args: []types.Datum{int64(7), "x", true}},
+		&ExecutePrepared{Name: "q1", Args: []types.Datum{int64(7), 2.5, chronon.MustParse("9/97")}},
+		&ExecutePrepared{Name: "q1", UseBound: true},
+		&CloseStmt{Name: "q1"},
+	} {
+		got := roundTrip(t, nil, nil, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %T:\n got %#v\nwant %#v", m, got, m)
+		}
+	}
+}
+
+// Opaque datums in an argument vector go through Send/Receive like row
+// datums do.
+func TestPreparedArgsOpaque(t *testing.T) {
+	srv, cli := registerPair(t)
+	ot, _ := srv.Lookup("period")
+	cliOT, _ := cli.Lookup("period")
+
+	in := &ExecutePrepared{Name: "q", Args: []types.Datum{types.Opaque{TypeID: ot.ID, Data: []byte("1/97-3/97")}}}
+	got := roundTrip(t, cli, srv, in).(*ExecutePrepared)
+	// Note the direction: args flow client → server, so the sender encodes
+	// with the client registry and the receiver resolves with the server's.
+	op, ok := got.Args[0].(types.Opaque)
+	if !ok {
+		t.Fatalf("opaque arg arrived as %T", got.Args[0])
+	}
+	if string(op.Data) != "1/97-3/97" {
+		t.Fatalf("opaque arg round trip: %+v", op)
+	}
+	_ = cliOT
+}
+
+// A version-1 Welcome — no capability word — must decode with Caps zero,
+// and a version-2 Welcome's Caps must survive the trip. This is the
+// compatibility hinge: decoders ignore trailing payload bytes, so each side
+// can be upgraded independently.
+func TestWelcomeCapsCompat(t *testing.T) {
+	got := roundTrip(t, nil, nil, &Welcome{Version: 2, Banner: "d", Caps: CapPrepared}).(*Welcome)
+	if got.Caps != CapPrepared {
+		t.Fatalf("v2 Welcome caps: %#x", got.Caps)
+	}
+
+	// Hand-build the version-1 payload: u16 version, string banner, nothing
+	// after — exactly what a v1 peer's encoder emits.
+	var e enc
+	e.u16(1)
+	e.str("old server")
+	var buf bytes.Buffer
+	var hdr [5]byte
+	hdr[3] = byte(len(e.buf))
+	hdr[4] = byte(MsgWelcome)
+	buf.Write(hdr[:])
+	buf.Write(e.buf)
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{&buf, io.Discard}, nil)
+	m, err := c.Recv()
+	if err != nil {
+		t.Fatalf("v1 Welcome decode: %v", err)
+	}
+	w := m.(*Welcome)
+	if w.Version != 1 || w.Banner != "old server" || w.Caps != 0 {
+		t.Fatalf("v1 Welcome: %+v", w)
+	}
+
+	// The mirror direction: a v1 peer decoding a v2 Welcome must not choke
+	// on the trailing capability word — its decoder skips unread bytes. The
+	// shared dec already guarantees this (it only errors on underflow); prove
+	// it by decoding a v2 frame and checking no error even though a v1-shaped
+	// read (version + banner) leaves 4 bytes unread.
+	e = enc{}
+	e.u16(2)
+	e.str("new server")
+	e.u32(CapPrepared)
+	d := dec{buf: e.buf}
+	if v, b := d.u16(), d.str(); v != 2 || b != "new server" || d.err != nil {
+		t.Fatalf("v1-shaped read of v2 Welcome: %d %q %v", v, b, d.err)
+	}
+}
+
 // Every datum kind must survive the trip; opaque values must pass through
 // Send on the way out and Receive on the way in.
 func TestRowBatchRoundTrip(t *testing.T) {

@@ -4,8 +4,9 @@
 # the lock manager's deadlock detection, the purpose-function framework,
 # the batched scan pipeline, the WAL group-commit flusher, the network
 # stack (wire framing, the session-multiplexing server, the client
-# library), and the online index build (side-log capture, the tree blades'
-# STR bulk loaders, and the concurrent-DML/crash battery). Tier-1
+# library), the online index build (side-log capture, the tree blades'
+# STR bulk loaders, and the concurrent-DML/crash battery), and the shared
+# plan cache (LRU + generation invalidation under concurrent DDL). Tier-1
 # (`go build ./... && go test ./...`) is assumed to run separately; this
 # is the concurrency-focused gate (`make check`).
 set -eu
@@ -15,7 +16,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race (storage, heap, lock, wal, am, engine, grtree, rstar, blades, wire, server, client)"
-go test -race ./internal/storage/... ./internal/heap/... ./internal/lock/... ./internal/wal/... ./internal/am/... ./internal/engine/... ./internal/grtree/... ./internal/rstar/... ./internal/blades/... ./internal/wire/... ./internal/server/... ./internal/client/...
+echo "== go test -race (storage, heap, lock, wal, am, engine, grtree, rstar, blades, wire, server, client, plancache)"
+go test -race ./internal/storage/... ./internal/heap/... ./internal/lock/... ./internal/wal/... ./internal/am/... ./internal/engine/... ./internal/grtree/... ./internal/rstar/... ./internal/blades/... ./internal/wire/... ./internal/server/... ./internal/client/... ./internal/plancache/...
 
 echo "ok"

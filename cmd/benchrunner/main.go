@@ -1,8 +1,10 @@
 // Command benchrunner regenerates every table and figure of the paper
 // reproduction (DESIGN.md's experiment index): the functional experiments
 // T1–T5 and F2–F6 plus the performance-shape experiments P1–P6, the
-// parallel-scan sweep P8, and the group-commit sweep P9, and the networked commit sweep P11 (P7 is the
-// BenchmarkScanBatchSize sweep; see EXPERIMENTS.md).
+// parallel-scan sweep P8, the group-commit sweep P9, the MVCC reader sweep
+// P10, the networked commit sweep P11, the index-build comparison P12, the
+// prepared-statement sweep P13, and the aggregate-pushdown sweep P14 (P7 is
+// the BenchmarkScanBatchSize sweep; see EXPERIMENTS.md).
 //
 // Usage:
 //

@@ -19,6 +19,7 @@
 package am
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -30,6 +31,13 @@ import (
 	"repro/internal/sbspace"
 	"repro/internal/types"
 )
+
+// ErrNoEntry is returned (wrapped) by am_delete when the index holds no
+// entry for the given row and rowid. Under deferred index maintenance the
+// vacuum tolerates it: a version may die before an index is built over it,
+// and a NoWAL vacuum retry may revisit entries a half-failed earlier pass
+// already removed. Any other delete error still aborts the caller.
+var ErrNoEntry = errors.New("am: index has no entry for row")
 
 // Library is a loaded shared object: symbol name → Go function. A blade
 // package exports one; the engine loads it under the EXTERNAL NAME path
@@ -80,6 +88,12 @@ type IndexDesc struct {
 	// ReadOnly tells the access method the statement will not mutate the
 	// index, so it may open its storage with a shared lock (Section 5.3).
 	ReadOnly bool
+
+	// Stats is the index's collected statistics (SYSSTATS), filled by the
+	// server when UPDATE STATISTICS has run for the table. Nil means no
+	// statistics were collected — am_scancost falls back to its built-in
+	// estimate family.
+	Stats *IndexStats
 
 	Ctx      *mi.Context
 	Services Services
@@ -295,8 +309,10 @@ type (
 	AmUpdateFunc func(ctx *mi.Context, id *IndexDesc, oldRow []types.Datum, oldRid heap.RowID, newRow []types.Datum, newRid heap.RowID) error
 	// AmScanCostFunc estimates the I/O cost of an index scan.
 	AmScanCostFunc func(ctx *mi.Context, id *IndexDesc, q *Qual) (float64, error)
-	// AmStatsFunc refreshes/reports index statistics.
-	AmStatsFunc func(ctx *mi.Context, id *IndexDesc) (string, error)
+	// AmStatsFunc collects index statistics: a human-readable summary plus
+	// (optionally) the entry count and key histograms UPDATE STATISTICS
+	// persists into SYSSTATS for am_scancost.
+	AmStatsFunc func(ctx *mi.Context, id *IndexDesc) (*IndexStats, error)
 	// AmCheckFunc verifies index consistency.
 	AmCheckFunc func(ctx *mi.Context, id *IndexDesc) error
 	// AmBuildNext feeds an am_build bulk load: each call returns the next
@@ -322,7 +338,62 @@ type (
 	// server guarantees am_rescan/am_endscan are only called on the parent
 	// descriptor after every worker has stopped.
 	AmParallelScanFunc func(ctx *mi.Context, sd *ScanDesc, degree int) ([]*ScanDesc, error)
+	// AmAggregateFunc is the optional aggregate-pushdown slot: the server
+	// offers a single-table COUNT/MIN/MAX over an indexable qualification
+	// and the access method answers it from the index structure alone
+	// (entry counts in covered subtrees, boundary leaves) without producing
+	// rowids. Returning ok=false declines the offer — the server falls back
+	// to the tuple-drain path. The server only trusts the result when its
+	// MVCC gate proves every indexed entry visible to the statement's
+	// snapshot; blades compute over current index state and need no
+	// snapshot logic of their own.
+	AmAggregateFunc func(ctx *mi.Context, id *IndexDesc, req *AggRequest) (*AggResult, bool, error)
 )
+
+// AggKind discriminates the aggregates offered through am_aggregate.
+type AggKind int
+
+const (
+	// AggCount is COUNT(*) (and COUNT(col) over the indexed column, which
+	// the server proves equivalent — indexed entries are never NULL).
+	AggCount AggKind = iota
+	// AggMin is MIN(col) over the indexed column.
+	AggMin
+	// AggMax is MAX(col) over the indexed column.
+	AggMax
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "?"
+}
+
+// AggRequest is the aggregate offer handed to am_aggregate.
+type AggRequest struct {
+	Kind AggKind
+	// Qual is the full qualification — residual-free by construction (the
+	// server only offers aggregates whose WHERE clause the index claims
+	// entirely).
+	Qual *Qual
+}
+
+// AggResult is am_aggregate's answer.
+type AggResult struct {
+	// Count is the matching-entry count (AggCount).
+	Count int64
+	// Value is the extreme indexed-column value (AggMin/AggMax); nil with
+	// Empty set when no entry matched (SQL NULL).
+	Value types.Datum
+	// Empty reports that no entry matched (MIN/MAX of an empty set).
+	Empty bool
+}
 
 // PurposeSet is a resolved access method: each slot holds the purpose
 // function registered for it (nil when the access method omitted it). Only
@@ -349,6 +420,9 @@ type PurposeSet struct {
 	// ParallelScan is the optional am_parallelscan slot (nil = the access
 	// method never accepts a parallel offer).
 	ParallelScan AmParallelScanFunc
+	// Aggregate is the optional am_aggregate slot (nil = COUNT/MIN/MAX are
+	// always answered by the tuple-drain path).
+	Aggregate AmAggregateFunc
 }
 
 // PurposeSlots are the am_* parameter names accepted by CREATE SECONDARY
@@ -357,7 +431,7 @@ var PurposeSlots = []string{
 	"am_create", "am_drop", "am_open", "am_close",
 	"am_beginscan", "am_endscan", "am_rescan", "am_getnext", "am_getmulti",
 	"am_insert", "am_delete", "am_update", "am_build",
-	"am_scancost", "am_stats", "am_check", "am_parallelscan",
+	"am_scancost", "am_stats", "am_check", "am_parallelscan", "am_aggregate",
 }
 
 // Bind assembles a PurposeSet from slot-name → symbol assignments, looking
@@ -410,6 +484,8 @@ func Bind(slots map[string]string, resolve func(fname string) (any, error)) (*Pu
 			ps.Check, ok = sym.(AmCheckFunc)
 		case "am_parallelscan":
 			ps.ParallelScan, ok = sym.(AmParallelScanFunc)
+		case "am_aggregate":
+			ps.Aggregate, ok = sym.(AmAggregateFunc)
 		default:
 			return nil, fmt.Errorf("am: unknown purpose slot %q", slot)
 		}

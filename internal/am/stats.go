@@ -1,0 +1,113 @@
+package am
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collected statistics (SYSSTATS): UPDATE STATISTICS runs each index's
+// am_stats, which returns an IndexStats the catalog persists. am_scancost
+// later receives it back through IndexDesc.Stats and estimates selectivity
+// from the histograms instead of magic constants. All fields are exported
+// for the catalog's JSON persistence.
+
+// Histogram is an equi-depth histogram over a one-dimensional float64 key
+// domain: Bounds holds B+1 ascending bucket boundaries, each bucket covering
+// an equal share of the summarized keys.
+type Histogram struct {
+	Bounds []float64
+	Rows   int
+}
+
+// BuildHistogram summarizes vals into an equi-depth histogram of at most
+// buckets buckets. vals is sorted in place.
+func BuildHistogram(vals []float64, buckets int) Histogram {
+	if len(vals) == 0 || buckets < 1 {
+		return Histogram{}
+	}
+	sort.Float64s(vals)
+	if buckets > len(vals) {
+		buckets = len(vals)
+	}
+	bounds := make([]float64, 0, buckets+1)
+	bounds = append(bounds, vals[0])
+	for i := 1; i <= buckets; i++ {
+		idx := i*len(vals)/buckets - 1
+		bounds = append(bounds, vals[idx])
+	}
+	return Histogram{Bounds: bounds, Rows: len(vals)}
+}
+
+// FracLE estimates the fraction of summarized keys ≤ x, interpolating
+// linearly inside the containing bucket.
+func (h Histogram) FracLE(x float64) float64 {
+	n := len(h.Bounds)
+	if h.Rows == 0 || n < 2 {
+		return 0
+	}
+	if x < h.Bounds[0] {
+		return 0
+	}
+	if x >= h.Bounds[n-1] {
+		return 1
+	}
+	// Find the bucket [Bounds[i], Bounds[i+1]) containing x.
+	i := sort.SearchFloat64s(h.Bounds, x)
+	if i > 0 && h.Bounds[i] != x {
+		i--
+	}
+	if i >= n-1 {
+		i = n - 2
+	}
+	lo, hi := h.Bounds[i], h.Bounds[i+1]
+	frac := 1.0
+	if hi > lo {
+		frac = (x - lo) / (hi - lo)
+	}
+	buckets := float64(n - 1)
+	return (float64(i) + frac) / buckets
+}
+
+// IndexStats is one index's collected statistics.
+type IndexStats struct {
+	// Summary is the human-readable report (UPDATE STATISTICS FOR INDEX's
+	// message, am_stats' original contract).
+	Summary string
+	// Entries is the live index entry count at collection time.
+	Entries int
+	// Lo/Hi are equi-depth histograms over the indexed keys' interval
+	// starts and ends (resolved valid time for temporal extents; both equal
+	// for scalar keys). Empty when the access method collects no histogram
+	// (the gist row-count fallback).
+	Lo, Hi Histogram
+}
+
+// SelectivityOverlap estimates the fraction of summarized intervals that
+// intersect the query interval [qlo, qhi]: an interval overlaps unless it
+// ends before qlo or starts after qhi, so the estimate is
+// F_start(qhi) − F_end(qlo).
+func (s *IndexStats) SelectivityOverlap(qlo, qhi float64) float64 {
+	if s == nil || s.Lo.Rows == 0 || s.Hi.Rows == 0 {
+		return 1
+	}
+	sel := s.Lo.FracLE(qhi) - s.Hi.FracLE(qlo)
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+func (s *IndexStats) String() string {
+	if s == nil {
+		return "<no stats>"
+	}
+	buckets := len(s.Lo.Bounds) - 1
+	if buckets < 0 {
+		buckets = 0
+	}
+	return fmt.Sprintf("%s (%d entries, %d histogram buckets)",
+		s.Summary, s.Entries, buckets)
+}

@@ -94,6 +94,7 @@ CREATE FUNCTION gist_insert(pointer) RETURNING int EXTERNAL NAME 'usr/functions/
 CREATE FUNCTION gist_delete(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_delete)' LANGUAGE c;
 CREATE FUNCTION gist_update(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_update)' LANGUAGE c;
 CREATE FUNCTION gist_check(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_check)' LANGUAGE c;
+CREATE FUNCTION gist_stats(pointer) RETURNING int EXTERNAL NAME 'usr/functions/gist.bld(gist_stats)' LANGUAGE c;
 
 CREATE FUNCTION IntvOverlaps(Interval_t, Interval_t) RETURNING boolean EXTERNAL NAME 'usr/functions/gist.bld(IntvOverlaps)' LANGUAGE c;
 CREATE FUNCTION IntvContains(Interval_t, Interval_t) RETURNING boolean EXTERNAL NAME 'usr/functions/gist.bld(IntvContains)' LANGUAGE c;
@@ -112,6 +113,7 @@ CREATE SECONDARY ACCESS_METHOD gist_am (
 	am_delete = gist_delete,
 	am_update = gist_update,
 	am_check = gist_check,
+	am_stats = gist_stats,
 	am_sptype = 'S'
 );
 
@@ -433,7 +435,7 @@ func Library(e *engine.Engine) am.Library {
 				return err
 			}
 			if !removed {
-				return fmt.Errorf("gistblade: index %s has no entry for row %v", id.Name, rid)
+				return fmt.Errorf("gistblade: index %s has no entry for row %v: %w", id.Name, rid, am.ErrNoEntry)
 			}
 			return nil
 		}),
@@ -465,6 +467,20 @@ func Library(e *engine.Engine) am.Library {
 				return err
 			}
 			return st.tree.Check()
+		}),
+		// gist_stats: the generic method knows nothing about its keys'
+		// value domain, so it reports the entry count without histograms —
+		// the row-count fallback family of statistics-backed costing.
+		"gist_stats": am.AmStatsFunc(func(ctx *mi.Context, id *am.IndexDesc) (*am.IndexStats, error) {
+			st, err := state(id)
+			if err != nil {
+				return nil, err
+			}
+			return &am.IndexStats{
+				Summary: fmt.Sprintf("index %s: %d entries, height %d",
+					id.Name, st.tree.Size(), st.tree.Height()),
+				Entries: st.tree.Size(),
+			}, nil
 		}),
 
 		"IntvOverlaps": intervalUDR(func(a0, a1, b0, b1 int64) bool { return a0 <= b1 && b0 <= a1 }),

@@ -122,6 +122,33 @@ func SupportFuncs() types.SupportFuncs {
 		// the code repetition BladeSmith generated is folded together here.
 		Import: input,
 		Export: output,
+		// Value ordering for MIN/MAX: the encoding is big-endian and the
+		// instants are signed, so raw bytewise comparison would misorder
+		// negative instants — decode and compare the four timestamps
+		// lexicographically instead. This is the same total order the
+		// GR-tree's AggExtreme uses, which is what makes a pushed MIN/MAX
+		// agree exactly with the server's tuple-drain fallback.
+		Compare: func(a, b []byte) (int, error) {
+			ea, err := DecodeExtent(a)
+			if err != nil {
+				return 0, err
+			}
+			eb, err := DecodeExtent(b)
+			if err != nil {
+				return 0, err
+			}
+			ka := [4]int64{int64(ea.TTBegin), int64(ea.TTEnd), int64(ea.VTBegin), int64(ea.VTEnd)}
+			kb := [4]int64{int64(eb.TTBegin), int64(eb.TTEnd), int64(eb.VTBegin), int64(eb.VTEnd)}
+			for i := range ka {
+				if ka[i] < kb[i] {
+					return -1, nil
+				}
+				if ka[i] > kb[i] {
+					return 1, nil
+				}
+			}
+			return 0, nil
+		},
 	}
 }
 
@@ -146,6 +173,7 @@ CREATE FUNCTION grt_scancost(pointer) RETURNING float EXTERNAL NAME 'usr/functio
 CREATE FUNCTION grt_stats(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_stats)' LANGUAGE c;
 CREATE FUNCTION grt_check(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_check)' LANGUAGE c;
 CREATE FUNCTION grt_parallelscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_parallelscan)' LANGUAGE c;
+CREATE FUNCTION grt_aggregate(pointer) RETURNING int EXTERNAL NAME 'usr/functions/grtree.bld(grt_aggregate)' LANGUAGE c;
 
 -- strategy functions on the opaque type (Section 5.2)
 CREATE FUNCTION Overlaps(GRT_TimeExtent_t, GRT_TimeExtent_t) RETURNING boolean EXTERNAL NAME 'usr/functions/grtree.bld(Overlaps)' LANGUAGE c;
@@ -177,6 +205,7 @@ CREATE SECONDARY ACCESS_METHOD grtree_am (
 	am_stats = grt_stats,
 	am_check = grt_check,
 	am_parallelscan = grt_parallelscan,
+	am_aggregate = grt_aggregate,
 	am_sptype = 'S'
 );
 

@@ -1,0 +1,46 @@
+package grtblade
+
+import (
+	"testing"
+)
+
+// Index scans must be as stable under a snapshot as seqscans. Deferred index
+// maintenance is what makes this hold: a committed foreign DELETE leaves the
+// index entry in place (only the version cell is end-stamped), and rid
+// resolution's visibility check keeps the row alive for older views. Before
+// deferral, the DELETE removed the entry synchronously and an index scan in
+// an older snapshot silently lost the row while the seqscan kept it — the
+// two shapes of the same query disagreed.
+func TestIndexScanSnapshotStableUnderForeignDelete(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	setupEmpDep(t, s)
+
+	r := e.NewSession()
+	defer r.Close()
+	exec(t, r, `SET ISOLATION TO SNAPSHOT`)
+	exec(t, r, `BEGIN WORK`)
+	before := len(exec(t, r, `SELECT Name FROM Employees WHERE `+aggQual).Rows)
+	seqBefore := len(exec(t, r, `SELECT Name FROM Employees`).Rows)
+
+	w := e.NewSession()
+	defer w.Close()
+	exec(t, w, `DELETE FROM Employees WHERE Name = 'Jane'`) // Jane matches aggQual
+
+	afterIdx := len(exec(t, r, `SELECT Name FROM Employees WHERE `+aggQual).Rows)
+	afterSeq := len(exec(t, r, `SELECT Name FROM Employees`).Rows)
+	exec(t, r, `COMMIT WORK`)
+	if afterIdx != before {
+		t.Errorf("index scan under snapshot lost a row after foreign DELETE: %d -> %d", before, afterIdx)
+	}
+	if afterSeq != seqBefore {
+		t.Errorf("seqscan under snapshot lost a row after foreign DELETE: %d -> %d", seqBefore, afterSeq)
+	}
+
+	// A fresh statement (new snapshot) does see the delete.
+	n := len(exec(t, r, `SELECT Name FROM Employees WHERE `+aggQual).Rows)
+	if n != before-1 {
+		t.Errorf("post-commit index scan saw %d rows, want %d", n, before-1)
+	}
+}

@@ -47,6 +47,7 @@ func TestExplainGoldenIndexScan(t *testing.T) {
 		"       strategy:    Overlaps",
 		"       qual:        overlaps(col0, const)",
 		"       am_scancost: 1.21 (seqscan cost 1.00)",
+		"       cost source: default",
 		"       batch:       64 rows per am_getmulti",
 		"       filter:      WHERE re-checked per row",
 		"       plan:        fresh",
@@ -76,6 +77,7 @@ func TestExplainGoldenSeqscanFallback(t *testing.T) {
 	want := strings.Join([]string{
 		"SELECT on Employees",
 		"  -> sequential heap scan (cost 1.00: heap pages)",
+		"       cost source: default",
 		"       filter:      WHERE re-checked per row",
 		"       plan:        fresh",
 		fmt.Sprintf("       snapshot=%d", res.Plan.SnapshotLSN),

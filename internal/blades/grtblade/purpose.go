@@ -37,6 +37,7 @@ func Library(e *engine.Engine) am.Library {
 		"grt_stats":        am.AmStatsFunc(grtStats),
 		"grt_check":        am.AmCheckFunc(grtCheck),
 		"grt_parallelscan": am.AmParallelScanFunc(grtParallelScan),
+		"grt_aggregate":    am.AmAggregateFunc(grtAggregate),
 
 		"Overlaps":    strategyUDR(e, grtree.OpOverlaps),
 		"Equal":       strategyUDR(e, grtree.OpEqual),
@@ -519,7 +520,7 @@ func grtDelete(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.Ro
 		return err
 	}
 	if !removed {
-		return fmt.Errorf("grtblade: index %s has no entry for %v at %v", id.Name, ext, rid)
+		return fmt.Errorf("grtblade: index %s has no entry for %v at %v: %w", id.Name, ext, rid, am.ErrNoEntry)
 	}
 	if condensed {
 		ctx.Tracer().Tracef("grt", 2, "grt_delete condensed the tree; cursor will restart")
@@ -537,35 +538,159 @@ func grtUpdate(ctx *mi.Context, id *am.IndexDesc, oldRow []types.Datum, oldRid h
 }
 
 // grtScanCost implements am_scancost: a height-plus-leaf-fraction estimate
-// the optimizer compares with the heap page count.
+// the optimizer compares with the heap page count. With collected statistics
+// on the descriptor (UPDATE STATISTICS ran for the table) the leaf fraction
+// is scaled by a histogram selectivity estimate for the qualification's
+// valid-time window instead of the magic 0.2 constant.
 func grtScanCost(ctx *mi.Context, id *am.IndexDesc, q *am.Qual) (float64, error) {
 	st, err := state(id)
 	if err != nil {
 		return 0, err
 	}
 	leafNodes := float64(st.tree.Size())/float64(st.tree.Config().MaxEntries) + 1
+	if id.Stats != nil && id.Stats.Lo.Rows > 0 {
+		sel := qualSelectivity(id.Stats, q, st.ct)
+		cost := 1 + float64(st.tree.Height()) + sel*leafNodes
+		ctx.Tracer().Tracef("grt", 2, "grt_scancost %s: %.2f (stats, sel %.3f over ~%.0f leaves)",
+			id.Name, cost, sel, leafNodes)
+		return cost, nil
+	}
 	cost := float64(st.tree.Height()) + 0.2*leafNodes
 	ctx.Tracer().Tracef("grt", 2, "grt_scancost %s: %.2f (height %d, ~%.0f leaves)",
 		id.Name, cost, st.tree.Height(), leafNodes)
 	return cost, nil
 }
 
-// grtStats implements am_stats.
-func grtStats(ctx *mi.Context, id *am.IndexDesc) (string, error) {
+// qualSelectivity estimates the fraction of index entries a qualification
+// touches from the collected valid-time histograms. Leaves are estimated
+// with the interval-overlap formula over the query's resolved valid-time
+// window; AND takes the most selective conjunct, OR saturating-adds.
+func qualSelectivity(stats *am.IndexStats, q *am.Qual, ct chronon.Instant) float64 {
+	if q == nil {
+		return 1
+	}
+	switch q.Op {
+	case am.QAnd:
+		sel := 1.0
+		for _, c := range q.Children {
+			if s := qualSelectivity(stats, c, ct); s < sel {
+				sel = s
+			}
+		}
+		return sel
+	case am.QOr:
+		sel := 0.0
+		for _, c := range q.Children {
+			sel += qualSelectivity(stats, c, ct)
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		return sel
+	case am.QFunc:
+		ext, err := extentArg(q.Const)
+		if err != nil {
+			return 1
+		}
+		sh := ext.Region().Resolve(ct)
+		if sh.Empty() {
+			return 0
+		}
+		return stats.SelectivityOverlap(float64(sh.VTBegin), float64(sh.VTEnd))
+	}
+	return 1
+}
+
+// histogramBuckets is the equi-depth bucket count am_stats collects.
+const histogramBuckets = 32
+
+// grtStats implements am_stats: the original human-readable summary plus the
+// entry count and per-axis valid-time histograms UPDATE STATISTICS persists
+// into SYSSTATS. Each leaf entry's region is resolved at the blade's current
+// time, so now-relative extents contribute their geometry as of collection —
+// statistics are a snapshot, aged by the catalog generation stamp.
+func grtStats(ctx *mi.Context, id *am.IndexDesc) (*am.IndexStats, error) {
 	st, err := state(id)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	ts, err := st.tree.Stats(st.ct, 0, 0)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	var overlap float64
 	for _, l := range ts.PerLevel {
 		overlap += l.Overlap
 	}
-	return fmt.Sprintf("index %s: %d entries, height %d, %d nodes, sibling overlap %.0f",
-		id.Name, ts.LeafEntries, ts.Height, ts.Nodes, overlap), nil
+	summary := fmt.Sprintf("index %s: %d entries, height %d, %d nodes, sibling overlap %.0f",
+		id.Name, ts.LeafEntries, ts.Height, ts.Nodes, overlap)
+
+	lo := make([]float64, 0, ts.LeafEntries)
+	hi := make([]float64, 0, ts.LeafEntries)
+	err = st.tree.WalkLeaves(func(e grtree.Entry) error {
+		sh := e.Region.Resolve(st.ct)
+		lo = append(lo, float64(sh.VTBegin))
+		hi = append(hi, float64(sh.VTEnd))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &am.IndexStats{
+		Summary: summary,
+		Entries: ts.LeafEntries,
+		Lo:      am.BuildHistogram(lo, histogramBuckets),
+		Hi:      am.BuildHistogram(hi, histogramBuckets),
+	}, nil
+}
+
+// grtAggregate implements am_aggregate: COUNT is answered by the tree's
+// covered-subtree traversal without producing a single rowid, MIN/MAX by the
+// boundary leaf under the raw lexicographic extent key. Only single-predicate
+// qualifications are claimed — compound quals decline, and the server drains
+// tuples instead. MVCC visibility is the server's problem (it only trusts
+// the answer when its gate proves every indexed entry visible).
+func grtAggregate(ctx *mi.Context, id *am.IndexDesc, req *am.AggRequest) (*am.AggResult, bool, error) {
+	st, err := state(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if st.cfg.dynamic {
+		// Dynamic-dispatch indexes evaluate leaves through UDRs; the
+		// aggregate traversal hard-codes predicate evaluation, so decline
+		// rather than disagree with the configured semantics.
+		return nil, false, nil
+	}
+	if req.Qual == nil || req.Qual.Op != am.QFunc {
+		return nil, false, nil
+	}
+	compound, err := compileQual(req.Qual)
+	if err != nil || compound.Pred == nil {
+		return nil, false, nil // not our strategy function: decline, don't fail
+	}
+	pred := *compound.Pred
+	switch req.Kind {
+	case am.AggCount:
+		n, ok, err := st.tree.AggCount(pred, st.ct)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Tracer().Tracef("grt", 2, "grt_aggregate %s: count=%d", id.Name, n)
+		return &am.AggResult{Count: n}, true, nil
+	case am.AggMin, am.AggMax:
+		r, found, ok, err := st.tree.AggExtreme(pred, st.ct, req.Kind == am.AggMax)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if !found {
+			return &am.AggResult{Empty: true}, true, nil
+		}
+		ext := temporal.Extent{TTBegin: r.TTBegin, TTEnd: r.TTEnd, VTBegin: r.VTBegin, VTEnd: r.VTEnd}
+		val := types.Opaque{TypeID: id.ColTypes[0].OpaqueID, Data: EncodeExtent(ext)}
+		ctx.Tracer().Tracef("grt", 2, "grt_aggregate %s: %s=%v", id.Name, req.Kind, ext)
+		return &am.AggResult{Value: val}, true, nil
+	}
+	return nil, false, nil
 }
 
 // grtCheck implements am_check.

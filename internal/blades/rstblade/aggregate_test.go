@@ -1,0 +1,138 @@
+package rstblade
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// rst_aggregate answers only from exact rectangles: every indexed extent
+// ground (the persisted ground flag) and a ground query extent. These tests
+// pin the pushdown on an all-ground index, the permanent decline after a
+// single now-relative insert, and prepared EXECUTE agreement.
+
+func TestAggregateGroundPushdown(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX aix ON T(X rst_opclass) USING rstree_am (nowsub='max') IN spc`)
+	for i, ext := range []string{
+		"1/97, 3/97, 1/97, 3/97",
+		"2/97, 5/97, 2/97, 5/97",
+		"4/97, 7/97, 4/97, 7/97",
+		"6/97, 8/97, 6/97, 8/97",
+		"1/97, 2/97, 6/97, 8/97",
+	} {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES ('r%d', '%s')`, i, ext))
+	}
+
+	qual := `Overlaps(X, '2/97, 6/97, 2/97, 6/97')`
+	for _, item := range []string{"COUNT(*)", "COUNT(X)", "MIN(X)", "MAX(X)"} {
+		q := fmt.Sprintf(`SELECT %s FROM T WHERE %s`, item, qual)
+		want := exec(t, s, q+` AND Name = Name`).Rows[0][0] // residual forces the drain
+
+		pushed := e.Obs().Counter("agg.pushed").Load()
+		getNext := e.Obs().Counter("am.am_getnext").Load()
+		getMulti := e.Obs().Counter("am.am_getmulti").Load()
+		got := exec(t, s, q).Rows[0][0]
+		if e.Obs().Counter("agg.pushed").Load() == pushed {
+			t.Fatalf("%s was not pushed to rst_aggregate", item)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: pushed %#v, drain %#v", item, got, want)
+		}
+		if d := e.Obs().Counter("am.am_getnext").Load() - getNext; d != 0 {
+			t.Fatalf("%s drove %d am_getnext calls", item, d)
+		}
+		if d := e.Obs().Counter("am.am_getmulti").Load() - getMulti; d != 0 {
+			t.Fatalf("%s drove %d am_getmulti calls", item, d)
+		}
+	}
+
+	// A now-relative query constant declines even on an all-ground index;
+	// the drain's answer is authoritative.
+	nr := `SELECT COUNT(*) FROM T WHERE Overlaps(X, '1/97, UC, 1/97, NOW')`
+	want := exec(t, s, nr+` AND Name = Name`).Rows[0][0]
+	fallback := e.Obs().Counter("agg.fallback").Load()
+	n := exec(t, s, nr).Rows[0][0]
+	if e.Obs().Counter("agg.fallback").Load() == fallback {
+		t.Fatal("now-relative query constant did not force the drain")
+	}
+	if n != want {
+		t.Fatalf("now-relative COUNT = %v, drain says %v", n, want)
+	}
+}
+
+// A single now-relative insert clears the ground flag for good: pushdown
+// declines from then on (agg.fallback), and the drain keeps answers exact.
+func TestAggregateGroundFlagClears(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX aix ON T(X rst_opclass) USING rstree_am (nowsub='max') IN spc`)
+	exec(t, s, `INSERT INTO T VALUES ('g', '1/97, 3/97, 1/97, 3/97')`)
+
+	q := `SELECT COUNT(*) FROM T WHERE Overlaps(X, '1/97, 8/97, 1/97, 8/97')`
+	pushed := e.Obs().Counter("agg.pushed").Load()
+	if got := exec(t, s, q).Rows[0][0]; got != int64(1) {
+		t.Fatalf("ground COUNT = %v", got)
+	}
+	if e.Obs().Counter("agg.pushed").Load() == pushed {
+		t.Fatal("all-ground index did not push down")
+	}
+
+	exec(t, s, `INSERT INTO T VALUES ('n', '5/97, UC, 5/97, NOW')`)
+	fallback := e.Obs().Counter("agg.fallback").Load()
+	if got := exec(t, s, q).Rows[0][0]; got != int64(2) {
+		t.Fatalf("post-substitution COUNT = %v", got)
+	}
+	if e.Obs().Counter("agg.fallback").Load() == fallback {
+		t.Fatal("substituted rectangle did not clear the ground gate")
+	}
+
+	// The flag is persisted: deleting the now-relative row (and vacuuming
+	// away its entry) must NOT restore pushdown — the flag tracks history,
+	// not current contents.
+	exec(t, s, `DELETE FROM T WHERE Name = 'n'`)
+	if _, err := e.VacuumNow(); err != nil {
+		t.Fatal(err)
+	}
+	fallback = e.Obs().Counter("agg.fallback").Load()
+	if got := exec(t, s, q).Rows[0][0]; got != int64(1) {
+		t.Fatalf("post-delete COUNT = %v", got)
+	}
+	if e.Obs().Counter("agg.fallback").Load() == fallback {
+		t.Fatal("cleared ground flag must keep declining after the row is gone")
+	}
+}
+
+// Prepared aggregates push down through the plan cache with ground
+// parameters, and agree with the drain on both the fresh and the cached run.
+func TestAggregatePreparedExecute(t *testing.T) {
+	e, _ := newDB(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE SBSPACE spc`)
+	exec(t, s, `CREATE TABLE T (Name VARCHAR(16), X GRT_TimeExtent_t)`)
+	exec(t, s, `CREATE INDEX aix ON T(X rst_opclass) USING rstree_am (nowsub='max') IN spc`)
+	for i := 1; i <= 6; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO T VALUES ('r%d', '%d/97, %d/97, %d/97, %d/97')`, i, i, i+2, i, i+2))
+	}
+	exec(t, s, `PREPARE cnt AS SELECT COUNT(*) FROM T WHERE Overlaps(X, $1)`)
+	want := exec(t, s, `SELECT COUNT(*) FROM T WHERE Overlaps(X, '2/97, 5/97, 2/97, 5/97') AND Name = Name`).Rows[0][0]
+
+	for run := 0; run < 2; run++ { // fresh plan, then cached plan
+		pushed := e.Obs().Counter("agg.pushed").Load()
+		got := exec(t, s, `EXECUTE cnt ('2/97, 5/97, 2/97, 5/97')`).Rows[0][0]
+		if got != want {
+			t.Fatalf("run %d: EXECUTE count %v, want %v", run, got, want)
+		}
+		if e.Obs().Counter("agg.pushed").Load() == pushed {
+			t.Fatalf("run %d: prepared aggregate was not pushed down", run)
+		}
+	}
+}

@@ -67,6 +67,7 @@ CREATE FUNCTION rst_scancost(pointer) RETURNING float EXTERNAL NAME 'usr/functio
 CREATE FUNCTION rst_stats(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_stats)' LANGUAGE c;
 CREATE FUNCTION rst_check(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_check)' LANGUAGE c;
 CREATE FUNCTION rst_parallelscan(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_parallelscan)' LANGUAGE c;
+CREATE FUNCTION rst_aggregate(pointer) RETURNING int EXTERNAL NAME 'usr/functions/rstree.bld(rst_aggregate)' LANGUAGE c;
 
 CREATE SECONDARY ACCESS_METHOD rstree_am (
 	am_create = rst_create,
@@ -86,6 +87,7 @@ CREATE SECONDARY ACCESS_METHOD rstree_am (
 	am_stats = rst_stats,
 	am_check = rst_check,
 	am_parallelscan = rst_parallelscan,
+	am_aggregate = rst_aggregate,
 	am_sptype = 'S'
 );
 
@@ -202,9 +204,18 @@ type openState struct {
 	// exact filtering happens through registered UDRs invoked per candidate.
 	qual   *am.Qual
 	typeID uint32
+	// ground records that every entry ever indexed was a ground extent (no
+	// UC/NOW substitution happened), so the stored rectangles are exact and
+	// rst_aggregate may answer from them. Persisted in the access method's
+	// bookkeeping table; a single now-relative insert clears it forever.
+	ground bool
 
 	rightAfter bool
 }
+
+// groundKey is the bookkeeping record carrying the ground flag. The
+// "ground|"+name shape matches the catalog's per-index record purge.
+func groundKey(indexName string) string { return "ground|" + strings.ToLower(indexName) }
 
 func state(id *am.IndexDesc) (*openState, error) {
 	st, ok := id.UserData.(*openState)
@@ -234,6 +245,7 @@ func Library() am.Library {
 		"rst_stats":        am.AmStatsFunc(rstStats),
 		"rst_check":        am.AmCheckFunc(rstCheck),
 		"rst_parallelscan": am.AmParallelScanFunc(rstParallelScan),
+		"rst_aggregate":    am.AmAggregateFunc(rstAggregate),
 	}
 }
 
@@ -275,8 +287,13 @@ func rstCreate(ctx *mi.Context, id *am.IndexDesc) error {
 	if err := id.Services.AMRecordPut(AmName, id.Name, rec); err != nil {
 		return err
 	}
+	// A fresh index holds only ground rectangles (vacuously); overwrite any
+	// stale flag a dropped namesake left behind.
+	if err := id.Services.AMRecordPut(AmName, groundKey(id.Name), []byte{1}); err != nil {
+		return err
+	}
 	id.UserData = &openState{
-		store: store, tree: tree, cfg: cfg,
+		store: store, tree: tree, cfg: cfg, ground: true,
 		ct: id.Services.Clock().Now(), typeID: id.ColTypes[0].OpaqueID, rightAfter: true,
 	}
 	return nil
@@ -291,6 +308,9 @@ func rstDrop(ctx *mi.Context, id *am.IndexDesc) error {
 		return err
 	}
 	id.UserData = nil
+	if err := id.Services.AMRecordDelete(AmName, groundKey(id.Name)); err != nil {
+		return err
+	}
 	return id.Services.AMRecordDelete(AmName, id.Name)
 }
 
@@ -327,8 +347,17 @@ func rstOpen(ctx *mi.Context, id *am.IndexDesc) error {
 		store.Close()
 		return err
 	}
+	// Indexes created before the flag existed have no record and load as
+	// non-ground, so rst_aggregate declines on them — safe, never wrong.
+	ground := false
+	if g, ok, err := id.Services.AMRecordGet(AmName, groundKey(id.Name)); err != nil {
+		store.Close()
+		return err
+	} else if ok && len(g) == 1 && g[0] == 1 {
+		ground = true
+	}
 	id.UserData = &openState{
-		store: store, tree: tree, cfg: cfg,
+		store: store, tree: tree, cfg: cfg, ground: ground,
 		ct: id.Services.Clock().Now(), typeID: id.ColTypes[0].OpaqueID,
 	}
 	return nil
@@ -535,6 +564,11 @@ func rstBuild(ctx *mi.Context, id *am.IndexDesc, next am.AmBuildNext) (int, erro
 			if !ext.ValidAt(st.ct) {
 				return 0, fmt.Errorf("rstblade: extent %v violates the transaction-time constraints at current time %v", ext, st.ct)
 			}
+			if ext.NowRelative() {
+				if err := st.clearGround(id); err != nil {
+					return 0, err
+				}
+			}
 			items = append(items, rstar.BulkItem{
 				Rect:    MapExtent(ext, st.cfg.sub, st.cfg.maxTS, st.ct),
 				Payload: rstar.Payload(b.RowIDs[i]),
@@ -548,6 +582,20 @@ func rstBuild(ctx *mi.Context, id *am.IndexDesc, next am.AmBuildNext) (int, erro
 	return len(items), nil
 }
 
+// clearGround records that the index now holds a substituted (now-relative)
+// rectangle: rst_aggregate must decline from here on, in this open state and
+// every future one.
+func (st *openState) clearGround(id *am.IndexDesc) error {
+	if !st.ground {
+		return nil
+	}
+	if err := id.Services.AMRecordPut(AmName, groundKey(id.Name), []byte{0}); err != nil {
+		return err
+	}
+	st.ground = false
+	return nil
+}
+
 func rstInsert(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.RowID) error {
 	st, err := state(id)
 	if err != nil {
@@ -559,6 +607,11 @@ func rstInsert(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.Ro
 	}
 	if !ext.ValidAt(st.ct) {
 		return fmt.Errorf("rstblade: extent %v violates the transaction-time constraints at current time %v", ext, st.ct)
+	}
+	if ext.NowRelative() {
+		if err := st.clearGround(id); err != nil {
+			return err
+		}
 	}
 	return st.tree.Insert(MapExtent(ext, st.cfg.sub, st.cfg.maxTS, st.ct), rstar.Payload(rid))
 }
@@ -588,7 +641,7 @@ func rstDelete(ctx *mi.Context, id *am.IndexDesc, row []types.Datum, rid heap.Ro
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("rstblade: index %s has no entry for row %v", id.Name, rid)
+			return fmt.Errorf("rstblade: index %s has no entry for row %v: %w", id.Name, rid, am.ErrNoEntry)
 		}
 		if entry.Payload() == rstar.Payload(rid) {
 			removed, _, err := st.tree.Delete(entry.Rect, entry.Payload())
@@ -615,26 +668,167 @@ func rstScanCost(ctx *mi.Context, id *am.IndexDesc, q *am.Qual) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	cost := float64(st.tree.Height()) + 0.2*(float64(st.tree.Size())/float64(rstar.Capacity)+1)
+	leafNodes := float64(st.tree.Size())/float64(rstar.Capacity) + 1
+	if id.Stats != nil && id.Stats.Lo.Rows > 0 {
+		sel := qualSelectivity(st, id.Stats, q)
+		cost := 1 + float64(st.tree.Height()) + sel*leafNodes
+		ctx.Tracer().Tracef("rst", 2, "rst_scancost %s: %.2f (stats, sel %.3f)", id.Name, cost, sel)
+		return cost, nil
+	}
+	cost := float64(st.tree.Height()) + 0.2*leafNodes
 	ctx.Tracer().Tracef("rst", 2, "rst_scancost %s: %.2f", id.Name, cost)
 	return cost, nil
 }
 
-func rstStats(ctx *mi.Context, id *am.IndexDesc) (string, error) {
+// qualSelectivity estimates the entry fraction a qualification touches from
+// the collected valid-time (Y-axis) histograms: leaves use the interval
+// overlap formula over the query's conservative rectangle, AND takes the
+// most selective conjunct, OR saturating-adds.
+func qualSelectivity(st *openState, stats *am.IndexStats, q *am.Qual) float64 {
+	if q == nil {
+		return 1
+	}
+	switch q.Op {
+	case am.QAnd:
+		sel := 1.0
+		for _, c := range q.Children {
+			if s := qualSelectivity(st, stats, c); s < sel {
+				sel = s
+			}
+		}
+		return sel
+	case am.QOr:
+		sel := 0.0
+		for _, c := range q.Children {
+			sel += qualSelectivity(st, stats, c)
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		return sel
+	case am.QFunc:
+		ext, err := extentOf(q.Const)
+		if err != nil {
+			return 1
+		}
+		r := MapExtent(ext, st.cfg.sub, st.cfg.maxTS, st.ct)
+		return stats.SelectivityOverlap(float64(r.YMin), float64(r.YMax))
+	}
+	return 1
+}
+
+// histogramBuckets is the equi-depth bucket count rst_stats collects.
+const histogramBuckets = 32
+
+// rstStats implements am_stats: the human-readable summary plus the entry
+// count and valid-time-axis histograms UPDATE STATISTICS persists into
+// SYSSTATS for rst_scancost. The indexed rectangles already carry their
+// substituted ground values, so the leaves are summarized as stored.
+func rstStats(ctx *mi.Context, id *am.IndexDesc) (*am.IndexStats, error) {
 	st, err := state(id)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	levels, err := st.tree.Stats()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	var overlap float64
 	for _, l := range levels {
 		overlap += l.Overlap
 	}
-	return fmt.Sprintf("index %s: %d entries, height %d, sibling overlap %.0f",
-		id.Name, st.tree.Size(), st.tree.Height(), overlap), nil
+	summary := fmt.Sprintf("index %s: %d entries, height %d, sibling overlap %.0f",
+		id.Name, st.tree.Size(), st.tree.Height(), overlap)
+
+	lo := make([]float64, 0, st.tree.Size())
+	hi := make([]float64, 0, st.tree.Size())
+	err = st.tree.WalkLeaves(func(e rstar.Entry) error {
+		lo = append(lo, float64(e.Rect.YMin))
+		hi = append(hi, float64(e.Rect.YMax))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &am.IndexStats{
+		Summary: summary,
+		Entries: st.tree.Size(),
+		Lo:      am.BuildHistogram(lo, histogramBuckets),
+		Hi:      am.BuildHistogram(hi, histogramBuckets),
+	}, nil
+}
+
+// rstAggregate implements am_aggregate. The R*-tree scan protocol returns
+// candidates for the server to re-qualify, so in general the index cannot
+// answer an aggregate exactly — but when every indexed extent is ground (no
+// UC/NOW substitution ever happened, tracked by the persisted ground flag)
+// and the query extent is ground too, the stored rectangles are the exact
+// extents and the rectangle predicates coincide with the strategy-function
+// semantics. Anything else declines and the server drains tuples.
+func rstAggregate(ctx *mi.Context, id *am.IndexDesc, req *am.AggRequest) (*am.AggResult, bool, error) {
+	st, err := state(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if !st.ground {
+		return nil, false, nil
+	}
+	if req.Qual == nil || req.Qual.Op != am.QFunc {
+		return nil, false, nil
+	}
+	q := req.Qual
+	var op rstar.Op
+	switch strings.ToLower(q.Func) {
+	case "overlaps":
+		op = rstar.OpOverlaps
+	case "equal":
+		op = rstar.OpEqual
+	case "contains":
+		op = rstar.OpContains
+		if !q.ColFirst {
+			op = rstar.OpContainedIn
+		}
+	case "containedin":
+		op = rstar.OpContainedIn
+		if !q.ColFirst {
+			op = rstar.OpContains
+		}
+	default:
+		return nil, false, nil
+	}
+	ext, err := extentOf(q.Const)
+	if err != nil || ext.NowRelative() || !ext.Valid() {
+		return nil, false, nil
+	}
+	query := rstar.Rect{
+		XMin: int64(ext.TTBegin), XMax: int64(ext.TTEnd),
+		YMin: int64(ext.VTBegin), YMax: int64(ext.VTEnd),
+	}
+	switch req.Kind {
+	case am.AggCount:
+		n, ok, err := st.tree.AggCount(op, query)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Tracer().Tracef("rst", 2, "rst_aggregate %s: count=%d", id.Name, n)
+		return &am.AggResult{Count: n}, true, nil
+	case am.AggMin, am.AggMax:
+		r, found, ok, err := st.tree.AggExtreme(op, query, req.Kind == am.AggMax)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if !found {
+			return &am.AggResult{Empty: true}, true, nil
+		}
+		out := temporal.Extent{
+			TTBegin: chronon.Instant(r.XMin), TTEnd: chronon.Instant(r.XMax),
+			VTBegin: chronon.Instant(r.YMin), VTEnd: chronon.Instant(r.YMax),
+		}
+		val := types.Opaque{TypeID: id.ColTypes[0].OpaqueID, Data: grtblade.EncodeExtent(out)}
+		ctx.Tracer().Tracef("rst", 2, "rst_aggregate %s: %s=%v", id.Name, req.Kind, out)
+		return &am.AggResult{Value: val}, true, nil
+	}
+	return nil, false, nil
 }
 
 func rstCheck(ctx *mi.Context, id *am.IndexDesc) error {

@@ -16,6 +16,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/am"
 )
 
 // Column is one table column.
@@ -123,6 +125,12 @@ type Catalog struct {
 	// grt_create step 6 / grt_open step 3). Keys are "am|index".
 	AmRecords map[string][]byte
 
+	// Stats is SYSSTATS: per-table collected statistics (UPDATE STATISTICS),
+	// keyed by lower table name. Each record is stamped with the catalog
+	// generation at collection so plan-cache entries and EXPLAIN can tell
+	// fresh statistics from stale ones.
+	Stats map[string]*TableStats
+
 	NextSpaceID uint32
 
 	path string // persistence file; empty = memory only
@@ -139,6 +147,7 @@ func New(dir string) *Catalog {
 		Sbspaces: make(map[string]*Sbspace),
 
 		AmRecords: make(map[string][]byte),
+		Stats:     make(map[string]*TableStats),
 
 		NextSpaceID: 1,
 	}
@@ -242,6 +251,7 @@ func (c *Catalog) DropTable(name string) error {
 		}
 	}
 	delete(c.Tables, key(name))
+	delete(c.Stats, key(name))
 	c.gen.Add(1)
 	return nil
 }
@@ -380,12 +390,16 @@ func (c *Catalog) IndexByName(name string) (*Index, error) {
 	return ix, nil
 }
 
-// DropIndex removes an index entry.
+// DropIndex removes an index entry (and its collected statistics).
 func (c *Catalog) DropIndex(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.Indices[key(name)]; !ok {
+	ix, ok := c.Indices[key(name)]
+	if !ok {
 		return missing("index", name)
+	}
+	if ts, ok := c.Stats[key(ix.TableName)]; ok && ts.Indexes != nil {
+		delete(ts.Indexes, key(name))
 	}
 	delete(c.Indices, key(name))
 	c.gen.Add(1)
@@ -451,6 +465,56 @@ func (c *Catalog) IndexesOn(table string) []*Index {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
 	return out
+}
+
+// statistics (SYSSTATS) -------------------------------------------------------
+
+// TableStats is one table's collected statistics: the live row/page counts
+// at collection time plus each ready index's am_stats result, stamped with
+// the catalog generation the collection published under.
+type TableStats struct {
+	Rows  int
+	Pages int
+	// Collected is the catalog generation this record was published at
+	// (equal to Generation() right after UPDATE STATISTICS; every later DDL
+	// widens the age).
+	Collected uint64
+	// Indexes maps lower index name → its am_stats result.
+	Indexes map[string]*am.IndexStats
+}
+
+// StatsPut publishes a table's collected statistics and bumps the catalog
+// generation (invalidating shared-plan-cache entries costed under the old
+// statistics). The record's Collected stamp is the post-bump generation, so
+// a record is age 0 immediately after collection.
+func (c *Catalog) StatsPut(table string, ts *TableStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Stats == nil {
+		c.Stats = make(map[string]*TableStats)
+	}
+	ts.Collected = c.gen.Add(1)
+	c.Stats[key(table)] = ts
+}
+
+// StatsGet fetches a table's collected statistics (nil when UPDATE
+// STATISTICS has not run for it).
+func (c *Catalog) StatsGet(table string) *TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.Stats[key(table)]
+}
+
+// IndexStats resolves one index's collected statistics through its table's
+// record (nil when absent).
+func (c *Catalog) IndexStats(table, index string) *am.IndexStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ts := c.Stats[key(table)]
+	if ts == nil || ts.Indexes == nil {
+		return nil
+	}
+	return ts.Indexes[key(index)]
 }
 
 // sbspaces -------------------------------------------------------------------------

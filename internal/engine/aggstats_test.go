@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// UPDATE STATISTICS must retire cached plans: fresh statistics can change
+// am_scancost's and the heap's cost answers, so a plan costed under the old
+// numbers is stale. The generation bump that stamps the new SYSSTATS record
+// is what invalidates the shared cache.
+func TestUpdateStatisticsInvalidatesPlanCache(t *testing.T) {
+	e := memEngine(t)
+	registerMemEq(t, e)
+	registerMemAMCosted(t, e, "statmem_am", "sm", true, true)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE st (a INTEGER, b VARCHAR(16))`)
+	exec(t, s, `CREATE INDEX st_ix ON st(a) USING statmem_am`)
+	for i := 0; i < 8; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO st VALUES (%d, 'row%d')`, i, i))
+	}
+	if _, err := s.Prepare("q", `SELECT b FROM st WHERE MemEq(a, $1)`); err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int64) {
+		t.Helper()
+		res, err := s.ExecutePrepared(nil, "q", []types.Datum{k})
+		if err != nil {
+			t.Fatalf("execute(%d): %v", k, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != fmt.Sprintf("row%d", k) {
+			t.Fatalf("execute(%d): %v", k, res.Rows)
+		}
+	}
+	run(1) // populate the cache
+	run(2) // hit
+
+	inval := e.Obs().Counter("plan_cache.invalidations").Load()
+	exec(t, s, `UPDATE STATISTICS FOR TABLE st`)
+	run(3) // the stale plan must be evicted and replanned, not reused
+	if e.Obs().Counter("plan_cache.invalidations").Load() == inval {
+		t.Fatal("UPDATE STATISTICS retired no cached plan")
+	}
+
+	// The FOR INDEX inspection form needs am_stats; the test AM binds none
+	// and must be refused with the feature error, not a crash.
+	if _, err := s.Exec(`UPDATE STATISTICS FOR INDEX st_ix`); ErrorCode(err) != CodeFeature {
+		t.Fatalf("FOR INDEX over a statless AM: %v, want %s", err, CodeFeature)
+	}
+}
+
+// An access method that binds no am_aggregate (here: the in-memory test AM)
+// declines by omission: prepared aggregate EXECUTEs drain tuples, the
+// agg.fallback counter says so, and the answer matches the visible rows.
+func TestPreparedAggregateFallbackWithoutSlot(t *testing.T) {
+	e := memEngine(t)
+	registerMemEq(t, e)
+	registerMemAMCosted(t, e, "aggmem_am", "ag", true, true)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE at (a INTEGER)`)
+	exec(t, s, `CREATE INDEX at_ix ON at(a) USING aggmem_am`)
+	for i := 0; i < 10; i++ {
+		exec(t, s, fmt.Sprintf(`INSERT INTO at VALUES (%d)`, i%3))
+	}
+	if _, err := s.Prepare("c", `SELECT COUNT(*) FROM at WHERE MemEq(a, $1)`); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ { // fresh plan, then cached plan
+		fallback := e.Obs().Counter("agg.fallback").Load()
+		aggCalls := e.Obs().Counter("am.am_aggregate").Load()
+		res, err := s.ExecutePrepared(nil, "c", []types.Datum{int64(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0]; got != int64(3) {
+			t.Fatalf("run %d: COUNT(*) = %v, want 3", run, got)
+		}
+		if e.Obs().Counter("agg.fallback").Load() == fallback {
+			t.Fatalf("run %d: slotless AM did not advance agg.fallback", run)
+		}
+		if e.Obs().Counter("am.am_aggregate").Load() != aggCalls {
+			t.Fatalf("run %d: am_aggregate was called on an AM that binds none", run)
+		}
+	}
+}
+
+// The drain's SQL aggregate semantics, with no index involved at all: an
+// empty input yields COUNT 0 and MIN/MAX NULL, and NULLs never count toward
+// COUNT(col) nor participate in MIN/MAX.
+func TestAggregateDrainSemantics(t *testing.T) {
+	e := memEngine(t)
+	s := e.NewSession()
+	defer s.Close()
+	exec(t, s, `CREATE TABLE d (a INTEGER)`)
+
+	if got := exec(t, s, `SELECT COUNT(*) FROM d`).Rows[0][0]; got != int64(0) {
+		t.Fatalf("COUNT(*) over empty table: %v", got)
+	}
+	if got := exec(t, s, `SELECT MIN(a) FROM d`).Rows[0][0]; got != nil {
+		t.Fatalf("MIN over empty table: %v, want NULL", got)
+	}
+
+	for _, v := range []string{"3", "NULL", "1", "NULL", "2"} {
+		exec(t, s, `INSERT INTO d VALUES (`+v+`)`)
+	}
+	for q, want := range map[string]any{
+		`SELECT COUNT(*) FROM d`: int64(5),
+		`SELECT COUNT(a) FROM d`: int64(3),
+		`SELECT MIN(a) FROM d`:   int64(1),
+		`SELECT MAX(a) FROM d`:   int64(3),
+	} {
+		if got := exec(t, s, q).Rows[0][0]; got != want {
+			t.Fatalf("%s = %v, want %v", q, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -227,6 +228,11 @@ type accessPath struct {
 	index *openIndex // nil = sequential scan
 	qual  *am.Qual
 	tmpl  *qualTmpl
+	// full reports the qualification covers the entire WHERE clause (no
+	// residual predicate). The executor re-checks WHERE per row regardless;
+	// full's consumer is aggregate pushdown, which must not delegate a COUNT
+	// to the index while a residual filter would have rejected rows.
+	full bool
 }
 
 // planAccess decides between a sequential scan and a virtual-index scan: it
@@ -247,6 +253,20 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 		BatchCap:  s.e.opts.ScanBatchSize,
 		HasFilter: where != nil,
 	}
+	// Collected statistics (UPDATE STATISTICS, exec.go) refine the
+	// sequential alternative: page fetches plus a per-row CPU charge,
+	// from counts measured at collection time rather than the live pager.
+	ts := s.e.cat.StatsGet(tb.Name)
+	if ts != nil {
+		plan.SeqCost = float64(ts.Pages) + 0.01*float64(ts.Rows)
+		age := s.e.cat.Generation() - ts.Collected
+		plan.CostSource = fmt.Sprintf("stats(age %d)", age)
+		if age == 0 {
+			s.e.statsHits.Inc()
+		} else {
+			s.e.statsStale.Inc()
+		}
+	}
 	if where == nil {
 		return accessPath{}, plan, nil
 	}
@@ -260,7 +280,7 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 		if err != nil {
 			continue
 		}
-		tmpl := s.extractQual(where, tb, schema, oi, oc)
+		tmpl, full := s.extractQual(where, tb, schema, oi, oc)
 		if tmpl == nil {
 			continue
 		}
@@ -288,17 +308,24 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 			Strategies: declaredStrategies(oc, qual), Qual: qual.String(),
 			Cost: cost, Costed: costed,
 		})
-		// Informix-style bias: once a strategy function matches a virtual
-		// index, the index is used; am_scancost arbitrates between several
-		// applicable indexes. (SeqCost remains in the plan for diagnostics; a
-		// cost-based index-vs-heap choice would sit here.)
+		// Without statistics the Informix-style bias applies: once a strategy
+		// function matches a virtual index, the index is used; am_scancost
+		// arbitrates between several applicable indexes. With SYSSTATS rows
+		// the choice turns genuinely cost-based against the sequential
+		// alternative (below).
 		if best.index == nil || cost < bestCost {
-			best = accessPath{index: oi, qual: qual, tmpl: tmpl}
+			best = accessPath{index: oi, qual: qual, tmpl: tmpl, full: full}
 			bestCost = cost
 			bestIdx = len(plan.Choices) - 1
 		}
 	}
 	if bestIdx >= 0 {
+		if ts != nil && plan.Choices[bestIdx].Costed && bestCost >= plan.SeqCost {
+			// Statistics-backed estimates on both sides and the heap is
+			// cheaper: scan sequentially. (Un-costed candidates keep the
+			// bias — a 1.0 default would beat any real seqscan estimate.)
+			return accessPath{}, plan, nil
+		}
 		plan.Choices[bestIdx].Chosen = true
 	}
 	return best, plan, nil
@@ -306,27 +333,29 @@ func (s *Session) planAccess(tb *catalog.Table, schema []types.Type, where sql.E
 
 // extractQual converts the WHERE clause (or its largest top-level AND
 // subset) into a qualification template for the index, or nil when nothing
-// is indexable. Constants are evaluated and coerced here; parameter slots
-// stay symbolic and are bound per execution (prepared.go).
-func (s *Session) extractQual(where sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) *qualTmpl {
+// is indexable. The second result reports fullness: true when the template
+// covers the whole clause, false when a residual predicate remains for the
+// per-row re-check. Constants are evaluated and coerced here; parameter
+// slots stay symbolic and are bound per execution (prepared.go).
+func (s *Session) extractQual(where sql.Expr, tb *catalog.Table, schema []types.Type, oi *openIndex, oc *catalog.OpClass) (*qualTmpl, bool) {
 	if q := s.exprToQual(where, tb, schema, oi, oc); q != nil {
-		return q
+		return q, true
 	}
 	// Partial: use indexable factors of a top-level conjunction; the full
 	// WHERE is re-checked on fetched rows.
 	if b, ok := where.(*sql.Binary); ok && b.Op == "AND" {
-		l := s.extractQual(b.L, tb, schema, oi, oc)
-		r := s.extractQual(b.R, tb, schema, oi, oc)
+		l, _ := s.extractQual(b.L, tb, schema, oi, oc)
+		r, _ := s.extractQual(b.R, tb, schema, oi, oc)
 		switch {
 		case l != nil && r != nil:
-			return &qualTmpl{op: am.QAnd, children: []*qualTmpl{l, r}}
+			return &qualTmpl{op: am.QAnd, children: []*qualTmpl{l, r}}, false
 		case l != nil:
-			return l
+			return l, false
 		case r != nil:
-			return r
+			return r, false
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // exprToQual converts a whole expression to a qualification template, or nil.
@@ -494,6 +523,9 @@ func (s *Session) scanRowsTuple(tb *catalog.Table, table *heap.Table, schema []t
 		s.ec.AddScanned(1)
 		row, visible, err := table.GetVersion(rid, sd.Snapshot)
 		if err != nil {
+			if errors.Is(err, heap.ErrNoSuchRow) {
+				continue // entry whose cell was reclaimed: dead by definition
+			}
 			return errf(CodeInternal, "index %s returned dangling %v: %w", oi.desc.Name, rid, err)
 		}
 		if !visible {
@@ -574,7 +606,6 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 		return nil, err
 	}
 	defer closeAll()
-	builds := s.e.activeBuilds(tb.Name)
 
 	path, plan, err := s.planStmt("DELETE", t, tb, schema, t.Where, idxs)
 	if err != nil {
@@ -599,18 +630,11 @@ func (s *Session) deleteStmt(t *sql.Delete) (*Result, error) {
 			return nil // version already ended by this transaction
 		}
 		s.recordWrite(table, rid, heap.StampEnd)
-		for _, oi := range idxs {
-			if oi.ps.Delete == nil {
-				return errf(CodeFeature, "access method %s cannot delete", oi.ix.AmName)
-			}
-			s.amCall("am_delete", oi.desc.Name)
-			err := oi.ps.Delete(s.ctx, oi.desc, projectIndexed(oi.desc, row), rid)
-			s.ctx.EndFunction()
-			if err != nil {
-				return err
-			}
-		}
-		s.captureSide(builds, false, rid, row)
+		// Index maintenance is deferred: the entry stays so scans under
+		// older snapshots (and index builds in flight) keep resolving the
+		// rowid — GetVersion's visibility check decides per reader. The
+		// vacuum removes entry and cell together once no snapshot can see
+		// the version (snapshot.go vacuumTable).
 		deleted++
 		return nil
 	}
@@ -722,22 +746,25 @@ func (s *Session) update(t *sql.Update) (*Result, error) {
 		}
 		s.recordWrite(table, tg.rid, heap.StampEnd)
 		s.recordWrite(table, newRid, heap.StampBegin)
+		// MVCC index maintenance: only the successor's entry is inserted.
+		// The predecessor's entry stays — older snapshots resolve it to the
+		// old version, newer ones skip it at rid resolution — and dies with
+		// its cell at vacuum time. (am_update's delete-then-insert contract
+		// would tear rows out from under older read views; the slot remains
+		// for access methods but the MVCC engine no longer drives it.)
 		for _, oi := range idxs {
-			if oi.ps.Update == nil {
-				return nil, errf(CodeFeature, "access method %s cannot update", oi.ix.AmName)
+			if oi.ps.Insert == nil {
+				return nil, errf(CodeFeature, "access method %s cannot insert", oi.ix.AmName)
 			}
-			s.amCall("am_update", oi.desc.Name)
-			err := oi.ps.Update(s.ctx, oi.desc,
-				projectIndexed(oi.desc, tg.row), tg.rid,
-				projectIndexed(oi.desc, newRow), newRid)
+			s.amCall("am_insert", oi.desc.Name)
+			err := oi.ps.Insert(s.ctx, oi.desc, projectIndexed(oi.desc, newRow), newRid)
 			s.ctx.EndFunction()
 			if err != nil {
 				return nil, err
 			}
 		}
-		// Side-log capture: an update is a delete of the old projection plus
-		// an insert of the new one, at their respective row ids.
-		s.captureSide(builds, false, tg.rid, tg.row)
+		// Side-log capture: only the insert half — the old entry must stay
+		// in the built index for the same deferred-maintenance reason.
 		s.captureSide(builds, true, newRid, newRow)
 	}
 	return &Result{Affected: len(targets), Message: fmt.Sprintf("%d row(s) updated", len(targets)), Plan: plan}, nil

@@ -110,6 +110,13 @@ type Engine struct {
 	sqlParseNs *obs.Counter
 	planNs     *obs.Counter
 
+	// Statistics and aggregate-pushdown counters: statsHits/statsStale
+	// count fresh plans costed from SYSSTATS (age zero vs aged by later
+	// DDL); aggPushed/aggFallback count aggregate queries answered from
+	// index internal nodes (am_aggregate) vs drained tuple by tuple.
+	statsHits, statsStale  *obs.Counter
+	aggPushed, aggFallback *obs.Counter
+
 	// Checkpointer state: cpMu serialises checkpoints (daemon, Close, and
 	// explicit calls), cpLast is the log size at the last checkpoint (the
 	// threshold baseline), walCheckpoints/commitLat feed SYSPROFILE.
@@ -320,6 +327,10 @@ func (e *Engine) registerCoreCounters() {
 		Miss:       e.obs.Counter("plan_cache.misses").Inc,
 		Invalidate: e.obs.Counter("plan_cache.invalidations").Inc,
 	})
+	e.statsHits = e.obs.Counter("planner.stats_hits")
+	e.statsStale = e.obs.Counter("planner.stats_stale")
+	e.aggPushed = e.obs.Counter("agg.pushed")
+	e.aggFallback = e.obs.Counter("agg.fallback")
 }
 
 // Obs exposes the engine-wide metrics registry (SYSPROFILE's source;
@@ -812,6 +823,16 @@ func (s *Session) commitTx() error {
 		}
 		s.e.commitLat.Observe(time.Since(start))
 	}
+	// Every version this transaction ended is now a committed-dead cell
+	// whose index entries linger until the vacuum (deferred maintenance).
+	// Counted before mvccEnd so am_aggregate's gate — which admits only
+	// dead-free tables — never sees a window where the transaction is gone
+	// from the active set but its dead cells are not yet counted.
+	for _, w := range s.writes {
+		if w.kind&heap.StampEnd != 0 {
+			w.table.AddDead(1)
+		}
+	}
 	s.e.mvccEnd(s.tx)
 	s.releaseTxSnap()
 	// Committed: hand captured index-build side ops to their logs while the
@@ -843,6 +864,15 @@ func (s *Session) rollbackTx() error {
 		// behind: never stamped, they stay invisible to committed reads
 		// and the vacuum reclaims them.)
 		err = wal.Rollback(s.e.log, s.e.mapStores(), s.tx)
+	} else {
+		// NoWAL abort: every version this transaction created is garbage —
+		// still in the heap, still carrying an index entry — until the
+		// vacuum reclaims both. Count it so the aggregate gate declines.
+		for _, w := range s.writes {
+			if w.kind&heap.StampBegin != 0 {
+				w.table.AddDead(1)
+			}
+		}
 	}
 	s.e.mvccEnd(s.tx)
 	s.releaseTxSnap()

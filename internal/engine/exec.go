@@ -494,6 +494,12 @@ func (s *Session) checkIndex(t *sql.CheckIndex) (*Result, error) {
 }
 
 func (s *Session) updateStatistics(t *sql.UpdateStatistics) (*Result, error) {
+	if t.Table != "" {
+		return s.updateTableStatistics(t.Table)
+	}
+	// FOR INDEX form: run am_stats for one index and report, without
+	// publishing a SYSSTATS record — the inspection surface of the original
+	// contract.
 	ix, err := s.e.cat.IndexByName(t.Index)
 	if err != nil {
 		return nil, err
@@ -501,26 +507,83 @@ func (s *Session) updateStatistics(t *sql.UpdateStatistics) (*Result, error) {
 	if !ix.Ready() {
 		return nil, errf(CodeActiveTx, "index %s is being built", ix.Name)
 	}
+	stats, err := s.collectIndexStats(ix)
+	if err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		return nil, errf(CodeFeature, "access method %s has no am_stats", ix.AmName)
+	}
+	// Fresh statistics can change am_scancost's answer: cached plans that
+	// skipped costing are stale now.
+	s.e.cat.BumpGeneration()
+	return &Result{Message: stats.String()}, nil
+}
+
+// updateTableStatistics implements UPDATE STATISTICS [FOR TABLE] <t>: the
+// table's live row and page counts plus each ready index's am_stats result
+// are published into SYSSTATS, stamped with the post-bump catalog generation
+// — so the record is age 0 right after collection and every cached plan
+// costed under the old statistics is invalidated.
+func (s *Session) updateTableStatistics(table string) (*Result, error) {
+	tb, err := s.catTable(table)
+	if err != nil {
+		return nil, err
+	}
+	ht, err := s.e.Table(tb.Name)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := ht.Count()
+	if err != nil {
+		return nil, err
+	}
+	ts := &catalog.TableStats{
+		Rows: rows, Pages: ht.Pages(),
+		Indexes: make(map[string]*am.IndexStats),
+	}
+	collected := 0
+	for _, ix := range s.e.cat.IndexesOn(tb.Name) {
+		if !ix.Ready() {
+			continue
+		}
+		stats, err := s.collectIndexStats(ix)
+		if err != nil {
+			return nil, err
+		}
+		if stats == nil {
+			continue // access method without am_stats: row counts only
+		}
+		ts.Indexes[strings.ToLower(ix.Name)] = stats
+		collected++
+	}
+	s.e.cat.StatsPut(tb.Name, ts)
+	if err := s.e.cat.Save(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf(
+		"statistics updated for %s: %d rows, %d pages, %d index(es)",
+		tb.Name, ts.Rows, ts.Pages, collected)}, nil
+}
+
+// collectIndexStats opens one index and runs its am_stats. A nil result with
+// nil error means the access method binds no am_stats slot.
+func (s *Session) collectIndexStats(ix *catalog.Index) (*am.IndexStats, error) {
 	desc, ps, err := s.indexDesc(ix)
 	if err != nil {
 		return nil, err
 	}
 	if ps.Stats == nil {
-		return nil, errf(CodeFeature, "access method %s has no am_stats", ix.AmName)
+		return nil, nil
 	}
 	if err := s.callIndexFn("am_open", ps.Open, desc); err != nil {
 		return nil, err
 	}
 	defer s.callIndexFn("am_close", ps.Close, desc)
 	s.amCall("am_stats", desc.Name)
-	msg, err := ps.Stats(s.ctx, desc)
-	if err != nil {
-		return nil, err
-	}
-	// Fresh statistics can change am_scancost's answer: cached plans that
-	// skipped costing are stale now.
-	s.e.cat.BumpGeneration()
-	return &Result{Message: msg}, nil
+	stats, err := ps.Stats(s.ctx, desc)
+	s.ctx.EndFunction()
+	return stats, err
 }
 
 // descriptor plumbing ----------------------------------------------------------
@@ -557,6 +620,9 @@ func (s *Session) indexDesc(ix *catalog.Index) (*am.IndexDesc, *am.PurposeSet, e
 		desc.ColIdxs = append(desc.ColIdxs, i)
 		desc.ColTypes = append(desc.ColTypes, schema[i])
 	}
+	// Hand collected statistics (if UPDATE STATISTICS ran) to the purpose
+	// functions: am_scancost estimates selectivity from them.
+	desc.Stats = s.e.cat.IndexStats(tb.Name, ix.Name)
 	return desc, ps, nil
 }
 

@@ -283,9 +283,12 @@ func TestOnlineBuildSideLogCapture(t *testing.T) {
 	if got := snap.Get("idxbuild.rows_bulk"); got < 50 {
 		t.Fatalf("idxbuild.rows_bulk = %d, want >= 50", got)
 	}
-	// insert(100) + delete(3) + update(7) as delete+insert + insert(400) = 5.
-	if got := snap.Get("idxbuild.sidelog_replayed") - replayedBefore; got != 5 {
-		t.Fatalf("idxbuild.sidelog_replayed = %d, want 5", got)
+	// Index maintenance is deferred, so only the insert halves reach the
+	// side log: insert(100), the update's new version (200), insert(400).
+	// The delete of 3 and the update-away of 7 leave their bulk-scanned
+	// entries in place; visibility at rid resolution hides them below.
+	if got := snap.Get("idxbuild.sidelog_replayed") - replayedBefore; got != 3 {
+		t.Fatalf("idxbuild.sidelog_replayed = %d, want 3", got)
 	}
 	if snap.Get("idxbuild.publish_latch_ns") == 0 {
 		t.Fatal("idxbuild.publish_latch_ns not recorded")

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+
 	"repro/internal/am"
 	"repro/internal/catalog"
 	"repro/internal/heap"
@@ -142,6 +144,9 @@ func (it *indexBatchIter) next() (*rowBatch, error) {
 			rid := sd.Batch.RowIDs[i]
 			row, ok, err := it.table.GetVersion(rid, sd.Snapshot)
 			if err != nil {
+				if errors.Is(err, heap.ErrNoSuchRow) {
+					continue // entry whose cell was reclaimed: dead by definition
+				}
 				return nil, errf(CodeInternal, "index %s returned dangling %v: %w", it.oi.desc.Name, rid, err)
 			}
 			if !ok {

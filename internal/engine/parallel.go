@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"time"
@@ -249,6 +250,9 @@ func (s *Session) runIndexWorker(it *parallelBatchIter, sd *am.ScanDesc, oi *ope
 				rid := sd.Batch.RowIDs[i]
 				row, ok, err := table.GetVersion(rid, sd.Snapshot)
 				if err != nil {
+					if errors.Is(err, heap.ErrNoSuchRow) {
+						continue // entry whose cell was reclaimed: dead by definition
+					}
 					return errf(CodeInternal, "index %s returned dangling %v: %w", oi.desc.Name, rid, err)
 				}
 				if !ok {

@@ -44,6 +44,11 @@ type Plan struct {
 	// am_scancost call). EXPLAIN prints it as "plan: cached" vs "plan:
 	// fresh".
 	Cached bool
+	// CostSource names the estimate family the costs came from:
+	// "stats(age N)" when SYSSTATS rows existed for the table (N is the
+	// catalog-generation distance since UPDATE STATISTICS collected them),
+	// "default" when the planner fell back to built-in constants.
+	CostSource string
 }
 
 // PlanChoice is one candidate index the planner considered.
@@ -73,7 +78,8 @@ func (p *Plan) Lines() []string {
 	out := []string{fmt.Sprintf("%s on %s", p.Operation, p.Table)}
 	ch := p.Chosen()
 	if ch == nil {
-		out = append(out, fmt.Sprintf("  -> sequential heap scan (cost %.2f: heap pages)", p.SeqCost))
+		out = append(out, fmt.Sprintf("  -> sequential heap scan (cost %.2f: heap pages)", p.SeqCost),
+			"       cost source: "+p.costSource())
 		if p.Workers > 1 {
 			out = append(out, fmt.Sprintf("       parallel:    workers=%d (page-range partitions)", p.Workers))
 		}
@@ -96,6 +102,7 @@ func (p *Plan) Lines() []string {
 	} else {
 		out = append(out, fmt.Sprintf("       cost:        %.2f, no am_scancost bound (seqscan cost %.2f)", ch.Cost, p.SeqCost))
 	}
+	out = append(out, "       cost source: "+p.costSource())
 	if p.BatchCap > 1 {
 		out = append(out, fmt.Sprintf("       batch:       %d rows per am_getmulti", p.BatchCap))
 	} else {
@@ -127,6 +134,13 @@ func (p *Plan) cacheLine() string {
 		return "cached (shared plan cache)"
 	}
 	return "fresh"
+}
+
+func (p *Plan) costSource() string {
+	if p.CostSource == "" {
+		return "default"
+	}
+	return p.CostSource
 }
 
 // declaredStrategies maps the qualification's (lower-cased) strategy

@@ -75,6 +75,8 @@ type cachedPlan struct {
 	cost       float64
 	costed     bool
 	hasFilter  bool
+	full       bool   // the qual covers the whole WHERE (aggregate pushdown gate)
+	costSource string // estimate family the plan was costed from (EXPLAIN)
 }
 
 // registerPrepared validates and registers a statement under name. Only DML
@@ -472,11 +474,12 @@ func (s *Session) bindQual(t *qualTmpl, colTypes []types.Type) (*am.Qual, error)
 // refuses to coerce) and the caller replans fresh.
 func (s *Session) bindCached(cp *cachedPlan, tb *catalog.Table, idxs []openIndex) (accessPath, *Plan, bool) {
 	plan := &Plan{
-		Table:     tb.Name,
-		SeqCost:   cp.seqCost,
-		BatchCap:  s.e.opts.ScanBatchSize,
-		HasFilter: cp.hasFilter,
-		Cached:    true,
+		Table:      tb.Name,
+		SeqCost:    cp.seqCost,
+		BatchCap:   s.e.opts.ScanBatchSize,
+		HasFilter:  cp.hasFilter,
+		Cached:     true,
+		CostSource: cp.costSource,
 	}
 	if cp.index == "" {
 		return accessPath{}, plan, true
@@ -495,7 +498,7 @@ func (s *Session) bindCached(cp *cachedPlan, tb *catalog.Table, idxs []openIndex
 			Strategies: cp.strategies, Qual: qual.String(),
 			Cost: cp.cost, Costed: cp.costed, Chosen: true,
 		}}
-		return accessPath{index: oi, qual: qual, tmpl: cp.qual}, plan, true
+		return accessPath{index: oi, qual: qual, tmpl: cp.qual, full: cp.full}, plan, true
 	}
 	return accessPath{}, nil, false
 }
@@ -503,7 +506,8 @@ func (s *Session) bindCached(cp *cachedPlan, tb *catalog.Table, idxs []openIndex
 // cacheEntry converts a freshly planned access path into its shared-cache
 // form.
 func (s *Session) cacheEntry(op string, path accessPath, plan *Plan) *cachedPlan {
-	cp := &cachedPlan{op: op, seqCost: plan.SeqCost, hasFilter: plan.HasFilter}
+	cp := &cachedPlan{op: op, seqCost: plan.SeqCost, hasFilter: plan.HasFilter,
+		full: path.full, costSource: plan.CostSource}
 	if path.index != nil {
 		cp.index = path.index.desc.Name
 		cp.opClass = path.index.desc.OpClass

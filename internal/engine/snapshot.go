@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"time"
 
+	"repro/internal/am"
 	"repro/internal/heap"
 	"repro/internal/lock"
 	"repro/internal/wal"
@@ -174,6 +176,73 @@ func (s *Session) releaseTxSnap() {
 	}
 }
 
+// aggGate decides whether an index's am_aggregate answer may stand in for a
+// tuple drain under the statement's read view. The index carries one entry
+// per heap row regardless of version visibility, so the slot's answer is the
+// drain's answer only when every indexed entry is visible to snap. That is
+// provable when (a) the table has no dead cells pending reclamation —
+// deferred index maintenance means a committed DELETE's entry lingers until
+// the vacuum, and a lingering entry resolves to a version this (current)
+// snapshot cannot see; (b) the session itself has no pending end-writes —
+// its own deletes' entries linger too, and its own snapshot hides the ended
+// versions; (c) no transaction other than the session's own is active —
+// nobody else's uncommitted index entries exist, and our own inserts are
+// visible to our own snapshot; (d) the snapshot's own Active set carries no
+// foreign transaction — commitTx appends the commit record (advancing the
+// read point) before deactivating, so a view captured inside that window
+// treats the committer's already-indexed rows as invisible while (c) and
+// (e) both pass; (e) the current read point equals the snapshot's cut —
+// nothing committed after the view was captured; and (f) the snapshot is a
+// real registered view (a DIRTY READ view proves nothing). The returned
+// fence is the transaction-id high-water mark; aggGateHolds re-checks it
+// after the index traversal, catching transactions that began (and possibly
+// inserted, or aborted leaving NoWAL residue) mid-walk — and the vacuum,
+// which runs under a transaction of its own, so the dead count checked here
+// cannot move unnoticed either.
+func (e *Engine) aggGate(s *Session, t *heap.Table, snap *heap.Snapshot) (uint64, bool) {
+	if snap == nil || snap.Dirty || snap.ReadLSN == 0 {
+		return 0, false
+	}
+	if t.DeadCount() != 0 {
+		return 0, false
+	}
+	for _, w := range s.writes {
+		if w.kind&heap.StampEnd != 0 && w.table == t {
+			return 0, false
+		}
+	}
+	for id := range snap.Active {
+		if id != s.tx {
+			return 0, false
+		}
+	}
+	e.mvccMu.Lock()
+	defer e.mvccMu.Unlock()
+	for id := range e.mvccActive {
+		if id != s.tx {
+			return 0, false
+		}
+	}
+	if e.readPointLocked() != snap.ReadLSN {
+		return 0, false
+	}
+	return e.nextTx, true
+}
+
+// aggGateHolds re-verifies the gate after the aggregate traversal: the
+// world must look exactly as it did at aggGate time — same read point, no
+// foreign activity, and no transaction allocated since the fence.
+func (e *Engine) aggGateHolds(s *Session, snap *heap.Snapshot, fence uint64) bool {
+	e.mvccMu.Lock()
+	defer e.mvccMu.Unlock()
+	for id := range e.mvccActive {
+		if id != s.tx {
+			return false
+		}
+	}
+	return e.nextTx == fence && e.readPointLocked() == snap.ReadLSN
+}
+
 // recordWrite remembers a version the transaction created or ended, for
 // commit-time stamping.
 func (s *Session) recordWrite(table *heap.Table, rid heap.RowID, kind uint8) {
@@ -273,20 +342,59 @@ func (e *Engine) VacuumNow() (int, error) {
 // and page latches keep concurrent decoding safe), and the page edits are
 // WAL-logged like any other mutation so recovery's physical redo stays
 // coherent. A busy table is skipped rather than waited on.
+//
+// Because index maintenance is deferred, the vacuum is also where index
+// entries die: it opens the table's READY indexes and removes each victim's
+// entries (am_delete over the victim's projected row) before the heap slots
+// are freed. The index LO locks are taken before the table TryAcquire — a
+// writer mid-statement holds the table lock and may be waiting on an index
+// LO, so acquiring in the opposite order could deadlock; TryAcquire never
+// waits, it just skips the table this tick. A missing entry (am.ErrNoEntry)
+// is tolerated: cells dead before an index was built never had one, and a
+// NoWAL abort of a half-failed pass may have removed entries it could not
+// reclaim cells for.
 func (e *Engine) vacuumTable(t *heap.Table, horizon uint64, isActive func(uint64) bool) (int, error) {
+	vs := e.NewSession()
 	tx := e.mvccBegin()
+	vs.tx = tx
 	defer e.mvccEnd(tx)
+	defer e.lm.ReleaseAll(lock.TxID(tx))
+	idxs, closeAll, err := vs.openIndexes(t.Name, false)
+	if err != nil {
+		return 0, err
+	}
+	defer closeAll()
 	if !e.lm.TryAcquire(lock.TxID(tx), lock.Resource{Kind: lock.KindTable, A: uint64(t.SpaceID)}, lock.Exclusive) {
 		return 0, nil
 	}
-	defer e.lm.ReleaseAll(lock.TxID(tx))
 	if e.log != nil {
 		if _, err := e.log.Begin(tx); err != nil {
 			return 0, err
 		}
 	}
-	n, err := t.Vacuum(tx, horizon, isActive)
+	reclaim := func(victims []heap.Victim) error {
+		for _, v := range victims {
+			for _, oi := range idxs {
+				if oi.ps.Delete == nil {
+					// The AM cannot remove entries; they dangle until the
+					// index is rebuilt. Scans stay exact (rid resolution
+					// skips reclaimed slots) and such AMs are barred from
+					// am_aggregate (agg.go), so nothing over-counts.
+					continue
+				}
+				vs.amCall("am_delete", oi.desc.Name)
+				err := oi.ps.Delete(vs.ctx, oi.desc, projectIndexed(oi.desc, v.Row), v.Rid)
+				vs.ctx.EndFunction()
+				if err != nil && !errors.Is(err, am.ErrNoEntry) {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	n, err := t.Vacuum(tx, horizon, isActive, reclaim)
 	if e.log == nil {
+		t.AddDead(-int64(n))
 		return n, err
 	}
 	if err != nil {
@@ -296,5 +404,6 @@ func (e *Engine) vacuumTable(t *heap.Table, horizon uint64, isActive func(uint64
 	if _, err := e.log.CommitWith(tx, wal.CommitGroup); err != nil {
 		return n, err
 	}
+	t.AddDead(-int64(n))
 	return n, nil
 }

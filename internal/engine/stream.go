@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 
+	"repro/internal/am"
 	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/types"
@@ -21,15 +22,16 @@ import (
 // batch iterator chain, and the projection. It owns scan resources only —
 // transaction scope belongs to the Stream (or to selectStmt's caller).
 type selectCursor struct {
-	s         *Session
-	res       *Result // header: Columns, ColTypes, Plan (Affected set at finish)
-	it        batchIterator
-	closeIdx  func() // am_close over the statement's opened indexes
-	projIdx   []int
-	countStar bool
-	emitted   bool // countStar: the single count row was produced
-	count     int
-	closed    bool
+	s        *Session
+	res      *Result // header: Columns, ColTypes, Plan (Affected set at finish)
+	it       batchIterator // nil: the aggregate was answered by am_aggregate
+	closeIdx func()        // am_close over the statement's opened indexes
+	projIdx  []int
+	agg      *aggAcc       // non-nil: single-aggregate projection, drained at exhaustion
+	aggRow   []types.Datum // am_aggregate's answer; emitted once, no scan
+	emitted  bool          // aggregate: the single result row was produced
+	count    int
+	closed   bool
 }
 
 // openSelectCursor plans and opens a SELECT over a real table — everything
@@ -57,14 +59,42 @@ func (s *Session) openSelectCursor(t *sql.Select) (*selectCursor, error) {
 	plan.SnapshotLSN = snap.ReadLSN
 	s.ec.SetSnapshot(snap.ReadLSN)
 
-	// Projection, with typed column metadata alongside the names.
-	countStar := len(t.Items) == 1 && t.Items[0].CountStar
+	// Projection, with typed column metadata alongside the names. A single
+	// aggregate item switches the cursor to aggregate mode.
+	var agg *aggAcc
 	var projIdx []int
 	var cols []string
 	var colTypes []types.Type
-	if countStar {
-		cols = []string{"count"}
-		colTypes = []types.Type{types.Builtin(types.KInt)}
+	if len(t.Items) == 1 && (t.Items[0].CountStar || t.Items[0].Agg != "") {
+		item := t.Items[0]
+		if item.CountStar {
+			agg = &aggAcc{kind: am.AggCount, col: -1}
+			cols = []string{"count"}
+			colTypes = []types.Type{types.Builtin(types.KInt)}
+		} else {
+			ci, err := tb.ColumnIndex(item.Column)
+			if err != nil {
+				closeAll()
+				return nil, errf(CodeUndefinedObject, "%w", err)
+			}
+			switch item.Agg {
+			case "count":
+				agg = &aggAcc{kind: am.AggCount, col: ci}
+				cols = []string{"count"}
+				colTypes = []types.Type{types.Builtin(types.KInt)}
+			case "min":
+				agg = &aggAcc{kind: am.AggMin, col: ci}
+				cols = []string{"min"}
+				colTypes = []types.Type{schema[ci]}
+			case "max":
+				agg = &aggAcc{kind: am.AggMax, col: ci}
+				cols = []string{"max"}
+				colTypes = []types.Type{schema[ci]}
+			default:
+				closeAll()
+				return nil, errf(CodeFeature, "aggregate %s is not supported", item.Agg)
+			}
+		}
 	} else {
 		for _, item := range t.Items {
 			switch {
@@ -74,9 +104,9 @@ func (s *Session) openSelectCursor(t *sql.Select) (*selectCursor, error) {
 					cols = append(cols, c.Name)
 					colTypes = append(colTypes, schema[i])
 				}
-			case item.CountStar:
+			case item.CountStar, item.Agg != "":
 				closeAll()
-				return nil, errf(CodeFeature, "COUNT(*) cannot be mixed with columns")
+				return nil, errf(CodeFeature, "aggregates cannot be mixed with columns")
 			default:
 				i, err := tb.ColumnIndex(item.Column)
 				if err != nil {
@@ -90,6 +120,24 @@ func (s *Session) openSelectCursor(t *sql.Select) (*selectCursor, error) {
 		}
 	}
 
+	// Aggregate pushdown: a residual-free index path plus a quiescent MVCC
+	// window lets am_aggregate answer from the index's internal nodes —
+	// no batch scan is opened and no tuple is fetched.
+	if agg != nil {
+		row, ok, err := s.tryAggPushdown(agg, tb, table, path, snap)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if ok {
+			return &selectCursor{
+				s:   s,
+				res: &Result{Columns: cols, ColTypes: colTypes, Plan: plan},
+				closeIdx: closeAll, aggRow: row,
+			}, nil
+		}
+	}
+
 	it, err := s.openBatchScan(tb, table, schema, t.Where, path, plan.Workers, snap)
 	if err != nil {
 		closeAll()
@@ -99,29 +147,42 @@ func (s *Session) openSelectCursor(t *sql.Select) (*selectCursor, error) {
 		s:   s,
 		res: &Result{Columns: cols, ColTypes: colTypes, Plan: plan},
 		it:  it, closeIdx: closeAll,
-		projIdx: projIdx, countStar: countStar,
+		projIdx: projIdx, agg: agg,
 	}, nil
 }
 
 // nextBatch produces the next projected row batch, or nil at exhaustion.
-// COUNT(*) drains the pipeline and emits its single count row as the final
-// batch, so streaming consumers need no special case.
+// Aggregates drain the pipeline and emit their single row as the final
+// batch, so streaming consumers need no special case; an index-answered
+// aggregate (aggRow) emits that row without any pipeline at all.
 func (c *selectCursor) nextBatch() ([][]types.Datum, error) {
+	if c.aggRow != nil {
+		if c.emitted {
+			return nil, nil
+		}
+		c.emitted = true
+		c.count = 1
+		c.s.ec.AddReturned(1)
+		return [][]types.Datum{c.aggRow}, nil
+	}
 	for {
 		rb, err := c.it.next()
 		if err != nil {
 			return nil, err
 		}
 		if rb == nil {
-			if c.countStar && !c.emitted {
+			if c.agg != nil && !c.emitted {
 				c.emitted = true
-				return [][]types.Datum{{int64(c.count)}}, nil
+				return [][]types.Datum{c.agg.row()}, nil
 			}
 			return nil, nil
 		}
 		c.count += len(rb.rows)
 		c.s.ec.AddReturned(len(rb.rows))
-		if c.countStar {
+		if c.agg != nil {
+			if err := c.agg.absorb(c.s, rb.rows); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		out := make([][]types.Datum, len(rb.rows))
@@ -142,7 +203,9 @@ func (c *selectCursor) close() {
 		return
 	}
 	c.closed = true
-	c.it.close()
+	if c.it != nil {
+		c.it.close()
+	}
 	c.closeIdx()
 }
 

@@ -115,6 +115,8 @@ func (s *Session) selectVirtual(t *sql.Select, tb *catalog.Table, data [][]types
 				}
 			case item.CountStar:
 				return nil, errf(CodeFeature, "COUNT(*) cannot be mixed with columns")
+			case item.Agg != "":
+				return nil, errf(CodeFeature, "aggregates are not supported over virtual tables")
 			default:
 				i, err := tb.ColumnIndex(item.Column)
 				if err != nil {

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ISSUE's acceptance criterion for P14: the pushed aggregate answers
+// from internal nodes at least 10x faster than the tuple drain on the
+// large table's COUNT, and every cell agrees with the drain (RunP14 errors
+// out on any disagreement or un-pushed cell).
+func TestP14PushdownBeatsDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate-pushdown sweep")
+	}
+	var out strings.Builder
+	rows, err := RunP14(&out, []int{2000, 20000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("cells: %d\n%s", len(rows), out.String())
+	}
+	for _, r := range rows {
+		if r.Pushed <= 0 || r.Drained <= 0 {
+			t.Fatalf("empty timing in %d/%s:\n%s", r.Rows, r.Agg, out.String())
+		}
+	}
+	var large *P14Row
+	for i := range rows {
+		if rows[i].Rows == 20000 && rows[i].Agg == "COUNT(*)" {
+			large = &rows[i]
+		}
+	}
+	if large == nil {
+		t.Fatalf("no large COUNT cell:\n%s", out.String())
+	}
+	if large.Speedup < 10 {
+		t.Errorf("large COUNT pushdown speedup %.1fx, want >= 10x:\n%s", large.Speedup, out.String())
+	}
+}

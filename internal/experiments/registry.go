@@ -87,6 +87,11 @@ func All(root string, quick bool) []Runner {
 			_, err := RunP13(w, scale(2000, 400))
 			return err
 		}},
+		{"P14", "Aggregate pushdown: am_aggregate vs tuple drain", func(w io.Writer) error {
+			sizes := []int{scale(10000, 2000), scale(100000, 10000)}
+			_, err := RunP14(w, sizes, scale(5, 3))
+			return err
+		}},
 	}
 }
 

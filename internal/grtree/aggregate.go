@@ -1,0 +1,200 @@
+package grtree
+
+import (
+	"repro/internal/chronon"
+	"repro/internal/nodestore"
+	"repro/internal/temporal"
+)
+
+// Index-only aggregation (am_aggregate): COUNT is answered by traversing
+// internal nodes and leaves without ever resolving payloads to heap tuples,
+// and MIN/MAX by locating the boundary leaf entry under the qualification.
+// The traversal is structure-sensitive — a concurrent split or condensation
+// bumps the tree epoch and the result can no longer be trusted — so every
+// entry point returns ok=false when the epoch moved, and the caller falls
+// back to an ordinary tuple drain.
+
+// aggCoverable reports whether "query contains the bounding region" implies
+// every descendant leaf satisfies op. It holds for Overlaps and ContainedIn
+// (leaf ⊆ bound ⊆ query ⇒ leaf inside, hence overlapping, the query);
+// Equal and Contains carry no such implication.
+func aggCoverable(op Op) bool {
+	return op == OpOverlaps || op == OpContainedIn
+}
+
+// AggCount counts the leaf entries satisfying pred at ct without visiting
+// tuples. Subtrees whose bound is fully contained in the query are summed
+// without per-entry predicate evaluation (the bound covers each descendant
+// region, so containment is inherited); partially covered subtrees descend
+// with the internal pruning test and evaluate leaves exactly. ok is false
+// when the tree changed structurally during the traversal.
+func (t *Tree) AggCount(pred Predicate, ct chronon.Instant) (int64, bool, error) {
+	if !pred.Query.Valid() {
+		return 0, false, nil
+	}
+	epoch := t.epoch
+	query := pred.Query.Region()
+	var count int64
+	var walk func(id nodestore.NodeID) error
+	walk = func(id nodestore.NodeID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if leafTest(pred.Op, e.Region, query, ct) {
+					count++
+				}
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			if !internalTest(pred.Op, e.Region, query, ct) {
+				continue
+			}
+			if aggCoverable(pred.Op) && query.Contains(e.Region, ct) {
+				c, err := t.countAll(e.Child())
+				if err != nil {
+					return err
+				}
+				count += c
+				continue
+			}
+			if err := walk(e.Child()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		if t.epoch != epoch {
+			// The structure moved under us; the error is a symptom, not a
+			// verdict. Decline and let the caller drain tuples.
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	if t.epoch != epoch {
+		return 0, false, nil
+	}
+	return count, true, nil
+}
+
+// countAll sums the leaf entries of a fully-covered subtree, skipping
+// predicate evaluation entirely.
+func (t *Tree) countAll(id nodestore.NodeID) (int64, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.leaf {
+		return int64(len(n.entries)), nil
+	}
+	var count int64
+	for _, e := range n.entries {
+		c, err := t.countAll(e.Child())
+		if err != nil {
+			return 0, err
+		}
+		count += c
+	}
+	return count, nil
+}
+
+// regionKeyLess orders regions by the raw lexicographic instant key
+// (TTBegin, TTEnd, VTBegin, VTEnd). The chronon sentinels (NOW, UC, Forever)
+// are large int64 values, so now-relative extents deterministically sort
+// above all ground instants — the same total order the server's tuple-drain
+// comparator applies, which is what makes pushed MIN/MAX agree exactly with
+// the fallback.
+func regionKeyLess(a, b temporal.Region) bool {
+	if a.TTBegin != b.TTBegin {
+		return a.TTBegin < b.TTBegin
+	}
+	if a.TTEnd != b.TTEnd {
+		return a.TTEnd < b.TTEnd
+	}
+	if a.VTBegin != b.VTBegin {
+		return a.VTBegin < b.VTBegin
+	}
+	return a.VTEnd < b.VTEnd
+}
+
+// AggExtreme returns the minimum (wantMax=false) or maximum (wantMax=true)
+// qualifying leaf region under the raw lexicographic key. found is false when
+// no entry qualifies; ok is false when the tree changed structurally.
+func (t *Tree) AggExtreme(pred Predicate, ct chronon.Instant, wantMax bool) (temporal.Region, bool, bool, error) {
+	if !pred.Query.Valid() {
+		return temporal.Region{}, false, false, nil
+	}
+	epoch := t.epoch
+	query := pred.Query.Region()
+	var best temporal.Region
+	found := false
+	var walk func(id nodestore.NodeID) error
+	walk = func(id nodestore.NodeID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if !leafTest(pred.Op, e.Region, query, ct) {
+					continue
+				}
+				if !found || (wantMax && regionKeyLess(best, e.Region)) || (!wantMax && regionKeyLess(e.Region, best)) {
+					best = e.Region
+					found = true
+				}
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			if internalTest(pred.Op, e.Region, query, ct) {
+				if err := walk(e.Child()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		if t.epoch != epoch {
+			return temporal.Region{}, false, false, nil
+		}
+		return temporal.Region{}, false, false, err
+	}
+	if t.epoch != epoch {
+		return temporal.Region{}, false, false, nil
+	}
+	return best, found, true, nil
+}
+
+// WalkLeaves visits every leaf entry (UPDATE STATISTICS histogram
+// collection). The walk is unordered and not epoch-checked — statistics are
+// estimates, not answers.
+func (t *Tree) WalkLeaves(fn func(Entry) error) error {
+	var walk func(id nodestore.NodeID) error
+	walk = func(id nodestore.NodeID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if err := fn(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			if err := walk(e.Child()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -184,6 +185,16 @@ type Table struct {
 	last    storage.PageID // insertion hint
 	obs     Obs
 	txLive  func(uint64) bool // engine's active-transaction probe (nil = unknown)
+
+	// dead counts version cells that are reclaimable-in-principle: ended by
+	// a committed transaction, or garbage left by an aborted NoWAL creator.
+	// Index maintenance is deferred (DELETE and UPDATE leave index entries
+	// in place; the vacuum removes entry and cell together), so a non-zero
+	// count means some index entry may resolve to an invisible version —
+	// the signal am_aggregate's visibility gate declines on. The engine
+	// maintains it at commit/rollback and the vacuum subtracts what it
+	// reclaims; Open seeds it by scanning.
+	dead atomic.Int64
 }
 
 // Create initialises a table in an empty buffer pool.
@@ -217,7 +228,66 @@ func Open(name string, spaceID uint32, bp *storage.BufferPool, schema []types.Ty
 	if magic != tableMagic {
 		return nil, fmt.Errorf("heap: %s is not a heap table", name)
 	}
-	return &Table{Name: name, SpaceID: spaceID, bp: bp, journal: journal, schema: schema}, nil
+	t := &Table{Name: name, SpaceID: spaceID, bp: bp, journal: journal, schema: schema}
+	n, err := t.countDead()
+	if err != nil {
+		return nil, fmt.Errorf("heap: open %s: %w", name, err)
+	}
+	t.dead.Store(n)
+	return t, nil
+}
+
+// AddDead adjusts the pending-reclamation count (see the dead field).
+func (t *Table) AddDead(n int64) { t.dead.Add(n) }
+
+// DeadCount returns the number of version cells awaiting reclamation.
+// Zero proves every index entry on this table resolves to a live version.
+func (t *Table) DeadCount() int64 { return t.dead.Load() }
+
+// countDead scans for cells a vacuum pass would eventually reclaim: ended
+// with a commit stamp, or created without one by a finished transaction.
+// Open uses it to seed the dead count — after recovery no transaction is
+// in flight, so endLSN != 0 means a committed end and beginLSN == 0 means
+// abandoned garbage.
+func (t *Table) countDead() (int64, error) {
+	var dead int64
+	n := storage.PageID(t.bp.Pager().NumPages())
+	for id := storage.PageID(2); id < n; id++ {
+		err := t.readPage(id, func(buf []byte) error {
+			if binary.BigEndian.Uint16(buf[12:14]) == 0 {
+				return nil // never-initialised page
+			}
+			p := storage.SlottedPage{Buf: buf}
+			for s := 0; s < p.NumSlots(); s++ {
+				raw, ok := p.Read(s)
+				if !ok || len(raw) < verHeaderSize {
+					continue
+				}
+				h := parseHeader(raw)
+				if (h.endTx != 0 && h.endLSN != 0) || h.beginLSN == 0 {
+					dead++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return dead, nil
+}
+
+// readPage applies fn to the page bytes under a shared latch.
+func (t *Table) readPage(id storage.PageID, fn func(buf []byte) error) error {
+	f, err := t.bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	f.RLatch()
+	err = fn(f.Data)
+	f.RUnlatch()
+	t.bp.Unpin(f, false)
+	return err
 }
 
 // SetObs attaches version-chain counters. Call before concurrent use.
@@ -531,6 +601,18 @@ func (t *Table) StampVersion(tx uint64, rid RowID, kind uint8, stamp uint64) err
 	})
 }
 
+// Victim is one version cell the vacuum will reclaim: its rowid and decoded
+// row, handed to the caller before the slot is freed. Index maintenance is
+// deferred — DELETE and UPDATE leave entries in place so concurrent index
+// scans under older snapshots keep seeing every rowid they are entitled to —
+// which makes the vacuum the single point where entry and cell die together:
+// the caller removes the dependent index entries from the victims' projected
+// rows, then Vacuum frees the slots.
+type Victim struct {
+	Rid RowID
+	Row []types.Datum
+}
+
 // Vacuum reclaims version cells no snapshot at or above horizon can see:
 // versions ended with a commit stamp below horizon by a transaction that is
 // no longer active, and creations left behind by aborted transactions when
@@ -538,11 +620,22 @@ func (t *Table) StampVersion(tx uint64, rid RowID, kind uint8, stamp uint64) err
 // The caller serialises Vacuum against writers (table exclusive lock) and
 // guarantees horizon ≤ every live snapshot's ReadLSN; page edits run under
 // tx so they are WAL-logged like any other mutation.
-func (t *Table) Vacuum(tx uint64, horizon uint64, active func(uint64) bool) (int, error) {
-	removed := 0
+//
+// The pass runs in three phases: collect the victims under shared latches,
+// hand them to reclaim (no latches held — it performs index page edits of
+// its own), then free the slots and repair abandoned NoWAL end stamps. A
+// reclaim error aborts the pass before any slot is freed, so a WAL rollback
+// restores the already-removed index entries and nothing dangles.
+func (t *Table) Vacuum(tx uint64, horizon uint64, active func(uint64) bool, reclaim func([]Victim) error) (int, error) {
+	type slotRef struct {
+		page storage.PageID
+		slot int
+	}
+	var victims []Victim
+	var victimRefs, repairs []slotRef
 	n := storage.PageID(t.bp.Pager().NumPages())
 	for id := storage.PageID(2); id < n; id++ {
-		err := t.modifyPage(tx, id, func(buf []byte) error {
+		err := t.readPage(id, func(buf []byte) error {
 			if binary.BigEndian.Uint16(buf[12:14]) == 0 {
 				return nil // never-initialised page
 			}
@@ -556,8 +649,12 @@ func (t *Table) Vacuum(tx uint64, horizon uint64, active func(uint64) bool) (int
 				dead := h.endTx != 0 && h.endLSN != 0 && h.endLSN < horizon && !active(h.endTx)
 				aborted := h.beginLSN == 0 && !active(h.beginTx)
 				if dead || aborted {
-					p.Delete(s)
-					removed++
+					row, err := types.DecodeRow(t.schema, append([]byte(nil), raw[verHeaderSize:]...))
+					if err != nil {
+						return err
+					}
+					victims = append(victims, Victim{Rid: MakeRowID(id, s), Row: row})
+					victimRefs = append(victimRefs, slotRef{id, s})
 					continue
 				}
 				if h.endTx != 0 && h.endLSN == 0 && !active(h.endTx) {
@@ -565,10 +662,51 @@ func (t *Table) Vacuum(tx uint64, horizon uint64, active func(uint64) bool) (int
 					// commit stamp (a NoWAL abort — WAL engines undo the
 					// stamp physically). Un-end the version so head reads
 					// see it again.
+					repairs = append(repairs, slotRef{id, s})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if reclaim != nil && len(victims) > 0 {
+		if err := reclaim(victims); err != nil {
+			return 0, err
+		}
+	}
+	// Free the slots and repair abandoned stamps page by page. The caller's
+	// table lock excludes writers and commit stamping, so the headers read
+	// in phase one are still current.
+	edits := make(map[storage.PageID][]slotRef)
+	for _, r := range victimRefs {
+		edits[r.page] = append(edits[r.page], r)
+	}
+	for _, r := range repairs {
+		edits[r.page] = append(edits[r.page], slotRef{r.page, ^r.slot})
+	}
+	removed := 0
+	for id := storage.PageID(2); id < n; id++ {
+		refs := edits[id]
+		if len(refs) == 0 {
+			continue
+		}
+		err := t.modifyPage(tx, id, func(buf []byte) error {
+			p := storage.SlottedPage{Buf: buf}
+			for _, r := range refs {
+				if r.slot < 0 { // repair marker
+					raw, ok := p.Read(^r.slot)
+					if !ok || len(raw) < verHeaderSize {
+						continue
+					}
 					binary.BigEndian.PutUint64(raw[16:24], 0)
 					binary.BigEndian.PutUint64(raw[24:32], 0)
 					binary.BigEndian.PutUint64(raw[32:40], 0)
+					continue
 				}
+				p.Delete(r.slot)
+				removed++
 			}
 			return nil
 		})

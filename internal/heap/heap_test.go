@@ -172,7 +172,7 @@ func TestVacuum(t *testing.T) {
 		t.Fatal(err)
 	}
 	noActive := func(uint64) bool { return false }
-	n, err := tb.Vacuum(3, 5, noActive)
+	n, err := tb.Vacuum(3, 5, noActive, nil)
 	if err != nil || n != 2 {
 		t.Fatalf("vacuum reclaimed %d (%v), want 2", n, err)
 	}
@@ -189,11 +189,11 @@ func TestVacuum(t *testing.T) {
 	if err := tb.StampVersion(4, keep, StampEnd, 9); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := tb.Vacuum(5, 5, noActive); n != 0 {
+	if n, _ := tb.Vacuum(5, 5, noActive, nil); n != 0 {
 		t.Fatalf("vacuum above horizon reclaimed %d", n)
 	}
 	// Raising the horizon reclaims it.
-	if n, _ := tb.Vacuum(6, 10, noActive); n != 1 {
+	if n, _ := tb.Vacuum(6, 10, noActive, nil); n != 1 {
 		t.Fatalf("vacuum at cut 10 reclaimed %d", n)
 	}
 }

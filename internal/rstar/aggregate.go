@@ -1,0 +1,182 @@
+package rstar
+
+import "repro/internal/nodestore"
+
+// Index-only aggregation (am_aggregate), mirroring the GR-tree's: COUNT sums
+// leaf entries without resolving payloads to tuples, MIN/MAX locate the
+// boundary leaf rectangle under the qualification. The rstblade only offers
+// these when the index holds ground (substitution-free) rectangles, so the
+// stored geometry is exact. Each entry point returns ok=false when the tree
+// changed structurally mid-traversal; the caller then drains tuples instead.
+
+// aggCoverable reports whether "query contains the bound" implies every
+// descendant leaf satisfies op (Overlap and Within only).
+func aggCoverable(op Op) bool {
+	return op == OpOverlaps || op == OpContainedIn
+}
+
+// AggCount counts qualifying leaf entries without visiting tuples. Subtrees
+// fully contained in the query are summed without per-entry tests (the
+// parent rectangle contains each descendant); partially covered subtrees
+// descend with the internal pruning test and evaluate leaves exactly.
+func (t *Tree) AggCount(op Op, query Rect) (int64, bool, error) {
+	if query.Empty() {
+		return 0, false, nil
+	}
+	epoch := t.epoch
+	var count int64
+	var walk func(id nodestore.NodeID) error
+	walk = func(id nodestore.NodeID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if leafTest(op, e.Rect, query) {
+					count++
+				}
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			if !internalTest(op, e.Rect, query) {
+				continue
+			}
+			if aggCoverable(op) && query.Contains(e.Rect) {
+				c, err := t.countAll(e.Child())
+				if err != nil {
+					return err
+				}
+				count += c
+				continue
+			}
+			if err := walk(e.Child()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		if t.epoch != epoch {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	if t.epoch != epoch {
+		return 0, false, nil
+	}
+	return count, true, nil
+}
+
+func (t *Tree) countAll(id nodestore.NodeID) (int64, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.leaf {
+		return int64(len(n.entries)), nil
+	}
+	var count int64
+	for _, e := range n.entries {
+		c, err := t.countAll(e.Child())
+		if err != nil {
+			return 0, err
+		}
+		count += c
+	}
+	return count, nil
+}
+
+// rectKeyLess orders rectangles lexicographically by (XMin, XMax, YMin,
+// YMax) — the rstblade maps (TTBegin, TTEnd, VTBegin, VTEnd) onto these
+// coordinates, so this is the same total order the GR-tree and the server's
+// tuple-drain comparator use.
+func rectKeyLess(a, b Rect) bool {
+	if a.XMin != b.XMin {
+		return a.XMin < b.XMin
+	}
+	if a.XMax != b.XMax {
+		return a.XMax < b.XMax
+	}
+	if a.YMin != b.YMin {
+		return a.YMin < b.YMin
+	}
+	return a.YMax < b.YMax
+}
+
+// AggExtreme returns the minimum (wantMax=false) or maximum (wantMax=true)
+// qualifying leaf rectangle under the lexicographic key. found is false when
+// nothing qualifies; ok is false when the tree changed structurally.
+func (t *Tree) AggExtreme(op Op, query Rect, wantMax bool) (Rect, bool, bool, error) {
+	if query.Empty() {
+		return Rect{}, false, false, nil
+	}
+	epoch := t.epoch
+	var best Rect
+	found := false
+	var walk func(id nodestore.NodeID) error
+	walk = func(id nodestore.NodeID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if !leafTest(op, e.Rect, query) {
+					continue
+				}
+				if !found || (wantMax && rectKeyLess(best, e.Rect)) || (!wantMax && rectKeyLess(e.Rect, best)) {
+					best = e.Rect
+					found = true
+				}
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			if internalTest(op, e.Rect, query) {
+				if err := walk(e.Child()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		if t.epoch != epoch {
+			return Rect{}, false, false, nil
+		}
+		return Rect{}, false, false, err
+	}
+	if t.epoch != epoch {
+		return Rect{}, false, false, nil
+	}
+	return best, found, true, nil
+}
+
+// WalkLeaves visits every leaf entry (UPDATE STATISTICS histogram
+// collection). Unordered and not epoch-checked — statistics are estimates.
+func (t *Tree) WalkLeaves(fn func(Entry) error) error {
+	var walk func(id nodestore.NodeID) error
+	walk = func(id nodestore.NodeID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if err := fn(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			if err := walk(e.Child()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}

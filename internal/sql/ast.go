@@ -78,11 +78,14 @@ type Insert struct {
 	Rows    [][]Expr
 }
 
-// SelectItem is one projection item.
+// SelectItem is one projection item: `*`, a bare column, `COUNT(*)`, or an
+// aggregate over one column (Agg is "count", "min", or "max" with Column the
+// argument; empty for plain projections).
 type SelectItem struct {
 	Star      bool
 	CountStar bool
 	Column    string
+	Agg       string
 }
 
 // Select is SELECT items FROM table [WHERE expr].
@@ -180,8 +183,14 @@ type Explain struct{ Stmt Statement }
 // CheckIndex is CHECK INDEX name (drives am_check).
 type CheckIndex struct{ Name string }
 
-// UpdateStatistics is UPDATE STATISTICS FOR INDEX name (drives am_stats).
-type UpdateStatistics struct{ Index string }
+// UpdateStatistics is UPDATE STATISTICS [FOR] [TABLE] name (collect row
+// counts and per-index histograms into SYSSTATS) or UPDATE STATISTICS FOR
+// INDEX name (drive a single index's am_stats). Exactly one of Table/Index
+// is set.
+type UpdateStatistics struct {
+	Index string
+	Table string
+}
 
 // Load is LOAD FROM 'file' [DELIMITER 'c'] INSERT INTO table — the Informix
 // bulk-load command; values of opaque types go through the text-file import

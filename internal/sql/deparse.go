@@ -134,6 +134,8 @@ func deparseStmt(b *strings.Builder, st Statement) {
 				b.WriteString("*")
 			case it.CountStar:
 				b.WriteString("count(*)")
+			case it.Agg != "":
+				fmt.Fprintf(b, "%s(%s)", it.Agg, it.Column)
 			default:
 				b.WriteString(it.Column)
 			}
@@ -196,7 +198,11 @@ func deparseStmt(b *strings.Builder, st Statement) {
 	case *CheckIndex:
 		fmt.Fprintf(b, "CHECK INDEX %s", t.Name)
 	case *UpdateStatistics:
-		fmt.Fprintf(b, "UPDATE STATISTICS FOR INDEX %s", t.Index)
+		if t.Index != "" {
+			fmt.Fprintf(b, "UPDATE STATISTICS FOR INDEX %s", t.Index)
+		} else {
+			fmt.Fprintf(b, "UPDATE STATISTICS FOR TABLE %s", t.Table)
+		}
 	case *Load:
 		fmt.Fprintf(b, "LOAD FROM %s DELIMITER %s INSERT INTO %s",
 			quoteString(t.File), quoteString(t.Delimiter), t.Table)

@@ -25,6 +25,16 @@ func FuzzParse(f *testing.F) {
 		`EXPLAIN EXECUTE byemp (1)`,
 		`SELECT x FROM t WHERE NOT (a = $1 OR b = '?''$2')`,
 		`CREATE INDEX ix ON t(x ops) USING am (k='v') IN spc`,
+		`SELECT COUNT(*) FROM t WHERE Overlaps(x, $1)`,
+		`SELECT COUNT(a) FROM t`,
+		`SELECT MIN(x) FROM t WHERE ContainedIn(x, '1/97, UC, 1/97, NOW')`,
+		`SELECT MAX(x) FROM t WHERE f(x, ?) AND g(y)`,
+		`SELECT Name, COUNT(*) FROM t`, // rejected downstream, must still parse or error cleanly
+		`UPDATE STATISTICS FOR INDEX ix`,
+		`UPDATE STATISTICS FOR TABLE t`,
+		`UPDATE STATISTICS t`,
+		`UPDATE STATISTICS FOR t`,
+		`EXPLAIN SELECT COUNT(*) FROM t WHERE Overlaps(x, $1)`,
 		`$1 $$ ?? SELECT $`,
 		"SELECT -- comment\n1",
 		`'unterminated`,

@@ -683,23 +683,34 @@ func (p *parser) selectStmt() (Statement, error) {
 	for {
 		if p.acceptPunct("*") {
 			st.Items = append(st.Items, SelectItem{Star: true})
-		} else if p.acceptKw("COUNT") {
-			if err := p.expectPunct("("); err != nil {
-				return nil, err
-			}
-			if err := p.expectPunct("*"); err != nil {
-				return nil, err
-			}
-			if err := p.expectPunct(")"); err != nil {
-				return nil, err
-			}
-			st.Items = append(st.Items, SelectItem{CountStar: true})
 		} else {
 			col, err := p.ident()
 			if err != nil {
 				return nil, err
 			}
-			st.Items = append(st.Items, SelectItem{Column: col})
+			agg := strings.ToLower(col)
+			isAgg := agg == "count" || agg == "min" || agg == "max"
+			// COUNT/MIN/MAX are aggregates only when a call follows; a bare
+			// ident of the same spelling stays a column reference.
+			if isAgg && p.acceptPunct("(") {
+				if agg == "count" && p.acceptPunct("*") {
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					st.Items = append(st.Items, SelectItem{CountStar: true})
+				} else {
+					arg, err := p.ident()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					st.Items = append(st.Items, SelectItem{Agg: agg, Column: arg})
+				}
+			} else {
+				st.Items = append(st.Items, SelectItem{Column: col})
+			}
 		}
 		if p.acceptPunct(",") {
 			continue
@@ -744,19 +755,21 @@ func (p *parser) deleteStmt() (Statement, error) {
 }
 
 func (p *parser) update() (Statement, error) {
-	// UPDATE STATISTICS FOR INDEX name
+	// UPDATE STATISTICS FOR INDEX name | UPDATE STATISTICS [FOR] [TABLE] name
 	if p.acceptKw("STATISTICS") {
-		if err := p.expectKw("FOR"); err != nil {
-			return nil, err
+		if p.acceptKw("FOR") && p.acceptKw("INDEX") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &UpdateStatistics{Index: name}, nil
 		}
-		if err := p.expectKw("INDEX"); err != nil {
-			return nil, err
-		}
+		p.acceptKw("TABLE")
 		name, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &UpdateStatistics{Index: name}, nil
+		return &UpdateStatistics{Table: name}, nil
 	}
 	table, err := p.ident()
 	if err != nil {

@@ -98,6 +98,12 @@ type SupportFuncs struct {
 	Import func(text string) ([]byte, error)
 	// Export converts the internal structure to a LOAD-file field.
 	Export func(data []byte) (string, error)
+	// Compare orders two internal structures (-1, 0, +1). Optional: types
+	// whose byte encoding does not sort the way the value does (signed
+	// fields under a big-endian codec, say) register one so MIN/MAX and
+	// other value-ordered operations agree with the type's semantics;
+	// without it opaque values compare bytewise.
+	Compare func(a, b []byte) (int, error)
 }
 
 // OpaqueType is a registered user-defined type.
@@ -258,6 +264,21 @@ func (r *Registry) ImportLiteral(text string, target Type) (Datum, error) {
 		return nil, err
 	}
 	return Opaque{TypeID: ot.ID, Data: data}, nil
+}
+
+// CompareDatums orders two datums, preferring a registered opaque Compare
+// support function over the package-level bytewise fallback. The server's
+// tuple-drain MIN/MAX uses this so its ordering matches the blade's own
+// value semantics exactly.
+func (r *Registry) CompareDatums(a, b Datum) (int, error) {
+	av, aok := a.(Opaque)
+	bv, bok := b.(Opaque)
+	if aok && bok && av.TypeID == bv.TypeID {
+		if ot, ok := r.LookupID(av.TypeID); ok && ot.Support.Compare != nil {
+			return ot.Support.Compare(av.Data, bv.Data)
+		}
+	}
+	return Compare(a, b)
 }
 
 // Format renders a datum as text, applying the Output support function for

@@ -5,8 +5,11 @@
 # the batched scan pipeline, the WAL group-commit flusher, the network
 # stack (wire framing, the session-multiplexing server, the client
 # library), the online index build (side-log capture, the tree blades'
-# STR bulk loaders, and the concurrent-DML/crash battery), and the shared
-# plan cache (LRU + generation invalidation under concurrent DDL). Tier-1
+# STR bulk loaders, and the concurrent-DML/crash battery), the shared
+# plan cache (LRU + generation invalidation under concurrent DDL), and the
+# aggregate-pushdown/vacuum batteries (am_aggregate agreement under
+# concurrent DML with interleaved VacuumNow, deferred index maintenance).
+# Tier-1
 # (`go build ./... && go test ./...`) is assumed to run separately; this
 # is the concurrency-focused gate (`make check`).
 set -eu
